@@ -1,0 +1,12 @@
+// E7 (§6.5): closure traversals — pre-order 1-N to the leaves, M-N to
+// the leaves, M-N-attribute to depth 25, from a random level-3 node.
+#include "bench/bench_common.h"
+
+int main() {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5});
+  hm::bench::RunOpsBench(
+      env, {hm::OpId::kClosure1N, hm::OpId::kClosureMN,
+            hm::OpId::kClosureMNAtt},
+      "E7: Closure traversals (§6.5, ops 10/14/15)");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// E8 (§6.6): computing closures — attribute sum, self-inverse
+// attribute set, predicate-pruned closure, weighted link-distance sum.
+#include "bench/bench_common.h"
+
+int main() {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5});
+  hm::bench::RunOpsBench(
+      env,
+      {hm::OpId::kClosure1NAttSum, hm::OpId::kClosure1NAttSet,
+       hm::OpId::kClosure1NPred, hm::OpId::kClosureMNAttLinkSum},
+      "E8: Closure computations (§6.6, ops 11/12/13/18)");
+  return 0;
+}

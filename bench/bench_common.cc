@@ -1,0 +1,148 @@
+#include "bench/bench_common.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+
+#include "hypermodel/backends/mem_store.h"
+#include "hypermodel/backends/net_store.h"
+#include "hypermodel/backends/oodb_store.h"
+#include "hypermodel/backends/rel_store.h"
+#include "util/check.h"
+
+namespace hm::bench {
+
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+void CheckOk(const util::Status& status) {
+  if (!status.ok()) {
+    std::cerr << "benchmark failed: " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+BenchEnv ParseEnv(std::vector<int> default_levels) {
+  BenchEnv env;
+  env.levels = std::move(default_levels);
+  if (const char* levels = std::getenv("HM_LEVELS")) {
+    env.levels.clear();
+    for (const std::string& level : SplitCsv(levels)) {
+      env.levels.push_back(std::atoi(level.c_str()));
+    }
+  }
+  if (const char* backends = std::getenv("HM_BACKENDS")) {
+    env.backends = SplitCsv(backends);
+  }
+  if (const char* iters = std::getenv("HM_ITERS")) {
+    env.iterations = std::atoi(iters);
+  }
+  if (const char* cache = std::getenv("HM_CACHE_PAGES")) {
+    env.cache_pages = static_cast<size_t>(std::atoll(cache));
+  }
+  env.workdir =
+      "/tmp/hm_bench_" + std::to_string(static_cast<long>(::getpid()));
+  std::filesystem::remove_all(env.workdir);
+  std::filesystem::create_directories(env.workdir);
+  return env;
+}
+
+std::unique_ptr<HyperStore> OpenBackend(const BenchEnv& env,
+                                        const std::string& name,
+                                        const std::string& dir) {
+  if (name == "mem") {
+    return std::make_unique<backends::MemStore>();
+  }
+  if (name == "oodb") {
+    backends::OodbOptions options;
+    options.cache_pages = env.cache_pages;
+    options.placement = env.placement;
+    auto store = backends::OodbStore::Open(options, dir);
+    CheckOk(store.status());
+    return std::move(*store);
+  }
+  if (name == "net") {
+    backends::NetOptions options;
+    options.cache_pages = env.cache_pages;
+    auto store = backends::NetStore::Open(options, dir);
+    CheckOk(store.status());
+    return std::move(*store);
+  }
+  if (name == "rel") {
+    backends::RelOptions options;
+    options.cache_pages = env.cache_pages;
+    auto store = backends::RelStore::Open(options, dir);
+    CheckOk(store.status());
+    return std::move(*store);
+  }
+  std::cerr << "unknown backend '" << name << "'\n";
+  std::exit(1);
+}
+
+TestDatabase BuildDatabase(HyperStore* store, int level,
+                           CreationTiming* timing) {
+  GeneratorConfig config;
+  config.levels = level;
+  Generator generator(config);
+  auto db = generator.Build(store, timing);
+  CheckOk(db.status());
+  return *db;
+}
+
+void RunOpsBench(const BenchEnv& env, const std::vector<OpId>& ops,
+                 const std::string& title, bool include_creation) {
+  std::cout << "### " << title << "\n";
+  std::cout << "(protocol: " << env.iterations
+            << " runs cold + commit + " << env.iterations
+            << " runs warm, per §6; cache " << env.cache_pages
+            << " pages)\n\n";
+
+  Report report;
+  for (int level : env.levels) {
+    for (const std::string& backend : env.backends) {
+      std::string dir = env.workdir + "/" + backend + "_l" +
+                        std::to_string(level);
+      std::unique_ptr<HyperStore> store = OpenBackend(env, backend, dir);
+
+      CreationTiming timing;
+      TestDatabase db = BuildDatabase(store.get(), level, &timing);
+      if (include_creation) {
+        CreationRow row;
+        row.backend = backend;
+        row.level = level;
+        row.nodes = db.node_count();
+        row.timing = timing;
+        report.AddCreation(row);
+      }
+
+      DriverConfig config;
+      config.iterations = env.iterations;
+      Driver driver(store.get(), &db, config);
+      for (OpId op : ops) {
+        auto result = driver.Run(op);
+        CheckOk(result.status());
+        report.AddOpResult(*result);
+      }
+    }
+  }
+  if (include_creation) {
+    report.PrintCreationTable(std::cout);
+  }
+  report.PrintOpTable(std::cout);
+}
+
+}  // namespace hm::bench

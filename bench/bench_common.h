@@ -1,0 +1,57 @@
+#ifndef HM_BENCH_BENCH_COMMON_H_
+#define HM_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hypermodel/driver.h"
+#include "objstore/object_store.h"
+#include "hypermodel/generator.h"
+#include "hypermodel/report.h"
+#include "hypermodel/store.h"
+
+namespace hm::bench {
+
+/// Shared configuration for the paper-table benchmark binaries,
+/// parsed from the environment:
+///   HM_LEVELS   comma-separated leaf levels (default per binary)
+///   HM_BACKENDS comma-separated subset of mem,oodb,rel,net (default all)
+///   HM_ITERS    protocol iterations per run (default 50, the paper's)
+///   HM_CACHE_PAGES workstation cache size in pages (default 2048)
+struct BenchEnv {
+  std::vector<int> levels;
+  std::vector<std::string> backends{"mem", "oodb", "rel", "net"};
+  int iterations = 50;
+  size_t cache_pages = 2048;
+  hm::objstore::PlacementPolicy placement =
+      hm::objstore::PlacementPolicy::kClustered;
+  std::string workdir;
+};
+
+/// Reads the environment; `default_levels` applies when HM_LEVELS is
+/// unset. Creates a scratch directory for the persistent backends.
+BenchEnv ParseEnv(std::vector<int> default_levels);
+
+/// Opens the named backend in `dir` (mem ignores the directory).
+std::unique_ptr<HyperStore> OpenBackend(const BenchEnv& env,
+                                        const std::string& name,
+                                        const std::string& dir);
+
+/// Builds the §5.2 database at `level` into `store`, capturing the
+/// §5.3 creation timing.
+TestDatabase BuildDatabase(HyperStore* store, int level,
+                           CreationTiming* timing);
+
+/// Runs `ops` through the full protocol on every backend x level and
+/// prints the paper-style table (plus the creation table when
+/// `include_creation`).
+void RunOpsBench(const BenchEnv& env, const std::vector<OpId>& ops,
+                 const std::string& title, bool include_creation = false);
+
+/// Dies with a message on error status (benchmark binaries only).
+void CheckOk(const util::Status& status);
+
+}  // namespace hm::bench
+
+#endif  // HM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,10 @@
+// E1 (§5.3): database-creation table — ms per node / relationship for
+// each creation phase, commit included, per level and backend.
+#include "bench/bench_common.h"
+
+int main() {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5});
+  hm::bench::RunOpsBench(env, {}, "E1: Database creation (§5.3)",
+                         /*include_creation=*/true);
+  return 0;
+}

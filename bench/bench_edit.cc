@@ -1,0 +1,11 @@
+// E9 (§6.7): editing — version1/version-2 text substitution and
+// bitmap subrectangle inversion, retrieve + store included.
+#include "bench/bench_common.h"
+
+int main() {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv({4});
+  hm::bench::RunOpsBench(env,
+                         {hm::OpId::kTextNodeEdit, hm::OpId::kFormNodeEdit},
+                         "E9: Editing (§6.7, ops 16/17)");
+  return 0;
+}

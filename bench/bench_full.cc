@@ -1,0 +1,19 @@
+// E11: the complete HyperModel benchmark — every operation of §6 under
+// the full cold/warm protocol, for every level and backend, plus the
+// §5.3 creation table. This is the binary that regenerates the
+// benchmark's full result matrix (the paper's companion report
+// /ANDE89/ published this matrix for GemStone and Vbase; our backends
+// stand in per DESIGN.md §2).
+//
+// Runs all three paper sizes by default (level 6 = 19531 nodes,
+// ~8 MB of §5.2 data); restrict with e.g. HM_LEVELS=4,5.
+
+#include "bench/bench_common.h"
+
+int main() {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5, 6});
+  hm::bench::RunOpsBench(env, hm::AllOps(),
+                         "E11: Full HyperModel operation matrix (§6)",
+                         /*include_creation=*/true);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// E4 (§6.3): group lookup along the 1-N, M-N and M-N-attribute
+// relationships from a random node.
+#include "bench/bench_common.h"
+
+int main() {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5});
+  hm::bench::RunOpsBench(env,
+                         {hm::OpId::kGroupLookup1N, hm::OpId::kGroupLookupMN,
+                          hm::OpId::kGroupLookupMNAtt},
+                         "E4: Group lookup (§6.3, ops 05A/05B/06)");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// E3 (§6.2): range lookups at 10% (hundred) and 1% (million)
+// selectivity, exercising the secondary indexes.
+#include "bench/bench_common.h"
+
+int main() {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5});
+  hm::bench::RunOpsBench(
+      env, {hm::OpId::kRangeLookupHundred, hm::OpId::kRangeLookupMillion},
+      "E3: Range lookup (§6.2, ops 03-04)");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// E5 (§6.4): reference lookup — the inverse directions of E4.
+#include "bench/bench_common.h"
+
+int main() {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5});
+  hm::bench::RunOpsBench(env,
+                         {hm::OpId::kRefLookup1N, hm::OpId::kRefLookupMN,
+                          hm::OpId::kRefLookupMNAtt},
+                         "E5: Reference lookup (§6.4, ops 07A/07B/08)");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// E6 (§6.4.1): sequential scan of the test structure's ten attribute,
+// without using a class extent.
+#include "bench/bench_common.h"
+
+int main() {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv({4});
+  hm::bench::RunOpsBench(env, {hm::OpId::kSeqScan},
+                         "E6: Sequential scan (§6.4.1, op 09)");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Collaborative editing (R8/R9, §7): several users edit the same
+// document structure concurrently through private workspaces with
+// optimistic concurrency control. Two users updating *different*
+// sections both succeed (the paper's R9 scenario); users fighting over
+// the same section see validation conflicts and retry — reproducing
+// the paper's observation that under optimistic CC "it is a problem to
+// define update operations that do not conflict".
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "hypermodel/backends/mem_store.h"
+#include "hypermodel/ext/occ.h"
+#include "hypermodel/generator.h"
+#include "util/random.h"
+
+namespace {
+
+void Die(const hm::util::Status& status) {
+  std::fprintf(stderr, "fatal: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main() {
+  hm::backends::MemStore store;
+  hm::GeneratorConfig config;
+  config.levels = 3;
+  hm::Generator generator(config);
+  auto db = generator.Build(&store, nullptr);
+  if (!db.ok()) Die(db.status());
+
+  hm::ext::OccManager occ(&store);
+
+  // --- Scene 1: the paper's R9 case — disjoint updates both publish --
+  std::cout << "Scene 1: two users edit different sections of the same "
+               "document\n";
+  {
+    hm::ext::WorkspaceId alice = occ.OpenWorkspace(1);
+    hm::ext::WorkspaceId bob = occ.OpenWorkspace(2);
+    auto a_text = occ.GetText(alice, db->text_nodes[0]);
+    auto b_text = occ.GetText(bob, db->text_nodes[1]);
+    if (!a_text.ok() || !b_text.ok()) Die(a_text.status());
+    (void)occ.SetText(alice, db->text_nodes[0], *a_text + " [alice]");
+    (void)occ.SetText(bob, db->text_nodes[1], *b_text + " [bob]");
+    hm::util::Status a_commit = occ.CommitWorkspace(alice);
+    hm::util::Status b_commit = occ.CommitWorkspace(bob);
+    std::cout << "  alice commit: " << a_commit.ToString() << "\n";
+    std::cout << "  bob commit:   " << b_commit.ToString() << "\n";
+  }
+
+  // --- Scene 2: the same section — one wins, one conflicts ----------
+  std::cout << "\nScene 2: both edit the SAME section\n";
+  {
+    hm::ext::WorkspaceId alice = occ.OpenWorkspace(1);
+    hm::ext::WorkspaceId bob = occ.OpenWorkspace(2);
+    (void)occ.SetText(alice, db->text_nodes[2], "alice's version");
+    (void)occ.SetText(bob, db->text_nodes[2], "bob's version");
+    std::cout << "  alice commit: " << occ.CommitWorkspace(alice).ToString()
+              << "\n";
+    hm::util::Status bob_commit = occ.CommitWorkspace(bob);
+    std::cout << "  bob commit:   " << bob_commit.ToString() << "\n";
+    std::cout << "  stored text:  '" << *store.GetText(db->text_nodes[2])
+              << "'\n";
+  }
+
+  // --- Scene 3: a retry loop makes everyone eventually succeed ------
+  std::cout << "\nScene 3: 4 threads, hot section, commit-retry loops\n";
+  {
+    std::atomic<int> total_retries{0};
+    std::vector<std::thread> editors;
+    for (int user = 0; user < 4; ++user) {
+      editors.emplace_back([&, user] {
+        hm::util::Rng rng(static_cast<uint64_t>(user) + 99);
+        for (int edit = 0; edit < 5; ++edit) {
+          for (int attempt = 0;; ++attempt) {
+            hm::ext::WorkspaceId ws =
+                occ.OpenWorkspace(static_cast<uint64_t>(user));
+            hm::NodeRef section = db->text_nodes[3];
+            auto text = occ.GetText(ws, section);
+            if (!text.ok()) continue;
+            std::string next = *text;
+            next += ".";
+            if (!occ.SetText(ws, section, next).ok()) continue;
+            if (occ.CommitWorkspace(ws).ok()) break;
+            ++total_retries;
+          }
+        }
+      });
+    }
+    for (std::thread& editor : editors) editor.join();
+    std::string final_text = *store.GetText(db->text_nodes[3]);
+    size_t dots = 0;
+    for (char c : final_text) {
+      if (c == '.') ++dots;
+    }
+    std::cout << "  20 edits landed (" << dots
+              << " '.' appended), retries caused by conflicts: "
+              << total_retries.load() << "\n";
+    std::cout << "  totals: " << occ.commits() << " commits, "
+              << occ.conflicts() << " conflicts\n";
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Quickstart: build a small HyperModel test database on all four backends,
+// run a handful of the paper's operations, and print the protocol
+// timings. Mirrors the README walk-through.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+
+#include "hypermodel/backends/mem_store.h"
+#include "hypermodel/backends/net_store.h"
+#include "hypermodel/backends/oodb_store.h"
+#include "hypermodel/backends/rel_store.h"
+#include "hypermodel/driver.h"
+#include "hypermodel/generator.h"
+#include "hypermodel/operations.h"
+#include "hypermodel/report.h"
+
+namespace {
+
+void Die(const hm::util::Status& status) {
+  std::fprintf(stderr, "fatal: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+#define OK(expr)                                  \
+  do {                                            \
+    ::hm::util::Status _s = (expr);               \
+    if (!_s.ok()) Die(_s);                        \
+  } while (0)
+
+void RunOn(hm::HyperStore* store, hm::Report* report) {
+  // Generate the §5.2 test database at level 3 (156 nodes) — small
+  // enough for a demo, same topology rules as the full benchmark.
+  hm::GeneratorConfig config;
+  config.levels = 3;
+  hm::Generator generator(config);
+  auto db = generator.Build(store, nullptr);
+  if (!db.ok()) Die(db.status());
+
+  std::cout << "[" << store->name() << "] built " << db->node_count()
+            << " nodes (root ref " << db->root << ")\n";
+
+  // A taste of the operation set, outside the timing protocol.
+  OK(store->Begin());
+  auto hundred = hm::ops::NameLookup(store, /*unique_id=*/17);
+  if (!hundred.ok()) Die(hundred.status());
+  std::cout << "  nameLookup(17): hundred = " << *hundred << "\n";
+
+  std::vector<hm::NodeRef> closure;
+  OK(hm::ops::Closure1N(store, db->root, &closure));
+  std::cout << "  closure1N(root): " << closure.size()
+            << " nodes in pre-order\n";
+
+  std::vector<hm::NodeDistance> distances;
+  OK(hm::ops::ClosureMNAttLinkSum(store, db->level(1)[0], 25, &distances));
+  std::cout << "  closureMNATTLINKSUM: " << distances.size()
+            << " (node, distance) pairs, farthest distance "
+            << (distances.empty() ? 0 : distances.back().distance) << "\n";
+  OK(store->Commit());
+
+  // The full paper protocol for three representative operations.
+  hm::DriverConfig driver_config;
+  driver_config.iterations = 10;  // demo-sized; the benches use 50
+  hm::Driver driver(store, &*db, driver_config);
+  for (hm::OpId op : {hm::OpId::kNameLookup, hm::OpId::kGroupLookup1N,
+                      hm::OpId::kClosure1N}) {
+    auto result = driver.Run(op);
+    if (!result.ok()) Die(result.status());
+    report->AddOpResult(*result);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::filesystem::remove_all("/tmp/hm_quickstart");
+  hm::Report report;
+
+  {
+    hm::backends::MemStore mem;
+    RunOn(&mem, &report);
+  }
+  {
+    auto oodb = hm::backends::OodbStore::Open(hm::backends::OodbOptions{},
+                                              "/tmp/hm_quickstart/oodb");
+    if (!oodb.ok()) Die(oodb.status());
+    RunOn(oodb->get(), &report);
+  }
+  {
+    auto rel = hm::backends::RelStore::Open(hm::backends::RelOptions{},
+                                            "/tmp/hm_quickstart/rel");
+    if (!rel.ok()) Die(rel.status());
+    RunOn(rel->get(), &report);
+  }
+  {
+    auto net = hm::backends::NetStore::Open(hm::backends::NetOptions{},
+                                            "/tmp/hm_quickstart/net");
+    if (!net.ok()) Die(net.status());
+    RunOn(net->get(), &report);
+  }
+
+  std::cout << "\n";
+  report.PrintOpTable(std::cout);
+  return 0;
+}

@@ -1,0 +1,610 @@
+#include "hypermodel/backends/oodb_store.h"
+
+#include "util/check.h"
+#include "util/coding.h"
+
+namespace hm::backends {
+
+namespace {
+
+using index::BPlusTree;
+using index::Key128;
+using objstore::Oid;
+
+// Every stored object starts with a record-type tag so index rebuilds
+// can tell node records from content blobs.
+constexpr uint8_t kTagNode = 0x4E;     // 'N'
+constexpr uint8_t kTagContent = 0x43;  // 'C'
+
+// Catalog slots holding the secondary index roots.
+constexpr size_t kSlotUniqueRoot = 0;
+constexpr size_t kSlotHundredRoot = 1;
+constexpr size_t kSlotMillionRoot = 2;
+
+// Node record fixed-header offsets (after the tag byte).
+constexpr size_t kOffKind = 1;
+constexpr size_t kOffUnique = 2;
+constexpr size_t kOffTen = 10;
+constexpr size_t kOffHundred = 18;
+constexpr size_t kOffThousand = 26;
+constexpr size_t kOffMillion = 34;
+constexpr size_t kOffParent = 42;
+constexpr size_t kOffContent = 50;
+constexpr size_t kFixedHeader = 58;
+
+void PutOidList(std::string* out, const std::vector<Oid>& oids) {
+  util::PutFixed32(out, static_cast<uint32_t>(oids.size()));
+  for (Oid oid : oids) util::PutFixed64(out, oid);
+}
+
+bool GetOidList(util::Decoder* dec, std::vector<Oid>* oids) {
+  uint32_t count = 0;
+  if (!dec->GetFixed32(&count)) return false;
+  oids->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!dec->GetFixed64(&(*oids)[i])) return false;
+  }
+  return true;
+}
+
+void PutEdgeList(std::string* out, const std::vector<RefEdge>& edges) {
+  util::PutFixed32(out, static_cast<uint32_t>(edges.size()));
+  for (const RefEdge& edge : edges) {
+    util::PutFixed64(out, edge.node);
+    util::PutFixed64(out, static_cast<uint64_t>(edge.offset_from));
+    util::PutFixed64(out, static_cast<uint64_t>(edge.offset_to));
+  }
+}
+
+bool GetEdgeList(util::Decoder* dec, std::vector<RefEdge>* edges) {
+  uint32_t count = 0;
+  if (!dec->GetFixed32(&count)) return false;
+  edges->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t node = 0, from = 0, to = 0;
+    if (!dec->GetFixed64(&node) || !dec->GetFixed64(&from) ||
+        !dec->GetFixed64(&to)) {
+      return false;
+    }
+    (*edges)[i] = RefEdge{node, static_cast<int64_t>(from),
+                          static_cast<int64_t>(to)};
+  }
+  return true;
+}
+
+}  // namespace
+
+/// Wire format of one node object:
+///   [tag:1='N'][kind:1][unique:8][ten:8][hundred:8][thousand:8]
+///   [million:8][parent:8][content:8]
+///   [children oid-list][parts oid-list][partOf oid-list]
+///   [refsTo edge-list][refsFrom edge-list]
+/// Content objects are `[tag:1='C'][bytes...]`.
+struct OodbStore::NodeRecord {
+  NodeKind kind = NodeKind::kInternal;
+  int64_t unique_id = 0;
+  int64_t ten = 0;
+  int64_t hundred = 0;
+  int64_t thousand = 0;
+  int64_t million = 0;
+  Oid parent = objstore::kInvalidOid;
+  Oid content = objstore::kInvalidOid;
+  std::vector<Oid> children;
+  std::vector<Oid> parts;
+  std::vector<Oid> part_of;
+  std::vector<RefEdge> refs_to;
+  std::vector<RefEdge> refs_from;
+
+  std::string Encode() const {
+    std::string out;
+    out.reserve(kFixedHeader + 20 + 8 * (children.size() + parts.size() +
+                                         part_of.size()) +
+                24 * (refs_to.size() + refs_from.size()));
+    out.push_back(static_cast<char>(kTagNode));
+    out.push_back(static_cast<char>(kind));
+    util::PutFixed64(&out, static_cast<uint64_t>(unique_id));
+    util::PutFixed64(&out, static_cast<uint64_t>(ten));
+    util::PutFixed64(&out, static_cast<uint64_t>(hundred));
+    util::PutFixed64(&out, static_cast<uint64_t>(thousand));
+    util::PutFixed64(&out, static_cast<uint64_t>(million));
+    util::PutFixed64(&out, parent);
+    util::PutFixed64(&out, content);
+    PutOidList(&out, children);
+    PutOidList(&out, parts);
+    PutOidList(&out, part_of);
+    PutEdgeList(&out, refs_to);
+    PutEdgeList(&out, refs_from);
+    return out;
+  }
+
+  static util::Result<NodeRecord> Decode(std::string_view data) {
+    if (data.size() < kFixedHeader ||
+        static_cast<uint8_t>(data[0]) != kTagNode) {
+      return util::Status::Corruption("not a node record");
+    }
+    NodeRecord rec;
+    rec.kind = static_cast<NodeKind>(data[kOffKind]);
+    rec.unique_id =
+        static_cast<int64_t>(util::DecodeFixed64(data.data() + kOffUnique));
+    rec.ten = static_cast<int64_t>(util::DecodeFixed64(data.data() + kOffTen));
+    rec.hundred =
+        static_cast<int64_t>(util::DecodeFixed64(data.data() + kOffHundred));
+    rec.thousand =
+        static_cast<int64_t>(util::DecodeFixed64(data.data() + kOffThousand));
+    rec.million =
+        static_cast<int64_t>(util::DecodeFixed64(data.data() + kOffMillion));
+    rec.parent = util::DecodeFixed64(data.data() + kOffParent);
+    rec.content = util::DecodeFixed64(data.data() + kOffContent);
+    util::Decoder dec(data.substr(kFixedHeader));
+    if (!GetOidList(&dec, &rec.children) || !GetOidList(&dec, &rec.parts) ||
+        !GetOidList(&dec, &rec.part_of) || !GetEdgeList(&dec, &rec.refs_to) ||
+        !GetEdgeList(&dec, &rec.refs_from)) {
+      return util::Status::Corruption("truncated node record");
+    }
+    return rec;
+  }
+};
+
+util::Result<std::unique_ptr<OodbStore>> OodbStore::Open(
+    const OodbOptions& options, const std::string& dir) {
+  objstore::ObjectStoreOptions store_options;
+  store_options.cache_pages = options.cache_pages;
+  store_options.placement = options.placement;
+  store_options.sync_commits = options.sync_commits;
+
+  std::unique_ptr<OodbStore> oodb(new OodbStore());
+  HM_ASSIGN_OR_RETURN(oodb->store_,
+                      objstore::ObjectStore::Open(store_options, dir));
+  objstore::ObjectStore* store = oodb->store_.get();
+
+  if (store->GetCatalog(kSlotUniqueRoot) == 0) {
+    // Fresh database: create the three secondary indexes.
+    HM_ASSIGN_OR_RETURN(BPlusTree uniq,
+                        BPlusTree::Create(store->buffer_pool()));
+    HM_ASSIGN_OR_RETURN(BPlusTree hundred,
+                        BPlusTree::Create(store->buffer_pool()));
+    HM_ASSIGN_OR_RETURN(BPlusTree million,
+                        BPlusTree::Create(store->buffer_pool()));
+    oodb->by_unique_.emplace(uniq);
+    oodb->by_hundred_.emplace(hundred);
+    oodb->by_million_.emplace(million);
+    HM_RETURN_IF_ERROR(oodb->PersistIndexRoots());
+    HM_RETURN_IF_ERROR(store->Checkpoint());
+  } else {
+    oodb->by_unique_.emplace(
+        store->buffer_pool(),
+        static_cast<storage::PageId>(store->GetCatalog(kSlotUniqueRoot)));
+    oodb->by_hundred_.emplace(
+        store->buffer_pool(),
+        static_cast<storage::PageId>(store->GetCatalog(kSlotHundredRoot)));
+    oodb->by_million_.emplace(
+        store->buffer_pool(),
+        static_cast<storage::PageId>(store->GetCatalog(kSlotMillionRoot)));
+    if (store->recovered_records() > 0) {
+      // WAL replay re-applied object mutations the checkpointed index
+      // pages never saw; re-derive the indexes from the objects.
+      HM_RETURN_IF_ERROR(oodb->RebuildIndexes());
+      HM_RETURN_IF_ERROR(store->Checkpoint());
+    }
+  }
+  return oodb;
+}
+
+OodbStore::~OodbStore() {
+  if (store_ != nullptr) {
+    PersistIndexRoots();
+    store_->Close();
+  }
+}
+
+util::Status OodbStore::PersistIndexRoots() {
+  store_->SetCatalog(kSlotUniqueRoot, by_unique_->root_id());
+  store_->SetCatalog(kSlotHundredRoot, by_hundred_->root_id());
+  store_->SetCatalog(kSlotMillionRoot, by_million_->root_id());
+  return util::Status::Ok();
+}
+
+util::Status OodbStore::RebuildIndexes() {
+  HM_ASSIGN_OR_RETURN(BPlusTree uniq, BPlusTree::Create(store_->buffer_pool()));
+  HM_ASSIGN_OR_RETURN(BPlusTree hundred,
+                      BPlusTree::Create(store_->buffer_pool()));
+  HM_ASSIGN_OR_RETURN(BPlusTree million,
+                      BPlusTree::Create(store_->buffer_pool()));
+  by_unique_.emplace(uniq);
+  by_hundred_.emplace(hundred);
+  by_million_.emplace(million);
+  for (Oid oid = 1; oid < store_->next_oid(); ++oid) {
+    if (!store_->Exists(oid)) continue;
+    HM_ASSIGN_OR_RETURN(std::string data, store_->Read(oid));
+    if (data.empty() || static_cast<uint8_t>(data[0]) != kTagNode) continue;
+    HM_ASSIGN_OR_RETURN(NodeRecord rec, NodeRecord::Decode(data));
+    HM_RETURN_IF_ERROR(by_unique_->Insert(
+        Key128{static_cast<uint64_t>(rec.unique_id), 0}, oid));
+    HM_RETURN_IF_ERROR(by_hundred_->Insert(
+        Key128{static_cast<uint64_t>(rec.hundred), oid}, oid));
+    HM_RETURN_IF_ERROR(by_million_->Insert(
+        Key128{static_cast<uint64_t>(rec.million), oid}, oid));
+  }
+  // No checkpoint here: rebuilds may run inside an open transaction
+  // (GC) — the caller decides when the new baseline is durable.
+  return PersistIndexRoots();
+}
+
+util::Status OodbStore::RequireActiveTxn() {
+  if (!txn_.has_value() || !txn_->active()) {
+    return util::Status::InvalidArgument(
+        "no active transaction: call Begin() first");
+  }
+  return util::Status::Ok();
+}
+
+util::Status OodbStore::Begin() {
+  if (txn_.has_value() && txn_->active()) {
+    return util::Status::InvalidArgument("transaction already active");
+  }
+  HM_ASSIGN_OR_RETURN(objstore::Transaction txn, store_->Begin());
+  txn_.emplace(std::move(txn));
+  return util::Status::Ok();
+}
+
+util::Status OodbStore::Commit() {
+  HM_RETURN_IF_ERROR(RequireActiveTxn());
+  HM_RETURN_IF_ERROR(PersistIndexRoots());
+  util::Status s = store_->Commit(&*txn_);
+  txn_.reset();
+  return s;
+}
+
+util::Status OodbStore::Abort() {
+  HM_RETURN_IF_ERROR(RequireActiveTxn());
+  util::Status s = store_->Abort(&*txn_);
+  txn_.reset();
+  // Index entries added by the aborted transaction are NOT rolled back
+  // by the object-level undo; re-derive them.
+  if (s.ok()) s = RebuildIndexes();
+  return s;
+}
+
+util::Status OodbStore::CloseReopen() {
+  if (txn_.has_value() && txn_->active()) {
+    return util::Status::InvalidArgument(
+        "cannot close with an active transaction");
+  }
+  HM_RETURN_IF_ERROR(PersistIndexRoots());
+  HM_RETURN_IF_ERROR(store_->Checkpoint());
+  return store_->DropCaches();
+}
+
+util::Result<OodbStore::NodeRecord> OodbStore::ReadNode(NodeRef node) const {
+  HM_ASSIGN_OR_RETURN(std::string data, store_->Read(node));
+  return NodeRecord::Decode(data);
+}
+
+util::Status OodbStore::WriteNode(NodeRef node, const NodeRecord& record) {
+  return store_->Update(&*txn_, node, record.Encode());
+}
+
+util::Result<NodeRef> OodbStore::CreateNode(const NodeAttrs& attrs,
+                                            NodeRef near) {
+  HM_RETURN_IF_ERROR(RequireActiveTxn());
+  NodeRecord rec;
+  rec.kind = attrs.kind;
+  rec.unique_id = attrs.unique_id;
+  rec.ten = attrs.ten;
+  rec.hundred = attrs.hundred;
+  rec.thousand = attrs.thousand;
+  rec.million = attrs.million;
+  HM_ASSIGN_OR_RETURN(Oid oid, store_->Create(&*txn_, rec.Encode(), near));
+  HM_RETURN_IF_ERROR(by_unique_->Insert(
+      Key128{static_cast<uint64_t>(attrs.unique_id), 0}, oid));
+  HM_RETURN_IF_ERROR(by_hundred_->Insert(
+      Key128{static_cast<uint64_t>(attrs.hundred), oid}, oid));
+  HM_RETURN_IF_ERROR(by_million_->Insert(
+      Key128{static_cast<uint64_t>(attrs.million), oid}, oid));
+  return oid;
+}
+
+util::Status OodbStore::SetText(NodeRef node, std::string_view text) {
+  HM_RETURN_IF_ERROR(RequireActiveTxn());
+  HM_ASSIGN_OR_RETURN(NodeRecord rec, ReadNode(node));
+  if (rec.kind != NodeKind::kText) {
+    return util::Status::InvalidArgument("node is not a TextNode");
+  }
+  std::string blob;
+  blob.reserve(text.size() + 1);
+  blob.push_back(static_cast<char>(kTagContent));
+  blob.append(text);
+  if (rec.content == objstore::kInvalidOid) {
+    HM_ASSIGN_OR_RETURN(Oid content, store_->Create(&*txn_, blob, node));
+    rec.content = content;
+    return WriteNode(node, rec);
+  }
+  return store_->Update(&*txn_, rec.content, blob);
+}
+
+util::Status OodbStore::SetForm(NodeRef node, const util::Bitmap& form) {
+  HM_RETURN_IF_ERROR(RequireActiveTxn());
+  HM_ASSIGN_OR_RETURN(NodeRecord rec, ReadNode(node));
+  if (rec.kind != NodeKind::kForm) {
+    return util::Status::InvalidArgument("node is not a FormNode");
+  }
+  std::string blob;
+  std::string bits = form.Serialize();
+  blob.reserve(bits.size() + 1);
+  blob.push_back(static_cast<char>(kTagContent));
+  blob.append(bits);
+  if (rec.content == objstore::kInvalidOid) {
+    HM_ASSIGN_OR_RETURN(Oid content, store_->Create(&*txn_, blob, node));
+    rec.content = content;
+    return WriteNode(node, rec);
+  }
+  return store_->Update(&*txn_, rec.content, blob);
+}
+
+util::Status OodbStore::AddChild(NodeRef parent, NodeRef child) {
+  HM_RETURN_IF_ERROR(RequireActiveTxn());
+  HM_ASSIGN_OR_RETURN(NodeRecord parent_rec, ReadNode(parent));
+  HM_ASSIGN_OR_RETURN(NodeRecord child_rec, ReadNode(child));
+  if (child_rec.parent != objstore::kInvalidOid) {
+    return util::Status::InvalidArgument("node already has a parent");
+  }
+  parent_rec.children.push_back(child);
+  child_rec.parent = parent;
+  HM_RETURN_IF_ERROR(WriteNode(parent, parent_rec));
+  return WriteNode(child, child_rec);
+}
+
+util::Status OodbStore::AddPart(NodeRef owner, NodeRef part) {
+  HM_RETURN_IF_ERROR(RequireActiveTxn());
+  HM_ASSIGN_OR_RETURN(NodeRecord owner_rec, ReadNode(owner));
+  HM_ASSIGN_OR_RETURN(NodeRecord part_rec, ReadNode(part));
+  owner_rec.parts.push_back(part);
+  part_rec.part_of.push_back(owner);
+  HM_RETURN_IF_ERROR(WriteNode(owner, owner_rec));
+  return WriteNode(part, part_rec);
+}
+
+util::Status OodbStore::AddRef(NodeRef from, NodeRef to, int64_t offset_from,
+                               int64_t offset_to) {
+  HM_RETURN_IF_ERROR(RequireActiveTxn());
+  HM_ASSIGN_OR_RETURN(NodeRecord from_rec, ReadNode(from));
+  if (from == to) {
+    from_rec.refs_to.push_back(RefEdge{to, offset_from, offset_to});
+    from_rec.refs_from.push_back(RefEdge{from, offset_from, offset_to});
+    return WriteNode(from, from_rec);
+  }
+  HM_ASSIGN_OR_RETURN(NodeRecord to_rec, ReadNode(to));
+  from_rec.refs_to.push_back(RefEdge{to, offset_from, offset_to});
+  to_rec.refs_from.push_back(RefEdge{from, offset_from, offset_to});
+  HM_RETURN_IF_ERROR(WriteNode(from, from_rec));
+  return WriteNode(to, to_rec);
+}
+
+util::Result<int64_t> OodbStore::GetAttr(NodeRef node, Attr attr) {
+  // Fast path: attributes live at fixed offsets; skip full decode.
+  HM_ASSIGN_OR_RETURN(std::string data, store_->Read(node));
+  if (data.size() < kFixedHeader ||
+      static_cast<uint8_t>(data[0]) != kTagNode) {
+    return util::Status::Corruption("not a node record");
+  }
+  size_t off = 0;
+  switch (attr) {
+    case Attr::kUniqueId:
+      off = kOffUnique;
+      break;
+    case Attr::kTen:
+      off = kOffTen;
+      break;
+    case Attr::kHundred:
+      off = kOffHundred;
+      break;
+    case Attr::kThousand:
+      off = kOffThousand;
+      break;
+    case Attr::kMillion:
+      off = kOffMillion;
+      break;
+  }
+  return static_cast<int64_t>(util::DecodeFixed64(data.data() + off));
+}
+
+util::Status OodbStore::SetAttr(NodeRef node, Attr attr, int64_t value) {
+  HM_RETURN_IF_ERROR(RequireActiveTxn());
+  HM_ASSIGN_OR_RETURN(NodeRecord rec, ReadNode(node));
+  switch (attr) {
+    case Attr::kUniqueId:
+      return util::Status::InvalidArgument("uniqueId is immutable");
+    case Attr::kTen:
+      rec.ten = value;
+      break;
+    case Attr::kHundred: {
+      HM_RETURN_IF_ERROR(by_hundred_->Delete(
+          Key128{static_cast<uint64_t>(rec.hundred), node}));
+      HM_RETURN_IF_ERROR(by_hundred_->Insert(
+          Key128{static_cast<uint64_t>(value), node}, node));
+      rec.hundred = value;
+      break;
+    }
+    case Attr::kThousand:
+      rec.thousand = value;
+      break;
+    case Attr::kMillion: {
+      HM_RETURN_IF_ERROR(by_million_->Delete(
+          Key128{static_cast<uint64_t>(rec.million), node}));
+      HM_RETURN_IF_ERROR(by_million_->Insert(
+          Key128{static_cast<uint64_t>(value), node}, node));
+      rec.million = value;
+      break;
+    }
+  }
+  return WriteNode(node, rec);
+}
+
+util::Result<NodeKind> OodbStore::GetKind(NodeRef node) {
+  HM_ASSIGN_OR_RETURN(std::string data, store_->Read(node));
+  if (data.size() < kFixedHeader ||
+      static_cast<uint8_t>(data[0]) != kTagNode) {
+    return util::Status::Corruption("not a node record");
+  }
+  return static_cast<NodeKind>(data[kOffKind]);
+}
+
+util::Result<std::string> OodbStore::GetText(NodeRef node) {
+  HM_ASSIGN_OR_RETURN(NodeRecord rec, ReadNode(node));
+  if (rec.kind != NodeKind::kText) {
+    return util::Status::InvalidArgument("node is not a TextNode");
+  }
+  if (rec.content == objstore::kInvalidOid) return std::string();
+  HM_ASSIGN_OR_RETURN(std::string blob, store_->Read(rec.content));
+  if (blob.empty() || static_cast<uint8_t>(blob[0]) != kTagContent) {
+    return util::Status::Corruption("bad content object");
+  }
+  return blob.substr(1);
+}
+
+util::Result<util::Bitmap> OodbStore::GetForm(NodeRef node) {
+  HM_ASSIGN_OR_RETURN(NodeRecord rec, ReadNode(node));
+  if (rec.kind != NodeKind::kForm) {
+    return util::Status::InvalidArgument("node is not a FormNode");
+  }
+  if (rec.content == objstore::kInvalidOid) return util::Bitmap();
+  HM_ASSIGN_OR_RETURN(std::string blob, store_->Read(rec.content));
+  if (blob.empty() || static_cast<uint8_t>(blob[0]) != kTagContent) {
+    return util::Status::Corruption("bad content object");
+  }
+  return util::Bitmap::Deserialize(std::string_view(blob).substr(1));
+}
+
+util::Status OodbStore::SetContents(NodeRef node, std::string_view data) {
+  HM_RETURN_IF_ERROR(RequireActiveTxn());
+  HM_ASSIGN_OR_RETURN(NodeRecord rec, ReadNode(node));
+  if (rec.kind == NodeKind::kInternal) {
+    return util::Status::InvalidArgument("internal nodes carry no contents");
+  }
+  std::string blob;
+  blob.reserve(data.size() + 1);
+  blob.push_back(static_cast<char>(kTagContent));
+  blob.append(data);
+  if (rec.content == objstore::kInvalidOid) {
+    HM_ASSIGN_OR_RETURN(Oid content, store_->Create(&*txn_, blob, node));
+    rec.content = content;
+    return WriteNode(node, rec);
+  }
+  return store_->Update(&*txn_, rec.content, blob);
+}
+
+util::Result<std::string> OodbStore::GetContents(NodeRef node) {
+  HM_ASSIGN_OR_RETURN(NodeRecord rec, ReadNode(node));
+  if (rec.kind == NodeKind::kInternal) {
+    return util::Status::InvalidArgument("internal nodes carry no contents");
+  }
+  if (rec.content == objstore::kInvalidOid) return std::string();
+  HM_ASSIGN_OR_RETURN(std::string blob, store_->Read(rec.content));
+  if (blob.empty() || static_cast<uint8_t>(blob[0]) != kTagContent) {
+    return util::Status::Corruption("bad content object");
+  }
+  return blob.substr(1);
+}
+
+util::Result<NodeRef> OodbStore::LookupUnique(int64_t unique_id) {
+  HM_ASSIGN_OR_RETURN(
+      uint64_t oid,
+      by_unique_->Get(Key128{static_cast<uint64_t>(unique_id), 0}));
+  return oid;
+}
+
+util::Status OodbStore::RangeHundred(int64_t lo, int64_t hi,
+                                     std::vector<NodeRef>* out) {
+  return by_hundred_->ScanRange(
+      Key128{static_cast<uint64_t>(lo), 0},
+      Key128{static_cast<uint64_t>(hi), ~0ULL},
+      [out](Key128, uint64_t oid) {
+        out->push_back(oid);
+        return true;
+      });
+}
+
+util::Status OodbStore::RangeMillion(int64_t lo, int64_t hi,
+                                     std::vector<NodeRef>* out) {
+  return by_million_->ScanRange(
+      Key128{static_cast<uint64_t>(lo), 0},
+      Key128{static_cast<uint64_t>(hi), ~0ULL},
+      [out](Key128, uint64_t oid) {
+        out->push_back(oid);
+        return true;
+      });
+}
+
+util::Status OodbStore::Children(NodeRef node, std::vector<NodeRef>* out) {
+  HM_ASSIGN_OR_RETURN(NodeRecord rec, ReadNode(node));
+  *out = std::move(rec.children);
+  return util::Status::Ok();
+}
+
+util::Result<NodeRef> OodbStore::Parent(NodeRef node) {
+  HM_ASSIGN_OR_RETURN(NodeRecord rec, ReadNode(node));
+  return rec.parent;
+}
+
+util::Status OodbStore::Parts(NodeRef node, std::vector<NodeRef>* out) {
+  HM_ASSIGN_OR_RETURN(NodeRecord rec, ReadNode(node));
+  *out = std::move(rec.parts);
+  return util::Status::Ok();
+}
+
+util::Status OodbStore::PartOf(NodeRef node, std::vector<NodeRef>* out) {
+  HM_ASSIGN_OR_RETURN(NodeRecord rec, ReadNode(node));
+  *out = std::move(rec.part_of);
+  return util::Status::Ok();
+}
+
+util::Status OodbStore::RefsTo(NodeRef node, std::vector<RefEdge>* out) {
+  HM_ASSIGN_OR_RETURN(NodeRecord rec, ReadNode(node));
+  *out = std::move(rec.refs_to);
+  return util::Status::Ok();
+}
+
+util::Status OodbStore::RefsFrom(NodeRef node, std::vector<RefEdge>* out) {
+  HM_ASSIGN_OR_RETURN(NodeRecord rec, ReadNode(node));
+  *out = std::move(rec.refs_from);
+  return util::Status::Ok();
+}
+
+util::Result<uint64_t> OodbStore::StorageBytes() {
+  return store_->page_count() * static_cast<uint64_t>(storage::kPageSize);
+}
+
+util::Result<uint64_t> OodbStore::CollectGarbage(
+    const std::vector<NodeRef>& roots) {
+  HM_RETURN_IF_ERROR(RequireActiveTxn());
+  auto trace = [](objstore::Oid,
+                  const std::string& data)
+      -> util::Result<std::vector<objstore::Oid>> {
+    if (data.empty()) return std::vector<objstore::Oid>{};
+    if (static_cast<uint8_t>(data[0]) == kTagContent) {
+      return std::vector<objstore::Oid>{};  // content objects are leaves
+    }
+    HM_ASSIGN_OR_RETURN(NodeRecord rec, NodeRecord::Decode(data));
+    std::vector<objstore::Oid> refs;
+    refs.reserve(2 + rec.children.size() + rec.parts.size() +
+                 rec.part_of.size() + rec.refs_to.size() +
+                 rec.refs_from.size());
+    if (rec.parent != objstore::kInvalidOid) refs.push_back(rec.parent);
+    if (rec.content != objstore::kInvalidOid) refs.push_back(rec.content);
+    refs.insert(refs.end(), rec.children.begin(), rec.children.end());
+    refs.insert(refs.end(), rec.parts.begin(), rec.parts.end());
+    refs.insert(refs.end(), rec.part_of.begin(), rec.part_of.end());
+    for (const RefEdge& edge : rec.refs_to) refs.push_back(edge.node);
+    for (const RefEdge& edge : rec.refs_from) refs.push_back(edge.node);
+    return refs;
+  };
+  HM_ASSIGN_OR_RETURN(uint64_t collected,
+                      store_->CollectGarbage(&*txn_, roots, trace));
+  if (collected > 0) {
+    // Collected nodes leave stale index entries; re-derive.
+    HM_RETURN_IF_ERROR(RebuildIndexes());
+  }
+  return collected;
+}
+
+}  // namespace hm::backends

@@ -1,0 +1,117 @@
+#ifndef HM_HYPERMODEL_BACKENDS_OODB_STORE_H_
+#define HM_HYPERMODEL_BACKENDS_OODB_STORE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hypermodel/store.h"
+#include "index/bptree.h"
+#include "objstore/object_store.h"
+
+namespace hm::backends {
+
+/// Options for the persistent object-oriented backend.
+struct OodbOptions {
+  /// Workstation-cache size in 8 KiB pages.
+  size_t cache_pages = 2048;
+  /// Cluster new nodes near their 1-N parent (§5.2). Turning this off
+  /// is the E10 ablation.
+  objstore::PlacementPolicy placement = objstore::PlacementPolicy::kClustered;
+  /// fsync WAL on commit.
+  bool sync_commits = true;
+};
+
+/// The persistent OODB backend — the architecture class the paper's
+/// Vbase/GemStone measurements represent. Every HyperModel node is one
+/// object in an `objstore::ObjectStore`; NodeRef IS the object id, so
+/// `nameOIDLookup` is a direct directory dereference. Text and bitmap
+/// contents live in separate content objects, keeping node records at
+/// roughly the paper's ~80-byte size. Secondary B+tree indexes on
+/// uniqueId / hundred / million back the name and range lookups; their
+/// roots persist in the store catalog. Relationships are embedded in
+/// the node record (forward and inverse), so traversal is a pointer
+/// chase — clustered along the 1-N hierarchy when enabled.
+class OodbStore : public HyperStore {
+ public:
+  /// Opens (creating or recovering) a store under `dir`. After WAL
+  /// replay the secondary indexes are rebuilt from the objects.
+  static util::Result<std::unique_ptr<OodbStore>> Open(
+      const OodbOptions& options, const std::string& dir);
+
+  ~OodbStore() override;
+
+  std::string name() const override { return "oodb"; }
+
+  util::Status Begin() override;
+  util::Status Commit() override;
+  util::Status Abort() override;
+  util::Status CloseReopen() override;
+
+  util::Result<NodeRef> CreateNode(const NodeAttrs& attrs,
+                                   NodeRef near) override;
+  util::Status SetText(NodeRef node, std::string_view text) override;
+  util::Status SetForm(NodeRef node, const util::Bitmap& form) override;
+  util::Status AddChild(NodeRef parent, NodeRef child) override;
+  util::Status AddPart(NodeRef owner, NodeRef part) override;
+  util::Status AddRef(NodeRef from, NodeRef to, int64_t offset_from,
+                      int64_t offset_to) override;
+
+  util::Result<int64_t> GetAttr(NodeRef node, Attr attr) override;
+  util::Status SetAttr(NodeRef node, Attr attr, int64_t value) override;
+  util::Result<NodeKind> GetKind(NodeRef node) override;
+  util::Result<std::string> GetText(NodeRef node) override;
+  util::Result<util::Bitmap> GetForm(NodeRef node) override;
+  util::Status SetContents(NodeRef node, std::string_view data) override;
+  util::Result<std::string> GetContents(NodeRef node) override;
+
+  util::Result<NodeRef> LookupUnique(int64_t unique_id) override;
+  util::Status RangeHundred(int64_t lo, int64_t hi,
+                            std::vector<NodeRef>* out) override;
+  util::Status RangeMillion(int64_t lo, int64_t hi,
+                            std::vector<NodeRef>* out) override;
+
+  util::Status Children(NodeRef node, std::vector<NodeRef>* out) override;
+  util::Result<NodeRef> Parent(NodeRef node) override;
+  util::Status Parts(NodeRef node, std::vector<NodeRef>* out) override;
+  util::Status PartOf(NodeRef node, std::vector<NodeRef>* out) override;
+  util::Status RefsTo(NodeRef node, std::vector<RefEdge>* out) override;
+  util::Status RefsFrom(NodeRef node, std::vector<RefEdge>* out) override;
+
+  util::Result<uint64_t> StorageBytes() override;
+
+  /// Underlying object store (stats, tests).
+  objstore::ObjectStore* object_store() { return store_.get(); }
+
+  /// Garbage-collects nodes unreachable from `roots` through any
+  /// relationship (children, parts, refs — forward and inverse — and
+  /// content objects), then rebuilds the secondary indexes (R10:
+  /// "garbage collection of non-referenced objects"). Must be called
+  /// inside a transaction. Returns the number of objects collected.
+  util::Result<uint64_t> CollectGarbage(const std::vector<NodeRef>& roots);
+
+ private:
+  OodbStore() = default;
+
+  /// Decoded node record (see oodb_store.cc for the wire format).
+  struct NodeRecord;
+
+  util::Result<NodeRecord> ReadNode(NodeRef node) const;
+  util::Status WriteNode(NodeRef node, const NodeRecord& record);
+  util::Status RequireActiveTxn();
+  /// Drops and re-derives all three secondary indexes from the
+  /// objects; called after WAL replay.
+  util::Status RebuildIndexes();
+  util::Status PersistIndexRoots();
+
+  std::unique_ptr<objstore::ObjectStore> store_;
+  std::optional<index::BPlusTree> by_unique_;
+  std::optional<index::BPlusTree> by_hundred_;
+  std::optional<index::BPlusTree> by_million_;
+  std::optional<objstore::Transaction> txn_;
+};
+
+}  // namespace hm::backends
+
+#endif  // HM_HYPERMODEL_BACKENDS_OODB_STORE_H_

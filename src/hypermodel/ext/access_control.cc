@@ -1,0 +1,67 @@
+#include "hypermodel/ext/access_control.h"
+
+namespace hm::ext {
+
+util::Status AccessControl::SetPublicAccess(NodeRef node, AccessMode mode) {
+  Acl& acl = acls_[node];
+  acl.public_mode = mode;
+  acl.has_public = true;
+  return util::Status::Ok();
+}
+
+util::Status AccessControl::SetUserAccess(NodeRef node, UserId user,
+                                          AccessMode mode) {
+  acls_[node].users[user] = mode;
+  return util::Status::Ok();
+}
+
+void AccessControl::ClearAccess(NodeRef node) { acls_.erase(node); }
+
+util::Result<AccessMode> AccessControl::EffectiveAccess(NodeRef node,
+                                                        UserId user) const {
+  NodeRef current = node;
+  while (current != kInvalidNode) {
+    auto it = acls_.find(current);
+    if (it != acls_.end()) {
+      auto user_it = it->second.users.find(user);
+      if (user_it != it->second.users.end()) return user_it->second;
+      if (it->second.has_public) return it->second.public_mode;
+    }
+    HM_ASSIGN_OR_RETURN(current, store_->Parent(current));
+  }
+  return default_mode_;
+}
+
+util::Status AccessControl::CheckRead(NodeRef node, UserId user) const {
+  HM_ASSIGN_OR_RETURN(AccessMode mode, EffectiveAccess(node, user));
+  if (mode == AccessMode::kNone) {
+    return util::Status::PermissionDenied("user " + std::to_string(user) +
+                                          " has no read access to node " +
+                                          std::to_string(node));
+  }
+  return util::Status::Ok();
+}
+
+util::Status AccessControl::CheckWrite(NodeRef node, UserId user) const {
+  HM_ASSIGN_OR_RETURN(AccessMode mode, EffectiveAccess(node, user));
+  if (mode != AccessMode::kWrite) {
+    return util::Status::PermissionDenied("user " + std::to_string(user) +
+                                          " has no write access to node " +
+                                          std::to_string(node));
+  }
+  return util::Status::Ok();
+}
+
+util::Result<int64_t> AccessControl::ReadAttr(NodeRef node, UserId user,
+                                              Attr attr) const {
+  HM_RETURN_IF_ERROR(CheckRead(node, user));
+  return store_->GetAttr(node, attr);
+}
+
+util::Status AccessControl::WriteAttr(NodeRef node, UserId user, Attr attr,
+                                      int64_t value) {
+  HM_RETURN_IF_ERROR(CheckWrite(node, user));
+  return store_->SetAttr(node, attr, value);
+}
+
+}  // namespace hm::ext

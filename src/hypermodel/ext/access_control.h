@@ -1,0 +1,75 @@
+#ifndef HM_HYPERMODEL_EXT_ACCESS_CONTROL_H_
+#define HM_HYPERMODEL_EXT_ACCESS_CONTROL_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "hypermodel/store.h"
+#include "util/status.h"
+
+namespace hm::ext {
+
+/// A user principal.
+using UserId = uint64_t;
+
+/// Access levels; kWrite implies kRead.
+enum class AccessMode : uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+};
+
+/// Access control (R11, extension op §6.8(3)): "set public read-access
+/// for one document-structure, and public write-access for another...
+/// still possible to have links between these structures."
+///
+/// ACLs attach to nodes; a node without its own entry inherits along
+/// the 1-N parent chain, so setting an ACL on a document root governs
+/// the whole structure while cross-structure association links remain
+/// unconstrained (following a refTo edge is legal — reading the target
+/// is what gets checked, against the *target's* structure policy).
+class AccessControl {
+ public:
+  /// `default_mode` applies when no ACL is found up the parent chain.
+  explicit AccessControl(HyperStore* store,
+                         AccessMode default_mode = AccessMode::kWrite)
+      : store_(store), default_mode_(default_mode) {}
+
+  /// Sets the public (all-users) mode on `node`; inherited by its
+  /// descendants that carry no own entry.
+  util::Status SetPublicAccess(NodeRef node, AccessMode mode);
+
+  /// Per-user override on `node` (takes precedence over public mode).
+  util::Status SetUserAccess(NodeRef node, UserId user, AccessMode mode);
+
+  /// Removes `node`'s own entry so it inherits again.
+  void ClearAccess(NodeRef node);
+
+  /// Resolves the effective mode for `user` at `node` (own entry, else
+  /// nearest ancestor's, else the default).
+  util::Result<AccessMode> EffectiveAccess(NodeRef node, UserId user) const;
+
+  /// OK, or PermissionDenied.
+  util::Status CheckRead(NodeRef node, UserId user) const;
+  util::Status CheckWrite(NodeRef node, UserId user) const;
+
+  /// Guarded accessors: the check, then the operation.
+  util::Result<int64_t> ReadAttr(NodeRef node, UserId user, Attr attr) const;
+  util::Status WriteAttr(NodeRef node, UserId user, Attr attr,
+                         int64_t value);
+
+ private:
+  struct Acl {
+    AccessMode public_mode = AccessMode::kNone;
+    bool has_public = false;
+    std::unordered_map<UserId, AccessMode> users;
+  };
+
+  HyperStore* store_;
+  AccessMode default_mode_;
+  std::unordered_map<NodeRef, Acl> acls_;
+};
+
+}  // namespace hm::ext
+
+#endif  // HM_HYPERMODEL_EXT_ACCESS_CONTROL_H_

@@ -1,0 +1,111 @@
+#include "hypermodel/ext/occ.h"
+
+namespace hm::ext {
+
+WorkspaceId OccManager::OpenWorkspace(uint64_t user) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkspaceId id = next_ws_++;
+  Workspace& ws = workspaces_[id];
+  ws.user = user;
+  ws.active = true;
+  return id;
+}
+
+uint64_t OccManager::NodeVersionLocked(NodeRef node) const {
+  auto it = node_versions_.find(node);
+  return it == node_versions_.end() ? 0 : it->second;
+}
+
+util::Result<OccManager::Workspace*> OccManager::Find(WorkspaceId ws) {
+  auto it = workspaces_.find(ws);
+  if (it == workspaces_.end() || !it->second.active) {
+    return util::Status::InvalidArgument("no active workspace " +
+                                         std::to_string(ws));
+  }
+  return &it->second;
+}
+
+void OccManager::Observe(Workspace* workspace, NodeRef node) {
+  workspace->read_versions.try_emplace(node, NodeVersionLocked(node));
+}
+
+util::Result<int64_t> OccManager::GetAttr(WorkspaceId ws, NodeRef node,
+                                          Attr attr) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HM_ASSIGN_OR_RETURN(Workspace * workspace, Find(ws));
+  Observe(workspace, node);
+  auto written = workspace->attr_writes.find({node, attr});
+  if (written != workspace->attr_writes.end()) return written->second;
+  return store_->GetAttr(node, attr);
+}
+
+util::Result<std::string> OccManager::GetText(WorkspaceId ws, NodeRef node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HM_ASSIGN_OR_RETURN(Workspace * workspace, Find(ws));
+  Observe(workspace, node);
+  auto written = workspace->text_writes.find(node);
+  if (written != workspace->text_writes.end()) return written->second;
+  return store_->GetText(node);
+}
+
+util::Status OccManager::SetAttr(WorkspaceId ws, NodeRef node, Attr attr,
+                                 int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HM_ASSIGN_OR_RETURN(Workspace * workspace, Find(ws));
+  Observe(workspace, node);
+  workspace->attr_writes[{node, attr}] = value;
+  return util::Status::Ok();
+}
+
+util::Status OccManager::SetText(WorkspaceId ws, NodeRef node,
+                                 std::string text) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HM_ASSIGN_OR_RETURN(Workspace * workspace, Find(ws));
+  Observe(workspace, node);
+  workspace->text_writes[node] = std::move(text);
+  return util::Status::Ok();
+}
+
+util::Status OccManager::CommitWorkspace(WorkspaceId ws) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HM_ASSIGN_OR_RETURN(Workspace * workspace, Find(ws));
+  workspace->active = false;
+
+  // Backward validation: every node this workspace touched must still
+  // be at the version it observed.
+  for (const auto& [node, observed] : workspace->read_versions) {
+    if (NodeVersionLocked(node) != observed) {
+      ++conflicts_;
+      workspaces_.erase(ws);
+      return util::Status::Conflict(
+          "node " + std::to_string(node) +
+          " was committed by another user since it was read");
+    }
+  }
+
+  // Publish: apply buffered writes to the shared store and bump the
+  // versions of written nodes.
+  HM_RETURN_IF_ERROR(store_->Begin());
+  for (const auto& [key, value] : workspace->attr_writes) {
+    HM_RETURN_IF_ERROR(store_->SetAttr(key.first, key.second, value));
+    ++node_versions_[key.first];
+  }
+  for (const auto& [node, text] : workspace->text_writes) {
+    HM_RETURN_IF_ERROR(store_->SetText(node, text));
+    ++node_versions_[node];
+  }
+  HM_RETURN_IF_ERROR(store_->Commit());
+  ++commits_;
+  workspaces_.erase(ws);
+  return util::Status::Ok();
+}
+
+util::Status OccManager::AbandonWorkspace(WorkspaceId ws) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HM_ASSIGN_OR_RETURN(Workspace * workspace, Find(ws));
+  (void)workspace;
+  workspaces_.erase(ws);
+  return util::Status::Ok();
+}
+
+}  // namespace hm::ext

@@ -1,0 +1,89 @@
+#ifndef HM_HYPERMODEL_EXT_OCC_H_
+#define HM_HYPERMODEL_EXT_OCC_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "hypermodel/store.h"
+#include "util/status.h"
+
+namespace hm::ext {
+
+/// A private workspace handle.
+using WorkspaceId = uint64_t;
+
+/// Multi-user support (R8/R9 and the paper's §7 future-work note):
+/// optimistic concurrency control with private workspaces. Each user
+/// opens a workspace, reads and buffers updates privately ("private
+/// and shared workspaces", R9), then commits: backward validation
+/// checks that every object version the workspace read is still
+/// current; on success the buffered writes are applied to the shared
+/// store and become visible ("when one user decides to make his
+/// updates shareable, they should be easily accessible for other
+/// users"). A stale read aborts the commit with kConflict — the
+/// paper's observation that under optimistic CC, non-conflicting
+/// update sets (different nodes of the same structure) commit freely
+/// while overlapping ones collide.
+///
+/// Thread-safe: workspaces may run on separate threads; validation and
+/// apply execute under one commit mutex (serial validation, the
+/// classic Kung-Robinson structure).
+class OccManager {
+ public:
+  explicit OccManager(HyperStore* store) : store_(store) {}
+
+  /// Opens a private workspace for `user`.
+  WorkspaceId OpenWorkspace(uint64_t user);
+
+  /// Reads through the workspace: buffered value if written, else the
+  /// shared value (recording the version read for validation).
+  util::Result<int64_t> GetAttr(WorkspaceId ws, NodeRef node, Attr attr);
+  util::Result<std::string> GetText(WorkspaceId ws, NodeRef node);
+
+  /// Buffers an update privately (not visible to others until commit).
+  util::Status SetAttr(WorkspaceId ws, NodeRef node, Attr attr,
+                       int64_t value);
+  util::Status SetText(WorkspaceId ws, NodeRef node, std::string text);
+
+  /// Validates and publishes the workspace. kConflict if any object it
+  /// read or wrote changed since; the workspace is discarded either
+  /// way (reopen to retry).
+  util::Status CommitWorkspace(WorkspaceId ws);
+
+  /// Discards the workspace without publishing.
+  util::Status AbandonWorkspace(WorkspaceId ws);
+
+  uint64_t commits() const { return commits_; }
+  uint64_t conflicts() const { return conflicts_; }
+
+ private:
+  struct Workspace {
+    uint64_t user = 0;
+    bool active = false;
+    /// node -> version observed at first read/write.
+    std::map<NodeRef, uint64_t> read_versions;
+    std::map<std::pair<NodeRef, Attr>, int64_t> attr_writes;
+    std::map<NodeRef, std::string> text_writes;
+  };
+
+  /// Current committed version of a node (0 if never written).
+  uint64_t NodeVersionLocked(NodeRef node) const;
+  util::Result<Workspace*> Find(WorkspaceId ws);
+  /// Records the observed version on first contact with `node`.
+  void Observe(Workspace* workspace, NodeRef node);
+
+  HyperStore* store_;
+  std::mutex mutex_;
+  std::unordered_map<WorkspaceId, Workspace> workspaces_;
+  std::unordered_map<NodeRef, uint64_t> node_versions_;
+  WorkspaceId next_ws_ = 1;
+  uint64_t commits_ = 0;
+  uint64_t conflicts_ = 0;
+};
+
+}  // namespace hm::ext
+
+#endif  // HM_HYPERMODEL_EXT_OCC_H_

@@ -1,0 +1,99 @@
+#include "hypermodel/ext/query.h"
+
+#include <limits>
+
+namespace hm::ext {
+
+namespace {
+
+/// Closed interval [lo, hi] a predicate admits.
+std::pair<int64_t, int64_t> Interval(const Predicate& predicate) {
+  switch (predicate.op) {
+    case Predicate::Op::kEq:
+      return {predicate.lo, predicate.lo};
+    case Predicate::Op::kLt:
+      return {std::numeric_limits<int64_t>::min(), predicate.lo - 1};
+    case Predicate::Op::kGt:
+      return {predicate.lo + 1, std::numeric_limits<int64_t>::max()};
+    case Predicate::Op::kBetween:
+      return {predicate.lo, predicate.hi};
+  }
+  return {0, -1};
+}
+
+bool Admits(const Predicate& predicate, int64_t value) {
+  auto [lo, hi] = Interval(predicate);
+  return value >= lo && value <= hi;
+}
+
+}  // namespace
+
+int Query::IndexableConjunct() const {
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    const Predicate& p = predicates_[i];
+    if (p.attr != Attr::kHundred && p.attr != Attr::kMillion) continue;
+    auto [lo, hi] = Interval(p);
+    // Open-ended ranges would scan the whole index; clamp them to the
+    // attribute's domain instead of rejecting.
+    (void)lo;
+    (void)hi;
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+util::Result<bool> Query::Matches(HyperStore* store, NodeRef node) const {
+  if (kind_.has_value()) {
+    HM_ASSIGN_OR_RETURN(NodeKind kind, store->GetKind(node));
+    if (kind != *kind_) return false;
+  }
+  for (const Predicate& predicate : predicates_) {
+    HM_ASSIGN_OR_RETURN(int64_t value,
+                        store->GetAttr(node, predicate.attr));
+    if (!Admits(predicate, value)) return false;
+  }
+  return true;
+}
+
+util::Result<std::vector<NodeRef>> Query::Run(
+    HyperStore* store, std::span<const NodeRef> extent,
+    QueryStats* stats) const {
+  std::vector<NodeRef> candidates;
+  bool used_index = false;
+
+  int seed = IndexableConjunct();
+  if (seed >= 0) {
+    const Predicate& p = predicates_[static_cast<size_t>(seed)];
+    auto [lo, hi] = Interval(p);
+    // Clamp to the attribute domains (§5.1 intervals).
+    int64_t domain_hi = p.attr == Attr::kHundred ? 100 : 1000000;
+    lo = std::max<int64_t>(lo, 1);
+    hi = std::min(hi, domain_hi);
+    if (lo > hi) {
+      if (stats != nullptr) *stats = {true, 0, 0};
+      return std::vector<NodeRef>{};
+    }
+    if (p.attr == Attr::kHundred) {
+      HM_RETURN_IF_ERROR(store->RangeHundred(lo, hi, &candidates));
+    } else {
+      HM_RETURN_IF_ERROR(store->RangeMillion(lo, hi, &candidates));
+    }
+    used_index = true;
+  } else {
+    candidates.assign(extent.begin(), extent.end());
+  }
+
+  std::vector<NodeRef> results;
+  for (NodeRef node : candidates) {
+    HM_ASSIGN_OR_RETURN(bool matches, Matches(store, node));
+    if (matches) results.push_back(node);
+  }
+  if (stats != nullptr) {
+    stats->used_index = used_index;
+    stats->candidates_examined = candidates.size();
+    stats->results = results.size();
+  }
+  return results;
+}
+
+}  // namespace hm::ext

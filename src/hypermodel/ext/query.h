@@ -1,0 +1,86 @@
+#ifndef HM_HYPERMODEL_EXT_QUERY_H_
+#define HM_HYPERMODEL_EXT_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hypermodel/store.h"
+#include "util/status.h"
+
+namespace hm::ext {
+
+/// One conjunct of an ad-hoc query predicate.
+struct Predicate {
+  enum class Op : uint8_t { kEq, kLt, kGt, kBetween };
+  Attr attr = Attr::kTen;
+  Op op = Op::kEq;
+  int64_t lo = 0;  // kEq/kLt/kGt use lo; kBetween uses [lo, hi]
+  int64_t hi = 0;
+};
+
+/// Execution trace for tests and the indexed-vs-scan ablation bench.
+struct QueryStats {
+  bool used_index = false;
+  uint64_t candidates_examined = 0;
+  uint64_t results = 0;
+};
+
+/// Ad-hoc query support (R12): "a need for ad-hoc queries to find a
+/// set of nodes satisfying certain criteria" once the database
+/// outgrows browsing. Queries are conjunctions of attribute
+/// predicates, optionally restricted to a node kind, evaluated with a
+/// planner-lite: if some conjunct is a range/equality on an indexed
+/// attribute (hundred, million), that index seeds the candidate set
+/// and the remaining conjuncts filter; otherwise the supplied extent
+/// (e.g. the test structure's node list) is scanned.
+class Query {
+ public:
+  Query() = default;
+
+  Query& WhereEq(Attr attr, int64_t value) {
+    predicates_.push_back({attr, Predicate::Op::kEq, value, value});
+    return *this;
+  }
+  Query& WhereLt(Attr attr, int64_t bound) {
+    predicates_.push_back({attr, Predicate::Op::kLt, bound, 0});
+    return *this;
+  }
+  Query& WhereGt(Attr attr, int64_t bound) {
+    predicates_.push_back({attr, Predicate::Op::kGt, bound, 0});
+    return *this;
+  }
+  Query& WhereBetween(Attr attr, int64_t lo, int64_t hi) {
+    predicates_.push_back({attr, Predicate::Op::kBetween, lo, hi});
+    return *this;
+  }
+  Query& OfKind(NodeKind kind) {
+    kind_ = kind;
+    return *this;
+  }
+
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  /// Evaluates against `store`. `extent` is the scan fallback (the
+  /// paper forbids class extents, so the caller names the collection).
+  /// `stats`, when non-null, reports the chosen plan.
+  util::Result<std::vector<NodeRef>> Run(HyperStore* store,
+                                         std::span<const NodeRef> extent,
+                                         QueryStats* stats = nullptr) const;
+
+ private:
+  /// Index-seedable conjunct: a range or equality over hundred or
+  /// million. Returns its position, or -1.
+  int IndexableConjunct() const;
+
+  util::Result<bool> Matches(HyperStore* store, NodeRef node) const;
+
+  std::vector<Predicate> predicates_;
+  std::optional<NodeKind> kind_;
+};
+
+}  // namespace hm::ext
+
+#endif  // HM_HYPERMODEL_EXT_QUERY_H_

@@ -1,0 +1,211 @@
+#include "hypermodel/ext/schema_evolution.h"
+
+#include <map>
+
+#include "util/coding.h"
+
+namespace hm::ext {
+
+std::string DrawContents::Serialize() const {
+  std::string out;
+  util::PutFixed32(&out, static_cast<uint32_t>(shapes_.size()));
+  for (const Shape& shape : shapes_) {
+    out.push_back(static_cast<char>(shape.kind));
+    util::PutFixed64(&out, static_cast<uint64_t>(shape.x));
+    util::PutFixed64(&out, static_cast<uint64_t>(shape.y));
+    util::PutFixed64(&out, static_cast<uint64_t>(shape.w));
+    util::PutFixed64(&out, static_cast<uint64_t>(shape.h));
+  }
+  return out;
+}
+
+util::Result<DrawContents> DrawContents::Deserialize(std::string_view data) {
+  if (data.size() < 4) {
+    return util::Status::Corruption("draw contents truncated");
+  }
+  uint32_t count = util::DecodeFixed32(data.data());
+  constexpr size_t kShapeBytes = 1 + 4 * 8;
+  if (data.size() != 4 + static_cast<size_t>(count) * kShapeBytes) {
+    return util::Status::Corruption("draw contents size mismatch");
+  }
+  DrawContents out;
+  const char* p = data.data();
+  size_t off = 4;
+  for (uint32_t i = 0; i < count; ++i) {
+    Shape shape;
+    uint8_t kind = static_cast<uint8_t>(p[off]);
+    if (kind < 1 || kind > 3) {
+      return util::Status::Corruption("unknown shape kind");
+    }
+    shape.kind = static_cast<Shape::Kind>(kind);
+    off += 1;
+    shape.x = static_cast<int64_t>(util::DecodeFixed64(p + off));
+    off += 8;
+    shape.y = static_cast<int64_t>(util::DecodeFixed64(p + off));
+    off += 8;
+    shape.w = static_cast<int64_t>(util::DecodeFixed64(p + off));
+    off += 8;
+    shape.h = static_cast<int64_t>(util::DecodeFixed64(p + off));
+    off += 8;
+    out.Add(shape);
+  }
+  return out;
+}
+
+util::Result<NodeRef> SchemaEvolution::MetaNode(bool create) {
+  auto existing = store_->LookupUnique(kMetaUniqueId);
+  if (existing.ok()) return *existing;
+  if (!create) return existing.status();
+  NodeAttrs attrs;
+  attrs.unique_id = kMetaUniqueId;
+  attrs.kind = NodeKind::kText;  // any content-bearing kind works
+  return store_->CreateNode(attrs, kInvalidNode);
+}
+
+util::Status SchemaEvolution::Save() {
+  HM_ASSIGN_OR_RETURN(NodeRef meta, MetaNode(/*create=*/true));
+  std::string blob;
+  util::PutFixed32(&blob, static_cast<uint32_t>(type_names_.size()));
+  for (const std::string& name : type_names_) {
+    util::PutLengthPrefixed(&blob, name);
+  }
+  util::PutFixed32(&blob, static_cast<uint32_t>(attrs_.size()));
+  for (const DynAttr& attr : attrs_) {
+    util::PutLengthPrefixed(&blob, attr.name);
+    util::PutFixed64(&blob, static_cast<uint64_t>(attr.default_value));
+    util::PutFixed32(&blob, static_cast<uint32_t>(attr.values.size()));
+    for (const auto& [node, value] : attr.values) {
+      util::PutFixed64(&blob, node);
+      util::PutFixed64(&blob, static_cast<uint64_t>(value));
+    }
+  }
+  return store_->SetContents(meta, blob);
+}
+
+util::Status SchemaEvolution::Load() {
+  auto meta = MetaNode(/*create=*/false);
+  if (!meta.ok()) return util::Status::Ok();  // nothing saved yet
+  HM_ASSIGN_OR_RETURN(std::string blob, store_->GetContents(*meta));
+  if (blob.empty()) return util::Status::Ok();
+  util::Decoder dec(blob);
+  uint32_t type_count = 0;
+  if (!dec.GetFixed32(&type_count)) {
+    return util::Status::Corruption("schema registry truncated");
+  }
+  type_names_.clear();
+  for (uint32_t i = 0; i < type_count; ++i) {
+    std::string_view name;
+    if (!dec.GetLengthPrefixed(&name)) {
+      return util::Status::Corruption("schema registry truncated");
+    }
+    type_names_.emplace_back(name);
+  }
+  uint32_t attr_count = 0;
+  if (!dec.GetFixed32(&attr_count)) {
+    return util::Status::Corruption("schema registry truncated");
+  }
+  attrs_.clear();
+  for (uint32_t i = 0; i < attr_count; ++i) {
+    DynAttr attr;
+    std::string_view name;
+    uint64_t default_value = 0;
+    uint32_t value_count = 0;
+    if (!dec.GetLengthPrefixed(&name) || !dec.GetFixed64(&default_value) ||
+        !dec.GetFixed32(&value_count)) {
+      return util::Status::Corruption("schema registry truncated");
+    }
+    attr.name = std::string(name);
+    attr.default_value = static_cast<int64_t>(default_value);
+    for (uint32_t v = 0; v < value_count; ++v) {
+      uint64_t node = 0;
+      uint64_t value = 0;
+      if (!dec.GetFixed64(&node) || !dec.GetFixed64(&value)) {
+        return util::Status::Corruption("schema registry truncated");
+      }
+      attr.values[node] = static_cast<int64_t>(value);
+    }
+    attrs_.push_back(std::move(attr));
+  }
+  return util::Status::Ok();
+}
+
+util::Result<NodeKind> SchemaEvolution::AddNodeType(const std::string& name) {
+  if (HasNodeType(name)) {
+    return util::Status::AlreadyExists("type already registered: " + name);
+  }
+  type_names_.push_back(name);
+  HM_RETURN_IF_ERROR(Save());
+  // The extension kind space currently holds one dynamic slot.
+  return NodeKind::kDraw;
+}
+
+bool SchemaEvolution::HasNodeType(const std::string& name) const {
+  for (const std::string& existing : type_names_) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+util::Result<NodeRef> SchemaEvolution::CreateDrawNode(
+    const NodeAttrs& attrs, const DrawContents& contents, NodeRef near) {
+  if (!HasNodeType("DrawNode")) {
+    return util::Status::InvalidArgument(
+        "DrawNode type not registered; call AddNodeType first (R4)");
+  }
+  NodeAttrs draw_attrs = attrs;
+  draw_attrs.kind = NodeKind::kDraw;
+  HM_ASSIGN_OR_RETURN(NodeRef node, store_->CreateNode(draw_attrs, near));
+  HM_RETURN_IF_ERROR(store_->SetContents(node, contents.Serialize()));
+  return node;
+}
+
+util::Result<DrawContents> SchemaEvolution::GetDrawContents(NodeRef node) {
+  HM_ASSIGN_OR_RETURN(NodeKind kind, store_->GetKind(node));
+  if (kind != NodeKind::kDraw) {
+    return util::Status::InvalidArgument("node is not a DrawNode");
+  }
+  HM_ASSIGN_OR_RETURN(std::string blob, store_->GetContents(node));
+  return DrawContents::Deserialize(blob);
+}
+
+util::Status SchemaEvolution::AddAttribute(const std::string& name,
+                                           int64_t default_value) {
+  if (HasAttribute(name)) {
+    return util::Status::AlreadyExists("attribute already exists: " + name);
+  }
+  DynAttr attr;
+  attr.name = name;
+  attr.default_value = default_value;
+  attrs_.push_back(std::move(attr));
+  return Save();
+}
+
+bool SchemaEvolution::HasAttribute(const std::string& name) const {
+  for (const DynAttr& attr : attrs_) {
+    if (attr.name == name) return true;
+  }
+  return false;
+}
+
+util::Result<int64_t> SchemaEvolution::GetDynamicAttr(
+    NodeRef node, const std::string& name) {
+  for (const DynAttr& attr : attrs_) {
+    if (attr.name != name) continue;
+    auto it = attr.values.find(node);
+    return it == attr.values.end() ? attr.default_value : it->second;
+  }
+  return util::Status::NotFound("no such dynamic attribute: " + name);
+}
+
+util::Status SchemaEvolution::SetDynamicAttr(NodeRef node,
+                                             const std::string& name,
+                                             int64_t value) {
+  for (DynAttr& attr : attrs_) {
+    if (attr.name != name) continue;
+    attr.values[node] = value;
+    return Save();
+  }
+  return util::Status::NotFound("no such dynamic attribute: " + name);
+}
+
+}  // namespace hm::ext

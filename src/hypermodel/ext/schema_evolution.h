@@ -1,0 +1,107 @@
+#ifndef HM_HYPERMODEL_EXT_SCHEMA_EVOLUTION_H_
+#define HM_HYPERMODEL_EXT_SCHEMA_EVOLUTION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hypermodel/store.h"
+#include "util/status.h"
+
+namespace hm::ext {
+
+/// One drawing primitive of the paper's R4 example: "add a new
+/// node-type, DrawNode, e.g. consisting of circles, rectangles and
+/// ellipses."
+struct Shape {
+  enum class Kind : uint8_t { kCircle = 1, kRectangle = 2, kEllipse = 3 };
+  Kind kind = Kind::kCircle;
+  int64_t x = 0;
+  int64_t y = 0;
+  /// Circle: radius in `w` (h ignored). Rectangle/ellipse: extents.
+  int64_t w = 0;
+  int64_t h = 0;
+
+  bool operator==(const Shape&) const = default;
+};
+
+/// Contents of a DrawNode: an ordered shape list with a compact
+/// serialization, stored through HyperStore::SetContents like any
+/// other node contents.
+class DrawContents {
+ public:
+  DrawContents() = default;
+
+  void Add(Shape shape) { shapes_.push_back(shape); }
+  const std::vector<Shape>& shapes() const { return shapes_; }
+  size_t size() const { return shapes_.size(); }
+
+  std::string Serialize() const;
+  static util::Result<DrawContents> Deserialize(std::string_view data);
+
+  bool operator==(const DrawContents&) const = default;
+
+ private:
+  std::vector<Shape> shapes_;
+};
+
+/// Dynamic schema modification (R4): register new node types at run
+/// time and attach new integer attributes (with defaults) to all
+/// nodes. The attribute registry and per-node overrides persist
+/// through the store itself — they are serialized into the contents of
+/// a reserved metadata node — so evolution survives CloseReopen on
+/// every backend without backend-specific code.
+class SchemaEvolution {
+ public:
+  explicit SchemaEvolution(HyperStore* store) : store_(store) {}
+
+  /// Loads any previously saved registry (call after reopening).
+  util::Status Load();
+
+  /// Registers a node type name; "DrawNode" maps to NodeKind::kDraw.
+  /// Must be called inside a transaction (the registry node persists).
+  util::Result<NodeKind> AddNodeType(const std::string& name);
+
+  /// True once AddNodeType(name) happened (here or in a saved registry).
+  bool HasNodeType(const std::string& name) const;
+
+  /// Creates a DrawNode (type must have been added) with contents.
+  util::Result<NodeRef> CreateDrawNode(const NodeAttrs& attrs,
+                                       const DrawContents& contents,
+                                       NodeRef near);
+  util::Result<DrawContents> GetDrawContents(NodeRef node);
+
+  /// Adds an integer attribute `name` with `default_value` to the
+  /// (conceptual) Node type. Existing nodes read the default until
+  /// written.
+  util::Status AddAttribute(const std::string& name, int64_t default_value);
+  bool HasAttribute(const std::string& name) const;
+
+  util::Result<int64_t> GetDynamicAttr(NodeRef node,
+                                       const std::string& name);
+  util::Status SetDynamicAttr(NodeRef node, const std::string& name,
+                              int64_t value);
+
+ private:
+  /// Persists the registry into the metadata node.
+  util::Status Save();
+  util::Result<NodeRef> MetaNode(bool create);
+
+  /// uniqueId reserved for the schema-registry metadata node; far
+  /// outside any generated database's id range.
+  static constexpr int64_t kMetaUniqueId = (1LL << 40) + 1;
+
+  HyperStore* store_;
+  std::vector<std::string> type_names_;
+  struct DynAttr {
+    std::string name;
+    int64_t default_value;
+    std::map<NodeRef, int64_t> values;
+  };
+  std::vector<DynAttr> attrs_;
+};
+
+}  // namespace hm::ext
+
+#endif  // HM_HYPERMODEL_EXT_SCHEMA_EVOLUTION_H_

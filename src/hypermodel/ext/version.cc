@@ -1,0 +1,98 @@
+#include "hypermodel/ext/version.h"
+
+#include "hypermodel/operations.h"
+
+namespace hm::ext {
+
+util::Result<uint64_t> VersionManager::CreateVersion(NodeRef node,
+                                                     uint64_t timestamp) {
+  NodeVersion snapshot;
+  HM_ASSIGN_OR_RETURN(snapshot.ten, store_->GetAttr(node, Attr::kTen));
+  HM_ASSIGN_OR_RETURN(snapshot.hundred,
+                      store_->GetAttr(node, Attr::kHundred));
+  HM_ASSIGN_OR_RETURN(snapshot.thousand,
+                      store_->GetAttr(node, Attr::kThousand));
+  HM_ASSIGN_OR_RETURN(snapshot.million,
+                      store_->GetAttr(node, Attr::kMillion));
+  HM_ASSIGN_OR_RETURN(NodeKind kind, store_->GetKind(node));
+  if (kind != NodeKind::kInternal) {
+    HM_ASSIGN_OR_RETURN(snapshot.contents, store_->GetContents(node));
+    snapshot.has_contents = true;
+  }
+  auto& chain = chains_[node];
+  if (!chain.empty() && chain.back().timestamp > timestamp) {
+    return util::Status::InvalidArgument(
+        "version timestamps must be non-decreasing");
+  }
+  snapshot.version = chain.size() + 1;
+  snapshot.timestamp = timestamp;
+  chain.push_back(std::move(snapshot));
+  return chain.back().version;
+}
+
+uint64_t VersionManager::VersionCount(NodeRef node) const {
+  auto it = chains_.find(node);
+  return it == chains_.end() ? 0 : it->second.size();
+}
+
+util::Result<NodeVersion> VersionManager::GetVersion(NodeRef node,
+                                                     uint64_t version) const {
+  auto it = chains_.find(node);
+  if (it == chains_.end() || version == 0 || version > it->second.size()) {
+    return util::Status::NotFound("no such version");
+  }
+  return it->second[version - 1];
+}
+
+util::Result<NodeVersion> VersionManager::GetPrevious(NodeRef node) const {
+  auto it = chains_.find(node);
+  if (it == chains_.end() || it->second.empty()) {
+    return util::Status::NotFound("node has no versions");
+  }
+  return it->second.back();
+}
+
+util::Result<NodeVersion> VersionManager::GetAtTime(
+    NodeRef node, uint64_t timestamp) const {
+  auto it = chains_.find(node);
+  if (it == chains_.end()) {
+    return util::Status::NotFound("node has no versions");
+  }
+  const NodeVersion* best = nullptr;
+  for (const NodeVersion& v : it->second) {
+    if (v.timestamp <= timestamp) best = &v;
+  }
+  if (best == nullptr) {
+    return util::Status::NotFound("no version at or before the time-point");
+  }
+  return *best;
+}
+
+util::Status VersionManager::Restore(NodeRef node, uint64_t version) {
+  HM_ASSIGN_OR_RETURN(NodeVersion v, GetVersion(node, version));
+  HM_RETURN_IF_ERROR(store_->SetAttr(node, Attr::kTen, v.ten));
+  HM_RETURN_IF_ERROR(store_->SetAttr(node, Attr::kHundred, v.hundred));
+  HM_RETURN_IF_ERROR(store_->SetAttr(node, Attr::kThousand, v.thousand));
+  HM_RETURN_IF_ERROR(store_->SetAttr(node, Attr::kMillion, v.million));
+  if (v.has_contents) {
+    HM_RETURN_IF_ERROR(store_->SetContents(node, v.contents));
+  }
+  return util::Status::Ok();
+}
+
+util::Status VersionManager::SnapshotStructure(
+    NodeRef root, uint64_t timestamp,
+    std::vector<std::pair<NodeRef, NodeVersion>>* out) const {
+  out->clear();
+  std::vector<NodeRef> nodes;
+  HM_RETURN_IF_ERROR(ops::Closure1N(store_, root, &nodes));
+  for (NodeRef node : nodes) {
+    auto version = GetAtTime(node, timestamp);
+    if (version.ok()) {
+      out->emplace_back(node, *version);
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace hm::ext

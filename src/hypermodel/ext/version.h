@@ -1,0 +1,77 @@
+#ifndef HM_HYPERMODEL_EXT_VERSION_H_
+#define HM_HYPERMODEL_EXT_VERSION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hypermodel/store.h"
+#include "util/status.h"
+
+namespace hm::ext {
+
+/// A captured node state: the mutable attributes plus (for content
+/// nodes) the serialized contents at capture time.
+struct NodeVersion {
+  uint64_t version = 0;    // 1-based, monotonically increasing per node
+  uint64_t timestamp = 0;  // caller-supplied logical time
+  int64_t ten = 0;
+  int64_t hundred = 0;
+  int64_t thousand = 0;
+  int64_t million = 0;
+  std::string contents;
+  bool has_contents = false;
+};
+
+/// Version and variant support (R5, extension op §6.8(2)): "Create a
+/// new version and find the previous version or a specific version of
+/// a node", plus snapshot-by-time ("a node-structure as it was at a
+/// specific time-point").
+///
+/// Versions are copy-on-capture chains layered above any HyperStore:
+/// CreateVersion snapshots the node's current state; the live store
+/// always holds the working state. Timestamps are supplied by the
+/// caller (a logical clock) so histories are deterministic and
+/// testable. Restore() writes a chosen version back into the store
+/// inside the caller's transaction.
+class VersionManager {
+ public:
+  explicit VersionManager(HyperStore* store) : store_(store) {}
+
+  /// Snapshots `node` now, tagging the version with `timestamp`.
+  /// Timestamps per node must be non-decreasing.
+  util::Result<uint64_t> CreateVersion(NodeRef node, uint64_t timestamp);
+
+  /// Number of captured versions of `node`.
+  uint64_t VersionCount(NodeRef node) const;
+
+  /// A specific version (1-based).
+  util::Result<NodeVersion> GetVersion(NodeRef node, uint64_t version) const;
+
+  /// The most recent version before the current working state.
+  util::Result<NodeVersion> GetPrevious(NodeRef node) const;
+
+  /// The node as of `timestamp`: the latest version with
+  /// version.timestamp <= timestamp.
+  util::Result<NodeVersion> GetAtTime(NodeRef node, uint64_t timestamp) const;
+
+  /// Writes version `version` of `node` back into the store (the
+  /// caller provides the transaction bracket).
+  util::Status Restore(NodeRef node, uint64_t version);
+
+  /// Snapshot of a whole structure (1-N closure from `root`) at
+  /// `timestamp`: (node, version) pairs for every node that had a
+  /// version by then. Nodes never versioned are skipped.
+  util::Status SnapshotStructure(
+      NodeRef root, uint64_t timestamp,
+      std::vector<std::pair<NodeRef, NodeVersion>>* out) const;
+
+ private:
+  HyperStore* store_;
+  std::unordered_map<NodeRef, std::vector<NodeVersion>> chains_;
+};
+
+}  // namespace hm::ext
+
+#endif  // HM_HYPERMODEL_EXT_VERSION_H_

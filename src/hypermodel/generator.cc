@@ -1,0 +1,187 @@
+#include "hypermodel/generator.h"
+
+#include "util/random.h"
+#include "util/text.h"
+#include "util/timer.h"
+
+namespace hm {
+
+uint64_t Generator::ExpectedNodeCount(const GeneratorConfig& config) {
+  uint64_t total = 0;
+  uint64_t level_size = 1;
+  for (int l = 0; l <= config.levels; ++l) {
+    total += level_size;
+    level_size *= static_cast<uint64_t>(config.fanout);
+  }
+  return total;
+}
+
+util::Result<TestDatabase> Generator::Build(HyperStore* store,
+                                            CreationTiming* timing) const {
+  if (config_.levels < 1 || config_.fanout < 1) {
+    return util::Status::InvalidArgument("levels and fanout must be >= 1");
+  }
+  util::Rng rng(config_.seed);
+  TestDatabase db;
+  db.nodes_by_level.resize(static_cast<size_t>(config_.levels) + 1);
+  int64_t next_unique = 1;
+  util::Timer timer;
+
+  auto random_attrs = [&](NodeKind kind) {
+    NodeAttrs attrs;
+    attrs.unique_id = next_unique++;
+    attrs.ten = rng.UniformInt(1, 10);
+    attrs.hundred = rng.UniformInt(1, 100);
+    attrs.thousand = rng.UniformInt(1, 1000);
+    attrs.million = rng.UniformInt(1, 1000000);
+    attrs.kind = kind;
+    return attrs;
+  };
+
+  // ---- (a) internal nodes: levels 0 .. levels-1, level order, with
+  // the parent as clustering hint -----------------------------------
+  timer.Restart();
+  HM_RETURN_IF_ERROR(store->Begin());
+  {
+    HM_ASSIGN_OR_RETURN(
+        NodeRef root,
+        store->CreateNode(random_attrs(NodeKind::kInternal), kInvalidNode));
+    db.root = root;
+    db.nodes_by_level[0].push_back(root);
+    db.internal_nodes.push_back(root);
+  }
+  for (int level = 1; level < config_.levels; ++level) {
+    auto& current = db.nodes_by_level[static_cast<size_t>(level)];
+    for (NodeRef parent :
+         db.nodes_by_level[static_cast<size_t>(level) - 1]) {
+      for (int c = 0; c < config_.fanout; ++c) {
+        HM_ASSIGN_OR_RETURN(
+            NodeRef node,
+            store->CreateNode(random_attrs(NodeKind::kInternal), parent));
+        current.push_back(node);
+        db.internal_nodes.push_back(node);
+      }
+    }
+  }
+  HM_RETURN_IF_ERROR(store->Commit());
+  if (timing != nullptr) {
+    timing->internal_nodes_ms = timer.ElapsedMillis();
+    timing->internal_nodes = db.internal_nodes.size();
+  }
+
+  // ---- (b) leaf nodes: text nodes, every leaves_per_form-th a form
+  // node, contents per §5.1 ------------------------------------------
+  timer.Restart();
+  HM_RETURN_IF_ERROR(store->Begin());
+  {
+    auto& leaves = db.nodes_by_level[static_cast<size_t>(config_.levels)];
+    int64_t leaf_index = 0;
+    for (NodeRef parent :
+         db.nodes_by_level[static_cast<size_t>(config_.levels) - 1]) {
+      for (int c = 0; c < config_.fanout; ++c) {
+        bool is_form = (leaf_index % config_.leaves_per_form) ==
+                       (config_.leaves_per_form - 1);
+        ++leaf_index;
+        NodeKind kind = is_form ? NodeKind::kForm : NodeKind::kText;
+        HM_ASSIGN_OR_RETURN(NodeRef node,
+                            store->CreateNode(random_attrs(kind), parent));
+        leaves.push_back(node);
+        if (is_form) {
+          db.form_nodes.push_back(node);
+          if (config_.generate_contents) {
+            uint32_t w = static_cast<uint32_t>(rng.UniformInt(
+                config_.form_min_dim, config_.form_max_dim));
+            uint32_t h = static_cast<uint32_t>(rng.UniformInt(
+                config_.form_min_dim, config_.form_max_dim));
+            // Initially all white (all 0's).
+            HM_RETURN_IF_ERROR(store->SetForm(node, util::Bitmap(w, h)));
+          }
+        } else {
+          db.text_nodes.push_back(node);
+          if (config_.generate_contents) {
+            HM_RETURN_IF_ERROR(
+                store->SetText(node, util::GenerateTextContents(&rng)));
+          }
+        }
+      }
+    }
+  }
+  HM_RETURN_IF_ERROR(store->Commit());
+  if (timing != nullptr) {
+    timing->leaf_nodes_ms = timer.ElapsedMillis();
+    timing->leaf_nodes =
+        db.nodes_by_level[static_cast<size_t>(config_.levels)].size();
+  }
+
+  // Assemble the creation-order node list.
+  for (const auto& level : db.nodes_by_level) {
+    db.all_nodes.insert(db.all_nodes.end(), level.begin(), level.end());
+  }
+
+  // ---- (c) 1-N parent/children relationships (ordered) --------------
+  timer.Restart();
+  HM_RETURN_IF_ERROR(store->Begin());
+  uint64_t rel_1n = 0;
+  for (int level = 0; level < config_.levels; ++level) {
+    const auto& parents = db.nodes_by_level[static_cast<size_t>(level)];
+    const auto& children = db.nodes_by_level[static_cast<size_t>(level) + 1];
+    for (size_t p = 0; p < parents.size(); ++p) {
+      for (int c = 0; c < config_.fanout; ++c) {
+        HM_RETURN_IF_ERROR(store->AddChild(
+            parents[p], children[p * static_cast<size_t>(config_.fanout) +
+                                 static_cast<size_t>(c)]));
+        ++rel_1n;
+      }
+    }
+  }
+  HM_RETURN_IF_ERROR(store->Commit());
+  if (timing != nullptr) {
+    timing->rel_1n_ms = timer.ElapsedMillis();
+    timing->rel_1n = rel_1n;
+  }
+
+  // ---- (d) M-N parts: each non-leaf node related to parts_per_node
+  // random nodes from the next level ----------------------------------
+  timer.Restart();
+  HM_RETURN_IF_ERROR(store->Begin());
+  uint64_t rel_mn = 0;
+  for (int level = 0; level < config_.levels; ++level) {
+    const auto& owners = db.nodes_by_level[static_cast<size_t>(level)];
+    const auto& pool = db.nodes_by_level[static_cast<size_t>(level) + 1];
+    for (NodeRef owner : owners) {
+      for (int p = 0; p < config_.parts_per_node; ++p) {
+        NodeRef part = pool[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+        HM_RETURN_IF_ERROR(store->AddPart(owner, part));
+        ++rel_mn;
+      }
+    }
+  }
+  HM_RETURN_IF_ERROR(store->Commit());
+  if (timing != nullptr) {
+    timing->rel_mn_ms = timer.ElapsedMillis();
+    timing->rel_mn = rel_mn;
+  }
+
+  // ---- (e) M-N attributed refs: one per node to a random node,
+  // offsets uniform in 0..9 --------------------------------------------
+  timer.Restart();
+  HM_RETURN_IF_ERROR(store->Begin());
+  uint64_t rel_mnatt = 0;
+  for (NodeRef from : db.all_nodes) {
+    NodeRef to = db.all_nodes[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(db.all_nodes.size()) - 1))];
+    HM_RETURN_IF_ERROR(store->AddRef(from, to, rng.UniformInt(0, 9),
+                                     rng.UniformInt(0, 9)));
+    ++rel_mnatt;
+  }
+  HM_RETURN_IF_ERROR(store->Commit());
+  if (timing != nullptr) {
+    timing->rel_mnatt_ms = timer.ElapsedMillis();
+    timing->rel_mnatt = rel_mnatt;
+  }
+
+  return db;
+}
+
+}  // namespace hm

@@ -1,0 +1,102 @@
+#ifndef HM_HYPERMODEL_GENERATOR_H_
+#define HM_HYPERMODEL_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hypermodel/store.h"
+#include "hypermodel/types.h"
+#include "util/status.h"
+
+namespace hm {
+
+/// Parameters of the §5.2 test database. The paper's N.B. requires
+/// that levels, fanout and content sizes be variable, so none of them
+/// is baked into the schema or the operations.
+struct GeneratorConfig {
+  /// Leaf level of the 1-N hierarchy; the paper's sizes are 4, 5, 6
+  /// (781 / 3906 / 19531 nodes with fanout 5).
+  int levels = 4;
+  /// Children per internal node.
+  int fanout = 5;
+  /// One FormNode per this many leaf nodes (the paper: 125).
+  int leaves_per_form = 125;
+  /// Parts chosen per internal node for the M-N relationship.
+  int parts_per_node = 5;
+  /// Generate text strings / bitmaps (disable for pure-topology tests).
+  bool generate_contents = true;
+  /// Bitmap edge length bounds (the paper: 100..400).
+  uint32_t form_min_dim = 100;
+  uint32_t form_max_dim = 400;
+  /// PRNG seed; all draws are uniform per the paper's N.B.
+  uint64_t seed = 42;
+};
+
+/// Handles to the generated structure the driver needs: the paper's
+/// operations take "a random node", "a random node on level three",
+/// "a random text node" etc. as inputs, and seqScan iterates the test
+/// structure without using a class extent.
+struct TestDatabase {
+  NodeRef root = kInvalidNode;
+  /// nodes_by_level[l] holds the refs on level l in sibling order.
+  std::vector<std::vector<NodeRef>> nodes_by_level;
+  /// All nodes in creation (level) order.
+  std::vector<NodeRef> all_nodes;
+  std::vector<NodeRef> internal_nodes;
+  std::vector<NodeRef> text_nodes;
+  std::vector<NodeRef> form_nodes;
+
+  uint64_t node_count() const { return all_nodes.size(); }
+  const std::vector<NodeRef>& level(size_t l) const {
+    return nodes_by_level[l];
+  }
+};
+
+/// Wall-clock creation cost (§5.3): the benchmark's first table splits
+/// database build time into node-creation and per-relationship-type
+/// phases, each committed separately, reported per node/relationship.
+struct CreationTiming {
+  double internal_nodes_ms = 0;
+  uint64_t internal_nodes = 0;
+  double leaf_nodes_ms = 0;
+  uint64_t leaf_nodes = 0;
+  double rel_1n_ms = 0;
+  uint64_t rel_1n = 0;
+  double rel_mn_ms = 0;
+  uint64_t rel_mn = 0;
+  double rel_mnatt_ms = 0;
+  uint64_t rel_mnatt = 0;
+
+  double total_ms() const {
+    return internal_nodes_ms + leaf_nodes_ms + rel_1n_ms + rel_mn_ms +
+           rel_mnatt_ms;
+  }
+};
+
+/// Builds the §5.2 test database into a HyperStore:
+///  - a fanout^level 1-N tree with ordered children,
+///  - leaf level of TextNodes (every `leaves_per_form`-th a FormNode),
+///  - M-N parts: each internal node related to `parts_per_node` random
+///    nodes of the next level,
+///  - one refTo edge per node to a random node, offsets uniform 0..9.
+/// Node creation passes the parent as clustering hint, so stores that
+/// support it cluster along the 1-N hierarchy as §5.2 prescribes.
+class Generator {
+ public:
+  explicit Generator(GeneratorConfig config) : config_(config) {}
+
+  /// Expected node count for a config (fanout geometric series).
+  static uint64_t ExpectedNodeCount(const GeneratorConfig& config);
+
+  /// Generates the database. `timing`, when non-null, receives the
+  /// per-phase creation times (each phase ends with a commit).
+  util::Result<TestDatabase> Build(HyperStore* store,
+                                   CreationTiming* timing) const;
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace hm
+
+#endif  // HM_HYPERMODEL_GENERATOR_H_

@@ -1,0 +1,134 @@
+#ifndef HM_HYPERMODEL_OPERATIONS_H_
+#define HM_HYPERMODEL_OPERATIONS_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "hypermodel/store.h"
+#include "hypermodel/types.h"
+#include "util/status.h"
+
+namespace hm::ops {
+
+/// The twenty HyperModel operations (§6, /*01*/../*18*/ plus the A/B
+/// pairs). Each function is a direct transcription of the paper's
+/// specification, implemented purely against the HyperStore API so all
+/// backends execute identical logical work.
+
+// ---- 6.1 Name Lookup -------------------------------------------------
+
+/// /*01*/ nameLookup: hundred attribute of the node with uniqueId `n`.
+util::Result<int64_t> NameLookup(HyperStore* store, int64_t unique_id);
+
+/// /*02*/ nameOIDLookup: hundred attribute of the node behind `ref`.
+util::Result<int64_t> NameOidLookup(HyperStore* store, NodeRef ref);
+
+// ---- 6.2 Range Lookup ------------------------------------------------
+
+/// /*03*/ rangeLookupHundred: nodes with hundred in [x, x+9]
+/// (10% selectivity).
+util::Status RangeLookupHundred(HyperStore* store, int64_t x,
+                                std::vector<NodeRef>* out);
+
+/// /*04*/ rangeLookupMillion: nodes with million in [x, x+9999]
+/// (1% selectivity).
+util::Status RangeLookupMillion(HyperStore* store, int64_t x,
+                                std::vector<NodeRef>* out);
+
+// ---- 6.3 Group Lookup --------------------------------------------------
+
+/// /*05A*/ groupLookup1N: ordered list of the five children.
+util::Status GroupLookup1N(HyperStore* store, NodeRef node,
+                           std::vector<NodeRef>* out);
+
+/// /*05B*/ groupLookupMN: set of the five part nodes.
+util::Status GroupLookupMN(HyperStore* store, NodeRef node,
+                           std::vector<NodeRef>* out);
+
+/// /*06*/ groupLookupMNATT: node(s) referenced via refsTo.
+util::Status GroupLookupMNAtt(HyperStore* store, NodeRef node,
+                              std::vector<NodeRef>* out);
+
+// ---- 6.4 Reference Lookup ----------------------------------------------
+
+/// /*07A*/ refLookup1N: the parent node.
+util::Result<NodeRef> RefLookup1N(HyperStore* store, NodeRef node);
+
+/// /*07B*/ refLookupMN: the node(s) this node is part of.
+util::Status RefLookupMN(HyperStore* store, NodeRef node,
+                         std::vector<NodeRef>* out);
+
+/// /*08*/ refLookupMNATT: nodes referencing this node (refsFrom).
+util::Status RefLookupMNAtt(HyperStore* store, NodeRef node,
+                            std::vector<NodeRef>* out);
+
+// ---- 6.4.1 Sequential Scan ----------------------------------------------
+
+/// /*09*/ seqScan: touch the ten attribute of every node of the test
+/// structure (passed as `nodes`, since the paper forbids relying on a
+/// class extent). Returns the number of nodes visited; the attribute
+/// values are read and discarded per the spec.
+util::Result<uint64_t> SeqScan(HyperStore* store,
+                               std::span<const NodeRef> nodes);
+
+// ---- 6.5 Closure Traversals -----------------------------------------------
+
+/// /*10*/ closure1N: pre-order list of all nodes reachable through the
+/// 1-N relationship (children order preserved), including the start.
+util::Status Closure1N(HyperStore* store, NodeRef start,
+                       std::vector<NodeRef>* out);
+
+/// /*14*/ closureMN: all nodes reachable through the M-N parts
+/// relationship (shared sub-parts visited once).
+util::Status ClosureMN(HyperStore* store, NodeRef start,
+                       std::vector<NodeRef>* out);
+
+/// /*15*/ closureMNATT: nodes reachable through refTo, to `depth`
+/// (run-time parameter; the paper uses 25). Cycles are cut by a
+/// visited set.
+util::Status ClosureMNAtt(HyperStore* store, NodeRef start, int depth,
+                          std::vector<NodeRef>* out);
+
+// ---- 6.6 Other closure operations -------------------------------------------
+
+/// /*11*/ closure1NAttSum: sum of the hundred attribute over the 1-N
+/// closure. `visited` (optional) receives the node count.
+util::Result<int64_t> Closure1NAttSum(HyperStore* store, NodeRef start,
+                                      uint64_t* visited);
+
+/// /*12*/ closure1NAttSet: sets hundred := 99 - hundred over the 1-N
+/// closure (self-inverse when applied twice). Returns nodes updated.
+util::Result<uint64_t> Closure1NAttSet(HyperStore* store, NodeRef start);
+
+/// /*13*/ closure1NPred: 1-N closure, excluding — and terminating
+/// recursion at — nodes with million in [x, x+9999].
+util::Status Closure1NPred(HyperStore* store, NodeRef start, int64_t x,
+                           std::vector<NodeRef>* out);
+
+/// /*18*/ closureMNATTLINKSUM: (node, distance) pairs over the refTo
+/// closure to `depth`, distance = sum of offsetTo along the path.
+util::Status ClosureMNAttLinkSum(HyperStore* store, NodeRef start,
+                                 int depth,
+                                 std::vector<NodeDistance>* out);
+
+// ---- 6.7 Editing --------------------------------------------------------
+
+/// /*16*/ textNodeEdit: substitute `from` -> `to` in a text node and
+/// store it back. The benchmark alternates "version1" -> "version-2"
+/// and back. Returns the number of substitutions made.
+util::Result<uint64_t> TextNodeEdit(HyperStore* store, NodeRef text_node,
+                                    std::string_view from,
+                                    std::string_view to);
+
+/// /*17*/ formNodeEdit: invert a subrectangle of a form node's bitmap
+/// and store it back. `x, y` give the top-left corner; width/height
+/// are drawn in [25,50] by the driver per the spec "(25x25,50x50)".
+util::Status FormNodeEdit(HyperStore* store, NodeRef form_node, uint32_t x,
+                          uint32_t y, uint32_t width, uint32_t height);
+
+}  // namespace hm::ops
+
+#endif  // HM_HYPERMODEL_OPERATIONS_H_

@@ -1,0 +1,101 @@
+#include "hypermodel/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <set>
+
+namespace hm {
+
+void Report::PrintCreationTable(std::ostream& os) const {
+  if (creation_rows_.empty()) return;
+  os << "=== Database creation (§5.3), ms per node / relationship, "
+        "commit included ===\n";
+  os << std::left << std::setw(8) << "backend" << std::setw(7) << "level"
+     << std::setw(9) << "nodes" << std::setw(11) << "int-node"
+     << std::setw(11) << "leaf-node" << std::setw(11) << "rel-1N"
+     << std::setw(11) << "rel-MN" << std::setw(11) << "rel-MNATT"
+     << std::setw(12) << "total-ms" << "\n";
+  for (const CreationRow& row : creation_rows_) {
+    const CreationTiming& t = row.timing;
+    auto per = [](double ms, uint64_t n) {
+      return n == 0 ? 0.0 : ms / static_cast<double>(n);
+    };
+    os << std::left << std::setw(8) << row.backend << std::setw(7)
+       << row.level << std::setw(9) << row.nodes << std::fixed
+       << std::setprecision(4) << std::setw(11)
+       << per(t.internal_nodes_ms, t.internal_nodes) << std::setw(11)
+       << per(t.leaf_nodes_ms, t.leaf_nodes) << std::setw(11)
+       << per(t.rel_1n_ms, t.rel_1n) << std::setw(11)
+       << per(t.rel_mn_ms, t.rel_mn) << std::setw(11)
+       << per(t.rel_mnatt_ms, t.rel_mnatt) << std::setprecision(1)
+       << std::setw(12) << t.total_ms() << "\n";
+  }
+  os << "\n";
+}
+
+void Report::PrintOpTable(std::ostream& os) const {
+  if (op_results_.empty()) return;
+
+  // Group by level; within a level, one column pair per backend.
+  std::set<int> levels;
+  std::vector<std::string> backends;  // keep first-seen order
+  for (const OpResult& r : op_results_) {
+    levels.insert(r.level);
+    if (std::find(backends.begin(), backends.end(), r.backend) ==
+        backends.end()) {
+      backends.push_back(r.backend);
+    }
+  }
+
+  for (int level : levels) {
+    os << "=== HyperModel operations, level " << level
+       << " database — ms per node returned (cold / warm, commit "
+          "included) ===\n";
+    os << std::left << std::setw(26) << "operation";
+    for (const std::string& backend : backends) {
+      os << std::right << std::setw(14) << (backend + "-cold")
+         << std::setw(14) << (backend + "-warm");
+    }
+    os << "\n";
+
+    // op -> backend -> result
+    std::map<std::string, std::map<std::string, const OpResult*>> rows;
+    std::vector<std::string> op_order;
+    for (const OpResult& r : op_results_) {
+      if (r.level != level) continue;
+      if (!rows.contains(r.op_name)) op_order.push_back(r.op_name);
+      rows[r.op_name][r.backend] = &r;
+    }
+    // Preserve paper order (op_order is insertion order per level).
+    for (const std::string& op_name : op_order) {
+      os << std::left << std::setw(26) << op_name;
+      for (const std::string& backend : backends) {
+        auto it = rows[op_name].find(backend);
+        if (it == rows[op_name].end()) {
+          os << std::right << std::setw(14) << "-" << std::setw(14) << "-";
+          continue;
+        }
+        os << std::right << std::fixed << std::setprecision(4)
+           << std::setw(14) << it->second->cold_ms_per_node()
+           << std::setw(14) << it->second->warm_ms_per_node();
+      }
+      os << "\n";
+    }
+    os << "\n";
+  }
+}
+
+void Report::PrintCsv(std::ostream& os) const {
+  os << "op,backend,level,cold_total_ms,warm_total_ms,cold_nodes,"
+        "warm_nodes,cold_ms_per_node,warm_ms_per_node\n";
+  for (const OpResult& r : op_results_) {
+    os << r.op_name << ',' << r.backend << ',' << r.level << ','
+       << r.cold_total_ms << ',' << r.warm_total_ms << ',' << r.cold_nodes
+       << ',' << r.warm_nodes << ',' << r.cold_ms_per_node() << ','
+       << r.warm_ms_per_node() << "\n";
+  }
+}
+
+}  // namespace hm

@@ -1,0 +1,412 @@
+#include "index/bptree.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+#include "util/coding.h"
+
+namespace hm::index {
+
+namespace {
+
+using storage::kInvalidPageId;
+using storage::kPagePayloadSize;
+using storage::Page;
+using storage::PageGuard;
+using storage::PageId;
+using storage::PageType;
+
+// Shared payload layout:
+//   [0..2)  entry count
+//   [2..6)  leaf: next-leaf page id / internal: leftmost child
+//   [8..)   packed entries
+constexpr size_t kCountOffset = 0;
+constexpr size_t kLinkOffset = 2;
+constexpr size_t kEntriesOffset = 8;
+constexpr size_t kLeafEntrySize = 24;      // key(16) + value(8)
+constexpr size_t kInternalEntrySize = 20;  // key(16) + child(4)
+
+constexpr uint16_t kMaxLeafEntries =
+    (kPagePayloadSize - kEntriesOffset) / kLeafEntrySize;
+constexpr uint16_t kMaxInternalKeys =
+    (kPagePayloadSize - kEntriesOffset) / kInternalEntrySize;
+
+uint16_t GetCount(const Page& page) {
+  return util::DecodeFixed16(page.payload() + kCountOffset);
+}
+void SetCount(Page* page, uint16_t count) {
+  util::EncodeFixed16(page->payload() + kCountOffset, count);
+}
+PageId GetLink(const Page& page) {
+  return util::DecodeFixed32(page.payload() + kLinkOffset);
+}
+void SetLink(Page* page, PageId id) {
+  util::EncodeFixed32(page->payload() + kLinkOffset, id);
+}
+
+char* LeafEntry(Page* page, uint16_t i) {
+  return page->payload() + kEntriesOffset + i * kLeafEntrySize;
+}
+const char* LeafEntry(const Page& page, uint16_t i) {
+  return page.payload() + kEntriesOffset + i * kLeafEntrySize;
+}
+char* InternalEntry(Page* page, uint16_t i) {
+  return page->payload() + kEntriesOffset + i * kInternalEntrySize;
+}
+const char* InternalEntry(const Page& page, uint16_t i) {
+  return page.payload() + kEntriesOffset + i * kInternalEntrySize;
+}
+
+Key128 ReadKey(const char* p) {
+  return Key128{util::DecodeFixed64(p), util::DecodeFixed64(p + 8)};
+}
+void WriteKey(char* p, Key128 key) {
+  util::EncodeFixed64(p, key.primary);
+  util::EncodeFixed64(p + 8, key.secondary);
+}
+
+Key128 LeafKey(const Page& page, uint16_t i) {
+  return ReadKey(LeafEntry(page, i));
+}
+uint64_t LeafValue(const Page& page, uint16_t i) {
+  return util::DecodeFixed64(LeafEntry(page, i) + 16);
+}
+void SetLeafEntry(Page* page, uint16_t i, Key128 key, uint64_t value) {
+  char* p = LeafEntry(page, i);
+  WriteKey(p, key);
+  util::EncodeFixed64(p + 16, value);
+}
+
+Key128 InternalKey(const Page& page, uint16_t i) {
+  return ReadKey(InternalEntry(page, i));
+}
+PageId InternalChild(const Page& page, uint16_t i) {
+  // Child 0 is the link slot; child i>0 lives in entry i-1.
+  if (i == 0) return GetLink(page);
+  return util::DecodeFixed32(InternalEntry(page, i - 1) + 16);
+}
+void SetInternalEntry(Page* page, uint16_t i, Key128 key, PageId child) {
+  char* p = InternalEntry(page, i);
+  WriteKey(p, key);
+  util::EncodeFixed32(p + 16, child);
+}
+
+/// First index in the leaf with key >= target.
+uint16_t LeafLowerBound(const Page& page, Key128 key) {
+  uint16_t lo = 0;
+  uint16_t hi = GetCount(page);
+  while (lo < hi) {
+    uint16_t mid = (lo + hi) / 2;
+    if (LeafKey(page, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Index of the child to descend into for `key`: the number of
+/// separator keys <= key.
+uint16_t InternalChildIndex(const Page& page, Key128 key) {
+  uint16_t lo = 0;
+  uint16_t hi = GetCount(page);
+  while (lo < hi) {
+    uint16_t mid = (lo + hi) / 2;
+    if (InternalKey(page, mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+BPlusTree::BPlusTree(storage::BufferPool* pool, PageId root_id)
+    : pool_(pool), root_id_(root_id) {}
+
+util::Result<BPlusTree> BPlusTree::Create(storage::BufferPool* pool) {
+  HM_ASSIGN_OR_RETURN(PageGuard root, pool->New(PageType::kBTreeLeaf));
+  SetCount(root.page(), 0);
+  SetLink(root.page(), kInvalidPageId);
+  root.MarkDirty();
+  return BPlusTree(pool, root.id());
+}
+
+util::Result<PageId> BPlusTree::FindLeaf(Key128 key) const {
+  PageId current = root_id_;
+  for (;;) {
+    HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(current));
+    if (guard.page()->type() == PageType::kBTreeLeaf) return current;
+    if (guard.page()->type() != PageType::kBTreeInternal) {
+      return util::Status::Corruption("unexpected page type in btree");
+    }
+    current = InternalChild(*guard.page(),
+                            InternalChildIndex(*guard.page(), key));
+  }
+}
+
+util::Result<uint64_t> BPlusTree::Get(Key128 key) const {
+  HM_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key));
+  HM_ASSIGN_OR_RETURN(PageGuard leaf, pool_->Fetch(leaf_id));
+  uint16_t pos = LeafLowerBound(*leaf.page(), key);
+  if (pos < GetCount(*leaf.page()) && LeafKey(*leaf.page(), pos) == key) {
+    return LeafValue(*leaf.page(), pos);
+  }
+  return util::Status::NotFound("key not in index");
+}
+
+util::Status BPlusTree::Insert(Key128 key, uint64_t value) {
+  SplitResult split;
+  HM_RETURN_IF_ERROR(InsertRecursive(root_id_, key, value, &split));
+  if (!split.split) return util::Status::Ok();
+  // Root split: build a new root with two children.
+  HM_ASSIGN_OR_RETURN(PageGuard new_root, pool_->New(PageType::kBTreeInternal));
+  SetCount(new_root.page(), 1);
+  SetLink(new_root.page(), root_id_);
+  SetInternalEntry(new_root.page(), 0, split.separator, split.right_page);
+  new_root.MarkDirty();
+  root_id_ = new_root.id();
+  return util::Status::Ok();
+}
+
+util::Status BPlusTree::InsertRecursive(PageId node, Key128 key,
+                                        uint64_t value, SplitResult* split) {
+  split->split = false;
+  HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(node));
+  Page* page = guard.page();
+
+  if (page->type() == PageType::kBTreeLeaf) {
+    uint16_t count = GetCount(*page);
+    uint16_t pos = LeafLowerBound(*page, key);
+    if (pos < count && LeafKey(*page, pos) == key) {
+      return util::Status::AlreadyExists("duplicate key in index");
+    }
+    if (count < kMaxLeafEntries) {
+      std::memmove(LeafEntry(page, pos + 1), LeafEntry(page, pos),
+                   static_cast<size_t>(count - pos) * kLeafEntrySize);
+      SetLeafEntry(page, pos, key, value);
+      SetCount(page, count + 1);
+      guard.MarkDirty();
+      return util::Status::Ok();
+    }
+    // Split the leaf: right half moves to a new page.
+    HM_ASSIGN_OR_RETURN(PageGuard right, pool_->New(PageType::kBTreeLeaf));
+    uint16_t mid = count / 2;
+    uint16_t right_count = count - mid;
+    std::memcpy(LeafEntry(right.page(), 0), LeafEntry(page, mid),
+                static_cast<size_t>(right_count) * kLeafEntrySize);
+    SetCount(right.page(), right_count);
+    SetCount(page, mid);
+    SetLink(right.page(), GetLink(*page));
+    SetLink(page, right.id());
+
+    // Insert into whichever half now owns the key.
+    Key128 right_first = LeafKey(*right.page(), 0);
+    Page* target = key < right_first ? page : right.page();
+    uint16_t tcount = GetCount(*target);
+    uint16_t tpos = LeafLowerBound(*target, key);
+    std::memmove(LeafEntry(target, tpos + 1), LeafEntry(target, tpos),
+                 static_cast<size_t>(tcount - tpos) * kLeafEntrySize);
+    SetLeafEntry(target, tpos, key, value);
+    SetCount(target, tcount + 1);
+
+    guard.MarkDirty();
+    right.MarkDirty();
+    split->split = true;
+    split->separator = LeafKey(*right.page(), 0);
+    split->right_page = right.id();
+    return util::Status::Ok();
+  }
+
+  if (page->type() != PageType::kBTreeInternal) {
+    return util::Status::Corruption("unexpected page type in btree insert");
+  }
+
+  uint16_t child_index = InternalChildIndex(*page, key);
+  PageId child = InternalChild(*page, child_index);
+  // Release the parent pin while recursing to keep pin depth O(1)?
+  // No — we must re-find the insert position anyway; keep it simple
+  // and hold the pin (tree depth is tiny relative to pool capacity).
+  SplitResult child_split;
+  HM_RETURN_IF_ERROR(InsertRecursive(child, key, value, &child_split));
+  if (!child_split.split) return util::Status::Ok();
+
+  uint16_t count = GetCount(*page);
+  // The new separator goes at `child_index`.
+  if (count < kMaxInternalKeys) {
+    std::memmove(InternalEntry(page, child_index + 1),
+                 InternalEntry(page, child_index),
+                 static_cast<size_t>(count - child_index) *
+                     kInternalEntrySize);
+    SetInternalEntry(page, child_index, child_split.separator,
+                     child_split.right_page);
+    SetCount(page, count + 1);
+    guard.MarkDirty();
+    return util::Status::Ok();
+  }
+
+  // Split the internal node. Work on a scratch array of count+1
+  // entries (the existing ones plus the new separator), then push the
+  // middle key up.
+  struct Entry {
+    Key128 key;
+    PageId child;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(count + 1);
+  for (uint16_t i = 0; i < count; ++i) {
+    entries.push_back({InternalKey(*page, i), InternalChild(*page, i + 1)});
+  }
+  entries.insert(entries.begin() + child_index,
+                 {child_split.separator, child_split.right_page});
+
+  uint16_t total = static_cast<uint16_t>(entries.size());  // == count+1
+  uint16_t mid = total / 2;  // entries[mid].key moves up
+  HM_ASSIGN_OR_RETURN(PageGuard right, pool_->New(PageType::kBTreeInternal));
+
+  // Left keeps entries [0, mid); same child0.
+  SetCount(page, mid);
+  for (uint16_t i = 0; i < mid; ++i) {
+    SetInternalEntry(page, i, entries[i].key, entries[i].child);
+  }
+  // Right gets child0 = entries[mid].child and entries (mid, total).
+  SetLink(right.page(), entries[mid].child);
+  uint16_t right_count = total - mid - 1;
+  SetCount(right.page(), right_count);
+  for (uint16_t i = 0; i < right_count; ++i) {
+    SetInternalEntry(right.page(), i, entries[mid + 1 + i].key,
+                     entries[mid + 1 + i].child);
+  }
+
+  guard.MarkDirty();
+  right.MarkDirty();
+  split->split = true;
+  split->separator = entries[mid].key;
+  split->right_page = right.id();
+  return util::Status::Ok();
+}
+
+util::Status BPlusTree::Update(Key128 key, uint64_t value) {
+  HM_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key));
+  HM_ASSIGN_OR_RETURN(PageGuard leaf, pool_->Fetch(leaf_id));
+  uint16_t pos = LeafLowerBound(*leaf.page(), key);
+  if (pos >= GetCount(*leaf.page()) || LeafKey(*leaf.page(), pos) != key) {
+    return util::Status::NotFound("key not in index");
+  }
+  SetLeafEntry(leaf.page(), pos, key, value);
+  leaf.MarkDirty();
+  return util::Status::Ok();
+}
+
+util::Status BPlusTree::Delete(Key128 key) {
+  HM_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key));
+  HM_ASSIGN_OR_RETURN(PageGuard leaf, pool_->Fetch(leaf_id));
+  Page* page = leaf.page();
+  uint16_t count = GetCount(*page);
+  uint16_t pos = LeafLowerBound(*page, key);
+  if (pos >= count || LeafKey(*page, pos) != key) {
+    return util::Status::NotFound("key not in index");
+  }
+  std::memmove(LeafEntry(page, pos), LeafEntry(page, pos + 1),
+               static_cast<size_t>(count - pos - 1) * kLeafEntrySize);
+  SetCount(page, count - 1);
+  leaf.MarkDirty();
+  return util::Status::Ok();
+}
+
+util::Status BPlusTree::ScanRange(
+    Key128 lo, Key128 hi,
+    const std::function<bool(Key128, uint64_t)>& fn) const {
+  HM_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(lo));
+  while (leaf_id != kInvalidPageId) {
+    HM_ASSIGN_OR_RETURN(PageGuard leaf, pool_->Fetch(leaf_id));
+    uint16_t count = GetCount(*leaf.page());
+    uint16_t pos = LeafLowerBound(*leaf.page(), lo);
+    for (uint16_t i = pos; i < count; ++i) {
+      Key128 key = LeafKey(*leaf.page(), i);
+      if (hi < key) return util::Status::Ok();
+      if (!fn(key, LeafValue(*leaf.page(), i))) return util::Status::Ok();
+    }
+    leaf_id = GetLink(*leaf.page());
+    lo = kMinKey;  // subsequent leaves scan from their start
+  }
+  return util::Status::Ok();
+}
+
+util::Result<uint64_t> BPlusTree::Count() const {
+  uint64_t count = 0;
+  HM_RETURN_IF_ERROR(ScanRange(kMinKey, kMaxKey, [&](Key128, uint64_t) {
+    ++count;
+    return true;
+  }));
+  return count;
+}
+
+util::Status BPlusTree::CheckIntegrity() const {
+  int leaf_depth = -1;
+  return CheckNode(root_id_, nullptr, nullptr, 0, &leaf_depth);
+}
+
+util::Status BPlusTree::CheckNode(PageId node, const Key128* lo,
+                                  const Key128* hi, int depth,
+                                  int* leaf_depth) const {
+  HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(node));
+  const Page& page = *guard.page();
+  uint16_t count = GetCount(page);
+
+  if (page.type() == PageType::kBTreeLeaf) {
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return util::Status::Corruption("leaves at differing depths");
+    }
+    for (uint16_t i = 0; i < count; ++i) {
+      Key128 key = LeafKey(page, i);
+      if (i > 0 && !(LeafKey(page, i - 1) < key)) {
+        return util::Status::Corruption("leaf keys out of order");
+      }
+      if (lo != nullptr && key < *lo) {
+        return util::Status::Corruption("leaf key below subtree bound");
+      }
+      if (hi != nullptr && !(key < *hi)) {
+        return util::Status::Corruption("leaf key above subtree bound");
+      }
+    }
+    return util::Status::Ok();
+  }
+
+  if (page.type() != PageType::kBTreeInternal) {
+    return util::Status::Corruption("bad page type in btree");
+  }
+  if (count == 0) {
+    return util::Status::Corruption("empty internal node");
+  }
+  for (uint16_t i = 0; i < count; ++i) {
+    if (i > 0 && !(InternalKey(page, i - 1) < InternalKey(page, i))) {
+      return util::Status::Corruption("internal keys out of order");
+    }
+  }
+  for (uint16_t i = 0; i <= count; ++i) {
+    Key128 child_lo_key;
+    Key128 child_hi_key;
+    const Key128* child_lo = lo;
+    const Key128* child_hi = hi;
+    if (i > 0) {
+      child_lo_key = InternalKey(page, i - 1);
+      child_lo = &child_lo_key;
+    }
+    if (i < count) {
+      child_hi_key = InternalKey(page, i);
+      child_hi = &child_hi_key;
+    }
+    HM_RETURN_IF_ERROR(CheckNode(InternalChild(page, i), child_lo, child_hi,
+                                 depth + 1, leaf_depth));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace hm::index

@@ -1,0 +1,98 @@
+#ifndef HM_INDEX_BPTREE_H_
+#define HM_INDEX_BPTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace hm::index {
+
+/// 128-bit composite key: `(primary, secondary)` ordered
+/// lexicographically. Secondary indexes on non-unique attributes (the
+/// HyperModel `hundred` / `million` attributes) store the attribute in
+/// `primary` and the owning object id in `secondary`, making every
+/// stored key unique while still supporting attribute-range scans.
+struct Key128 {
+  uint64_t primary = 0;
+  uint64_t secondary = 0;
+
+  friend auto operator<=>(const Key128&, const Key128&) = default;
+};
+
+/// Smallest and largest possible keys, for whole-index scans.
+inline constexpr Key128 kMinKey{0, 0};
+inline constexpr Key128 kMaxKey{~0ULL, ~0ULL};
+
+/// Disk-resident B+tree mapping `Key128 -> uint64_t`, layered on the
+/// buffer pool. Leaves are chained for range scans. Inserts split
+/// nodes bottom-up; deletes are lazy (no merging — freed space is
+/// reused by later inserts into the same leaf), which is the common
+/// trade-off for index workloads that grow monotonically, as the
+/// HyperModel database does.
+///
+/// The root page id changes when the root splits; the owner must
+/// persist `root_id()` (e.g. in its catalog page) after mutations.
+class BPlusTree {
+ public:
+  /// Attaches to an existing tree rooted at `root_id`.
+  BPlusTree(storage::BufferPool* pool, storage::PageId root_id);
+
+  /// Allocates an empty tree (a single empty leaf) and returns it.
+  static util::Result<BPlusTree> Create(storage::BufferPool* pool);
+
+  storage::PageId root_id() const { return root_id_; }
+
+  /// Inserts a key/value pair. Fails with AlreadyExists on an exact
+  /// duplicate key.
+  util::Status Insert(Key128 key, uint64_t value);
+
+  /// Updates the value of an existing key; NotFound if absent.
+  util::Status Update(Key128 key, uint64_t value);
+
+  /// Point lookup.
+  util::Result<uint64_t> Get(Key128 key) const;
+
+  /// Removes a key; NotFound if absent.
+  util::Status Delete(Key128 key);
+
+  /// Invokes `fn(key, value)` for every entry with lo <= key <= hi in
+  /// ascending order. `fn` returning false stops the scan early.
+  util::Status ScanRange(
+      Key128 lo, Key128 hi,
+      const std::function<bool(Key128, uint64_t)>& fn) const;
+
+  /// Number of entries (walks the leaf chain; diagnostic).
+  util::Result<uint64_t> Count() const;
+
+  /// Verifies structural invariants: key ordering inside nodes,
+  /// separator correctness, leaf-chain ordering. Used by tests.
+  util::Status CheckIntegrity() const;
+
+ private:
+  struct SplitResult {
+    bool split = false;
+    Key128 separator;              // first key of the new right node
+    storage::PageId right_page = storage::kInvalidPageId;
+  };
+
+  /// Recursive insert; fills `*split` when the child had to split.
+  util::Status InsertRecursive(storage::PageId node, Key128 key,
+                               uint64_t value, SplitResult* split);
+  /// Descends to the leaf that would contain `key`.
+  util::Result<storage::PageId> FindLeaf(Key128 key) const;
+
+  util::Status CheckNode(storage::PageId node, const Key128* lo,
+                         const Key128* hi, int depth,
+                         int* leaf_depth) const;
+
+  storage::BufferPool* pool_;
+  storage::PageId root_id_;
+};
+
+}  // namespace hm::index
+
+#endif  // HM_INDEX_BPTREE_H_

@@ -1,0 +1,641 @@
+#include "objstore/object_store.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "storage/slotted_page.h"
+#include "util/check.h"
+#include "util/coding.h"
+
+namespace hm::objstore {
+
+namespace {
+
+using storage::kInvalidPageId;
+using storage::kPagePayloadSize;
+using storage::Page;
+using storage::PageGuard;
+using storage::PageId;
+using storage::PageType;
+using storage::SlotId;
+using storage::SlottedPage;
+using storage::WalRecordType;
+
+constexpr uint64_t kMagic = 0x484D4F424A535431ULL;  // "HMOBJST1"
+constexpr size_t kDirEntrySize = 8;
+constexpr size_t kDirEntriesPerPage = kPagePayloadSize / kDirEntrySize;
+
+// Directory entry flags.
+constexpr uint16_t kDirFree = 0;  // zero-initialized pages read as free
+constexpr uint16_t kDirSlotted = 1;
+constexpr uint16_t kDirOverflow = 2;
+
+// Logical WAL operation codes.
+constexpr uint8_t kOpCreate = 1;
+constexpr uint8_t kOpUpdate = 2;
+constexpr uint8_t kOpDelete = 3;
+
+// Overflow page payload: [next:4][len:4][bytes...].
+constexpr size_t kOverflowHeader = 8;
+constexpr size_t kOverflowCapacity = kPagePayloadSize - kOverflowHeader;
+
+// Objects above this size go to an overflow chain instead of sharing a
+// slotted page; chosen so several text nodes still share one page.
+constexpr size_t kOverflowThreshold = kPagePayloadSize / 2;
+
+std::string EncodeLogical(uint8_t op, Oid oid, Oid near,
+                          std::string_view after, std::string_view before) {
+  std::string payload;
+  payload.push_back(static_cast<char>(op));
+  util::PutFixed64(&payload, oid);
+  util::PutFixed64(&payload, near);
+  util::PutLengthPrefixed(&payload, after);
+  util::PutLengthPrefixed(&payload, before);
+  return payload;
+}
+
+}  // namespace
+
+ObjectStore::ObjectStore(const ObjectStoreOptions& options)
+    : options_(options) {}
+
+ObjectStore::~ObjectStore() { Close(); }
+
+util::Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(
+    const ObjectStoreOptions& options, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::IoError("create_directories '" + dir +
+                                 "': " + ec.message());
+  }
+  std::unique_ptr<ObjectStore> store(new ObjectStore(options));
+  store->dir_ = dir;
+  HM_RETURN_IF_ERROR(store->data_file_.Open(dir + "/objects.db"));
+  store->pool_ = std::make_unique<storage::BufferPool>(&store->data_file_,
+                                                       options.cache_pages);
+  HM_RETURN_IF_ERROR(store->wal_.Open(dir + "/objects.wal"));
+
+  if (store->data_file_.page_count() == 0) {
+    HM_RETURN_IF_ERROR(store->InitFresh());
+  } else {
+    HM_RETURN_IF_ERROR(store->LoadMeta());
+    HM_RETURN_IF_ERROR(store->Recover());
+  }
+  store->open_ = true;
+  return store;
+}
+
+util::Status ObjectStore::InitFresh() {
+  HM_ASSIGN_OR_RETURN(PageGuard meta, pool_->New(PageType::kMeta));
+  HM_CHECK(meta.id() == 0);
+  meta.MarkDirty();
+  meta.Release();
+  next_oid_ = 1;
+  // Establish a durable baseline immediately: a crash right after
+  // creation must find a valid (empty) meta page to replay onto.
+  return Checkpoint();
+}
+
+util::Status ObjectStore::SaveMeta() {
+  HM_ASSIGN_OR_RETURN(PageGuard meta, pool_->Fetch(0));
+  char* p = meta.page()->payload();
+  std::memset(p, 0, kPagePayloadSize);
+  size_t off = 0;
+  util::EncodeFixed64(p + off, kMagic);
+  off += 8;
+  util::EncodeFixed64(p + off, next_oid_);
+  off += 8;
+  for (size_t i = 0; i < kCatalogSlots; ++i) {
+    util::EncodeFixed64(p + off, catalog_[i]);
+    off += 8;
+  }
+  util::EncodeFixed32(p + off, static_cast<uint32_t>(dir_pages_.size()));
+  off += 4;
+  for (PageId id : dir_pages_) {
+    if (off + 4 > kPagePayloadSize) {
+      return util::Status::Internal("meta page overflow: too many dir pages");
+    }
+    util::EncodeFixed32(p + off, id);
+    off += 4;
+  }
+  meta.MarkDirty();
+  return util::Status::Ok();
+}
+
+util::Status ObjectStore::LoadMeta() {
+  HM_ASSIGN_OR_RETURN(PageGuard meta, pool_->Fetch(0));
+  const char* p = meta.page()->payload();
+  size_t off = 0;
+  if (util::DecodeFixed64(p) != kMagic) {
+    return util::Status::Corruption("bad object store magic");
+  }
+  off += 8;
+  next_oid_ = util::DecodeFixed64(p + off);
+  off += 8;
+  for (size_t i = 0; i < kCatalogSlots; ++i) {
+    catalog_[i] = util::DecodeFixed64(p + off);
+    off += 8;
+  }
+  uint32_t dir_count = util::DecodeFixed32(p + off);
+  off += 4;
+  dir_pages_.clear();
+  for (uint32_t i = 0; i < dir_count; ++i) {
+    dir_pages_.push_back(util::DecodeFixed32(p + off));
+    off += 4;
+  }
+  return util::Status::Ok();
+}
+
+util::Status ObjectStore::Recover() {
+  // Redo-only recovery: replay every update of a committed transaction
+  // over the checkpointed page image. Records are idempotent (create
+  // skips existing oids, update overwrites, delete skips missing), so
+  // replay over any intermediate page state converges. Changes of
+  // uncommitted transactions never reach the data file between
+  // checkpoints except through buffer-pool steals, a window we accept
+  // in this reproduction (commits sync the full WAL buffer).
+  struct Pending {
+    uint64_t txn;
+    std::string payload;
+  };
+  std::vector<Pending> all;
+  HM_RETURN_IF_ERROR(
+      wal_.Recover([&](uint64_t txn, std::string_view payload) {
+        all.push_back({txn, std::string(payload)});
+        return util::Status::Ok();
+      }));
+  for (const Pending& rec : all) {
+    HM_RETURN_IF_ERROR(ApplyLogical(rec.payload));
+  }
+  recovered_records_ = all.size();
+  // A full checkpoint makes the replayed state the new baseline.
+  return Checkpoint();
+}
+
+util::Status ObjectStore::Close() {
+  if (!open_) return util::Status::Ok();
+  open_ = false;
+  HM_RETURN_IF_ERROR(Checkpoint());
+  HM_RETURN_IF_ERROR(wal_.Close());
+  pool_.reset();
+  return data_file_.Close();
+}
+
+util::Status ObjectStore::Checkpoint() {
+  HM_RETURN_IF_ERROR(SaveMeta());
+  HM_RETURN_IF_ERROR(pool_->FlushAll());
+  HM_RETURN_IF_ERROR(data_file_.Sync());
+  return wal_.Checkpoint();
+}
+
+util::Status ObjectStore::DropCaches() {
+  HM_RETURN_IF_ERROR(SaveMeta());
+  return pool_->DropAll();
+}
+
+uint64_t ObjectStore::GetCatalog(size_t slot) const {
+  HM_CHECK(slot < kCatalogSlots);
+  return catalog_[slot];
+}
+
+void ObjectStore::SetCatalog(size_t slot, uint64_t value) {
+  HM_CHECK(slot < kCatalogSlots);
+  catalog_[slot] = value;
+}
+
+util::Result<Transaction> ObjectStore::Begin() {
+  Transaction txn;
+  txn.id_ = next_txn_id_++;
+  txn.active_ = true;
+  HM_ASSIGN_OR_RETURN(uint64_t lsn,
+                      wal_.Append(WalRecordType::kBegin, txn.id_, ""));
+  (void)lsn;
+  return txn;
+}
+
+util::Status ObjectStore::Commit(Transaction* txn) {
+  if (!txn->active_) {
+    return util::Status::InvalidArgument("transaction not active");
+  }
+  HM_ASSIGN_OR_RETURN(uint64_t lsn,
+                      wal_.Append(WalRecordType::kCommit, txn->id_, ""));
+  (void)lsn;
+  if (options_.sync_commits) {
+    HM_RETURN_IF_ERROR(wal_.Sync());
+  }
+  txn->active_ = false;
+  txn->undo_.clear();
+  ++stats_.commits;
+  return util::Status::Ok();
+}
+
+util::Status ObjectStore::Abort(Transaction* txn) {
+  if (!txn->active_) {
+    return util::Status::InvalidArgument("transaction not active");
+  }
+  // Undo in reverse order using the retained pre-images.
+  for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
+    switch (it->kind) {
+      case Transaction::Undo::Kind::kCreate: {
+        HM_ASSIGN_OR_RETURN(DirEntry entry, DirGet(it->oid));
+        HM_RETURN_IF_ERROR(Remove(entry));
+        HM_RETURN_IF_ERROR(DirSet(it->oid, DirEntry{}));
+        break;
+      }
+      case Transaction::Undo::Kind::kUpdate: {
+        HM_RETURN_IF_ERROR(
+            ApplyLogical(EncodeLogical(kOpUpdate, it->oid, kInvalidOid,
+                                       it->before, "")));
+        break;
+      }
+      case Transaction::Undo::Kind::kDelete: {
+        HM_RETURN_IF_ERROR(
+            ApplyLogical(EncodeLogical(kOpCreate, it->oid, kInvalidOid,
+                                       it->before, "")));
+        break;
+      }
+    }
+  }
+  HM_ASSIGN_OR_RETURN(uint64_t lsn,
+                      wal_.Append(WalRecordType::kAbort, txn->id_, ""));
+  (void)lsn;
+  txn->active_ = false;
+  txn->undo_.clear();
+  ++stats_.aborts;
+  return util::Status::Ok();
+}
+
+util::Result<ObjectStore::DirEntry> ObjectStore::DirGet(Oid oid) const {
+  if (oid == kInvalidOid || oid >= next_oid_) {
+    return util::Status::NotFound("oid out of range");
+  }
+  size_t index = static_cast<size_t>(oid - 1);
+  size_t dir_index = index / kDirEntriesPerPage;
+  if (dir_index >= dir_pages_.size()) {
+    return util::Status::NotFound("oid has no directory page");
+  }
+  HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(dir_pages_[dir_index]));
+  const char* p = guard.page()->payload() +
+                  (index % kDirEntriesPerPage) * kDirEntrySize;
+  DirEntry entry;
+  entry.page = util::DecodeFixed32(p);
+  entry.slot = util::DecodeFixed16(p + 4);
+  entry.flags = util::DecodeFixed16(p + 6);
+  if (entry.flags == kDirFree) {
+    return util::Status::NotFound("object deleted or never created");
+  }
+  return entry;
+}
+
+util::Result<PageId> ObjectStore::DirPageFor(Oid oid, bool create) {
+  size_t index = static_cast<size_t>(oid - 1);
+  size_t dir_index = index / kDirEntriesPerPage;
+  while (dir_index >= dir_pages_.size()) {
+    if (!create) return util::Status::NotFound("oid has no directory page");
+    HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->New(PageType::kDirectory));
+    guard.MarkDirty();
+    dir_pages_.push_back(guard.id());
+  }
+  return dir_pages_[dir_index];
+}
+
+util::Status ObjectStore::DirSet(Oid oid, DirEntry entry) {
+  HM_ASSIGN_OR_RETURN(PageId dir_page, DirPageFor(oid, /*create=*/true));
+  HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(dir_page));
+  size_t index = static_cast<size_t>(oid - 1);
+  char* p = guard.page()->payload() +
+            (index % kDirEntriesPerPage) * kDirEntrySize;
+  util::EncodeFixed32(p, entry.page);
+  util::EncodeFixed16(p + 4, entry.slot);
+  util::EncodeFixed16(p + 6, entry.flags);
+  guard.MarkDirty();
+  return util::Status::Ok();
+}
+
+bool ObjectStore::Exists(Oid oid) const { return DirGet(oid).ok(); }
+
+util::Result<PageId> ObjectStore::WriteOverflow(std::string_view data) {
+  // Build the chain back-to-front so each page knows its successor.
+  size_t total = data.size();
+  size_t num_pages = std::max<size_t>(1, (total + kOverflowCapacity - 1) /
+                                             kOverflowCapacity);
+  PageId next = kInvalidPageId;
+  for (size_t i = num_pages; i-- > 0;) {
+    size_t begin = i * kOverflowCapacity;
+    size_t len = std::min(kOverflowCapacity, total - begin);
+    HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->New(PageType::kOverflow));
+    char* p = guard.page()->payload();
+    util::EncodeFixed32(p, next);
+    util::EncodeFixed32(p + 4, static_cast<uint32_t>(len));
+    std::memcpy(p + kOverflowHeader, data.data() + begin, len);
+    guard.MarkDirty();
+    next = guard.id();
+  }
+  return next;
+}
+
+util::Status ObjectStore::FreeOverflow(PageId head) {
+  // Pages are not recycled (allocation is append-only); just mark the
+  // chain pages free for diagnostics.
+  PageId current = head;
+  while (current != kInvalidPageId) {
+    HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(current));
+    PageId next = util::DecodeFixed32(guard.page()->payload());
+    guard.page()->set_type(PageType::kFree);
+    guard.MarkDirty();
+    current = next;
+  }
+  return util::Status::Ok();
+}
+
+util::Result<std::string> ObjectStore::ReadOverflow(PageId head) const {
+  std::string out;
+  PageId current = head;
+  while (current != kInvalidPageId) {
+    HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(current));
+    const char* p = guard.page()->payload();
+    PageId next = util::DecodeFixed32(p);
+    uint32_t len = util::DecodeFixed32(p + 4);
+    if (len > kOverflowCapacity) {
+      return util::Status::Corruption("overflow page length out of range");
+    }
+    out.append(p + kOverflowHeader, len);
+    current = next;
+  }
+  return out;
+}
+
+util::Result<ObjectStore::DirEntry> ObjectStore::Place(std::string_view data,
+                                                       Oid near) {
+  if (data.size() > kOverflowThreshold) {
+    HM_ASSIGN_OR_RETURN(PageId head, WriteOverflow(data));
+    return DirEntry{head, 0, kDirOverflow};
+  }
+  const uint32_t size = static_cast<uint32_t>(data.size());
+
+  // Inserts into an existing page if it fits, leaving `reserve` bytes
+  // of slack. Clustered placement reserves growth room: node records
+  // grow as relationships are added, and a packed page would force
+  // relocations that destroy exactly the locality clustering builds.
+  auto try_page = [&](PageId page_id,
+                      uint32_t reserve) -> util::Result<DirEntry> {
+    HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page_id));
+    if (!SlottedPage::CanFit(*guard.page(), size + reserve)) {
+      return util::Status::OutOfRange("page full");
+    }
+    HM_ASSIGN_OR_RETURN(SlotId slot, SlottedPage::Insert(guard.page(), data));
+    guard.MarkDirty();
+    return DirEntry{page_id, slot, kDirSlotted};
+  };
+  // Reserve ~2x the record's size for future growth of co-located
+  // records (fill-factor style), capped to stay usable on big records.
+  const uint32_t cluster_reserve =
+      std::min<uint32_t>(2 * size, kPagePayloadSize / 4);
+  // Allocates a fresh slotted page and inserts there.
+  auto new_page = [&]() -> util::Result<DirEntry> {
+    HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->New(PageType::kSlotted));
+    SlottedPage::Init(guard.page());
+    HM_ASSIGN_OR_RETURN(SlotId slot, SlottedPage::Insert(guard.page(), data));
+    guard.MarkDirty();
+    slotted_pages_.push_back(guard.id());
+    return DirEntry{guard.id(), slot, kDirSlotted};
+  };
+
+  switch (options_.placement) {
+    case PlacementPolicy::kClustered: {
+      // §5.2: cluster along the 1-N hierarchy. Try the hint object's
+      // page, then that page's private overflow chain, so an anchor
+      // page's families stay together instead of interleaving with
+      // unrelated creations on the global fill page.
+      if (near != kInvalidOid) {
+        auto near_entry = DirGet(near);
+        if (near_entry.ok() && near_entry->flags == kDirSlotted) {
+          PageId anchor = near_entry->page;
+          auto placed = try_page(anchor, cluster_reserve);
+          if (placed.ok()) return placed;
+          auto tail_it = cluster_tails_.find(anchor);
+          if (tail_it != cluster_tails_.end()) {
+            placed = try_page(tail_it->second, cluster_reserve);
+            if (placed.ok()) return placed;
+          }
+          HM_ASSIGN_OR_RETURN(DirEntry entry, new_page());
+          cluster_tails_[anchor] = entry.page;
+          return entry;
+        }
+      }
+      break;  // no usable hint: fall through to sequential fill
+    }
+    case PlacementPolicy::kRandom: {
+      // Scatter over existing pages with room (bounded probes).
+      for (int probe = 0; probe < 8 && !slotted_pages_.empty(); ++probe) {
+        placement_rng_state_ =
+            placement_rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+        size_t index = static_cast<size_t>(
+            (placement_rng_state_ >> 17) % slotted_pages_.size());
+        auto placed = try_page(slotted_pages_[index], 0);
+        if (placed.ok()) return placed;
+      }
+      return new_page();
+    }
+    case PlacementPolicy::kSequential:
+      break;
+  }
+
+  // Sequential fill: the current global fill page, else a new one.
+  if (active_fill_page_ != kInvalidPageId) {
+    auto placed = try_page(active_fill_page_, 0);
+    if (placed.ok()) return placed;
+  }
+  HM_ASSIGN_OR_RETURN(DirEntry entry, new_page());
+  active_fill_page_ = entry.page;
+  return entry;
+}
+
+util::Status ObjectStore::Remove(const DirEntry& entry) {
+  if (entry.flags == kDirOverflow) {
+    return FreeOverflow(entry.page);
+  }
+  HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(entry.page));
+  HM_RETURN_IF_ERROR(SlottedPage::Erase(guard.page(), entry.slot));
+  guard.MarkDirty();
+  return util::Status::Ok();
+}
+
+util::Status ObjectStore::ApplyLogical(std::string_view payload) {
+  util::Decoder dec(payload);
+  if (dec.Remaining() < 1) {
+    return util::Status::Corruption("empty logical record");
+  }
+  uint8_t op = static_cast<uint8_t>(payload[0]);
+  dec.Skip(1);
+  uint64_t oid = 0;
+  uint64_t near = 0;
+  std::string_view after;
+  std::string_view before;
+  if (!dec.GetFixed64(&oid) || !dec.GetFixed64(&near) ||
+      !dec.GetLengthPrefixed(&after) || !dec.GetLengthPrefixed(&before)) {
+    return util::Status::Corruption("truncated logical record");
+  }
+
+  switch (op) {
+    case kOpCreate: {
+      if (Exists(oid)) return util::Status::Ok();  // idempotent replay
+      HM_ASSIGN_OR_RETURN(DirEntry entry, Place(after, near));
+      HM_RETURN_IF_ERROR(DirSet(oid, entry));
+      next_oid_ = std::max(next_oid_, oid + 1);
+      return util::Status::Ok();
+    }
+    case kOpUpdate: {
+      auto entry_or = DirGet(oid);
+      if (!entry_or.ok()) return util::Status::Ok();  // deleted later in log
+      DirEntry entry = *entry_or;
+      if (entry.flags == kDirSlotted &&
+          after.size() <= kOverflowThreshold) {
+        HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(entry.page));
+        util::Status s = SlottedPage::Update(guard.page(), entry.slot, after);
+        if (s.ok()) {
+          guard.MarkDirty();
+          return util::Status::Ok();
+        }
+        if (s.code() != util::StatusCode::kOutOfRange) return s;
+        // Fall through: relocate.
+      }
+      HM_RETURN_IF_ERROR(Remove(entry));
+      HM_ASSIGN_OR_RETURN(DirEntry fresh, Place(after, oid));
+      return DirSet(oid, fresh);
+    }
+    case kOpDelete: {
+      auto entry_or = DirGet(oid);
+      if (!entry_or.ok()) return util::Status::Ok();  // idempotent replay
+      HM_RETURN_IF_ERROR(Remove(*entry_or));
+      return DirSet(oid, DirEntry{});
+    }
+    default:
+      return util::Status::Corruption("unknown logical op");
+  }
+}
+
+util::Status ObjectStore::LogAndApply(Transaction* txn,
+                                      std::string_view payload) {
+  HM_ASSIGN_OR_RETURN(uint64_t lsn,
+                      wal_.Append(WalRecordType::kUpdate, txn->id_, payload));
+  (void)lsn;
+  return ApplyLogical(payload);
+}
+
+util::Result<Oid> ObjectStore::Create(Transaction* txn, std::string_view data,
+                                      Oid near) {
+  if (!txn->active_) {
+    return util::Status::InvalidArgument("transaction not active");
+  }
+  Oid oid = next_oid_;
+  HM_RETURN_IF_ERROR(
+      LogAndApply(txn, EncodeLogical(kOpCreate, oid, near, data, "")));
+  txn->undo_.push_back({Transaction::Undo::Kind::kCreate, oid, ""});
+  ++stats_.objects_created;
+  return oid;
+}
+
+util::Result<std::string> ObjectStore::Read(Oid oid) const {
+  HM_ASSIGN_OR_RETURN(DirEntry entry, DirGet(oid));
+  ++stats_.objects_read;
+  if (entry.flags == kDirOverflow) {
+    return ReadOverflow(entry.page);
+  }
+  HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(entry.page));
+  HM_ASSIGN_OR_RETURN(std::string_view record,
+                      SlottedPage::Read(*guard.page(), entry.slot));
+  return std::string(record);
+}
+
+util::Status ObjectStore::Update(Transaction* txn, Oid oid,
+                                 std::string_view data) {
+  if (!txn->active_) {
+    return util::Status::InvalidArgument("transaction not active");
+  }
+  HM_ASSIGN_OR_RETURN(std::string before, Read(oid));
+  HM_RETURN_IF_ERROR(
+      LogAndApply(txn, EncodeLogical(kOpUpdate, oid, kInvalidOid, data,
+                                     before)));
+  txn->undo_.push_back(
+      {Transaction::Undo::Kind::kUpdate, oid, std::move(before)});
+  ++stats_.objects_updated;
+  return util::Status::Ok();
+}
+
+util::Status ObjectStore::Delete(Transaction* txn, Oid oid) {
+  if (!txn->active_) {
+    return util::Status::InvalidArgument("transaction not active");
+  }
+  HM_ASSIGN_OR_RETURN(std::string before, Read(oid));
+  HM_RETURN_IF_ERROR(
+      LogAndApply(txn, EncodeLogical(kOpDelete, oid, kInvalidOid, "",
+                                     before)));
+  txn->undo_.push_back(
+      {Transaction::Undo::Kind::kDelete, oid, std::move(before)});
+  ++stats_.objects_deleted;
+  return util::Status::Ok();
+}
+
+util::Status ObjectStore::BackupTo(const std::string& backup_dir) {
+  HM_RETURN_IF_ERROR(Checkpoint());
+  std::error_code ec;
+  std::filesystem::create_directories(backup_dir, ec);
+  if (ec) {
+    return util::Status::IoError("create_directories '" + backup_dir +
+                                 "': " + ec.message());
+  }
+  for (const char* file : {"objects.db", "objects.wal"}) {
+    std::filesystem::copy_file(
+        dir_ + "/" + file, backup_dir + "/" + file,
+        std::filesystem::copy_options::overwrite_existing, ec);
+    if (ec) {
+      return util::Status::IoError("backup copy of '" + std::string(file) +
+                                   "': " + ec.message());
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Result<uint64_t> ObjectStore::CollectGarbage(
+    Transaction* txn, const std::vector<Oid>& roots,
+    const std::function<util::Result<std::vector<Oid>>(
+        Oid, const std::string&)>& trace) {
+  if (!txn->active_) {
+    return util::Status::InvalidArgument("transaction not active");
+  }
+  // Mark: breadth-first from the roots through the caller's tracer.
+  std::vector<bool> marked(next_oid_, false);
+  std::vector<Oid> frontier;
+  for (Oid root : roots) {
+    if (root != kInvalidOid && root < next_oid_ && !marked[root] &&
+        Exists(root)) {
+      marked[root] = true;
+      frontier.push_back(root);
+    }
+  }
+  while (!frontier.empty()) {
+    Oid oid = frontier.back();
+    frontier.pop_back();
+    HM_ASSIGN_OR_RETURN(std::string data, Read(oid));
+    HM_ASSIGN_OR_RETURN(std::vector<Oid> refs, trace(oid, data));
+    for (Oid ref : refs) {
+      if (ref == kInvalidOid || ref >= next_oid_ || marked[ref]) continue;
+      if (!Exists(ref)) continue;  // dangling reference: nothing to keep
+      marked[ref] = true;
+      frontier.push_back(ref);
+    }
+  }
+  // Sweep: delete everything unmarked.
+  uint64_t collected = 0;
+  for (Oid oid = 1; oid < next_oid_; ++oid) {
+    if (marked[oid] || !Exists(oid)) continue;
+    HM_RETURN_IF_ERROR(Delete(txn, oid));
+    ++collected;
+  }
+  return collected;
+}
+
+}  // namespace hm::objstore
+

@@ -1,0 +1,247 @@
+#ifndef HM_OBJSTORE_OBJECT_STORE_H_
+#define HM_OBJSTORE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/file_manager.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace hm::objstore {
+
+/// System-generated object identifier (the OODB "object id" of §6.1
+/// op /*02*/). Sequential from 1; 0 is invalid.
+using Oid = uint64_t;
+
+inline constexpr Oid kInvalidOid = 0;
+
+/// Physical placement policy for new objects.
+enum class PlacementPolicy : uint8_t {
+  /// Honour the `near` hint: co-locate with the hint object, spilling
+  /// to a per-anchor-page overflow chain. This implements the paper's
+  /// §5.2 instruction to cluster along the 1-N hierarchy.
+  kClustered = 0,
+  /// Ignore hints; append to a single global fill page (creation
+  /// order = physical order).
+  kSequential = 1,
+  /// Scatter: place on a random existing page with room. Models a
+  /// store without physical design (free-space reuse after churn) —
+  /// the worst case the paper's clustering discussion contrasts with.
+  kRandom = 2,
+};
+
+/// Tuning knobs for an object store instance.
+struct ObjectStoreOptions {
+  /// Buffer-pool capacity in pages (the workstation cache size, R7).
+  size_t cache_pages = 2048;
+  /// Physical placement of new objects (the §5.2 clustering knob).
+  PlacementPolicy placement = PlacementPolicy::kClustered;
+  /// fsync the WAL on every commit. Turning this off models a server
+  /// with battery-backed log cache; kept on by default.
+  bool sync_commits = true;
+};
+
+class ObjectStore;
+
+/// An open transaction. Writes are applied to cached pages immediately
+/// and logged to the WAL; the in-memory undo list supports Abort().
+/// Obtain via ObjectStore::Begin(); finish with Commit() or Abort().
+class Transaction {
+ public:
+  uint64_t id() const { return id_; }
+  bool active() const { return active_; }
+  size_t write_count() const { return undo_.size(); }
+
+ private:
+  friend class ObjectStore;
+
+  struct Undo {
+    enum class Kind { kCreate, kUpdate, kDelete } kind;
+    Oid oid;
+    std::string before;  // pre-image for kUpdate / kDelete
+  };
+
+  uint64_t id_ = 0;
+  bool active_ = false;
+  std::vector<Undo> undo_;
+};
+
+/// Aggregated store statistics for the benchmark report.
+struct ObjectStoreStats {
+  uint64_t objects_created = 0;
+  uint64_t objects_read = 0;
+  uint64_t objects_updated = 0;
+  uint64_t objects_deleted = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+};
+
+/// A single-file persistent object store: the OODB substrate under the
+/// HyperModel's `oodb` backend. Objects are untyped byte strings
+/// addressed by OID through a paged directory (OID -> page/slot), so
+/// records can relocate without invalidating references. Large objects
+/// (FormNode bitmaps) spill into overflow-page chains. Creation takes
+/// an optional `near` OID hint implementing clustering along the 1-N
+/// aggregation hierarchy.
+///
+/// Durability: write-ahead redo logging with commit-time fsync (R10).
+/// Recovery replays committed transactions over the last checkpointed
+/// page image. `DropCaches()` gives the benchmark protocol its "close
+/// the database" cold-cache step.
+class ObjectStore {
+ public:
+  ~ObjectStore();
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  /// Opens (creating or recovering) a store in directory `dir`, using
+  /// files `dir/objects.db` and `dir/objects.wal`.
+  static util::Result<std::unique_ptr<ObjectStore>> Open(
+      const ObjectStoreOptions& options, const std::string& dir);
+
+  /// Checkpoints and closes the files.
+  util::Status Close();
+
+  /// Starts a transaction.
+  util::Result<Transaction> Begin();
+
+  /// Durably commits `txn` (WAL commit record + fsync).
+  util::Status Commit(Transaction* txn);
+
+  /// Rolls back `txn` using in-memory pre-images.
+  util::Status Abort(Transaction* txn);
+
+  /// Creates an object holding `data`. With clustering enabled and a
+  /// valid `near` hint, tries to co-locate the object on the hint's
+  /// page (falling back to the active fill page).
+  util::Result<Oid> Create(Transaction* txn, std::string_view data,
+                           Oid near = kInvalidOid);
+
+  /// Reads an object's bytes.
+  util::Result<std::string> Read(Oid oid) const;
+
+  /// Replaces an object's bytes (may relocate the record).
+  util::Status Update(Transaction* txn, Oid oid, std::string_view data);
+
+  /// Deletes an object; its OID is never reused.
+  util::Status Delete(Transaction* txn, Oid oid);
+
+  /// True if `oid` names a live object.
+  bool Exists(Oid oid) const;
+
+  /// Flushes all pages, persists the catalog and truncates the WAL.
+  util::Status Checkpoint();
+
+  /// Flushes and evicts the entire page cache — the protocol's
+  /// "close the database" step (§6 step e) making the next run cold.
+  util::Status DropCaches();
+
+  /// 16 named catalog slots for the embedding layer (index roots,
+  /// schema metadata...). Persisted in the meta page at checkpoint.
+  uint64_t GetCatalog(size_t slot) const;
+  void SetCatalog(size_t slot, uint64_t value);
+
+  /// Online backup (R10: "logging, backup and recovery"): checkpoints,
+  /// then copies the store's files into `backup_dir`. The backup is a
+  /// complete store openable with Open(). No transaction may be
+  /// active.
+  util::Status BackupTo(const std::string& backup_dir);
+
+  /// Garbage collection of non-referenced objects (R10). Mark phase:
+  /// `roots` are live; `trace(oid, data)` returns the OIDs an object
+  /// references. Sweep phase: every unmarked object is deleted inside
+  /// `txn`. Returns the number of objects collected.
+  util::Result<uint64_t> CollectGarbage(
+      Transaction* txn, const std::vector<Oid>& roots,
+      const std::function<util::Result<std::vector<Oid>>(
+          Oid, const std::string&)>& trace);
+
+  /// OIDs are allocated sequentially; [1, next_oid) have been used.
+  Oid next_oid() const { return next_oid_; }
+
+  /// Number of WAL records replayed when this store was opened; > 0
+  /// means the embedding layer must reconcile derived structures
+  /// (e.g. rebuild secondary indexes).
+  uint64_t recovered_records() const { return recovered_records_; }
+
+  storage::BufferPool* buffer_pool() { return pool_.get(); }
+  storage::Wal* wal() { return &wal_; }
+  const ObjectStoreStats& stats() const { return stats_; }
+  const ObjectStoreOptions& options() const { return options_; }
+
+  /// Total pages in the data file (for the §5.2 size report).
+  uint64_t page_count() const { return data_file_.page_count(); }
+
+ private:
+  explicit ObjectStore(const ObjectStoreOptions& options);
+
+  static constexpr size_t kCatalogSlots = 16;
+
+  struct DirEntry {
+    storage::PageId page = storage::kInvalidPageId;
+    uint16_t slot = 0;
+    uint16_t flags = 0;  // 0 live-slotted, 1 overflow-head, 0xFFFF free
+  };
+
+  util::Status InitFresh();
+  util::Status LoadMeta();
+  util::Status SaveMeta();
+  util::Status Recover();
+
+  util::Result<DirEntry> DirGet(Oid oid) const;
+  util::Status DirSet(Oid oid, DirEntry entry);
+  /// Ensures a directory page exists for `oid`, allocating on demand.
+  util::Result<storage::PageId> DirPageFor(Oid oid, bool create);
+
+  /// Physical insert of `data`, honoring the `near` hint; returns the
+  /// directory entry describing where it landed.
+  util::Result<DirEntry> Place(std::string_view data, Oid near);
+  /// Writes `data` as an overflow chain; returns the head page.
+  util::Result<storage::PageId> WriteOverflow(std::string_view data);
+  util::Status FreeOverflow(storage::PageId head);
+  util::Result<std::string> ReadOverflow(storage::PageId head) const;
+  /// Physically removes the record behind `entry`.
+  util::Status Remove(const DirEntry& entry);
+
+  /// Applies one logical WAL record (create/update/delete) — shared by
+  /// the forward path and recovery redo.
+  util::Status ApplyLogical(std::string_view payload);
+
+  /// Logs then applies a logical mutation.
+  util::Status LogAndApply(Transaction* txn, std::string_view payload);
+
+  ObjectStoreOptions options_;
+  std::string dir_;
+  storage::FileManager data_file_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  storage::Wal wal_;
+
+  Oid next_oid_ = 1;
+  uint64_t next_txn_id_ = 1;
+  storage::PageId active_fill_page_ = storage::kInvalidPageId;
+  /// Clustered placement: current overflow-chain tail per anchor page
+  /// (in-memory placement state; placement after reopen restarts
+  /// fresh chains, which only affects locality, never correctness).
+  std::unordered_map<storage::PageId, storage::PageId> cluster_tails_;
+  /// All slotted data pages, for random placement.
+  std::vector<storage::PageId> slotted_pages_;
+  /// Deterministic scatter for PlacementPolicy::kRandom.
+  uint64_t placement_rng_state_ = 0x9E3779B97F4A7C15ULL;
+  std::vector<storage::PageId> dir_pages_;
+  uint64_t catalog_[kCatalogSlots] = {};
+  uint64_t recovered_records_ = 0;
+  mutable ObjectStoreStats stats_;
+  bool open_ = false;
+};
+
+}  // namespace hm::objstore
+
+#endif  // HM_OBJSTORE_OBJECT_STORE_H_

@@ -1,0 +1,85 @@
+#include "relstore/schema.h"
+
+#include "util/coding.h"
+
+namespace hm::relstore {
+
+util::Result<std::string> Tuple::Serialize(const Schema& schema) const {
+  if (values_.size() != schema.column_count()) {
+    return util::Status::InvalidArgument(
+        "tuple arity does not match schema");
+  }
+  std::string out;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    switch (schema.column(i).type) {
+      case ColumnType::kInt64: {
+        if (!std::holds_alternative<int64_t>(values_[i])) {
+          return util::Status::InvalidArgument("column " +
+                                               schema.column(i).name +
+                                               " expects an integer");
+        }
+        util::PutFixed64(&out,
+                         static_cast<uint64_t>(std::get<int64_t>(values_[i])));
+        break;
+      }
+      case ColumnType::kString:
+      case ColumnType::kBytes: {
+        if (!std::holds_alternative<std::string>(values_[i])) {
+          return util::Status::InvalidArgument("column " +
+                                               schema.column(i).name +
+                                               " expects a string");
+        }
+        util::PutLengthPrefixed(&out, std::get<std::string>(values_[i]));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+util::Result<Tuple> Tuple::Deserialize(const Schema& schema,
+                                       std::string_view data) {
+  util::Decoder dec(data);
+  std::vector<Value> values;
+  values.reserve(schema.column_count());
+  for (size_t i = 0; i < schema.column_count(); ++i) {
+    if (dec.Empty()) {
+      // Row written under an older, narrower schema: pad defaults.
+      switch (schema.column(i).type) {
+        case ColumnType::kInt64:
+          values.emplace_back(int64_t{0});
+          break;
+        case ColumnType::kString:
+        case ColumnType::kBytes:
+          values.emplace_back(std::string());
+          break;
+      }
+      continue;
+    }
+    switch (schema.column(i).type) {
+      case ColumnType::kInt64: {
+        uint64_t raw = 0;
+        if (!dec.GetFixed64(&raw)) {
+          return util::Status::Corruption("tuple integer truncated");
+        }
+        values.emplace_back(static_cast<int64_t>(raw));
+        break;
+      }
+      case ColumnType::kString:
+      case ColumnType::kBytes: {
+        std::string_view sv;
+        if (!dec.GetLengthPrefixed(&sv)) {
+          return util::Status::Corruption("tuple string truncated");
+        }
+        values.emplace_back(std::string(sv));
+        break;
+      }
+    }
+  }
+  if (!dec.Empty()) {
+    return util::Status::Corruption("tuple has trailing bytes");
+  }
+  return Tuple(std::move(values));
+}
+
+}  // namespace hm::relstore

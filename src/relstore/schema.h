@@ -1,0 +1,94 @@
+#ifndef HM_RELSTORE_SCHEMA_H_
+#define HM_RELSTORE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hm::relstore {
+
+/// Column data types of the relational substrate. `kBytes` is an
+/// uninterpreted byte string (bitmaps); `kString` is text.
+enum class ColumnType : uint8_t {
+  kInt64 = 1,
+  kString = 2,
+  kBytes = 3,
+};
+
+/// One column definition.
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+/// An ordered list of columns. Schemas are structural — two tables
+/// with the same columns are interchangeable.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Column> columns) : columns_(columns) {}
+
+  size_t column_count() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the column named `name`, or -1.
+  int ColumnIndex(std::string_view name) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Appends a column (dynamic schema modification, R4).
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A single column value. Strings and byte arrays share the
+/// std::string alternative; the schema's ColumnType disambiguates.
+using Value = std::variant<int64_t, std::string>;
+
+/// One row. Values are positional against a Schema.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  Value& value(size_t i) { return values_[i]; }
+
+  int64_t GetInt(size_t i) const { return std::get<int64_t>(values_[i]); }
+  const std::string& GetString(size_t i) const {
+    return std::get<std::string>(values_[i]);
+  }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Serializes positionally against `schema` (fixed64 for ints,
+  /// length-prefixed bytes for strings). Tuples shorter than the
+  /// schema are rejected; longer ones too.
+  util::Result<std::string> Serialize(const Schema& schema) const;
+
+  /// Parses a record produced by Serialize with the same schema. A
+  /// record with *fewer* trailing columns than the schema is padded
+  /// with defaults (0 / "") — this is how rows written before an
+  /// AddColumn schema change stay readable (R4).
+  static util::Result<Tuple> Deserialize(const Schema& schema,
+                                         std::string_view data);
+
+  bool operator==(const Tuple& other) const = default;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace hm::relstore
+
+#endif  // HM_RELSTORE_SCHEMA_H_

@@ -1,0 +1,138 @@
+#include "relstore/table.h"
+
+#include "storage/slotted_page.h"
+#include "util/check.h"
+
+namespace hm::relstore {
+
+namespace {
+using storage::kInvalidPageId;
+using storage::PageGuard;
+using storage::PageId;
+using storage::PageType;
+using storage::SlotId;
+using storage::SlottedPage;
+}  // namespace
+
+Table::Table(storage::BufferPool* pool, Schema schema)
+    : pool_(pool), schema_(std::move(schema)) {}
+
+util::Status Table::CreateNew() {
+  HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->New(PageType::kHeap));
+  SlottedPage::Init(guard.page());
+  guard.page()->set_aux(kInvalidPageId);
+  guard.MarkDirty();
+  first_page_ = guard.id();
+  last_page_ = guard.id();
+  return util::Status::Ok();
+}
+
+util::Status Table::OpenExisting(PageId first) {
+  first_page_ = first;
+  // Walk to the tail so inserts can resume appending.
+  PageId current = first;
+  for (;;) {
+    HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(current));
+    PageId next = guard.page()->aux();
+    if (next == kInvalidPageId) break;
+    current = next;
+  }
+  last_page_ = current;
+  return util::Status::Ok();
+}
+
+util::Result<Rid> Table::Insert(const Tuple& tuple) {
+  if (last_page_ == kInvalidPageId) {
+    return util::Status::InvalidArgument("table not created/opened");
+  }
+  HM_ASSIGN_OR_RETURN(std::string record, tuple.Serialize(schema_));
+  if (record.size() > SlottedPage::MaxRecordSize()) {
+    return util::Status::InvalidArgument(
+        "row exceeds page capacity; chunk large values");
+  }
+  {
+    HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(last_page_));
+    if (SlottedPage::CanFit(*guard.page(),
+                            static_cast<uint32_t>(record.size()))) {
+      HM_ASSIGN_OR_RETURN(SlotId slot,
+                          SlottedPage::Insert(guard.page(), record));
+      guard.MarkDirty();
+      return MakeRid(last_page_, slot);
+    }
+  }
+  HM_ASSIGN_OR_RETURN(PageGuard fresh, pool_->New(PageType::kHeap));
+  SlottedPage::Init(fresh.page());
+  fresh.page()->set_aux(kInvalidPageId);
+  HM_ASSIGN_OR_RETURN(SlotId slot, SlottedPage::Insert(fresh.page(), record));
+  fresh.MarkDirty();
+  {
+    HM_ASSIGN_OR_RETURN(PageGuard tail, pool_->Fetch(last_page_));
+    tail.page()->set_aux(fresh.id());
+    tail.MarkDirty();
+  }
+  last_page_ = fresh.id();
+  return MakeRid(last_page_, slot);
+}
+
+util::Result<Tuple> Table::Read(Rid rid) const {
+  HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(RidPage(rid)));
+  HM_ASSIGN_OR_RETURN(std::string_view record,
+                      SlottedPage::Read(*guard.page(), RidSlot(rid)));
+  return Tuple::Deserialize(schema_, record);
+}
+
+util::Result<Rid> Table::Update(Rid rid, const Tuple& tuple) {
+  HM_ASSIGN_OR_RETURN(std::string record, tuple.Serialize(schema_));
+  if (record.size() > SlottedPage::MaxRecordSize()) {
+    return util::Status::InvalidArgument(
+        "row exceeds page capacity; chunk large values");
+  }
+  {
+    HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(RidPage(rid)));
+    util::Status s = SlottedPage::Update(guard.page(), RidSlot(rid), record);
+    if (s.ok()) {
+      guard.MarkDirty();
+      return rid;
+    }
+    if (s.code() != util::StatusCode::kOutOfRange) return s;
+    HM_RETURN_IF_ERROR(SlottedPage::Erase(guard.page(), RidSlot(rid)));
+    guard.MarkDirty();
+  }
+  return Insert(tuple);
+}
+
+util::Status Table::Delete(Rid rid) {
+  HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(RidPage(rid)));
+  HM_RETURN_IF_ERROR(SlottedPage::Erase(guard.page(), RidSlot(rid)));
+  guard.MarkDirty();
+  return util::Status::Ok();
+}
+
+util::Status Table::Scan(
+    const std::function<bool(Rid, const Tuple&)>& fn) const {
+  PageId current = first_page_;
+  while (current != kInvalidPageId) {
+    HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(current));
+    uint16_t slots = SlottedPage::SlotCount(*guard.page());
+    for (SlotId s = 0; s < slots; ++s) {
+      auto record = SlottedPage::Read(*guard.page(), s);
+      if (!record.ok()) continue;  // tombstone
+      HM_ASSIGN_OR_RETURN(Tuple tuple,
+                          Tuple::Deserialize(schema_, *record));
+      if (!fn(MakeRid(current, s), tuple)) return util::Status::Ok();
+    }
+    current = guard.page()->aux();
+  }
+  return util::Status::Ok();
+}
+
+util::Result<uint64_t> Table::RowCount() const {
+  uint64_t count = 0;
+  HM_RETURN_IF_ERROR(Scan([&](Rid, const Tuple&) {
+    ++count;
+    return true;
+  }));
+  return count;
+}
+
+}  // namespace hm::relstore

@@ -1,0 +1,79 @@
+#ifndef HM_RELSTORE_TABLE_H_
+#define HM_RELSTORE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "relstore/schema.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace hm::relstore {
+
+/// Physical row id: (heap page id << 16) | slot. Stable until the row
+/// is updated to a larger size, which may relocate it — Update returns
+/// the (possibly new) RID and the caller maintains its indexes.
+using Rid = uint64_t;
+
+inline constexpr Rid kInvalidRid = ~0ULL;
+
+inline Rid MakeRid(storage::PageId page, uint16_t slot) {
+  return (static_cast<uint64_t>(page) << 16) | slot;
+}
+inline storage::PageId RidPage(Rid rid) {
+  return static_cast<storage::PageId>(rid >> 16);
+}
+inline uint16_t RidSlot(Rid rid) { return static_cast<uint16_t>(rid); }
+
+/// A heap file of serialized tuples: a chain of slotted pages linked
+/// through the page-header aux word. This is the table storage of the
+/// relational comparator backend (the paper's /BLAH88/-methodology
+/// implementation). Rows must fit one page; larger values (bitmaps)
+/// are chunked by the layer above into multiple rows.
+class Table {
+ public:
+  Table(storage::BufferPool* pool, Schema schema);
+
+  /// Allocates the first heap page of a new table.
+  util::Status CreateNew();
+
+  /// Attaches to an existing heap chain starting at `first`.
+  util::Status OpenExisting(storage::PageId first);
+
+  const Schema& schema() const { return schema_; }
+  /// Schema evolution hook (R4): appends a column; existing rows read
+  /// back with default-padded values.
+  void AddColumn(Column column) { schema_.AddColumn(std::move(column)); }
+
+  storage::PageId first_page() const { return first_page_; }
+
+  /// Appends a row; returns its RID.
+  util::Result<Rid> Insert(const Tuple& tuple);
+
+  /// Reads the row at `rid`.
+  util::Result<Tuple> Read(Rid rid) const;
+
+  /// Rewrites the row; may relocate it (returns the new RID).
+  util::Result<Rid> Update(Rid rid, const Tuple& tuple);
+
+  /// Removes the row.
+  util::Status Delete(Rid rid);
+
+  /// Full scan in physical order. `fn` returning false stops early.
+  util::Status Scan(
+      const std::function<bool(Rid, const Tuple&)>& fn) const;
+
+  /// Number of live rows (scans; diagnostic).
+  util::Result<uint64_t> RowCount() const;
+
+ private:
+  storage::BufferPool* pool_;
+  Schema schema_;
+  storage::PageId first_page_ = storage::kInvalidPageId;
+  storage::PageId last_page_ = storage::kInvalidPageId;
+};
+
+}  // namespace hm::relstore
+
+#endif  // HM_RELSTORE_TABLE_H_

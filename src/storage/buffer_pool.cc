@@ -1,0 +1,163 @@
+#include "storage/buffer_pool.h"
+
+#include "util/check.h"
+
+namespace hm::storage {
+
+PageGuard::PageGuard(BufferPool* pool, size_t frame_index, Page* page,
+                     PageId id)
+    : pool_(pool), frame_index_(frame_index), page_(page), id_(id) {}
+
+PageGuard::~PageGuard() { Release(); }
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_),
+      frame_index_(other.frame_index_),
+      page_(other.page_),
+      id_(other.id_) {
+  other.page_ = nullptr;
+  other.pool_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_index_ = other.frame_index_;
+    page_ = other.page_;
+    id_ = other.id_;
+    other.page_ = nullptr;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::MarkDirty() {
+  HM_CHECK(valid());
+  pool_->MarkDirty(frame_index_);
+}
+
+void PageGuard::Release() {
+  if (page_ != nullptr) {
+    pool_->Unpin(frame_index_);
+    page_ = nullptr;
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(FileManager* file, size_t capacity) : file_(file) {
+  HM_CHECK(capacity > 0);
+  frames_.resize(capacity);
+}
+
+BufferPool::~BufferPool() {
+  // Best effort; errors on teardown are not recoverable anyway.
+  FlushAll();
+}
+
+util::Result<PageGuard> BufferPool::Fetch(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Frame& frame = frames_[it->second];
+    ++frame.pin_count;
+    frame.referenced = true;
+    return PageGuard(this, it->second, frame.page.get(), id);
+  }
+  ++stats_.misses;
+  HM_ASSIGN_OR_RETURN(size_t victim, EvictOne());
+  Frame& frame = frames_[victim];
+  HM_RETURN_IF_ERROR(file_->ReadPage(id, frame.page.get()));
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.referenced = true;
+  page_table_[id] = victim;
+  return PageGuard(this, victim, frame.page.get(), id);
+}
+
+util::Result<PageGuard> BufferPool::New(PageType type) {
+  HM_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
+  HM_ASSIGN_OR_RETURN(size_t victim, EvictOne());
+  Frame& frame = frames_[victim];
+  frame.page->Zero();
+  frame.page->set_page_id(id);
+  frame.page->set_type(type);
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = true;
+  frame.referenced = true;
+  page_table_[id] = victim;
+  return PageGuard(this, victim, frame.page.get(), id);
+}
+
+util::Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.id != kInvalidPageId && frame.dirty) {
+      HM_RETURN_IF_ERROR(FlushFrame(&frame));
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status BufferPool::DropAll() {
+  HM_RETURN_IF_ERROR(FlushAll());
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (frame.id == kInvalidPageId) continue;
+    if (frame.pin_count > 0) {
+      return util::Status::Internal("DropAll with pinned page " +
+                                    std::to_string(frame.id));
+    }
+    page_table_.erase(frame.id);
+    frame.id = kInvalidPageId;
+    frame.dirty = false;
+    frame.referenced = false;
+  }
+  return util::Status::Ok();
+}
+
+size_t BufferPool::ResidentCount() const { return page_table_.size(); }
+
+void BufferPool::Unpin(size_t frame_index) {
+  Frame& frame = frames_[frame_index];
+  HM_CHECK(frame.pin_count > 0);
+  --frame.pin_count;
+}
+
+void BufferPool::MarkDirty(size_t frame_index) {
+  frames_[frame_index].dirty = true;
+}
+
+util::Status BufferPool::FlushFrame(Frame* frame) {
+  HM_RETURN_IF_ERROR(file_->WritePage(frame->id, frame->page.get()));
+  frame->dirty = false;
+  ++stats_.flushes;
+  return util::Status::Ok();
+}
+
+util::Result<size_t> BufferPool::EvictOne() {
+  // CLOCK sweep: up to two full passes (first clears reference bits).
+  const size_t n = frames_.size();
+  for (size_t step = 0; step < 2 * n; ++step) {
+    size_t i = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    Frame& frame = frames_[i];
+    if (frame.id == kInvalidPageId) return i;  // free frame
+    if (frame.pin_count > 0) continue;
+    if (frame.referenced) {
+      frame.referenced = false;
+      continue;
+    }
+    if (frame.dirty) {
+      HM_RETURN_IF_ERROR(FlushFrame(&frame));
+    }
+    page_table_.erase(frame.id);
+    frame.id = kInvalidPageId;
+    ++stats_.evictions;
+    return i;
+  }
+  return util::Status::Internal("buffer pool exhausted: all pages pinned");
+}
+
+}  // namespace hm::storage

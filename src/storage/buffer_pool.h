@@ -1,0 +1,119 @@
+#ifndef HM_STORAGE_BUFFER_POOL_H_
+#define HM_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/file_manager.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace hm::storage {
+
+class BufferPool;
+
+/// RAII pin on a cached page. While a guard is alive the frame cannot
+/// be evicted; destruction (or Release) unpins. Call MarkDirty()
+/// after mutating the page so the pool writes it back.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame_index, Page* page, PageId id);
+  ~PageGuard();
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+
+  bool valid() const { return page_ != nullptr; }
+  Page* page() { return page_; }
+  const Page* page() const { return page_; }
+  PageId id() const { return id_; }
+
+  /// Marks the underlying frame dirty; it will be flushed before
+  /// eviction / on FlushAll.
+  void MarkDirty();
+
+  /// Unpins early (the guard becomes invalid).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_index_ = 0;
+  Page* page_ = nullptr;
+  PageId id_ = kInvalidPageId;
+};
+
+/// Counters distinguishing cache behaviour; the HyperModel cold/warm
+/// distinction is visible directly in hits vs misses.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t flushes = 0;
+};
+
+/// Fixed-capacity page cache over a FileManager, with CLOCK
+/// (second-chance) eviction and pin counting. This models the
+/// workstation-side object cache of the paper's client/server
+/// architecture (R6/R7): warm runs hit here, cold runs miss through to
+/// the "server" (the file).
+class BufferPool {
+ public:
+  /// `capacity` is the number of page frames held in memory.
+  BufferPool(FileManager* file, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from the file on a miss.
+  util::Result<PageGuard> Fetch(PageId id);
+
+  /// Allocates a fresh page in the file, pins it and tags its type.
+  util::Result<PageGuard> New(PageType type);
+
+  /// Writes every dirty frame back to the file (pages stay cached).
+  util::Status FlushAll();
+
+  /// Flushes then evicts every unpinned frame — the "close the
+  /// database" step (§6 protocol step e) that makes the next run cold.
+  util::Status DropAll();
+
+  size_t capacity() const { return frames_.size(); }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  /// Number of frames currently holding a page (diagnostics).
+  size_t ResidentCount() const;
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    std::unique_ptr<Page> page = std::make_unique<Page>();
+    PageId id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    bool referenced = false;
+  };
+
+  void Unpin(size_t frame_index);
+  void MarkDirty(size_t frame_index);
+  util::Status FlushFrame(Frame* frame);
+  /// Finds a victim frame via CLOCK; flushes it if dirty.
+  util::Result<size_t> EvictOne();
+
+  FileManager* file_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  size_t clock_hand_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace hm::storage
+
+#endif  // HM_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,106 @@
+#include "storage/file_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hm::storage {
+
+namespace {
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+}  // namespace
+
+FileManager::~FileManager() { Close(); }
+
+util::Status FileManager::Open(const std::string& path) {
+  if (is_open()) {
+    return util::Status::InvalidArgument("FileManager already open");
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return util::Status::IoError(ErrnoMessage("open", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return util::Status::IoError(ErrnoMessage("fstat", path));
+  }
+  if (st.st_size % kPageSize != 0) {
+    ::close(fd);
+    return util::Status::Corruption("file size is not page-aligned: " + path);
+  }
+  fd_ = fd;
+  path_ = path;
+  page_count_ = static_cast<PageId>(st.st_size / kPageSize);
+  return util::Status::Ok();
+}
+
+util::Status FileManager::Close() {
+  if (!is_open()) return util::Status::Ok();
+  util::Status s = Sync();
+  ::close(fd_);
+  fd_ = -1;
+  page_count_ = 0;
+  return s;
+}
+
+util::Result<PageId> FileManager::AllocatePage() {
+  if (!is_open()) return util::Status::InvalidArgument("file not open");
+  PageId id = page_count_;
+  Page zero;
+  zero.set_page_id(id);
+  HM_RETURN_IF_ERROR(WritePage(id, &zero));
+  return id;
+}
+
+util::Status FileManager::ReadPage(PageId id, Page* page) {
+  if (!is_open()) return util::Status::InvalidArgument("file not open");
+  if (id >= page_count_) {
+    return util::Status::OutOfRange("read past end of file, page " +
+                                    std::to_string(id));
+  }
+  ssize_t n = ::pread(fd_, page->raw(), kPageSize,
+                      static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return util::Status::IoError(ErrnoMessage("pread", path_));
+  }
+  ++stats_.reads;
+  if (!page->ChecksumOk()) {
+    return util::Status::Corruption("checksum mismatch on page " +
+                                    std::to_string(id) + " of " + path_);
+  }
+  return util::Status::Ok();
+}
+
+util::Status FileManager::WritePage(PageId id, Page* page) {
+  if (!is_open()) return util::Status::InvalidArgument("file not open");
+  if (id > page_count_) {
+    return util::Status::OutOfRange("write would leave a hole, page " +
+                                    std::to_string(id));
+  }
+  page->UpdateChecksum();
+  ssize_t n = ::pwrite(fd_, page->raw(), kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return util::Status::IoError(ErrnoMessage("pwrite", path_));
+  }
+  ++stats_.writes;
+  if (id == page_count_) ++page_count_;
+  return util::Status::Ok();
+}
+
+util::Status FileManager::Sync() {
+  if (!is_open()) return util::Status::InvalidArgument("file not open");
+  if (::fdatasync(fd_) != 0) {
+    return util::Status::IoError(ErrnoMessage("fdatasync", path_));
+  }
+  ++stats_.syncs;
+  return util::Status::Ok();
+}
+
+}  // namespace hm::storage

@@ -1,0 +1,67 @@
+#ifndef HM_STORAGE_FILE_MANAGER_H_
+#define HM_STORAGE_FILE_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace hm::storage {
+
+/// Counters for physical I/O; exposed so the benchmark report can
+/// attribute cold-run cost to disk traffic.
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t syncs = 0;
+};
+
+/// Owns one page-structured database file and performs positional
+/// page-granular I/O (pread/pwrite). Page allocation only ever extends
+/// the file; reuse of freed pages is the storage layers' concern.
+class FileManager {
+ public:
+  FileManager() = default;
+  ~FileManager();
+
+  FileManager(const FileManager&) = delete;
+  FileManager& operator=(const FileManager&) = delete;
+
+  /// Opens (creating if necessary) the file at `path`. The file size
+  /// must be a whole number of pages.
+  util::Status Open(const std::string& path);
+
+  /// Flushes and closes the file. Safe to call when not open.
+  util::Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Number of pages currently in the file.
+  PageId page_count() const { return page_count_; }
+
+  /// Extends the file by one zeroed page and returns its id.
+  util::Result<PageId> AllocatePage();
+
+  /// Reads page `id` into `*page` and verifies its checksum.
+  util::Status ReadPage(PageId id, Page* page);
+
+  /// Writes `page` (checksumming it) at position `id`.
+  util::Status WritePage(PageId id, Page* page);
+
+  /// fsync()s the file.
+  util::Status Sync();
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  PageId page_count_ = 0;
+  IoStats stats_;
+};
+
+}  // namespace hm::storage
+
+#endif  // HM_STORAGE_FILE_MANAGER_H_

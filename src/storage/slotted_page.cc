@@ -1,0 +1,189 @@
+#include "storage/slotted_page.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+#include "util/coding.h"
+
+namespace hm::storage {
+
+namespace {
+
+
+constexpr uint16_t kTombstoneLen = 0xFFFF;
+
+uint16_t GetSlotCount(const Page& page) {
+  return util::DecodeFixed16(page.payload());
+}
+void SetSlotCount(Page* page, uint16_t count) {
+  util::EncodeFixed16(page->payload(), count);
+}
+uint16_t GetFreeEnd(const Page& page) {
+  return util::DecodeFixed16(page.payload() + 2);
+}
+void SetFreeEnd(Page* page, uint16_t offset) {
+  util::EncodeFixed16(page->payload() + 2, offset);
+}
+
+uint16_t GetSlotOffset(const Page& page, SlotId slot) {
+  return util::DecodeFixed16(page.payload() + 4 + slot * 4);
+}
+uint16_t GetSlotLen(const Page& page, SlotId slot) {
+  return util::DecodeFixed16(page.payload() + 4 + slot * 4 + 2);
+}
+void SetSlot(Page* page, SlotId slot, uint16_t offset, uint16_t len) {
+  util::EncodeFixed16(page->payload() + 4 + slot * 4, offset);
+  util::EncodeFixed16(page->payload() + 4 + slot * 4 + 2, len);
+}
+
+}  // namespace
+
+void SlottedPage::Init(Page* page) {
+  SetSlotCount(page, 0);
+  SetFreeEnd(page, static_cast<uint16_t>(kPagePayloadSize));
+}
+
+uint16_t SlottedPage::SlotCount(const Page& page) { return GetSlotCount(page); }
+
+uint32_t SlottedPage::ContiguousFree(const Page& page) {
+  uint32_t slots_end = kHeaderSize + GetSlotCount(page) * kSlotSize;
+  uint32_t free_end = GetFreeEnd(page);
+  if (free_end <= slots_end) return 0;
+  uint32_t gap = free_end - slots_end;
+  // Reserve room for one more slot entry unless a tombstone slot is
+  // reusable; be conservative and always reserve it.
+  return gap > kSlotSize ? gap - kSlotSize : 0;
+}
+
+uint32_t SlottedPage::TotalFree(const Page& page) {
+  // Free bytes = payload minus header, slot array and live records,
+  // minus one reserved slot entry for the prospective insert.
+  uint16_t count = GetSlotCount(page);
+  uint32_t live = 0;
+  for (SlotId s = 0; s < count; ++s) {
+    uint16_t len = GetSlotLen(page, s);
+    if (len != kTombstoneLen) live += len;
+  }
+  uint32_t used = kHeaderSize + count * kSlotSize + live + kSlotSize;
+  return used >= kPagePayloadSize ? 0 : kPagePayloadSize - used;
+}
+
+bool SlottedPage::CanFit(const Page& page, uint32_t len) {
+  return TotalFree(page) >= len;
+}
+
+util::Result<SlotId> SlottedPage::Insert(Page* page, std::string_view record) {
+  if (record.size() > MaxRecordSize()) {
+    return util::Status::InvalidArgument("record too large for slotted page");
+  }
+  if (!CanFit(*page, static_cast<uint32_t>(record.size()))) {
+    return util::Status::OutOfRange("page full");
+  }
+  if (ContiguousFree(*page) < record.size()) {
+    Compact(page);
+  }
+  HM_CHECK(ContiguousFree(*page) >= record.size());
+
+  // Reuse a tombstone slot if one exists, else append a slot.
+  uint16_t count = GetSlotCount(*page);
+  SlotId slot = count;
+  for (SlotId s = 0; s < count; ++s) {
+    if (GetSlotLen(*page, s) == kTombstoneLen) {
+      slot = s;
+      break;
+    }
+  }
+  if (slot == count) SetSlotCount(page, count + 1);
+
+  uint16_t free_end = GetFreeEnd(*page);
+  uint16_t offset = static_cast<uint16_t>(free_end - record.size());
+  std::memcpy(page->payload() + offset, record.data(), record.size());
+  SetFreeEnd(page, offset);
+  SetSlot(page, slot, offset, static_cast<uint16_t>(record.size()));
+  return slot;
+}
+
+util::Result<std::string_view> SlottedPage::Read(const Page& page,
+                                                 SlotId slot) {
+  if (slot >= GetSlotCount(page)) {
+    return util::Status::NotFound("slot out of range");
+  }
+  uint16_t len = GetSlotLen(page, slot);
+  if (len == kTombstoneLen) {
+    return util::Status::NotFound("slot tombstoned");
+  }
+  return std::string_view(page.payload() + GetSlotOffset(page, slot), len);
+}
+
+util::Status SlottedPage::Update(Page* page, SlotId slot,
+                                 std::string_view record) {
+  if (slot >= GetSlotCount(*page)) {
+    return util::Status::NotFound("slot out of range");
+  }
+  uint16_t old_len = GetSlotLen(*page, slot);
+  if (old_len == kTombstoneLen) {
+    return util::Status::NotFound("slot tombstoned");
+  }
+  if (record.size() <= old_len) {
+    // Shrinking update in place (leaves dead bytes until compaction).
+    uint16_t offset = GetSlotOffset(*page, slot);
+    std::memcpy(page->payload() + offset, record.data(), record.size());
+    SetSlot(page, slot, offset, static_cast<uint16_t>(record.size()));
+    return util::Status::Ok();
+  }
+  // Growing update: tombstone then re-insert into the same slot.
+  uint16_t old_offset = GetSlotOffset(*page, slot);
+  SetSlot(page, slot, 0, kTombstoneLen);
+  uint32_t need = static_cast<uint32_t>(record.size());
+  if (TotalFree(*page) + kSlotSize < need) {  // slot already exists
+    // Roll back the tombstone so the caller can relocate the record.
+    SetSlot(page, slot, old_offset, old_len);
+    return util::Status::OutOfRange("page full");
+  }
+  if (ContiguousFree(*page) + kSlotSize < need) Compact(page);
+  uint16_t free_end = GetFreeEnd(*page);
+  uint16_t offset = static_cast<uint16_t>(free_end - record.size());
+  std::memcpy(page->payload() + offset, record.data(), record.size());
+  SetFreeEnd(page, offset);
+  SetSlot(page, slot, offset, static_cast<uint16_t>(record.size()));
+  return util::Status::Ok();
+}
+
+util::Status SlottedPage::Erase(Page* page, SlotId slot) {
+  if (slot >= GetSlotCount(*page)) {
+    return util::Status::NotFound("slot out of range");
+  }
+  if (GetSlotLen(*page, slot) == kTombstoneLen) {
+    return util::Status::NotFound("slot already tombstoned");
+  }
+  SetSlot(page, slot, 0, kTombstoneLen);
+  return util::Status::Ok();
+}
+
+void SlottedPage::Compact(Page* page) {
+  uint16_t count = GetSlotCount(*page);
+  // Copy live records out, then lay them back down from the end.
+  struct Live {
+    SlotId slot;
+    std::string data;
+  };
+  std::vector<Live> live;
+  live.reserve(count);
+  for (SlotId s = 0; s < count; ++s) {
+    uint16_t len = GetSlotLen(*page, s);
+    if (len == kTombstoneLen) continue;
+    const char* src = page->payload() + GetSlotOffset(*page, s);
+    live.push_back({s, std::string(src, len)});
+  }
+  uint16_t free_end = static_cast<uint16_t>(kPagePayloadSize);
+  for (const Live& rec : live) {
+    free_end = static_cast<uint16_t>(free_end - rec.data.size());
+    std::memcpy(page->payload() + free_end, rec.data.data(), rec.data.size());
+    SetSlot(page, rec.slot, free_end,
+            static_cast<uint16_t>(rec.data.size()));
+  }
+  SetFreeEnd(page, free_end);
+}
+
+}  // namespace hm::storage

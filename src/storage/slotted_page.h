@@ -1,0 +1,81 @@
+#ifndef HM_STORAGE_SLOTTED_PAGE_H_
+#define HM_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace hm::storage {
+
+/// Slot number within a slotted page.
+using SlotId = uint16_t;
+
+inline constexpr SlotId kInvalidSlot = 0xFFFF;
+
+/// Helpers implementing the classic slotted-page record layout on a
+/// `storage::Page` payload:
+///
+///   [0..2)  slot count          [2..4)  free-end offset
+///   [4..)   slot array, 4 B each: {record offset u16, length u16}
+///   ...free gap...
+///   [free-end..payload-size)    record heap, growing downward
+///
+/// A slot length of 0xFFFF marks a tombstone (deleted record; the slot
+/// id may be reused). Records move during compaction but their slot
+/// ids are stable, so (page, slot) is a stable physical address.
+class SlottedPage {
+ public:
+  /// Prepares an empty slotted payload. Must be called once on a
+  /// freshly allocated page.
+  static void Init(storage::Page* page);
+
+  /// Number of slots (including tombstones).
+  static uint16_t SlotCount(const storage::Page& page);
+
+  /// Contiguous bytes available without compaction, accounting for a
+  /// possible new slot entry.
+  static uint32_t ContiguousFree(const storage::Page& page);
+
+  /// Total reusable bytes (contiguous + tombstoned records); an insert
+  /// of this size may require compaction first.
+  static uint32_t TotalFree(const storage::Page& page);
+
+  /// True if a record of `len` bytes can be inserted (possibly after
+  /// compaction).
+  static bool CanFit(const storage::Page& page, uint32_t len);
+
+  /// Inserts a record, compacting if needed. Returns its slot.
+  static util::Result<SlotId> Insert(storage::Page* page,
+                                     std::string_view record);
+
+  /// Reads the record in `slot`. NotFound on tombstones.
+  static util::Result<std::string_view> Read(const storage::Page& page,
+                                             SlotId slot);
+
+  /// Overwrites `slot` with `record`. The caller must have verified
+  /// the update fits (same size or smaller, or page CanFit the
+  /// difference); larger records may trigger compaction.
+  static util::Status Update(storage::Page* page, SlotId slot,
+                             std::string_view record);
+
+  /// Tombstones `slot`, making its bytes reclaimable.
+  static util::Status Erase(storage::Page* page, SlotId slot);
+
+  /// Rewrites the record heap, squeezing out tombstoned bytes.
+  static void Compact(storage::Page* page);
+
+  /// Upper bound on a record that can live in a slotted page.
+  static constexpr uint32_t MaxRecordSize() {
+    return storage::kPagePayloadSize - kHeaderSize - kSlotSize;
+  }
+
+ private:
+  static constexpr uint32_t kHeaderSize = 4;
+  static constexpr uint32_t kSlotSize = 4;
+};
+
+}  // namespace hm::storage
+
+#endif  // HM_STORAGE_SLOTTED_PAGE_H_

@@ -1,0 +1,173 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_set>
+#include <vector>
+
+#include "util/coding.h"
+#include "util/crc32.h"
+
+namespace hm::storage {
+
+namespace {
+// [len:4][crc:4] then len bytes of [type:1][txn:8][payload].
+constexpr size_t kFrameHeaderSize = 8;
+constexpr size_t kRecordPrefixSize = 9;
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+}  // namespace
+
+Wal::~Wal() { Close(); }
+
+util::Status Wal::Open(const std::string& path) {
+  if (is_open()) return util::Status::InvalidArgument("WAL already open");
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return util::Status::IoError(ErrnoMessage("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return util::Status::IoError(ErrnoMessage("fstat", path));
+  }
+  fd_ = fd;
+  path_ = path;
+  file_size_ = static_cast<uint64_t>(st.st_size);
+  return util::Status::Ok();
+}
+
+util::Status Wal::Close() {
+  if (!is_open()) return util::Status::Ok();
+  util::Status s = Sync();
+  ::close(fd_);
+  fd_ = -1;
+  return s;
+}
+
+util::Result<uint64_t> Wal::Append(WalRecordType type, uint64_t txn_id,
+                                   std::string_view payload) {
+  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  uint64_t lsn = SizeBytes();
+  std::string body;
+  body.reserve(kRecordPrefixSize + payload.size());
+  body.push_back(static_cast<char>(type));
+  util::PutFixed64(&body, txn_id);
+  body.append(payload);
+
+  util::PutFixed32(&buffer_, static_cast<uint32_t>(body.size()));
+  util::PutFixed32(&buffer_, util::MaskCrc(util::Crc32(body)));
+  buffer_.append(body);
+  ++records_appended_;
+  return lsn;
+}
+
+util::Status Wal::Sync() {
+  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  HM_RETURN_IF_ERROR(FlushBuffer());
+  if (::fdatasync(fd_) != 0) {
+    return util::Status::IoError(ErrnoMessage("fdatasync", path_));
+  }
+  ++syncs_;
+  return util::Status::Ok();
+}
+
+util::Status Wal::FlushBuffer() {
+  if (buffer_.empty()) return util::Status::Ok();
+  size_t off = 0;
+  while (off < buffer_.size()) {
+    ssize_t n = ::write(fd_, buffer_.data() + off, buffer_.size() - off);
+    if (n < 0) return util::Status::IoError(ErrnoMessage("write", path_));
+    off += static_cast<size_t>(n);
+  }
+  file_size_ += buffer_.size();
+  buffer_.clear();
+  return util::Status::Ok();
+}
+
+util::Status Wal::ReadAll(std::string* contents) const {
+  contents->clear();
+  contents->resize(file_size_);
+  size_t off = 0;
+  while (off < file_size_) {
+    ssize_t n = ::pread(fd_, contents->data() + off, file_size_ - off,
+                        static_cast<off_t>(off));
+    if (n <= 0) return util::Status::IoError(ErrnoMessage("pread", path_));
+    off += static_cast<size_t>(n);
+  }
+  return util::Status::Ok();
+}
+
+util::Status Wal::Recover(
+    const std::function<util::Status(uint64_t, std::string_view)>& redo) {
+  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  HM_RETURN_IF_ERROR(FlushBuffer());
+  std::string log;
+  HM_RETURN_IF_ERROR(ReadAll(&log));
+
+  struct ParsedRecord {
+    WalRecordType type;
+    uint64_t txn_id;
+    std::string_view payload;
+  };
+  std::vector<ParsedRecord> records;
+  size_t pos = 0;
+  size_t checkpoint_index = 0;  // replay only records after the last one
+  while (pos + kFrameHeaderSize <= log.size()) {
+    uint32_t len = util::DecodeFixed32(log.data() + pos);
+    uint32_t masked = util::DecodeFixed32(log.data() + pos + 4);
+    if (pos + kFrameHeaderSize + len > log.size()) break;  // torn tail
+    std::string_view body(log.data() + pos + kFrameHeaderSize, len);
+    if (util::Crc32(body) != util::UnmaskCrc(masked)) break;  // torn tail
+    if (len < kRecordPrefixSize) {
+      return util::Status::Corruption("WAL record too short");
+    }
+    ParsedRecord rec;
+    rec.type = static_cast<WalRecordType>(body[0]);
+    rec.txn_id = util::DecodeFixed64(body.data() + 1);
+    rec.payload = body.substr(kRecordPrefixSize);
+    records.push_back(rec);
+    if (rec.type == WalRecordType::kCheckpoint) {
+      checkpoint_index = records.size();
+    }
+    pos += kFrameHeaderSize + len;
+  }
+
+  std::unordered_set<uint64_t> committed;
+  for (size_t i = checkpoint_index; i < records.size(); ++i) {
+    if (records[i].type == WalRecordType::kCommit) {
+      committed.insert(records[i].txn_id);
+    }
+  }
+  for (size_t i = checkpoint_index; i < records.size(); ++i) {
+    const ParsedRecord& rec = records[i];
+    if (rec.type == WalRecordType::kUpdate && committed.contains(rec.txn_id)) {
+      HM_RETURN_IF_ERROR(redo(rec.txn_id, rec.payload));
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status Wal::Checkpoint() {
+  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  HM_RETURN_IF_ERROR(FlushBuffer());
+  // Truncate, then write a fresh checkpoint record as the new head.
+  if (::ftruncate(fd_, 0) != 0) {
+    return util::Status::IoError(ErrnoMessage("ftruncate", path_));
+  }
+  // O_APPEND writes continue at the (new) end of file.
+  if (::lseek(fd_, 0, SEEK_SET) < 0) {
+    return util::Status::IoError(ErrnoMessage("lseek", path_));
+  }
+  file_size_ = 0;
+  HM_ASSIGN_OR_RETURN(uint64_t lsn,
+                      Append(WalRecordType::kCheckpoint, 0, ""));
+  (void)lsn;
+  return Sync();
+}
+
+}  // namespace hm::storage

@@ -1,0 +1,81 @@
+#ifndef HM_STORAGE_WAL_H_
+#define HM_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace hm::storage {
+
+/// WAL record kinds. Update payloads are opaque to the log — the
+/// owning store defines their meaning and replays them on recovery.
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kUpdate = 2,
+  kCommit = 3,
+  kAbort = 4,
+  kCheckpoint = 5,
+};
+
+/// Write-ahead redo log (R10: logging, backup and recovery). Records
+/// are framed `[len][masked-crc][type][txn-id][payload]` and buffered
+/// in memory until Sync(); Commit-type appends are expected to be
+/// followed by Sync() so commits are durable. Recovery tolerates a
+/// torn tail: scanning stops at the first frame that fails its CRC.
+class Wal {
+ public:
+  Wal() = default;
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  util::Status Open(const std::string& path);
+  util::Status Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends one record (buffered). Returns the record's LSN — its
+  /// byte offset in the log.
+  util::Result<uint64_t> Append(WalRecordType type, uint64_t txn_id,
+                                std::string_view payload);
+
+  /// Flushes buffered records and fsync()s the log file.
+  util::Status Sync();
+
+  /// Replays the log: first pass collects committed transaction ids,
+  /// second pass invokes `redo(txn_id, payload)` for every kUpdate
+  /// record of a committed transaction, in log order. Records after
+  /// the last kCheckpoint are the only ones replayed.
+  util::Status Recover(
+      const std::function<util::Status(uint64_t txn_id,
+                                       std::string_view payload)>& redo);
+
+  /// Appends a checkpoint record, syncs, then truncates the file to
+  /// just the checkpoint. Call after flushing all data pages.
+  util::Status Checkpoint();
+
+  /// Current log size in bytes (including unflushed buffer).
+  uint64_t SizeBytes() const { return file_size_ + buffer_.size(); }
+
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t syncs() const { return syncs_; }
+
+ private:
+  util::Status FlushBuffer();
+  /// Reads the whole log file into `*contents`.
+  util::Status ReadAll(std::string* contents) const;
+
+  int fd_ = -1;
+  std::string path_;
+  std::string buffer_;
+  uint64_t file_size_ = 0;
+  uint64_t records_appended_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+}  // namespace hm::storage
+
+#endif  // HM_STORAGE_WAL_H_

@@ -1,0 +1,65 @@
+#ifndef HM_UTIL_BITMAP_H_
+#define HM_UTIL_BITMAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hm::util {
+
+/// Two-dimensional bit matrix backing the HyperModel `FormNode`
+/// contents. The paper specifies form nodes start all-white (all 0's)
+/// with dimensions varying uniformly in 100x100..400x400, and the
+/// `formNodeEdit` operation inverts a subrectangle (§6.7 op /*17*/).
+class Bitmap {
+ public:
+  Bitmap() = default;
+
+  /// Creates a `width` x `height` bitmap with every bit clear (white).
+  Bitmap(uint32_t width, uint32_t height);
+
+  uint32_t width() const { return width_; }
+  uint32_t height() const { return height_; }
+
+  /// Number of bits set (black pixels).
+  uint64_t PopCount() const;
+
+  bool Get(uint32_t x, uint32_t y) const;
+  void Set(uint32_t x, uint32_t y, bool value);
+
+  /// Inverts every bit in the rectangle with top-left corner (x, y)
+  /// and the given extent. The rectangle must lie inside the bitmap.
+  Status InvertRect(uint32_t x, uint32_t y, uint32_t rect_width,
+                    uint32_t rect_height);
+
+  /// Serializes to a compact byte string (dims + packed rows).
+  std::string Serialize() const;
+
+  /// Parses a bitmap previously produced by Serialize().
+  static Result<Bitmap> Deserialize(std::string_view data);
+
+  /// Approximate in-memory size in bytes (used for the §5.2 database
+  /// sizing report).
+  size_t ByteSize() const { return bits_.size() * sizeof(uint64_t) + 8; }
+
+  bool operator==(const Bitmap& other) const {
+    return width_ == other.width_ && height_ == other.height_ &&
+           bits_ == other.bits_;
+  }
+
+ private:
+  size_t WordIndex(uint32_t x, uint32_t y) const;
+  uint64_t BitMask(uint32_t x) const;
+
+  uint32_t width_ = 0;
+  uint32_t height_ = 0;
+  uint32_t words_per_row_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace hm::util
+
+#endif  // HM_UTIL_BITMAP_H_

@@ -1,0 +1,32 @@
+#ifndef HM_UTIL_CHECK_H_
+#define HM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Always-on invariant check: prints the failed condition with its
+/// source location and aborts. Used for programmer errors (violated
+/// preconditions), never for recoverable runtime errors — those go
+/// through `hm::util::Status`.
+#define HM_CHECK(cond)                                               \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::fprintf(stderr, "HM_CHECK failed: %s at %s:%d\n", #cond,  \
+                   __FILE__, __LINE__);                              \
+      std::abort();                                                  \
+    }                                                                \
+  } while (0)
+
+/// Like HM_CHECK but with a printf-style explanation.
+#define HM_CHECK_MSG(cond, ...)                                      \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::fprintf(stderr, "HM_CHECK failed: %s at %s:%d: ", #cond,  \
+                   __FILE__, __LINE__);                              \
+      std::fprintf(stderr, __VA_ARGS__);                             \
+      std::fprintf(stderr, "\n");                                    \
+      std::abort();                                                  \
+    }                                                                \
+  } while (0)
+
+#endif  // HM_UTIL_CHECK_H_

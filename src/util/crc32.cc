@@ -1,0 +1,39 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace hm::util {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320U;  // reflected IEEE
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  const auto& table = Table();
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < data.size(); ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ p[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace hm::util

@@ -1,0 +1,28 @@
+#ifndef HM_UTIL_CRC32_H_
+#define HM_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hm::util {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `data`. Used as the
+/// integrity checksum on pages and WAL records; `seed` allows chaining
+/// partial computations.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+/// Masks a CRC so that a CRC stored alongside the data it covers does
+/// not re-checksum to itself (the RocksDB/LevelDB trick).
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8U;
+}
+
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xA282EAD8U;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace hm::util
+
+#endif  // HM_UTIL_CRC32_H_

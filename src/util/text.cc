@@ -1,0 +1,56 @@
+#include "util/text.h"
+
+#include <vector>
+
+namespace hm::util {
+
+std::string GenerateTextContents(Rng* rng) {
+  const int64_t word_count = rng->UniformInt(10, 100);
+  std::vector<std::string> words;
+  words.reserve(static_cast<size_t>(word_count));
+  for (int64_t i = 0; i < word_count; ++i) {
+    const int64_t len = rng->UniformInt(1, 10);
+    std::string word;
+    word.reserve(static_cast<size_t>(len));
+    for (int64_t c = 0; c < len; ++c) {
+      word.push_back(static_cast<char>('a' + rng->UniformInt(0, 25)));
+    }
+    words.push_back(std::move(word));
+  }
+  words.front() = "version1";
+  words[words.size() / 2] = "version1";
+  words.back() = "version1";
+
+  std::string out;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    out.append(words[i]);
+  }
+  return out;
+}
+
+size_t ReplaceAll(std::string* text, std::string_view from,
+                  std::string_view to) {
+  if (from.empty()) return 0;
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = text->find(from, pos)) != std::string::npos) {
+    text->replace(pos, from.size(), to);
+    pos += to.size();
+    ++count;
+  }
+  return count;
+}
+
+size_t CountOccurrences(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return 0;
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string_view::npos) {
+    pos += needle.size();
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace hm::util

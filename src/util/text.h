@@ -1,0 +1,29 @@
+#ifndef HM_UTIL_TEXT_H_
+#define HM_UTIL_TEXT_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/random.h"
+
+namespace hm::util {
+
+/// Generates the contents of a HyperModel `TextNode` (§5.1): a random
+/// number (10-100) of words separated by single spaces, each word a
+/// random number (1-10) of random lowercase characters; the first,
+/// middle and last words are the literal "version1".
+std::string GenerateTextContents(Rng* rng);
+
+/// Replaces every occurrence of `from` with `to` in `text`, returning
+/// the number of replacements. This is the primitive behind the
+/// `textNodeEdit` operation (§6.7 op /*16*/), which swaps "version1"
+/// and "version-2" (note the differing lengths).
+size_t ReplaceAll(std::string* text, std::string_view from,
+                  std::string_view to);
+
+/// Number of occurrences of `needle` in `haystack` (non-overlapping).
+size_t CountOccurrences(std::string_view haystack, std::string_view needle);
+
+}  // namespace hm::util
+
+#endif  // HM_UTIL_TEXT_H_

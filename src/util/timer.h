@@ -1,0 +1,96 @@
+#ifndef HM_UTIL_TIMER_H_
+#define HM_UTIL_TIMER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hm::util {
+
+/// Monotonic stopwatch with microsecond resolution.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates per-iteration samples and reports summary statistics.
+/// The HyperModel protocol reports the *average* time per node, but we
+/// keep the full sample vector so min/max/percentiles are available for
+/// the extended report.
+class StatsAccumulator {
+ public:
+  void Add(double sample) { samples_.push_back(sample); }
+
+  size_t count() const { return samples_.size(); }
+
+  double Sum() const {
+    double total = 0;
+    for (double s : samples_) total += s;
+    return total;
+  }
+
+  double Mean() const {
+    return samples_.empty() ? 0.0 : Sum() / static_cast<double>(count());
+  }
+
+  double Min() const {
+    double m = std::numeric_limits<double>::infinity();
+    for (double s : samples_) m = std::min(m, s);
+    return samples_.empty() ? 0.0 : m;
+  }
+
+  double Max() const {
+    double m = -std::numeric_limits<double>::infinity();
+    for (double s : samples_) m = std::max(m, s);
+    return samples_.empty() ? 0.0 : m;
+  }
+
+  /// q in [0,1]; nearest-rank on the sorted samples.
+  double Percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = q * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  double StdDev() const {
+    if (samples_.size() < 2) return 0.0;
+    double mean = Mean();
+    double acc = 0;
+    for (double s : samples_) acc += (s - mean) * (s - mean);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  }
+
+  void Reset() { samples_.clear(); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace hm::util
+
+#endif  // HM_UTIL_TIMER_H_

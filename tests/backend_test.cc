@@ -1,0 +1,410 @@
+// Backend-specific behaviour the generic contract suite cannot cover:
+// OODB crash recovery with index rebuild, garbage collection (R10),
+// abort semantics, tiny-cache eviction pressure, placement policies,
+// and the relational backend's FORCE-commit durability.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "hypermodel/backends/net_store.h"
+#include "hypermodel/backends/oodb_store.h"
+#include "hypermodel/backends/rel_store.h"
+#include "hypermodel/generator.h"
+#include "hypermodel/operations.h"
+
+namespace hm::backends {
+namespace {
+
+class BackendDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/hm_backend_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  NodeAttrs Attrs(int64_t uid, NodeKind kind = NodeKind::kInternal) {
+    NodeAttrs attrs;
+    attrs.unique_id = uid;
+    attrs.ten = uid % 10 + 1;
+    attrs.hundred = uid % 100 + 1;
+    attrs.thousand = uid % 1000 + 1;
+    attrs.million = uid % 1000000 + 1;
+    attrs.kind = kind;
+    return attrs;
+  }
+
+  std::string dir_;
+};
+
+// ---------- OODB: crash recovery rebuilds indexes ----------
+
+TEST_F(BackendDirTest, OodbCrashRecoveryRebuildsIndexes) {
+  NodeRef node = kInvalidNode;
+  {
+    auto store = OodbStore::Open({}, dir_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Begin().ok());
+    node = *(*store)->CreateNode(Attrs(1), kInvalidNode);
+    ASSERT_TRUE((*store)->SetAttr(node, Attr::kHundred, 77).ok());
+    ASSERT_TRUE((*store)->Commit().ok());
+    // Crash: copy the directory mid-life (WAL synced by the commit,
+    // index pages only in the buffer pool).
+    std::filesystem::copy(dir_, dir_ + "_crash",
+                          std::filesystem::copy_options::recursive);
+  }
+  auto crashed = OodbStore::Open({}, dir_ + "_crash");
+  ASSERT_TRUE(crashed.ok()) << crashed.status().ToString();
+  // The WAL replayed and indexes were rebuilt: both key and range
+  // access work.
+  auto by_uid = (*crashed)->LookupUnique(1);
+  ASSERT_TRUE(by_uid.ok());
+  EXPECT_EQ(*(*crashed)->GetAttr(*by_uid, Attr::kHundred), 77);
+  std::vector<NodeRef> hits;
+  ASSERT_TRUE((*crashed)->RangeHundred(77, 77, &hits).ok());
+  ASSERT_EQ(hits.size(), 1u);
+  // The pre-update hundred value (2) must not be findable.
+  hits.clear();
+  ASSERT_TRUE((*crashed)->RangeHundred(2, 2, &hits).ok());
+  EXPECT_TRUE(hits.empty());
+  std::filesystem::remove_all(dir_ + "_crash");
+}
+
+TEST_F(BackendDirTest, OodbFullDatabaseSurvivesCrash) {
+  GeneratorConfig config;
+  config.levels = 3;
+  TestDatabase db;
+  {
+    auto store = OodbStore::Open({}, dir_);
+    ASSERT_TRUE(store.ok());
+    Generator generator(config);
+    auto built = generator.Build(store->get(), nullptr);
+    ASSERT_TRUE(built.ok());
+    db = *built;
+    // Post-generation edits, committed but not checkpointed.
+    ASSERT_TRUE((*store)->Begin().ok());
+    ASSERT_TRUE((*store)->SetText(db.text_nodes[0], "crash edit").ok());
+    ASSERT_TRUE((*store)->Commit().ok());
+    std::filesystem::copy(dir_, dir_ + "_crash",
+                          std::filesystem::copy_options::recursive);
+  }
+  auto crashed = OodbStore::Open({}, dir_ + "_crash");
+  ASSERT_TRUE(crashed.ok()) << crashed.status().ToString();
+  EXPECT_EQ(*(*crashed)->GetText(db.text_nodes[0]), "crash edit");
+  // The whole structure is intact.
+  std::vector<NodeRef> closure;
+  ASSERT_TRUE(ops::Closure1N(crashed->get(), db.root, &closure).ok());
+  EXPECT_EQ(closure.size(), db.node_count());
+  std::filesystem::remove_all(dir_ + "_crash");
+}
+
+// ---------- OODB: abort ----------
+
+TEST_F(BackendDirTest, OodbAbortRollsBackAndKeepsIndexesConsistent) {
+  auto store = OodbStore::Open({}, dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Begin().ok());
+  NodeRef keeper = *(*store)->CreateNode(Attrs(1), kInvalidNode);
+  ASSERT_TRUE((*store)->Commit().ok());
+
+  ASSERT_TRUE((*store)->Begin().ok());
+  ASSERT_TRUE((*store)->CreateNode(Attrs(2), kInvalidNode).ok());
+  ASSERT_TRUE((*store)->SetAttr(keeper, Attr::kHundred, 50).ok());
+  ASSERT_TRUE((*store)->Abort().ok());
+
+  // The phantom node is gone from object store AND indexes.
+  EXPECT_FALSE((*store)->LookupUnique(2).ok());
+  std::vector<NodeRef> hits;
+  ASSERT_TRUE((*store)->RangeHundred(1, 100, &hits).ok());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], keeper);
+  EXPECT_EQ(*(*store)->GetAttr(keeper, Attr::kHundred), 2);  // restored
+}
+
+// ---------- OODB: garbage collection (R10) ----------
+
+TEST_F(BackendDirTest, OodbGarbageCollectionRemovesUnreachable) {
+  auto store_or = OodbStore::Open({}, dir_);
+  ASSERT_TRUE(store_or.ok());
+  OodbStore* store = store_or->get();
+  ASSERT_TRUE(store->Begin().ok());
+
+  // A small tree plus two disconnected nodes.
+  NodeRef root = *store->CreateNode(Attrs(1), kInvalidNode);
+  NodeRef child = *store->CreateNode(Attrs(2, NodeKind::kText), root);
+  ASSERT_TRUE(store->AddChild(root, child).ok());
+  ASSERT_TRUE(store->SetText(child, "kept content").ok());
+  NodeRef orphan1 = *store->CreateNode(Attrs(3, NodeKind::kText), kInvalidNode);
+  ASSERT_TRUE(store->SetText(orphan1, "orphaned content").ok());
+  NodeRef orphan2 = *store->CreateNode(Attrs(4), kInvalidNode);
+  // orphan2 references the root — an incoming ref does NOT make
+  // orphan2 reachable, but the edge makes root list orphan2 in
+  // refs_from, keeping it alive. Use a ref from orphan1 to orphan2
+  // instead (both unreachable from root).
+  ASSERT_TRUE(store->AddRef(orphan1, orphan2, 1, 1).ok());
+
+  auto collected = store->CollectGarbage({root});
+  ASSERT_TRUE(collected.ok()) << collected.status().ToString();
+  // orphan1, its content object, and orphan2 die: 3 objects.
+  EXPECT_EQ(*collected, 3u);
+  ASSERT_TRUE(store->Commit().ok());
+
+  // Survivors are intact, indexes consistent.
+  EXPECT_EQ(*store->GetText(child), "kept content");
+  EXPECT_TRUE(store->LookupUnique(3).status().IsNotFound());
+  EXPECT_TRUE(store->LookupUnique(4).status().IsNotFound());
+  std::vector<NodeRef> all;
+  ASSERT_TRUE(store->RangeHundred(1, 100, &all).ok());
+  EXPECT_EQ(all.size(), 2u);  // root + child only
+}
+
+TEST_F(BackendDirTest, OodbGarbageCollectionKeepsEverythingReachable) {
+  auto store_or = OodbStore::Open({}, dir_);
+  ASSERT_TRUE(store_or.ok());
+  OodbStore* store = store_or->get();
+  GeneratorConfig config;
+  config.levels = 3;
+  Generator generator(config);
+  auto db = generator.Build(store, nullptr);
+  ASSERT_TRUE(db.ok());
+
+  ASSERT_TRUE(store->Begin().ok());
+  auto collected = store->CollectGarbage({db->root});
+  ASSERT_TRUE(collected.ok());
+  // Every node is reachable from the root via 1-N, and contents via
+  // their nodes: nothing to collect.
+  EXPECT_EQ(*collected, 0u);
+  ASSERT_TRUE(store->Commit().ok());
+}
+
+// ---------- OODB: tiny cache forces eviction under load ----------
+
+TEST_F(BackendDirTest, OodbWorksWithTinyCache) {
+  OodbOptions options;
+  options.cache_pages = 16;  // brutal eviction pressure
+  auto store = OodbStore::Open(options, dir_);
+  ASSERT_TRUE(store.ok());
+  GeneratorConfig config;
+  config.levels = 3;
+  Generator generator(config);
+  auto db = generator.Build(store->get(), nullptr);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  // Everything still reads back correctly through constant evictions.
+  std::vector<NodeRef> closure;
+  ASSERT_TRUE(ops::Closure1N(store->get(), db->root, &closure).ok());
+  EXPECT_EQ(closure.size(), db->node_count());
+  EXPECT_GT((*store)->object_store()->buffer_pool()->stats().evictions, 0u);
+  for (NodeRef node : db->text_nodes) {
+    auto text = (*store)->GetText(node);
+    ASSERT_TRUE(text.ok());
+    EXPECT_FALSE(text->empty());
+  }
+}
+
+// ---------- OODB: placement policies all function ----------
+
+class PlacementTest
+    : public ::testing::TestWithParam<objstore::PlacementPolicy> {};
+
+TEST_P(PlacementTest, GeneratedDatabaseIsCorrectUnderAnyPlacement) {
+  std::string dir = ::testing::TempDir() + "/hm_placement_" +
+                    std::to_string(static_cast<int>(GetParam()));
+  std::filesystem::remove_all(dir);
+  OodbOptions options;
+  options.placement = GetParam();
+  auto store = OodbStore::Open(options, dir);
+  ASSERT_TRUE(store.ok());
+  GeneratorConfig config;
+  config.levels = 3;
+  Generator generator(config);
+  auto db = generator.Build(store->get(), nullptr);
+  ASSERT_TRUE(db.ok());
+  // Logical content must be identical regardless of physical layout.
+  std::vector<NodeRef> closure;
+  ASSERT_TRUE(ops::Closure1N(store->get(), db->root, &closure).ok());
+  EXPECT_EQ(closure.size(), 156u);
+  uint64_t visited = 0;
+  auto sum = ops::Closure1NAttSum(store->get(), db->root, &visited);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(visited, 156u);
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PlacementTest,
+    ::testing::Values(objstore::PlacementPolicy::kClustered,
+                      objstore::PlacementPolicy::kSequential,
+                      objstore::PlacementPolicy::kRandom),
+    [](const ::testing::TestParamInfo<objstore::PlacementPolicy>& info) {
+      switch (info.param) {
+        case objstore::PlacementPolicy::kClustered:
+          return "clustered";
+        case objstore::PlacementPolicy::kSequential:
+          return "sequential";
+        case objstore::PlacementPolicy::kRandom:
+          return "random";
+      }
+      return "unknown";
+    });
+
+// ---------- REL: FORCE commit durability ----------
+
+TEST_F(BackendDirTest, RelCommittedDataSurvivesProcessDrop) {
+  NodeRef node = kInvalidNode;
+  {
+    auto store = RelStore::Open({}, dir_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Begin().ok());
+    node = *(*store)->CreateNode(Attrs(9, NodeKind::kText), kInvalidNode);
+    ASSERT_TRUE((*store)->SetText(node, "forced to disk").ok());
+    ASSERT_TRUE((*store)->Commit().ok());
+    // Simulate process death right after commit (FORCE means the
+    // commit already flushed everything).
+    std::filesystem::copy(dir_, dir_ + "_crash",
+                          std::filesystem::copy_options::recursive);
+  }
+  auto reopened = RelStore::Open({}, dir_ + "_crash");
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(*(*reopened)->GetText(node), "forced to disk");
+  EXPECT_EQ(*(*reopened)->LookupUnique(9), node);
+  std::filesystem::remove_all(dir_ + "_crash");
+}
+
+TEST_F(BackendDirTest, RelReopenPreservesFullDatabase) {
+  GeneratorConfig config;
+  config.levels = 3;
+  TestDatabase db;
+  {
+    auto store = RelStore::Open({}, dir_);
+    ASSERT_TRUE(store.ok());
+    Generator generator(config);
+    auto built = generator.Build(store->get(), nullptr);
+    ASSERT_TRUE(built.ok());
+    db = *built;
+  }
+  auto reopened = RelStore::Open({}, dir_);
+  ASSERT_TRUE(reopened.ok());
+  std::vector<NodeRef> closure;
+  ASSERT_TRUE(ops::Closure1N(reopened->get(), db.root, &closure).ok());
+  EXPECT_EQ(closure.size(), db.node_count());
+  for (size_t i = 0; i < db.form_nodes.size(); ++i) {
+    auto form = (*reopened)->GetForm(db.form_nodes[i]);
+    ASSERT_TRUE(form.ok());
+    EXPECT_GE(form->width(), 100u);
+  }
+}
+
+TEST_F(BackendDirTest, RelWorksWithTinyCache) {
+  RelOptions options;
+  options.cache_pages = 16;
+  auto store = RelStore::Open(options, dir_);
+  ASSERT_TRUE(store.ok());
+  GeneratorConfig config;
+  config.levels = 3;
+  Generator generator(config);
+  auto db = generator.Build(store->get(), nullptr);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  std::vector<NodeRef> closure;
+  ASSERT_TRUE(ops::Closure1N(store->get(), db->root, &closure).ok());
+  EXPECT_EQ(closure.size(), db->node_count());
+}
+
+// ---------- NET: network-model specifics ----------
+
+TEST_F(BackendDirTest, NetReopenRebuildsCalcKeyMap) {
+  GeneratorConfig config;
+  config.levels = 3;
+  TestDatabase db;
+  {
+    auto store = NetStore::Open({}, dir_);
+    ASSERT_TRUE(store.ok());
+    Generator generator(config);
+    auto built = generator.Build(store->get(), nullptr);
+    ASSERT_TRUE(built.ok());
+    db = *built;
+    ASSERT_TRUE((*store)->Commit().ok());
+  }
+  // Reopen: the uid map is rebuilt by scanning the record file.
+  auto reopened = NetStore::Open({}, dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  for (int64_t uid : {1, 57, 156}) {
+    auto node = (*reopened)->LookupUnique(uid);
+    ASSERT_TRUE(node.ok()) << uid;
+    EXPECT_EQ(*(*reopened)->GetAttr(*node, Attr::kUniqueId), uid);
+  }
+  std::vector<NodeRef> closure;
+  ASSERT_TRUE(ops::Closure1N(reopened->get(), db.root, &closure).ok());
+  EXPECT_EQ(closure.size(), db.node_count());
+  // Text blobs survive too.
+  for (NodeRef node : db.text_nodes) {
+    auto text = (*reopened)->GetText(node);
+    ASSERT_TRUE(text.ok());
+    EXPECT_FALSE(text->empty());
+  }
+}
+
+TEST_F(BackendDirTest, NetDirectAddressingSpansManyRecordPages) {
+  auto store = NetStore::Open({}, dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Begin().ok());
+  // 60 fixed records per page: 500 nodes span ~9 pages.
+  std::vector<NodeRef> refs;
+  for (int64_t uid = 1; uid <= 500; ++uid) {
+    refs.push_back(*(*store)->CreateNode(Attrs(uid), kInvalidNode));
+  }
+  ASSERT_TRUE((*store)->Commit().ok());
+  for (int64_t uid = 1; uid <= 500; uid += 37) {
+    NodeRef node = refs[static_cast<size_t>(uid - 1)];
+    EXPECT_EQ(*(*store)->GetAttr(node, Attr::kUniqueId), uid);
+  }
+}
+
+TEST_F(BackendDirTest, NetRingsHandleManyLinksPerNode) {
+  auto store_or = NetStore::Open({}, dir_);
+  ASSERT_TRUE(store_or.ok());
+  NetStore* store = store_or->get();
+  ASSERT_TRUE(store->Begin().ok());
+  NodeRef hub = *store->CreateNode(Attrs(1), kInvalidNode);
+  std::vector<NodeRef> spokes;
+  for (int64_t uid = 2; uid <= 201; ++uid) {
+    spokes.push_back(*store->CreateNode(Attrs(uid), kInvalidNode));
+  }
+  // 200 parts on one owner and 200 incoming refs on one member.
+  for (NodeRef spoke : spokes) {
+    ASSERT_TRUE(store->AddPart(hub, spoke).ok());
+    ASSERT_TRUE(store->AddRef(spoke, hub, 1, 2).ok());
+  }
+  ASSERT_TRUE(store->Commit().ok());
+  std::vector<NodeRef> parts;
+  ASSERT_TRUE(store->Parts(hub, &parts).ok());
+  EXPECT_EQ(parts.size(), 200u);
+  std::vector<RefEdge> incoming;
+  ASSERT_TRUE(store->RefsFrom(hub, &incoming).ok());
+  EXPECT_EQ(incoming.size(), 200u);
+  // Each spoke sees exactly one owner and one outgoing ref.
+  std::vector<NodeRef> owners;
+  ASSERT_TRUE(store->PartOf(spokes[77], &owners).ok());
+  EXPECT_EQ(owners, std::vector<NodeRef>{hub});
+}
+
+TEST_F(BackendDirTest, NetWorksWithTinyCache) {
+  NetOptions options;
+  options.cache_pages = 8;
+  auto store = NetStore::Open(options, dir_);
+  ASSERT_TRUE(store.ok());
+  GeneratorConfig config;
+  config.levels = 3;
+  Generator generator(config);
+  auto db = generator.Build(store->get(), nullptr);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  std::vector<NodeRef> closure;
+  ASSERT_TRUE(ops::Closure1N(store->get(), db->root, &closure).ok());
+  EXPECT_EQ(closure.size(), db->node_count());
+  EXPECT_GT((*store)->buffer_pool()->stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace hm::backends

@@ -1,0 +1,277 @@
+// Tests for the §5.2 test-database generator: topology, node counts,
+// attribute intervals, contents and determinism.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "hypermodel/backends/mem_store.h"
+#include "hypermodel/generator.h"
+
+namespace hm {
+namespace {
+
+TestDatabase BuildMem(backends::MemStore* store, GeneratorConfig config,
+                      CreationTiming* timing = nullptr) {
+  Generator generator(config);
+  auto db = generator.Build(store, timing);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return *db;
+}
+
+TEST(GeneratorTest, ExpectedNodeCountsMatchPaper) {
+  GeneratorConfig config;
+  config.levels = 4;
+  EXPECT_EQ(Generator::ExpectedNodeCount(config), 781u);
+  config.levels = 5;
+  EXPECT_EQ(Generator::ExpectedNodeCount(config), 3906u);
+  config.levels = 6;
+  EXPECT_EQ(Generator::ExpectedNodeCount(config), 19531u);
+}
+
+TEST(GeneratorTest, LevelSizesFollowFanout) {
+  backends::MemStore store;
+  GeneratorConfig config;
+  config.levels = 4;
+  TestDatabase db = BuildMem(&store, config);
+  ASSERT_EQ(db.nodes_by_level.size(), 5u);
+  uint64_t expected = 1;
+  for (size_t l = 0; l <= 4; ++l) {
+    EXPECT_EQ(db.level(l).size(), expected) << "level " << l;
+    expected *= 5;
+  }
+  EXPECT_EQ(db.node_count(), 781u);
+  EXPECT_EQ(store.node_count(), 781u);
+}
+
+TEST(GeneratorTest, LeafMixOneFormPer125Texts) {
+  backends::MemStore store;
+  GeneratorConfig config;
+  config.levels = 4;  // 625 leaves -> 5 form nodes, 620 text nodes
+  TestDatabase db = BuildMem(&store, config);
+  EXPECT_EQ(db.form_nodes.size(), 5u);
+  EXPECT_EQ(db.text_nodes.size(), 620u);
+  for (NodeRef node : db.form_nodes) {
+    EXPECT_EQ(*store.GetKind(node), NodeKind::kForm);
+  }
+  for (NodeRef node : db.text_nodes) {
+    EXPECT_EQ(*store.GetKind(node), NodeKind::kText);
+  }
+  // All internal nodes are plain Nodes.
+  EXPECT_EQ(db.internal_nodes.size(), 156u);
+}
+
+TEST(GeneratorTest, EveryNonRootHasOneParentAndFanoutChildren) {
+  backends::MemStore store;
+  GeneratorConfig config;
+  config.levels = 3;
+  TestDatabase db = BuildMem(&store, config);
+  for (size_t l = 0; l + 1 < db.nodes_by_level.size(); ++l) {
+    for (NodeRef node : db.level(l)) {
+      std::vector<NodeRef> children;
+      ASSERT_TRUE(store.Children(node, &children).ok());
+      EXPECT_EQ(children.size(), 5u);
+      for (NodeRef child : children) {
+        EXPECT_EQ(*store.Parent(child), node);
+      }
+    }
+  }
+  for (NodeRef leaf : db.level(3)) {
+    std::vector<NodeRef> children;
+    ASSERT_TRUE(store.Children(leaf, &children).ok());
+    EXPECT_TRUE(children.empty());
+  }
+  EXPECT_EQ(*store.Parent(db.root), kInvalidNode);
+}
+
+TEST(GeneratorTest, PartsComeFromNextLevel) {
+  backends::MemStore store;
+  GeneratorConfig config;
+  config.levels = 3;
+  TestDatabase db = BuildMem(&store, config);
+  for (size_t l = 0; l + 1 < db.nodes_by_level.size(); ++l) {
+    std::set<NodeRef> next_level(db.level(l + 1).begin(),
+                                 db.level(l + 1).end());
+    for (NodeRef node : db.level(l)) {
+      std::vector<NodeRef> parts;
+      ASSERT_TRUE(store.Parts(node, &parts).ok());
+      EXPECT_EQ(parts.size(), 5u);
+      for (NodeRef part : parts) {
+        EXPECT_TRUE(next_level.contains(part))
+            << "part must come from the next level (§5.2)";
+      }
+    }
+  }
+  // Leaves have no parts.
+  for (NodeRef leaf : db.level(3)) {
+    std::vector<NodeRef> parts;
+    ASSERT_TRUE(store.Parts(leaf, &parts).ok());
+    EXPECT_TRUE(parts.empty());
+  }
+}
+
+TEST(GeneratorTest, EveryNodeHasExactlyOneOutgoingRef) {
+  backends::MemStore store;
+  GeneratorConfig config;
+  config.levels = 3;
+  TestDatabase db = BuildMem(&store, config);
+  uint64_t total_in = 0;
+  for (NodeRef node : db.all_nodes) {
+    std::vector<RefEdge> out;
+    ASSERT_TRUE(store.RefsTo(node, &out).ok());
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_GE(out[0].offset_from, 0);
+    EXPECT_LE(out[0].offset_from, 9);
+    EXPECT_GE(out[0].offset_to, 0);
+    EXPECT_LE(out[0].offset_to, 9);
+    std::vector<RefEdge> in;
+    ASSERT_TRUE(store.RefsFrom(node, &in).ok());
+    total_in += in.size();
+  }
+  // Number of M-N attribute relationships equals the number of nodes.
+  EXPECT_EQ(total_in, db.node_count());
+}
+
+TEST(GeneratorTest, AttributeIntervals) {
+  backends::MemStore store;
+  GeneratorConfig config;
+  config.levels = 4;
+  TestDatabase db = BuildMem(&store, config);
+  std::set<int64_t> uniques;
+  for (NodeRef node : db.all_nodes) {
+    int64_t uid = *store.GetAttr(node, Attr::kUniqueId);
+    EXPECT_TRUE(uniques.insert(uid).second) << "uniqueId must be unique";
+    EXPECT_GE(uid, 1);
+    EXPECT_LE(uid, static_cast<int64_t>(db.node_count()));
+    int64_t ten = *store.GetAttr(node, Attr::kTen);
+    EXPECT_GE(ten, 1);
+    EXPECT_LE(ten, 10);
+    int64_t hundred = *store.GetAttr(node, Attr::kHundred);
+    EXPECT_GE(hundred, 1);
+    EXPECT_LE(hundred, 100);
+    int64_t thousand = *store.GetAttr(node, Attr::kThousand);
+    EXPECT_GE(thousand, 1);
+    EXPECT_LE(thousand, 1000);
+    int64_t million = *store.GetAttr(node, Attr::kMillion);
+    EXPECT_GE(million, 1);
+    EXPECT_LE(million, 1000000);
+  }
+}
+
+TEST(GeneratorTest, TextNodesFollowSpec) {
+  backends::MemStore store;
+  GeneratorConfig config;
+  config.levels = 3;
+  config.leaves_per_form = 25;  // denser form mix for this test
+  TestDatabase db = BuildMem(&store, config);
+  ASSERT_FALSE(db.text_nodes.empty());
+  for (NodeRef node : db.text_nodes) {
+    std::string text = *store.GetText(node);
+    std::vector<std::string> words;
+    std::stringstream ss(text);
+    std::string w;
+    while (ss >> w) words.push_back(w);
+    ASSERT_GE(words.size(), 10u);
+    ASSERT_LE(words.size(), 100u);
+    EXPECT_EQ(words.front(), "version1");
+    EXPECT_EQ(words[words.size() / 2], "version1");
+    EXPECT_EQ(words.back(), "version1");
+  }
+}
+
+TEST(GeneratorTest, FormNodesStartWhiteWithinDims) {
+  backends::MemStore store;
+  GeneratorConfig config;
+  config.levels = 3;
+  config.leaves_per_form = 25;
+  TestDatabase db = BuildMem(&store, config);
+  ASSERT_FALSE(db.form_nodes.empty());
+  for (NodeRef node : db.form_nodes) {
+    util::Bitmap form = *store.GetForm(node);
+    EXPECT_GE(form.width(), 100u);
+    EXPECT_LE(form.width(), 400u);
+    EXPECT_GE(form.height(), 100u);
+    EXPECT_LE(form.height(), 400u);
+    EXPECT_EQ(form.PopCount(), 0u) << "forms start all white";
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorConfig config;
+  config.levels = 3;
+  backends::MemStore a, b;
+  TestDatabase db_a = BuildMem(&a, config);
+  TestDatabase db_b = BuildMem(&b, config);
+  ASSERT_EQ(db_a.node_count(), db_b.node_count());
+  for (NodeRef node : db_a.all_nodes) {
+    EXPECT_EQ(*a.GetAttr(node, Attr::kMillion),
+              *b.GetAttr(node, Attr::kMillion));
+    std::vector<RefEdge> ea, eb;
+    ASSERT_TRUE(a.RefsTo(node, &ea).ok());
+    ASSERT_TRUE(b.RefsTo(node, &eb).ok());
+    ASSERT_EQ(ea.size(), eb.size());
+    EXPECT_EQ(ea[0].node, eb[0].node);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig c1, c2;
+  c1.levels = c2.levels = 3;
+  c2.seed = 777;
+  backends::MemStore a, b;
+  TestDatabase db_a = BuildMem(&a, c1);
+  TestDatabase db_b = BuildMem(&b, c2);
+  int differing = 0;
+  for (NodeRef node : db_a.all_nodes) {
+    if (*a.GetAttr(node, Attr::kMillion) !=
+        *b.GetAttr(node, Attr::kMillion)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 100);
+}
+
+TEST(GeneratorTest, VariableFanoutAndLevelsSupported) {
+  // The paper's N.B.: levels and fanout must not be baked in.
+  backends::MemStore store;
+  GeneratorConfig config;
+  config.levels = 2;
+  config.fanout = 3;
+  config.parts_per_node = 2;
+  config.leaves_per_form = 4;
+  TestDatabase db = BuildMem(&store, config);
+  EXPECT_EQ(db.node_count(), 1u + 3u + 9u);
+  EXPECT_EQ(db.level(2).size(), 9u);
+  EXPECT_EQ(db.form_nodes.size(), 2u);  // leaves 9 / 4 -> 2 forms
+  for (NodeRef node : db.level(0)) {
+    std::vector<NodeRef> parts;
+    ASSERT_TRUE(store.Parts(node, &parts).ok());
+    EXPECT_EQ(parts.size(), 2u);
+  }
+}
+
+TEST(GeneratorTest, CreationTimingIsPopulated) {
+  backends::MemStore store;
+  GeneratorConfig config;
+  config.levels = 3;
+  CreationTiming timing;
+  BuildMem(&store, config, &timing);
+  EXPECT_EQ(timing.internal_nodes, 31u);
+  EXPECT_EQ(timing.leaf_nodes, 125u);
+  EXPECT_EQ(timing.rel_1n, 155u);     // nodes - 1
+  EXPECT_EQ(timing.rel_mn, 155u);     // 31 internal x 5
+  EXPECT_EQ(timing.rel_mnatt, 156u);  // one per node
+  EXPECT_GT(timing.total_ms(), 0.0);
+}
+
+TEST(GeneratorTest, RejectsDegenerateConfig) {
+  backends::MemStore store;
+  GeneratorConfig config;
+  config.levels = 0;
+  Generator generator(config);
+  EXPECT_FALSE(generator.Build(&store, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace hm

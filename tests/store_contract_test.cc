@@ -1,0 +1,342 @@
+// Backend contract suite: every HyperStore implementation must satisfy
+// the same observable semantics. Parameterized over {mem, oodb, rel}
+// so a behaviour divergence between backends fails here, not in a
+// benchmark number.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+
+#include "hypermodel/backends/mem_store.h"
+#include "hypermodel/backends/net_store.h"
+#include "hypermodel/backends/oodb_store.h"
+#include "hypermodel/backends/rel_store.h"
+#include "hypermodel/store.h"
+
+namespace hm {
+namespace {
+
+struct BackendFactory {
+  std::string name;
+  std::function<std::unique_ptr<HyperStore>(const std::string& dir)> make;
+};
+
+std::vector<BackendFactory> Factories() {
+  return {
+      {"mem",
+       [](const std::string&) -> std::unique_ptr<HyperStore> {
+         return std::make_unique<backends::MemStore>();
+       }},
+      {"oodb",
+       [](const std::string& dir) -> std::unique_ptr<HyperStore> {
+         auto store = backends::OodbStore::Open(backends::OodbOptions{},
+                                                dir + "/oodb");
+         EXPECT_TRUE(store.ok()) << store.status().ToString();
+         return std::move(*store);
+       }},
+      {"rel",
+       [](const std::string& dir) -> std::unique_ptr<HyperStore> {
+         auto store =
+             backends::RelStore::Open(backends::RelOptions{}, dir + "/rel");
+         EXPECT_TRUE(store.ok()) << store.status().ToString();
+         return std::move(*store);
+       }},
+      {"net",
+       [](const std::string& dir) -> std::unique_ptr<HyperStore> {
+         auto store =
+             backends::NetStore::Open(backends::NetOptions{}, dir + "/net");
+         EXPECT_TRUE(store.ok()) << store.status().ToString();
+         return std::move(*store);
+       }},
+  };
+}
+
+class StoreContractTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/hm_contract_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    factory_ = Factories()[GetParam()];
+    store_ = factory_.make(dir_);
+    ASSERT_NE(store_, nullptr);
+  }
+  void TearDown() override {
+    store_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  NodeAttrs Attrs(int64_t uid, NodeKind kind = NodeKind::kInternal) {
+    NodeAttrs attrs;
+    attrs.unique_id = uid;
+    attrs.ten = uid % 10 + 1;
+    attrs.hundred = uid % 100 + 1;
+    attrs.thousand = uid % 1000 + 1;
+    attrs.million = uid * 37 % 1000000 + 1;
+    attrs.kind = kind;
+    return attrs;
+  }
+
+  NodeRef Create(int64_t uid, NodeKind kind = NodeKind::kInternal,
+                 NodeRef near = kInvalidNode) {
+    auto ref = store_->CreateNode(Attrs(uid, kind), near);
+    EXPECT_TRUE(ref.ok()) << ref.status().ToString();
+    return ref.ok() ? *ref : kInvalidNode;
+  }
+
+  std::string dir_;
+  BackendFactory factory_;
+  std::unique_ptr<HyperStore> store_;
+};
+
+TEST_P(StoreContractTest, NameReportsBackend) {
+  EXPECT_EQ(store_->name(), factory_.name);
+}
+
+TEST_P(StoreContractTest, CreateAndGetAttrs) {
+  ASSERT_TRUE(store_->Begin().ok());
+  NodeRef node = Create(17);
+  ASSERT_TRUE(store_->Commit().ok());
+  EXPECT_EQ(*store_->GetAttr(node, Attr::kUniqueId), 17);
+  EXPECT_EQ(*store_->GetAttr(node, Attr::kTen), 8);
+  EXPECT_EQ(*store_->GetAttr(node, Attr::kHundred), 18);
+  EXPECT_EQ(*store_->GetAttr(node, Attr::kThousand), 18);
+  EXPECT_EQ(*store_->GetAttr(node, Attr::kMillion), 17 * 37 + 1);
+  EXPECT_EQ(*store_->GetKind(node), NodeKind::kInternal);
+}
+
+TEST_P(StoreContractTest, DuplicateUniqueIdRejected) {
+  ASSERT_TRUE(store_->Begin().ok());
+  Create(5);
+  EXPECT_FALSE(store_->CreateNode(Attrs(5), kInvalidNode).ok());
+  ASSERT_TRUE(store_->Commit().ok());
+}
+
+TEST_P(StoreContractTest, LookupUniqueFindsNode) {
+  ASSERT_TRUE(store_->Begin().ok());
+  NodeRef node = Create(123);
+  ASSERT_TRUE(store_->Commit().ok());
+  auto found = store_->LookupUnique(123);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, node);
+  EXPECT_TRUE(store_->LookupUnique(999).status().IsNotFound());
+}
+
+TEST_P(StoreContractTest, SetAttrUpdatesValueAndIndexes) {
+  ASSERT_TRUE(store_->Begin().ok());
+  NodeRef node = Create(1);
+  ASSERT_TRUE(store_->SetAttr(node, Attr::kHundred, 55).ok());
+  ASSERT_TRUE(store_->SetAttr(node, Attr::kMillion, 777777).ok());
+  ASSERT_TRUE(store_->Commit().ok());
+  EXPECT_EQ(*store_->GetAttr(node, Attr::kHundred), 55);
+
+  std::vector<NodeRef> out;
+  ASSERT_TRUE(store_->RangeHundred(55, 55, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], node);
+  out.clear();
+  // The old hundred value (2) must no longer match.
+  ASSERT_TRUE(store_->RangeHundred(2, 2, &out).ok());
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  ASSERT_TRUE(store_->RangeMillion(777777, 777777, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], node);
+}
+
+TEST_P(StoreContractTest, UniqueIdIsImmutable) {
+  ASSERT_TRUE(store_->Begin().ok());
+  NodeRef node = Create(1);
+  EXPECT_FALSE(store_->SetAttr(node, Attr::kUniqueId, 2).ok());
+  ASSERT_TRUE(store_->Commit().ok());
+}
+
+TEST_P(StoreContractTest, RangeLookupsReturnMatches) {
+  ASSERT_TRUE(store_->Begin().ok());
+  std::vector<NodeRef> nodes;
+  for (int64_t uid = 1; uid <= 200; ++uid) nodes.push_back(Create(uid));
+  ASSERT_TRUE(store_->Commit().ok());
+
+  std::vector<NodeRef> out;
+  ASSERT_TRUE(store_->RangeHundred(10, 19, &out).ok());
+  // hundred = uid % 100 + 1, so hundred in [10,19] <=> uid%100 in [9,18]:
+  // 10 values x 2 cycles = 20 nodes.
+  EXPECT_EQ(out.size(), 20u);
+  for (NodeRef node : out) {
+    int64_t hundred = *store_->GetAttr(node, Attr::kHundred);
+    EXPECT_GE(hundred, 10);
+    EXPECT_LE(hundred, 19);
+  }
+  out.clear();
+  ASSERT_TRUE(store_->RangeHundred(500, 600, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(StoreContractTest, ChildrenAreOrdered) {
+  ASSERT_TRUE(store_->Begin().ok());
+  NodeRef parent = Create(1);
+  std::vector<NodeRef> kids;
+  for (int64_t uid = 2; uid <= 6; ++uid) {
+    NodeRef kid = Create(uid, NodeKind::kInternal, parent);
+    kids.push_back(kid);
+    ASSERT_TRUE(store_->AddChild(parent, kid).ok());
+  }
+  ASSERT_TRUE(store_->Commit().ok());
+
+  std::vector<NodeRef> children;
+  ASSERT_TRUE(store_->Children(parent, &children).ok());
+  EXPECT_EQ(children, kids);  // insertion order preserved (§5.1: ordered)
+  for (NodeRef kid : kids) {
+    EXPECT_EQ(*store_->Parent(kid), parent);
+  }
+  EXPECT_EQ(*store_->Parent(parent), kInvalidNode);  // the root
+}
+
+TEST_P(StoreContractTest, SecondParentRejected) {
+  ASSERT_TRUE(store_->Begin().ok());
+  NodeRef a = Create(1);
+  NodeRef b = Create(2);
+  NodeRef child = Create(3);
+  ASSERT_TRUE(store_->AddChild(a, child).ok());
+  EXPECT_FALSE(store_->AddChild(b, child).ok());  // 1-N: one parent
+  ASSERT_TRUE(store_->Commit().ok());
+}
+
+TEST_P(StoreContractTest, PartsBothDirections) {
+  ASSERT_TRUE(store_->Begin().ok());
+  NodeRef owner1 = Create(1);
+  NodeRef owner2 = Create(2);
+  NodeRef shared = Create(3);
+  ASSERT_TRUE(store_->AddPart(owner1, shared).ok());
+  ASSERT_TRUE(store_->AddPart(owner2, shared).ok());  // M-N: shared part
+  ASSERT_TRUE(store_->Commit().ok());
+
+  std::vector<NodeRef> parts;
+  ASSERT_TRUE(store_->Parts(owner1, &parts).ok());
+  EXPECT_EQ(parts, std::vector<NodeRef>{shared});
+  std::vector<NodeRef> owners;
+  ASSERT_TRUE(store_->PartOf(shared, &owners).ok());
+  std::sort(owners.begin(), owners.end());
+  EXPECT_EQ(owners, (std::vector<NodeRef>{owner1, owner2}));
+}
+
+TEST_P(StoreContractTest, RefsCarryOffsets) {
+  ASSERT_TRUE(store_->Begin().ok());
+  NodeRef a = Create(1);
+  NodeRef b = Create(2);
+  ASSERT_TRUE(store_->AddRef(a, b, 3, 7).ok());
+  ASSERT_TRUE(store_->Commit().ok());
+
+  std::vector<RefEdge> out_edges;
+  ASSERT_TRUE(store_->RefsTo(a, &out_edges).ok());
+  ASSERT_EQ(out_edges.size(), 1u);
+  EXPECT_EQ(out_edges[0].node, b);
+  EXPECT_EQ(out_edges[0].offset_from, 3);
+  EXPECT_EQ(out_edges[0].offset_to, 7);
+
+  std::vector<RefEdge> in_edges;
+  ASSERT_TRUE(store_->RefsFrom(b, &in_edges).ok());
+  ASSERT_EQ(in_edges.size(), 1u);
+  EXPECT_EQ(in_edges[0].node, a);
+
+  // refsFrom of an unreferenced node is empty, not an error (§6.4).
+  in_edges.clear();
+  ASSERT_TRUE(store_->RefsFrom(a, &in_edges).ok());
+  EXPECT_TRUE(in_edges.empty());
+}
+
+TEST_P(StoreContractTest, SelfReferenceAllowed) {
+  ASSERT_TRUE(store_->Begin().ok());
+  NodeRef a = Create(1);
+  ASSERT_TRUE(store_->AddRef(a, a, 1, 2).ok());
+  ASSERT_TRUE(store_->Commit().ok());
+  std::vector<RefEdge> out_edges;
+  ASSERT_TRUE(store_->RefsTo(a, &out_edges).ok());
+  ASSERT_EQ(out_edges.size(), 1u);
+  EXPECT_EQ(out_edges[0].node, a);
+  std::vector<RefEdge> in_edges;
+  ASSERT_TRUE(store_->RefsFrom(a, &in_edges).ok());
+  EXPECT_EQ(in_edges.size(), 1u);
+}
+
+TEST_P(StoreContractTest, TextContentsRoundTrip) {
+  ASSERT_TRUE(store_->Begin().ok());
+  NodeRef node = Create(1, NodeKind::kText);
+  ASSERT_TRUE(store_->SetText(node, "version1 middle version1").ok());
+  ASSERT_TRUE(store_->Commit().ok());
+  EXPECT_EQ(*store_->GetText(node), "version1 middle version1");
+
+  // Growing rewrite (version-2 is longer).
+  ASSERT_TRUE(store_->Begin().ok());
+  ASSERT_TRUE(store_->SetText(node, "version-2 middle version-2").ok());
+  ASSERT_TRUE(store_->Commit().ok());
+  EXPECT_EQ(*store_->GetText(node), "version-2 middle version-2");
+}
+
+TEST_P(StoreContractTest, TextOpsRejectNonTextNodes) {
+  ASSERT_TRUE(store_->Begin().ok());
+  NodeRef internal = Create(1, NodeKind::kInternal);
+  EXPECT_FALSE(store_->SetText(internal, "x").ok());
+  EXPECT_FALSE(store_->GetText(internal).ok());
+  ASSERT_TRUE(store_->Commit().ok());
+}
+
+TEST_P(StoreContractTest, FormContentsRoundTrip) {
+  ASSERT_TRUE(store_->Begin().ok());
+  NodeRef node = Create(1, NodeKind::kForm);
+  util::Bitmap bitmap(300, 250);
+  ASSERT_TRUE(bitmap.InvertRect(10, 10, 50, 50).ok());
+  ASSERT_TRUE(store_->SetForm(node, bitmap).ok());
+  ASSERT_TRUE(store_->Commit().ok());
+  auto back = store_->GetForm(node);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, bitmap);
+  EXPECT_EQ(back->PopCount(), 2500u);
+}
+
+TEST_P(StoreContractTest, PersistsAcrossCloseReopen) {
+  ASSERT_TRUE(store_->Begin().ok());
+  NodeRef parent = Create(1);
+  NodeRef child = Create(2, NodeKind::kText, parent);
+  ASSERT_TRUE(store_->AddChild(parent, child).ok());
+  ASSERT_TRUE(store_->SetText(child, "persistent text").ok());
+  ASSERT_TRUE(store_->Commit().ok());
+
+  ASSERT_TRUE(store_->CloseReopen().ok());
+
+  std::vector<NodeRef> children;
+  ASSERT_TRUE(store_->Children(parent, &children).ok());
+  EXPECT_EQ(children, std::vector<NodeRef>{child});
+  EXPECT_EQ(*store_->GetText(child), "persistent text");
+  EXPECT_EQ(*store_->LookupUnique(1), parent);
+}
+
+TEST_P(StoreContractTest, GetAttrOnMissingNodeFails) {
+  EXPECT_FALSE(store_->GetAttr(987654, Attr::kTen).ok());
+}
+
+TEST_P(StoreContractTest, StorageBytesGrowsWithData) {
+  ASSERT_TRUE(store_->Begin().ok());
+  auto empty = store_->StorageBytes();
+  ASSERT_TRUE(empty.ok());
+  for (int64_t uid = 1; uid <= 200; ++uid) {
+    NodeRef node = Create(uid, NodeKind::kText);
+    ASSERT_TRUE(store_->SetText(node, std::string(300, 't')).ok());
+  }
+  ASSERT_TRUE(store_->Commit().ok());
+  auto full = store_->StorageBytes();
+  ASSERT_TRUE(full.ok());
+  EXPECT_GT(*full, *empty);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StoreContractTest,
+                         ::testing::Range<size_t>(0, 4),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return Factories()[info.param].name;
+                         });
+
+}  // namespace
+}  // namespace hm

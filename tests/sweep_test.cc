@@ -1,0 +1,182 @@
+// Parameterized sweeps: the generator across (levels, fanout)
+// configurations — the paper's N.B. demands these be variable — and
+// the driver protocol across every operation id.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hypermodel/backends/mem_store.h"
+#include "hypermodel/driver.h"
+#include "hypermodel/generator.h"
+#include "hypermodel/operations.h"
+
+namespace hm {
+namespace {
+
+// ---------- Generator sweep ----------
+
+struct GenParam {
+  int levels;
+  int fanout;
+};
+
+class GeneratorSweepTest : public ::testing::TestWithParam<GenParam> {};
+
+TEST_P(GeneratorSweepTest, StructureInvariantsHold) {
+  GeneratorConfig config;
+  config.levels = GetParam().levels;
+  config.fanout = GetParam().fanout;
+  config.parts_per_node = std::min(3, config.fanout);
+  config.leaves_per_form = 7;
+  backends::MemStore store;
+  Generator generator(config);
+  auto db = generator.Build(&store, nullptr);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  // Node count is the geometric series.
+  EXPECT_EQ(db->node_count(), Generator::ExpectedNodeCount(config));
+
+  // Level sizes multiply by fanout.
+  uint64_t expected = 1;
+  for (size_t l = 0; l < db->nodes_by_level.size(); ++l) {
+    EXPECT_EQ(db->level(l).size(), expected);
+    expected *= static_cast<uint64_t>(config.fanout);
+  }
+
+  // Every non-root has exactly one parent; the closure from the root
+  // covers the whole database exactly once.
+  std::vector<NodeRef> closure;
+  ASSERT_TRUE(ops::Closure1N(&store, db->root, &closure).ok());
+  EXPECT_EQ(closure.size(), db->node_count());
+  std::set<NodeRef> unique(closure.begin(), closure.end());
+  EXPECT_EQ(unique.size(), closure.size());
+
+  // Relationship cardinalities (§5.2): 1-N and M-N counts.
+  uint64_t total_children = 0;
+  uint64_t total_parts = 0;
+  for (NodeRef node : db->all_nodes) {
+    std::vector<NodeRef> kids, parts;
+    ASSERT_TRUE(store.Children(node, &kids).ok());
+    ASSERT_TRUE(store.Parts(node, &parts).ok());
+    total_children += kids.size();
+    total_parts += parts.size();
+    std::vector<RefEdge> refs;
+    ASSERT_TRUE(store.RefsTo(node, &refs).ok());
+    EXPECT_EQ(refs.size(), 1u);  // one refTo per node
+  }
+  EXPECT_EQ(total_children, db->node_count() - 1);
+  EXPECT_EQ(total_parts,
+            db->internal_nodes.size() *
+                static_cast<uint64_t>(config.parts_per_node));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GeneratorSweepTest,
+    ::testing::Values(GenParam{1, 2}, GenParam{2, 3}, GenParam{3, 2},
+                      GenParam{3, 5}, GenParam{4, 3}, GenParam{2, 7},
+                      GenParam{5, 2}),
+    [](const ::testing::TestParamInfo<GenParam>& info) {
+      return "levels" + std::to_string(info.param.levels) + "_fanout" +
+             std::to_string(info.param.fanout);
+    });
+
+// ---------- Driver per-op sweep ----------
+
+class OpProtocolTest : public ::testing::TestWithParam<OpId> {
+ protected:
+  static void SetUpTestSuite() {
+    store_ = new backends::MemStore();
+    GeneratorConfig config;
+    config.levels = 3;
+    Generator generator(config);
+    auto db = generator.Build(store_, nullptr);
+    ASSERT_TRUE(db.ok());
+    db_ = new TestDatabase(*db);
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete store_;
+    db_ = nullptr;
+    store_ = nullptr;
+  }
+
+  static backends::MemStore* store_;
+  static TestDatabase* db_;
+};
+
+backends::MemStore* OpProtocolTest::store_ = nullptr;
+TestDatabase* OpProtocolTest::db_ = nullptr;
+
+TEST_P(OpProtocolTest, ProtocolInvariants) {
+  DriverConfig config;
+  config.iterations = 7;
+  Driver driver(store_, db_, config);
+  auto result = driver.Run(GetParam());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(result->op, GetParam());
+  EXPECT_EQ(result->op_name, OpName(GetParam()));
+  EXPECT_EQ(result->backend, "mem");
+  EXPECT_EQ(result->level, 3);
+  // Cold and warm runs use the same inputs: identical node counts.
+  EXPECT_EQ(result->cold_nodes, result->warm_nodes);
+  EXPECT_GE(result->cold_total_ms, 0.0);
+  EXPECT_GE(result->warm_total_ms, 0.0);
+  if (GetParam() != OpId::kRefLookupMNAtt) {
+    EXPECT_GT(result->cold_nodes, 0u);
+  }
+  // Running the op a second time must be deterministic in counts
+  // (mem has no caches, and the update ops are self-inverse pairs).
+  auto again = driver.Run(GetParam());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->cold_nodes, result->cold_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, OpProtocolTest, ::testing::ValuesIn(AllOps()),
+    [](const ::testing::TestParamInfo<OpId>& info) {
+      std::string name(OpName(info.param));
+      std::string out;
+      for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) out.push_back(c);
+      }
+      return out;
+    });
+
+// ---------- Closure size expectations across levels ----------
+
+class ClosureSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosureSizeTest, Level3ClosureMatchesPaperCounts) {
+  // §6.5: "n-level4 = 6, n-level5 = 31 and n-level6 = 156" — the 1-N
+  // closure size from a level-3 node. We verify levels 4 and 5 (level
+  // 6 sizes are implied by the same geometry).
+  int level = GetParam();
+  backends::MemStore store;
+  GeneratorConfig config;
+  config.levels = level;
+  Generator generator(config);
+  auto db = generator.Build(&store, nullptr);
+  ASSERT_TRUE(db.ok());
+
+  uint64_t expected = 0;
+  uint64_t run = 1;
+  for (int l = 3; l <= level; ++l) {
+    expected += run;
+    run *= 5;
+  }
+  for (NodeRef start : {db->level(3).front(), db->level(3).back()}) {
+    std::vector<NodeRef> out;
+    ASSERT_TRUE(ops::Closure1N(&store, start, &out).ok());
+    EXPECT_EQ(out.size(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, ClosureSizeTest, ::testing::Values(4, 5),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "level" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace hm

@@ -1,0 +1,244 @@
+// hmbench — command-line driver for the HyperModel benchmark.
+//
+// Runs the full §6 protocol (or a chosen subset) against any of the
+// backends and prints the paper-style tables, optionally CSV.
+//
+// Usage:
+//   hmbench [options]
+//     --levels=4,5,6        leaf levels of the 1-N hierarchy (default 4)
+//     --backends=mem,oodb,rel  backends to run (default all)
+//     --ops=01,03,10        operation numbers to run (default: all 20;
+//                           accepts 01,02,03,04,05A,05B,06,07A,07B,
+//                           08..18)
+//     --iters=50            protocol iterations per run (default 50)
+//     --cache-pages=2048    workstation cache size in 8 KiB pages
+//     --seed=7              input-selection seed
+//     --dir=PATH            working directory (default /tmp/hmbench)
+//     --csv                 machine-readable CSV instead of tables
+//     --creation            include the §5.3 creation table
+//     --help
+//
+// Examples:
+//   hmbench --levels=4 --ops=10,14,15          # closure traversals
+//   hmbench --levels=4,5,6 --creation          # the full paper matrix
+//   hmbench --backends=oodb --csv > oodb.csv
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "hypermodel/backends/mem_store.h"
+#include "hypermodel/backends/net_store.h"
+#include "hypermodel/backends/oodb_store.h"
+#include "hypermodel/backends/rel_store.h"
+#include "hypermodel/driver.h"
+#include "hypermodel/generator.h"
+#include "hypermodel/report.h"
+
+namespace {
+
+struct Args {
+  std::vector<int> levels{4};
+  std::vector<std::string> backends{"mem", "oodb", "rel", "net"};
+  std::vector<hm::OpId> ops = hm::AllOps();
+  int iters = 50;
+  size_t cache_pages = 2048;
+  uint64_t seed = 7;
+  std::string dir = "/tmp/hmbench";
+  bool csv = false;
+  bool creation = false;
+};
+
+[[noreturn]] void Usage(int code) {
+  std::cout <<
+      "hmbench — the HyperModel benchmark (Berre/Anderson/Mallison, "
+      "TR CS/E-88-031)\n\n"
+      "  --levels=4,5,6      leaf levels to run (paper sizes: 4, 5, 6)\n"
+      "  --backends=...      subset of mem,oodb,rel,net\n"
+      "  --ops=01,05A,10     operation numbers (default: all 20)\n"
+      "  --iters=N           runs per cold/warm phase (default 50)\n"
+      "  --cache-pages=N     workstation cache size in 8 KiB pages\n"
+      "  --seed=N            input-selection seed\n"
+      "  --dir=PATH          scratch directory\n"
+      "  --csv               CSV output\n"
+      "  --creation          include the database-creation table (§5.3)\n";
+  std::exit(code);
+}
+
+std::vector<std::string> SplitCsv(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+const std::map<std::string, hm::OpId>& OpTable() {
+  static const std::map<std::string, hm::OpId> table = {
+      {"01", hm::OpId::kNameLookup},
+      {"02", hm::OpId::kNameOidLookup},
+      {"03", hm::OpId::kRangeLookupHundred},
+      {"04", hm::OpId::kRangeLookupMillion},
+      {"05A", hm::OpId::kGroupLookup1N},
+      {"05B", hm::OpId::kGroupLookupMN},
+      {"06", hm::OpId::kGroupLookupMNAtt},
+      {"07A", hm::OpId::kRefLookup1N},
+      {"07B", hm::OpId::kRefLookupMN},
+      {"08", hm::OpId::kRefLookupMNAtt},
+      {"09", hm::OpId::kSeqScan},
+      {"10", hm::OpId::kClosure1N},
+      {"11", hm::OpId::kClosure1NAttSum},
+      {"12", hm::OpId::kClosure1NAttSet},
+      {"13", hm::OpId::kClosure1NPred},
+      {"14", hm::OpId::kClosureMN},
+      {"15", hm::OpId::kClosureMNAtt},
+      {"16", hm::OpId::kTextNodeEdit},
+      {"17", hm::OpId::kFormNodeEdit},
+      {"18", hm::OpId::kClosureMNAttLinkSum},
+  };
+  return table;
+}
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg == "--help" || arg == "-h") {
+      Usage(0);
+    } else if (arg.starts_with("--levels=")) {
+      args.levels.clear();
+      for (const std::string& level : SplitCsv(value("--levels="))) {
+        args.levels.push_back(std::atoi(level.c_str()));
+      }
+    } else if (arg.starts_with("--backends=")) {
+      args.backends = SplitCsv(value("--backends="));
+    } else if (arg.starts_with("--ops=")) {
+      args.ops.clear();
+      for (std::string op : SplitCsv(value("--ops="))) {
+        for (char& c : op) c = static_cast<char>(std::toupper(c));
+        auto it = OpTable().find(op);
+        if (it == OpTable().end()) {
+          std::cerr << "unknown operation '" << op << "'\n";
+          Usage(1);
+        }
+        args.ops.push_back(it->second);
+      }
+    } else if (arg.starts_with("--iters=")) {
+      args.iters = std::atoi(value("--iters=").c_str());
+    } else if (arg.starts_with("--cache-pages=")) {
+      args.cache_pages =
+          static_cast<size_t>(std::atoll(value("--cache-pages=").c_str()));
+    } else if (arg.starts_with("--seed=")) {
+      args.seed = static_cast<uint64_t>(std::atoll(value("--seed=").c_str()));
+    } else if (arg.starts_with("--dir=")) {
+      args.dir = value("--dir=");
+    } else if (arg == "--csv") {
+      args.csv = true;
+    } else if (arg == "--creation") {
+      args.creation = true;
+    } else {
+      std::cerr << "unknown argument '" << arg << "'\n";
+      Usage(1);
+    }
+  }
+  if (args.levels.empty() || args.backends.empty() || args.ops.empty() ||
+      args.iters <= 0) {
+    Usage(1);
+  }
+  return args;
+}
+
+void CheckOk(const hm::util::Status& status) {
+  if (!status.ok()) {
+    std::cerr << "hmbench: " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+std::unique_ptr<hm::HyperStore> OpenBackend(const Args& args,
+                                            const std::string& name,
+                                            const std::string& dir) {
+  if (name == "mem") return std::make_unique<hm::backends::MemStore>();
+  if (name == "oodb") {
+    hm::backends::OodbOptions options;
+    options.cache_pages = args.cache_pages;
+    auto store = hm::backends::OodbStore::Open(options, dir);
+    CheckOk(store.status());
+    return std::move(*store);
+  }
+  if (name == "net") {
+    hm::backends::NetOptions options;
+    options.cache_pages = args.cache_pages;
+    auto store = hm::backends::NetStore::Open(options, dir);
+    CheckOk(store.status());
+    return std::move(*store);
+  }
+  if (name == "rel") {
+    hm::backends::RelOptions options;
+    options.cache_pages = args.cache_pages;
+    auto store = hm::backends::RelStore::Open(options, dir);
+    CheckOk(store.status());
+    return std::move(*store);
+  }
+  std::cerr << "unknown backend '" << name << "'\n";
+  Usage(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+  std::filesystem::remove_all(args.dir);
+  std::filesystem::create_directories(args.dir);
+
+  hm::Report report;
+  for (int level : args.levels) {
+    for (const std::string& backend : args.backends) {
+      std::string dir =
+          args.dir + "/" + backend + "_l" + std::to_string(level);
+      std::unique_ptr<hm::HyperStore> store =
+          OpenBackend(args, backend, dir);
+
+      hm::GeneratorConfig gen_config;
+      gen_config.levels = level;
+      hm::Generator generator(gen_config);
+      hm::CreationTiming timing;
+      auto db = generator.Build(store.get(), &timing);
+      CheckOk(db.status());
+      if (args.creation) {
+        hm::CreationRow row;
+        row.backend = backend;
+        row.level = level;
+        row.nodes = db->node_count();
+        row.timing = timing;
+        report.AddCreation(row);
+      }
+
+      hm::DriverConfig config;
+      config.iterations = args.iters;
+      config.seed = args.seed;
+      hm::Driver driver(store.get(), &*db, config);
+      for (hm::OpId op : args.ops) {
+        auto result = driver.Run(op);
+        CheckOk(result.status());
+        report.AddOpResult(*result);
+      }
+    }
+  }
+
+  if (args.csv) {
+    report.PrintCsv(std::cout);
+  } else {
+    if (args.creation) report.PrintCreationTable(std::cout);
+    report.PrintOpTable(std::cout);
+  }
+  return 0;
+}
