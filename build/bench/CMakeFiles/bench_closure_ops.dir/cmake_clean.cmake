@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_closure_ops.dir/bench_closure_ops.cc.o"
+  "CMakeFiles/bench_closure_ops.dir/bench_closure_ops.cc.o.d"
+  "bench_closure_ops"
+  "bench_closure_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_closure_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_edit.dir/bench_edit.cc.o"
+  "CMakeFiles/bench_edit.dir/bench_edit.cc.o.d"
+  "bench_edit"
+  "bench_edit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

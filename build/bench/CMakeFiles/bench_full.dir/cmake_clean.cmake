@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_full.dir/bench_full.cc.o"
+  "CMakeFiles/bench_full.dir/bench_full.cc.o.d"
+  "bench_full"
+  "bench_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_group_lookup.dir/bench_group_lookup.cc.o"
+  "CMakeFiles/bench_group_lookup.dir/bench_group_lookup.cc.o.d"
+  "bench_group_lookup"
+  "bench_group_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_group_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_name_lookup.dir/bench_name_lookup.cc.o"
+  "CMakeFiles/bench_name_lookup.dir/bench_name_lookup.cc.o.d"
+  "bench_name_lookup"
+  "bench_name_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_name_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_open_insert.dir/bench_open_insert.cc.o"
+  "CMakeFiles/bench_open_insert.dir/bench_open_insert.cc.o.d"
+  "bench_open_insert"
+  "bench_open_insert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_open_insert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_range_lookup.dir/bench_range_lookup.cc.o"
+  "CMakeFiles/bench_range_lookup.dir/bench_range_lookup.cc.o.d"
+  "bench_range_lookup"
+  "bench_range_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_range_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

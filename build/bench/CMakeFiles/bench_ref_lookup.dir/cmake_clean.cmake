@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ref_lookup.dir/bench_ref_lookup.cc.o"
+  "CMakeFiles/bench_ref_lookup.dir/bench_ref_lookup.cc.o.d"
+  "bench_ref_lookup"
+  "bench_ref_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ref_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

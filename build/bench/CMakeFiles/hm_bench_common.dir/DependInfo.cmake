@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cc" "bench/CMakeFiles/hm_bench_common.dir/bench_common.cc.o" "gcc" "bench/CMakeFiles/hm_bench_common.dir/bench_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypermodel/CMakeFiles/hm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/objstore/CMakeFiles/hm_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/relstore/CMakeFiles/hm_relstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertext_graph.dir/hypertext_graph.cpp.o"
+  "CMakeFiles/hypertext_graph.dir/hypertext_graph.cpp.o.d"
+  "hypertext_graph"
+  "hypertext_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertext_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypermodel/backends/mem_store.cc" "src/hypermodel/CMakeFiles/hm_core.dir/backends/mem_store.cc.o" "gcc" "src/hypermodel/CMakeFiles/hm_core.dir/backends/mem_store.cc.o.d"
+  "/root/repo/src/hypermodel/backends/net_store.cc" "src/hypermodel/CMakeFiles/hm_core.dir/backends/net_store.cc.o" "gcc" "src/hypermodel/CMakeFiles/hm_core.dir/backends/net_store.cc.o.d"
+  "/root/repo/src/hypermodel/backends/oodb_store.cc" "src/hypermodel/CMakeFiles/hm_core.dir/backends/oodb_store.cc.o" "gcc" "src/hypermodel/CMakeFiles/hm_core.dir/backends/oodb_store.cc.o.d"
+  "/root/repo/src/hypermodel/backends/rel_store.cc" "src/hypermodel/CMakeFiles/hm_core.dir/backends/rel_store.cc.o" "gcc" "src/hypermodel/CMakeFiles/hm_core.dir/backends/rel_store.cc.o.d"
+  "/root/repo/src/hypermodel/driver.cc" "src/hypermodel/CMakeFiles/hm_core.dir/driver.cc.o" "gcc" "src/hypermodel/CMakeFiles/hm_core.dir/driver.cc.o.d"
+  "/root/repo/src/hypermodel/ext/access_control.cc" "src/hypermodel/CMakeFiles/hm_core.dir/ext/access_control.cc.o" "gcc" "src/hypermodel/CMakeFiles/hm_core.dir/ext/access_control.cc.o.d"
+  "/root/repo/src/hypermodel/ext/occ.cc" "src/hypermodel/CMakeFiles/hm_core.dir/ext/occ.cc.o" "gcc" "src/hypermodel/CMakeFiles/hm_core.dir/ext/occ.cc.o.d"
+  "/root/repo/src/hypermodel/ext/query.cc" "src/hypermodel/CMakeFiles/hm_core.dir/ext/query.cc.o" "gcc" "src/hypermodel/CMakeFiles/hm_core.dir/ext/query.cc.o.d"
+  "/root/repo/src/hypermodel/ext/schema_evolution.cc" "src/hypermodel/CMakeFiles/hm_core.dir/ext/schema_evolution.cc.o" "gcc" "src/hypermodel/CMakeFiles/hm_core.dir/ext/schema_evolution.cc.o.d"
+  "/root/repo/src/hypermodel/ext/version.cc" "src/hypermodel/CMakeFiles/hm_core.dir/ext/version.cc.o" "gcc" "src/hypermodel/CMakeFiles/hm_core.dir/ext/version.cc.o.d"
+  "/root/repo/src/hypermodel/generator.cc" "src/hypermodel/CMakeFiles/hm_core.dir/generator.cc.o" "gcc" "src/hypermodel/CMakeFiles/hm_core.dir/generator.cc.o.d"
+  "/root/repo/src/hypermodel/operations.cc" "src/hypermodel/CMakeFiles/hm_core.dir/operations.cc.o" "gcc" "src/hypermodel/CMakeFiles/hm_core.dir/operations.cc.o.d"
+  "/root/repo/src/hypermodel/report.cc" "src/hypermodel/CMakeFiles/hm_core.dir/report.cc.o" "gcc" "src/hypermodel/CMakeFiles/hm_core.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/objstore/CMakeFiles/hm_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/relstore/CMakeFiles/hm_relstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_core.dir/backends/mem_store.cc.o"
+  "CMakeFiles/hm_core.dir/backends/mem_store.cc.o.d"
+  "CMakeFiles/hm_core.dir/backends/net_store.cc.o"
+  "CMakeFiles/hm_core.dir/backends/net_store.cc.o.d"
+  "CMakeFiles/hm_core.dir/backends/oodb_store.cc.o"
+  "CMakeFiles/hm_core.dir/backends/oodb_store.cc.o.d"
+  "CMakeFiles/hm_core.dir/backends/rel_store.cc.o"
+  "CMakeFiles/hm_core.dir/backends/rel_store.cc.o.d"
+  "CMakeFiles/hm_core.dir/driver.cc.o"
+  "CMakeFiles/hm_core.dir/driver.cc.o.d"
+  "CMakeFiles/hm_core.dir/ext/access_control.cc.o"
+  "CMakeFiles/hm_core.dir/ext/access_control.cc.o.d"
+  "CMakeFiles/hm_core.dir/ext/occ.cc.o"
+  "CMakeFiles/hm_core.dir/ext/occ.cc.o.d"
+  "CMakeFiles/hm_core.dir/ext/query.cc.o"
+  "CMakeFiles/hm_core.dir/ext/query.cc.o.d"
+  "CMakeFiles/hm_core.dir/ext/schema_evolution.cc.o"
+  "CMakeFiles/hm_core.dir/ext/schema_evolution.cc.o.d"
+  "CMakeFiles/hm_core.dir/ext/version.cc.o"
+  "CMakeFiles/hm_core.dir/ext/version.cc.o.d"
+  "CMakeFiles/hm_core.dir/generator.cc.o"
+  "CMakeFiles/hm_core.dir/generator.cc.o.d"
+  "CMakeFiles/hm_core.dir/operations.cc.o"
+  "CMakeFiles/hm_core.dir/operations.cc.o.d"
+  "CMakeFiles/hm_core.dir/report.cc.o"
+  "CMakeFiles/hm_core.dir/report.cc.o.d"
+  "libhm_core.a"
+  "libhm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

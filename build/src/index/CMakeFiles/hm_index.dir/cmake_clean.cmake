@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_index.dir/bptree.cc.o"
+  "CMakeFiles/hm_index.dir/bptree.cc.o.d"
+  "libhm_index.a"
+  "libhm_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_objstore.dir/object_store.cc.o"
+  "CMakeFiles/hm_objstore.dir/object_store.cc.o.d"
+  "libhm_objstore.a"
+  "libhm_objstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_objstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

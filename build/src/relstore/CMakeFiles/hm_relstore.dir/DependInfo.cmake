@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relstore/schema.cc" "src/relstore/CMakeFiles/hm_relstore.dir/schema.cc.o" "gcc" "src/relstore/CMakeFiles/hm_relstore.dir/schema.cc.o.d"
+  "/root/repo/src/relstore/table.cc" "src/relstore/CMakeFiles/hm_relstore.dir/table.cc.o" "gcc" "src/relstore/CMakeFiles/hm_relstore.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/hm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

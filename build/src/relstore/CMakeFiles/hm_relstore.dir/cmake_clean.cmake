@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_relstore.dir/schema.cc.o"
+  "CMakeFiles/hm_relstore.dir/schema.cc.o.d"
+  "CMakeFiles/hm_relstore.dir/table.cc.o"
+  "CMakeFiles/hm_relstore.dir/table.cc.o.d"
+  "libhm_relstore.a"
+  "libhm_relstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_relstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/hm_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/hm_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/file_manager.cc" "src/storage/CMakeFiles/hm_storage.dir/file_manager.cc.o" "gcc" "src/storage/CMakeFiles/hm_storage.dir/file_manager.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/storage/CMakeFiles/hm_storage.dir/slotted_page.cc.o" "gcc" "src/storage/CMakeFiles/hm_storage.dir/slotted_page.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/hm_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/hm_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/hm_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/hm_storage.dir/file_manager.cc.o"
+  "CMakeFiles/hm_storage.dir/file_manager.cc.o.d"
+  "CMakeFiles/hm_storage.dir/slotted_page.cc.o"
+  "CMakeFiles/hm_storage.dir/slotted_page.cc.o.d"
+  "CMakeFiles/hm_storage.dir/wal.cc.o"
+  "CMakeFiles/hm_storage.dir/wal.cc.o.d"
+  "libhm_storage.a"
+  "libhm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_util.dir/bitmap.cc.o"
+  "CMakeFiles/hm_util.dir/bitmap.cc.o.d"
+  "CMakeFiles/hm_util.dir/crc32.cc.o"
+  "CMakeFiles/hm_util.dir/crc32.cc.o.d"
+  "CMakeFiles/hm_util.dir/status.cc.o"
+  "CMakeFiles/hm_util.dir/status.cc.o.d"
+  "CMakeFiles/hm_util.dir/text.cc.o"
+  "CMakeFiles/hm_util.dir/text.cc.o.d"
+  "libhm_util.a"
+  "libhm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relstore_test.dir/relstore_test.cc.o"
+  "CMakeFiles/relstore_test.dir/relstore_test.cc.o.d"
+  "relstore_test"
+  "relstore_test.pdb"
+  "relstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_contract_test.dir/store_contract_test.cc.o"
+  "CMakeFiles/store_contract_test.dir/store_contract_test.cc.o.d"
+  "store_contract_test"
+  "store_contract_test.pdb"
+  "store_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

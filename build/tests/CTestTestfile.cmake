@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/bptree_test[1]_include.cmake")
+include("/root/repo/build/tests/objstore_test[1]_include.cmake")
+include("/root/repo/build/tests/relstore_test[1]_include.cmake")
+include("/root/repo/build/tests/store_contract_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/operations_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/ext_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/image_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmbench.dir/hmbench.cc.o"
+  "CMakeFiles/hmbench.dir/hmbench.cc.o.d"
+  "hmbench"
+  "hmbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
