@@ -2,8 +2,8 @@
 // the leaves, M-N-attribute to depth 25, from a random level-3 node.
 #include "bench/bench_common.h"
 
-int main() {
-  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5});
+int main(int argc, char** argv) {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv(argc, argv, {4, 5});
   hm::bench::RunOpsBench(
       env, {hm::OpId::kClosure1N, hm::OpId::kClosureMN,
             hm::OpId::kClosureMNAtt},

@@ -2,8 +2,8 @@
 // attribute set, predicate-pruned closure, weighted link-distance sum.
 #include "bench/bench_common.h"
 
-int main() {
-  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5});
+int main(int argc, char** argv) {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv(argc, argv, {4, 5});
   hm::bench::RunOpsBench(
       env,
       {hm::OpId::kClosure1NAttSum, hm::OpId::kClosure1NAttSet,

@@ -121,8 +121,8 @@ void RunPolicy(const hm::bench::BenchEnv& env,
 
 }  // namespace
 
-int main() {
-  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5});
+int main(int argc, char** argv) {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv(argc, argv, {4, 5});
   std::cout << "### E10: Clustering ablation (§5.2) — oodb backend\n\n";
 
   std::vector<Row> rows;

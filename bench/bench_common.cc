@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <sstream>
@@ -11,6 +12,8 @@
 #include "hypermodel/backends/net_store.h"
 #include "hypermodel/backends/oodb_store.h"
 #include "hypermodel/backends/rel_store.h"
+#include "hypermodel/backends/remote_store.h"
+#include "server/server.h"
 #include "util/check.h"
 
 namespace hm::bench {
@@ -54,10 +57,50 @@ BenchEnv ParseEnv(std::vector<int> default_levels) {
   if (const char* cache = std::getenv("HM_CACHE_PAGES")) {
     env.cache_pages = static_cast<size_t>(std::atoll(cache));
   }
+  if (const char* remote = std::getenv("HM_REMOTE_ADDR")) {
+    env.remote_addr = remote;
+  }
   env.workdir =
       "/tmp/hm_bench_" + std::to_string(static_cast<long>(::getpid()));
   std::filesystem::remove_all(env.workdir);
   std::filesystem::create_directories(env.workdir);
+  return env;
+}
+
+BenchEnv ParseEnv(int argc, char** argv, std::vector<int> default_levels) {
+  BenchEnv env = ParseEnv(std::move(default_levels));
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.starts_with("--levels=")) {
+      env.levels.clear();
+      for (const std::string& level : SplitCsv(value("--levels="))) {
+        env.levels.push_back(std::atoi(level.c_str()));
+      }
+    } else if (arg.starts_with("--backends=")) {
+      env.backends = SplitCsv(value("--backends="));
+    } else if (arg.starts_with("--backend=")) {
+      env.backends = SplitCsv(value("--backend="));
+    } else if (arg.starts_with("--iters=")) {
+      env.iterations = std::atoi(value("--iters=").c_str());
+    } else if (arg.starts_with("--cache-pages=")) {
+      env.cache_pages =
+          static_cast<size_t>(std::atoll(value("--cache-pages=").c_str()));
+    } else if (arg.starts_with("--remote=")) {
+      env.remote_addr = value("--remote=");
+    } else {
+      std::cerr << "unknown argument '" << arg
+                << "' (supported: --levels= --backend(s)= --iters= "
+                   "--cache-pages= --remote=)\n";
+      std::exit(1);
+    }
+  }
+  if (env.levels.empty() || env.backends.empty() || env.iterations <= 0) {
+    std::cerr << "bad benchmark configuration\n";
+    std::exit(1);
+  }
   return env;
 }
 
@@ -87,6 +130,30 @@ std::unique_ptr<HyperStore> OpenBackend(const BenchEnv& env,
     options.cache_pages = env.cache_pages;
     auto store = backends::RelStore::Open(options, dir);
     CheckOk(store.status());
+    return std::move(*store);
+  }
+  if (name == "remote") {
+    util::Result<std::unique_ptr<backends::RemoteStore>> store = [&]() {
+      if (env.remote_addr.empty()) {
+        // Self-hosted loopback: the hop is still real TCP, just
+        // against a server thread in this process.
+        server::ServerOptions options;
+        options.reset_factory =
+            []() -> util::Result<std::unique_ptr<HyperStore>> {
+          return std::unique_ptr<HyperStore>(
+              std::make_unique<backends::MemStore>());
+        };
+        return backends::RemoteStore::Loopback(
+            std::make_unique<backends::MemStore>(), options);
+      }
+      auto remote_options = backends::ParseRemoteAddr(env.remote_addr);
+      CheckOk(remote_options.status());
+      return backends::RemoteStore::Connect(*remote_options);
+    }();
+    CheckOk(store.status());
+    // The §5.2 generator numbers nodes from uid 1; a long-lived server
+    // must be emptied or the next run's creates collide.
+    CheckOk((*store)->ResetServer());
     return std::move(*store);
   }
   std::cerr << "unknown backend '" << name << "'\n";

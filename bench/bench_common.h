@@ -16,9 +16,16 @@ namespace hm::bench {
 /// Shared configuration for the paper-table benchmark binaries,
 /// parsed from the environment:
 ///   HM_LEVELS   comma-separated leaf levels (default per binary)
-///   HM_BACKENDS comma-separated subset of mem,oodb,rel,net (default all)
+///   HM_BACKENDS comma-separated subset of mem,oodb,rel,net,remote
+///               (default: all in-process backends)
 ///   HM_ITERS    protocol iterations per run (default 50, the paper's)
 ///   HM_CACHE_PAGES workstation cache size in pages (default 2048)
+///   HM_REMOTE_ADDR host:port served by `hmbench serve` for the
+///               `remote` backend (default: spawn an in-process
+///               loopback server over a mem backend)
+/// and from command-line flags, which override the environment:
+///   --levels=4,5  --backend(s)=remote  --iters=N  --cache-pages=N
+///   --remote=HOST:PORT
 struct BenchEnv {
   std::vector<int> levels;
   std::vector<std::string> backends{"mem", "oodb", "rel", "net"};
@@ -27,11 +34,16 @@ struct BenchEnv {
   hm::objstore::PlacementPolicy placement =
       hm::objstore::PlacementPolicy::kClustered;
   std::string workdir;
+  std::string remote_addr;  // empty => loopback self-hosting
 };
 
 /// Reads the environment; `default_levels` applies when HM_LEVELS is
 /// unset. Creates a scratch directory for the persistent backends.
 BenchEnv ParseEnv(std::vector<int> default_levels);
+
+/// As above, then applies command-line flags on top, so every bench
+/// binary accepts e.g. `bench_full --backend=remote --levels=4`.
+BenchEnv ParseEnv(int argc, char** argv, std::vector<int> default_levels);
 
 /// Opens the named backend in `dir` (mem ignores the directory).
 std::unique_ptr<HyperStore> OpenBackend(const BenchEnv& env,

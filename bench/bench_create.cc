@@ -2,8 +2,8 @@
 // each creation phase, commit included, per level and backend.
 #include "bench/bench_common.h"
 
-int main() {
-  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5});
+int main(int argc, char** argv) {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv(argc, argv, {4, 5});
   hm::bench::RunOpsBench(env, {}, "E1: Database creation (§5.3)",
                          /*include_creation=*/true);
   return 0;

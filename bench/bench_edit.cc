@@ -2,8 +2,8 @@
 // bitmap subrectangle inversion, retrieve + store included.
 #include "bench/bench_common.h"
 
-int main() {
-  hm::bench::BenchEnv env = hm::bench::ParseEnv({4});
+int main(int argc, char** argv) {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv(argc, argv, {4});
   hm::bench::RunOpsBench(env,
                          {hm::OpId::kTextNodeEdit, hm::OpId::kFormNodeEdit},
                          "E9: Editing (§6.7, ops 16/17)");

@@ -37,8 +37,8 @@ void Print(const std::vector<Row>& rows) {
 
 }  // namespace
 
-int main() {
-  hm::bench::BenchEnv env = hm::bench::ParseEnv({4});
+int main(int argc, char** argv) {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv(argc, argv, {4});
   std::cout << "### E12: Extension operations (§6.8 — R4 schema "
                "modification, R5 versions, R11 access control)\n\n";
 

@@ -10,8 +10,8 @@
 
 #include "bench/bench_common.h"
 
-int main() {
-  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5, 6});
+int main(int argc, char** argv) {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv(argc, argv, {4, 5, 6});
   hm::bench::RunOpsBench(env, hm::AllOps(),
                          "E11: Full HyperModel operation matrix (§6)",
                          /*include_creation=*/true);

@@ -2,8 +2,8 @@
 // relationships from a random node.
 #include "bench/bench_common.h"
 
-int main() {
-  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5});
+int main(int argc, char** argv) {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv(argc, argv, {4, 5});
   hm::bench::RunOpsBench(env,
                          {hm::OpId::kGroupLookup1N, hm::OpId::kGroupLookupMN,
                           hm::OpId::kGroupLookupMNAtt},

@@ -28,8 +28,8 @@ struct Row {
 
 }  // namespace
 
-int main() {
-  hm::bench::BenchEnv env = hm::bench::ParseEnv({4});
+int main(int argc, char** argv) {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv(argc, argv, {4});
   std::cout << "### E13: Multi-user editing under optimistic concurrency "
                "control (R8/R9, §7)\n\n";
 

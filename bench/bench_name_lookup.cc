@@ -1,8 +1,8 @@
 // E2 (§6.1): name lookup by key attribute and by object id.
 #include "bench/bench_common.h"
 
-int main() {
-  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5});
+int main(int argc, char** argv) {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv(argc, argv, {4, 5});
   hm::bench::RunOpsBench(
       env, {hm::OpId::kNameLookup, hm::OpId::kNameOidLookup},
       "E2: Name lookup (§6.1, ops 01-02)");

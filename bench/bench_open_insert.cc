@@ -29,8 +29,8 @@ struct Row {
 
 }  // namespace
 
-int main() {
-  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5});
+int main(int argc, char** argv) {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv(argc, argv, {4, 5});
   std::cout << "### E14: /RUBE87/ simple operations — databaseOpen and "
                "recordInsert\n\n";
 

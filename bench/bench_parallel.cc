@@ -25,8 +25,8 @@ using hm::bench::CheckOk;
 
 }  // namespace
 
-int main() {
-  hm::bench::BenchEnv env = hm::bench::ParseEnv({4});
+int main(int argc, char** argv) {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv(argc, argv, {4});
   std::cout << "### E15: Parallel HyperModel applications (§7) — K readers, "
                "one shared database, private caches\n\n";
 

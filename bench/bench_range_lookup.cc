@@ -2,8 +2,8 @@
 // selectivity, exercising the secondary indexes.
 #include "bench/bench_common.h"
 
-int main() {
-  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5});
+int main(int argc, char** argv) {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv(argc, argv, {4, 5});
   hm::bench::RunOpsBench(
       env, {hm::OpId::kRangeLookupHundred, hm::OpId::kRangeLookupMillion},
       "E3: Range lookup (§6.2, ops 03-04)");

@@ -1,8 +1,8 @@
 // E5 (§6.4): reference lookup — the inverse directions of E4.
 #include "bench/bench_common.h"
 
-int main() {
-  hm::bench::BenchEnv env = hm::bench::ParseEnv({4, 5});
+int main(int argc, char** argv) {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv(argc, argv, {4, 5});
   hm::bench::RunOpsBench(env,
                          {hm::OpId::kRefLookup1N, hm::OpId::kRefLookupMN,
                           hm::OpId::kRefLookupMNAtt},

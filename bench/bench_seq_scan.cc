@@ -2,8 +2,8 @@
 // without using a class extent.
 #include "bench/bench_common.h"
 
-int main() {
-  hm::bench::BenchEnv env = hm::bench::ParseEnv({4});
+int main(int argc, char** argv) {
+  hm::bench::BenchEnv env = hm::bench::ParseEnv(argc, argv, {4});
   hm::bench::RunOpsBench(env, {hm::OpId::kSeqScan},
                          "E6: Sequential scan (§6.4.1, op 09)");
   return 0;

@@ -1,0 +1,456 @@
+#include "hypermodel/backends/remote_store.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace hm::backends {
+
+namespace {
+
+util::Status Errno(const std::string& what) {
+  return util::Status::IoError("remote: " + what + ": " +
+                               std::strerror(errno));
+}
+
+void PutNode(std::string* dst, NodeRef node) {
+  util::PutVarint64(dst, node);
+}
+
+}  // namespace
+
+util::Result<RemoteOptions> ParseRemoteAddr(const std::string& addr) {
+  RemoteOptions options;
+  std::string port = addr;
+  size_t colon = addr.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon == 0) {
+      return util::Status::InvalidArgument("bad remote address '" + addr +
+                                           "' (expected host:port)");
+    }
+    options.host = addr.substr(0, colon);
+    port = addr.substr(colon + 1);
+  }
+  char* end = nullptr;
+  long value = std::strtol(port.c_str(), &end, 10);
+  if (port.empty() || *end != '\0' || value <= 0 || value > 65535) {
+    return util::Status::InvalidArgument("bad remote port '" + port + "'");
+  }
+  options.port = static_cast<uint16_t>(value);
+  return options;
+}
+
+util::Result<std::unique_ptr<RemoteStore>> RemoteStore::Connect(
+    const RemoteOptions& options) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::Status::InvalidArgument("remote: bad address: " +
+                                         options.host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    util::Status status = Errno("connect " + options.host + ":" +
+                                std::to_string(options.port));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::unique_ptr<RemoteStore> store(new RemoteStore());
+  store->fd_ = fd;
+  HM_RETURN_IF_ERROR(store->Hello());
+  return store;
+}
+
+util::Result<std::unique_ptr<RemoteStore>> RemoteStore::Loopback(
+    std::unique_ptr<HyperStore> backend,
+    server::ServerOptions server_options) {
+  server_options.host = "127.0.0.1";
+  server_options.port = 0;  // ephemeral: never collides with a real one
+  auto srv = server::Server::Start(server_options, std::move(backend));
+  HM_RETURN_IF_ERROR(srv.status());
+
+  RemoteOptions options;
+  options.host = (*srv)->host();
+  options.port = (*srv)->port();
+  auto store = Connect(options);
+  HM_RETURN_IF_ERROR(store.status());
+  (*store)->owned_server_ = std::move(*srv);
+  return std::move(*store);
+}
+
+RemoteStore::~RemoteStore() {
+  if (fd_ >= 0) ::close(fd_);
+  // owned_server_ (if any) stops and joins in its destructor, after
+  // the socket above has already signalled EOF to its worker.
+}
+
+util::Status RemoteStore::Call(server::OpCode op, std::string_view body,
+                               std::string* result) {
+  if (fd_ < 0) {
+    return util::Status::IoError("remote: connection is closed");
+  }
+  std::string payload;
+  payload.reserve(1 + body.size());
+  payload.push_back(static_cast<char>(op));
+  payload.append(body);
+  std::string frame;
+  server::AppendFrame(&frame, payload);
+
+  auto poison = [&](util::Status status) {
+    ::close(fd_);
+    fd_ = -1;
+    return status;
+  };
+
+  if (!server::WriteAll(fd_, frame)) return poison(Errno("send"));
+
+  char chunk[64 * 1024];
+  for (;;) {
+    std::string_view response;
+    size_t frame_len = 0;
+    server::FrameResult decoded =
+        server::DecodeFrame(rx_, &response, &frame_len);
+    if (decoded == server::FrameResult::kOk) {
+      util::Status status;
+      std::string_view result_body;
+      if (!server::SplitResponse(response, &status, &result_body)) {
+        return poison(
+            util::Status::Corruption("remote: malformed response"));
+      }
+      if (result != nullptr) result->assign(result_body);
+      rx_.erase(0, frame_len);
+      return status;
+    }
+    if (decoded != server::FrameResult::kIncomplete) {
+      return poison(util::Status::Corruption(
+          "remote: bad response frame (" +
+          std::string(server::FrameResultName(decoded)) + ")"));
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return poison(
+          util::Status::IoError("remote: server closed the connection"));
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return poison(Errno("recv"));
+    }
+    rx_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+util::Status RemoteStore::Hello() {
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(server::OpCode::kHello, {}, &result));
+  util::Decoder decoder(result);
+  std::string_view name;
+  if (result.empty()) {
+    return util::Status::Corruption("remote: short Hello response");
+  }
+  uint8_t version = static_cast<uint8_t>(result[0]);
+  decoder.Skip(1);
+  if (!decoder.GetLengthPrefixed(&name)) {
+    return util::Status::Corruption("remote: short Hello response");
+  }
+  if (version != server::kWireVersion) {
+    return util::Status::InvalidArgument(
+        "remote: wire version mismatch (server " +
+        std::to_string(version) + ", client " +
+        std::to_string(server::kWireVersion) + ")");
+  }
+  server_backend_ = std::string(name);
+  return util::Status::Ok();
+}
+
+util::Status RemoteStore::ResetServer() {
+  return Call(server::OpCode::kReset, {}, nullptr);
+}
+
+util::Status RemoteStore::Begin() {
+  return Call(server::OpCode::kBegin, {}, nullptr);
+}
+
+util::Status RemoteStore::Commit() {
+  return Call(server::OpCode::kCommit, {}, nullptr);
+}
+
+util::Status RemoteStore::Abort() {
+  return Call(server::OpCode::kAbort, {}, nullptr);
+}
+
+util::Status RemoteStore::CloseReopen() {
+  return Call(server::OpCode::kCloseReopen, {}, nullptr);
+}
+
+util::Result<NodeRef> RemoteStore::CreateNode(const NodeAttrs& attrs,
+                                              NodeRef near) {
+  std::string body;
+  util::PutVarSigned64(&body, attrs.unique_id);
+  util::PutVarSigned64(&body, attrs.ten);
+  util::PutVarSigned64(&body, attrs.hundred);
+  util::PutVarSigned64(&body, attrs.thousand);
+  util::PutVarSigned64(&body, attrs.million);
+  util::PutVarint64(&body, static_cast<uint64_t>(attrs.kind));
+  PutNode(&body, near);
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(server::OpCode::kCreateNode, body, &result));
+  util::Decoder decoder(result);
+  uint64_t ref = 0;
+  if (!decoder.GetVarint64(&ref)) {
+    return util::Status::Corruption("remote: short CreateNode response");
+  }
+  return NodeRef{ref};
+}
+
+util::Status RemoteStore::SetText(NodeRef node, std::string_view text) {
+  std::string body;
+  PutNode(&body, node);
+  util::PutLengthPrefixed(&body, text);
+  return Call(server::OpCode::kSetText, body, nullptr);
+}
+
+util::Status RemoteStore::SetForm(NodeRef node, const util::Bitmap& form) {
+  std::string body;
+  PutNode(&body, node);
+  util::PutLengthPrefixed(&body, form.Serialize());
+  return Call(server::OpCode::kSetForm, body, nullptr);
+}
+
+util::Status RemoteStore::AddChild(NodeRef parent, NodeRef child) {
+  std::string body;
+  PutNode(&body, parent);
+  PutNode(&body, child);
+  return Call(server::OpCode::kAddChild, body, nullptr);
+}
+
+util::Status RemoteStore::AddPart(NodeRef owner, NodeRef part) {
+  std::string body;
+  PutNode(&body, owner);
+  PutNode(&body, part);
+  return Call(server::OpCode::kAddPart, body, nullptr);
+}
+
+util::Status RemoteStore::AddRef(NodeRef from, NodeRef to,
+                                 int64_t offset_from, int64_t offset_to) {
+  std::string body;
+  PutNode(&body, from);
+  PutNode(&body, to);
+  util::PutVarSigned64(&body, offset_from);
+  util::PutVarSigned64(&body, offset_to);
+  return Call(server::OpCode::kAddRef, body, nullptr);
+}
+
+util::Result<int64_t> RemoteStore::GetAttr(NodeRef node, Attr attr) {
+  std::string body;
+  PutNode(&body, node);
+  util::PutVarint64(&body, static_cast<uint64_t>(attr));
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(server::OpCode::kGetAttr, body, &result));
+  util::Decoder decoder(result);
+  int64_t value = 0;
+  if (!decoder.GetVarSigned64(&value)) {
+    return util::Status::Corruption("remote: short GetAttr response");
+  }
+  return value;
+}
+
+util::Status RemoteStore::SetAttr(NodeRef node, Attr attr, int64_t value) {
+  std::string body;
+  PutNode(&body, node);
+  util::PutVarint64(&body, static_cast<uint64_t>(attr));
+  util::PutVarSigned64(&body, value);
+  return Call(server::OpCode::kSetAttr, body, nullptr);
+}
+
+util::Result<NodeKind> RemoteStore::GetKind(NodeRef node) {
+  std::string body;
+  PutNode(&body, node);
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(server::OpCode::kGetKind, body, &result));
+  if (result.size() != 1 || static_cast<uint8_t>(result[0]) > 3) {
+    return util::Status::Corruption("remote: bad GetKind response");
+  }
+  return static_cast<NodeKind>(result[0]);
+}
+
+util::Result<std::string> RemoteStore::StringCall(server::OpCode op,
+                                                  NodeRef node) {
+  std::string body;
+  PutNode(&body, node);
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(op, body, &result));
+  util::Decoder decoder(result);
+  std::string_view text;
+  if (!decoder.GetLengthPrefixed(&text)) {
+    return util::Status::Corruption("remote: short string response");
+  }
+  return std::string(text);
+}
+
+util::Result<std::string> RemoteStore::GetText(NodeRef node) {
+  return StringCall(server::OpCode::kGetText, node);
+}
+
+util::Result<util::Bitmap> RemoteStore::GetForm(NodeRef node) {
+  auto serialized = StringCall(server::OpCode::kGetForm, node);
+  HM_RETURN_IF_ERROR(serialized.status());
+  return util::Bitmap::Deserialize(*serialized);
+}
+
+util::Status RemoteStore::SetContents(NodeRef node,
+                                      std::string_view data) {
+  std::string body;
+  PutNode(&body, node);
+  util::PutLengthPrefixed(&body, data);
+  return Call(server::OpCode::kSetContents, body, nullptr);
+}
+
+util::Result<std::string> RemoteStore::GetContents(NodeRef node) {
+  return StringCall(server::OpCode::kGetContents, node);
+}
+
+util::Result<NodeRef> RemoteStore::LookupUnique(int64_t unique_id) {
+  std::string body;
+  util::PutVarSigned64(&body, unique_id);
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(server::OpCode::kLookupUnique, body, &result));
+  util::Decoder decoder(result);
+  uint64_t ref = 0;
+  if (!decoder.GetVarint64(&ref)) {
+    return util::Status::Corruption("remote: short LookupUnique response");
+  }
+  return NodeRef{ref};
+}
+
+util::Status RemoteStore::RefListCall(server::OpCode op,
+                                      std::string_view body,
+                                      std::vector<NodeRef>* out) {
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(op, body, &result));
+  util::Decoder decoder(result);
+  uint64_t count = 0;
+  if (!decoder.GetVarint64(&count)) {
+    return util::Status::Corruption("remote: short node-list response");
+  }
+  out->reserve(out->size() + count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t ref = 0;
+    if (!decoder.GetVarint64(&ref)) {
+      return util::Status::Corruption("remote: short node-list response");
+    }
+    out->push_back(ref);
+  }
+  return util::Status::Ok();
+}
+
+util::Status RemoteStore::RangeHundred(int64_t lo, int64_t hi,
+                                       std::vector<NodeRef>* out) {
+  std::string body;
+  util::PutVarSigned64(&body, lo);
+  util::PutVarSigned64(&body, hi);
+  return RefListCall(server::OpCode::kRangeHundred, body, out);
+}
+
+util::Status RemoteStore::RangeMillion(int64_t lo, int64_t hi,
+                                       std::vector<NodeRef>* out) {
+  std::string body;
+  util::PutVarSigned64(&body, lo);
+  util::PutVarSigned64(&body, hi);
+  return RefListCall(server::OpCode::kRangeMillion, body, out);
+}
+
+util::Status RemoteStore::Children(NodeRef node,
+                                   std::vector<NodeRef>* out) {
+  std::string body;
+  PutNode(&body, node);
+  return RefListCall(server::OpCode::kChildren, body, out);
+}
+
+util::Result<NodeRef> RemoteStore::Parent(NodeRef node) {
+  std::string body;
+  PutNode(&body, node);
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(server::OpCode::kParent, body, &result));
+  util::Decoder decoder(result);
+  uint64_t parent = 0;
+  if (!decoder.GetVarint64(&parent)) {
+    return util::Status::Corruption("remote: short Parent response");
+  }
+  return NodeRef{parent};
+}
+
+util::Status RemoteStore::Parts(NodeRef node, std::vector<NodeRef>* out) {
+  std::string body;
+  PutNode(&body, node);
+  return RefListCall(server::OpCode::kParts, body, out);
+}
+
+util::Status RemoteStore::PartOf(NodeRef node, std::vector<NodeRef>* out) {
+  std::string body;
+  PutNode(&body, node);
+  return RefListCall(server::OpCode::kPartOf, body, out);
+}
+
+util::Status RemoteStore::EdgeListCall(server::OpCode op, NodeRef node,
+                                       std::vector<RefEdge>* out) {
+  std::string body;
+  PutNode(&body, node);
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(op, body, &result));
+  util::Decoder decoder(result);
+  uint64_t count = 0;
+  if (!decoder.GetVarint64(&count)) {
+    return util::Status::Corruption("remote: short edge-list response");
+  }
+  out->reserve(out->size() + count);
+  for (uint64_t i = 0; i < count; ++i) {
+    RefEdge edge;
+    uint64_t ref = 0;
+    if (!decoder.GetVarint64(&ref) ||
+        !decoder.GetVarSigned64(&edge.offset_from) ||
+        !decoder.GetVarSigned64(&edge.offset_to)) {
+      return util::Status::Corruption("remote: short edge-list response");
+    }
+    edge.node = ref;
+    out->push_back(edge);
+  }
+  return util::Status::Ok();
+}
+
+util::Status RemoteStore::RefsTo(NodeRef node, std::vector<RefEdge>* out) {
+  return EdgeListCall(server::OpCode::kRefsTo, node, out);
+}
+
+util::Status RemoteStore::RefsFrom(NodeRef node,
+                                   std::vector<RefEdge>* out) {
+  return EdgeListCall(server::OpCode::kRefsFrom, node, out);
+}
+
+util::Result<uint64_t> RemoteStore::StorageBytes() {
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(server::OpCode::kStorageBytes, {}, &result));
+  util::Decoder decoder(result);
+  uint64_t bytes = 0;
+  if (!decoder.GetVarint64(&bytes)) {
+    return util::Status::Corruption("remote: short StorageBytes response");
+  }
+  return bytes;
+}
+
+}  // namespace hm::backends

@@ -1,0 +1,136 @@
+#ifndef HM_HYPERMODEL_BACKENDS_REMOTE_STORE_H_
+#define HM_HYPERMODEL_BACKENDS_REMOTE_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "hypermodel/store.h"
+#include "server/server.h"
+#include "server/wire.h"
+
+namespace hm::backends {
+
+/// Where to find the server. Distinct from `NetOptions`: `net` is the
+/// CODASYL *network data model* backend (record rings, in-process);
+/// `remote` is the client half of the client/server split.
+struct RemoteOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7433;
+};
+
+/// Parses "host:port" (or just "port") into RemoteOptions.
+util::Result<RemoteOptions> ParseRemoteAddr(const std::string& addr);
+
+/// `HyperStore` implemented as a wire-protocol client: every call is
+/// encoded into one request frame, sent to an `hm_serve` server (see
+/// server/server.h), and the response frame decoded back into the
+/// `Status`/`Result` the caller expects. The driver, the generator and
+/// all 20 benchmark operations run unmodified against it — which is
+/// exactly the point: it exposes the client/server object-transfer
+/// cost axis the in-process backends cannot measure.
+///
+/// Like every HyperStore, a RemoteStore is single-threaded; run one
+/// client (connection) per benchmark thread. Transactions and caching
+/// are entirely server-side: Begin/Commit/CloseReopen are forwarded,
+/// so CloseReopen still makes the next access sequence cold — the
+/// chill just happens at the far end of the socket.
+class RemoteStore : public HyperStore {
+ public:
+  /// Connects to a running server and performs the Hello handshake
+  /// (protocol-version check).
+  static util::Result<std::unique_ptr<RemoteStore>> Connect(
+      const RemoteOptions& options);
+
+  /// Self-contained loopback deployment: starts an in-process server
+  /// (ephemeral port) owning `backend`, then connects to it. The
+  /// returned store owns the server; destroying the store shuts it
+  /// down. `server_options.reset_factory` may be left unset — Reset
+  /// then reports NotSupported.
+  static util::Result<std::unique_ptr<RemoteStore>> Loopback(
+      std::unique_ptr<HyperStore> backend,
+      server::ServerOptions server_options = {});
+
+  ~RemoteStore() override;
+
+  std::string name() const override { return "remote"; }
+
+  /// Backend tag reported by the server in the Hello handshake
+  /// ("mem", "oodb", ...).
+  const std::string& server_backend() const { return server_backend_; }
+
+  /// Asks the server to rebuild its database from scratch (wire opcode
+  /// kReset). The benchmark harness calls this when it opens a
+  /// `remote` store so repeated runs against a long-lived server do
+  /// not collide on uniqueIds.
+  util::Status ResetServer();
+
+  util::Status Begin() override;
+  util::Status Commit() override;
+  util::Status Abort() override;
+  util::Status CloseReopen() override;
+
+  util::Result<NodeRef> CreateNode(const NodeAttrs& attrs,
+                                   NodeRef near) override;
+  util::Status SetText(NodeRef node, std::string_view text) override;
+  util::Status SetForm(NodeRef node, const util::Bitmap& form) override;
+  util::Status AddChild(NodeRef parent, NodeRef child) override;
+  util::Status AddPart(NodeRef owner, NodeRef part) override;
+  util::Status AddRef(NodeRef from, NodeRef to, int64_t offset_from,
+                      int64_t offset_to) override;
+
+  util::Result<int64_t> GetAttr(NodeRef node, Attr attr) override;
+  util::Status SetAttr(NodeRef node, Attr attr, int64_t value) override;
+  util::Result<NodeKind> GetKind(NodeRef node) override;
+  util::Result<std::string> GetText(NodeRef node) override;
+  util::Result<util::Bitmap> GetForm(NodeRef node) override;
+  util::Status SetContents(NodeRef node, std::string_view data) override;
+  util::Result<std::string> GetContents(NodeRef node) override;
+
+  util::Result<NodeRef> LookupUnique(int64_t unique_id) override;
+  util::Status RangeHundred(int64_t lo, int64_t hi,
+                            std::vector<NodeRef>* out) override;
+  util::Status RangeMillion(int64_t lo, int64_t hi,
+                            std::vector<NodeRef>* out) override;
+
+  util::Status Children(NodeRef node, std::vector<NodeRef>* out) override;
+  util::Result<NodeRef> Parent(NodeRef node) override;
+  util::Status Parts(NodeRef node, std::vector<NodeRef>* out) override;
+  util::Status PartOf(NodeRef node, std::vector<NodeRef>* out) override;
+  util::Status RefsTo(NodeRef node, std::vector<RefEdge>* out) override;
+  util::Status RefsFrom(NodeRef node, std::vector<RefEdge>* out) override;
+
+  util::Result<uint64_t> StorageBytes() override;
+
+ private:
+  RemoteStore() = default;
+
+  /// Sends one request (opcode + body) and blocks for its response.
+  /// On OK, `*result` receives the response body. Any transport
+  /// failure poisons the connection: the socket is closed and every
+  /// later call fails with IoError.
+  util::Status Call(server::OpCode op, std::string_view body,
+                    std::string* result);
+  /// Handshake after connect: verifies kWireVersion, learns the
+  /// server's backend tag.
+  util::Status Hello();
+
+  // Shared bodies for the method families that differ only in opcode.
+  util::Status RefListCall(server::OpCode op, std::string_view body,
+                           std::vector<NodeRef>* out);
+  util::Status EdgeListCall(server::OpCode op, NodeRef node,
+                            std::vector<RefEdge>* out);
+  util::Result<std::string> StringCall(server::OpCode op, NodeRef node);
+
+  // Declared before fd_ so the in-process server (loopback mode) is
+  // destroyed after the client socket closes: members destruct in
+  // reverse order, and ~RemoteStore closes fd_ first anyway.
+  std::unique_ptr<server::Server> owned_server_;
+
+  int fd_ = -1;
+  std::string rx_;  // bytes received but not yet framed
+  std::string server_backend_;
+};
+
+}  // namespace hm::backends
+
+#endif  // HM_HYPERMODEL_BACKENDS_REMOTE_STORE_H_

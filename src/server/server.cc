@@ -1,0 +1,452 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/bitmap.h"
+#include "util/coding.h"
+
+namespace hm::server {
+
+namespace {
+
+util::Status Errno(const std::string& what) {
+  return util::Status::IoError(what + ": " + std::strerror(errno));
+}
+
+/// Appends an OK header plus a varint-encoded node list.
+void PutRefList(std::string* dst, const std::vector<NodeRef>& refs) {
+  util::PutVarint64(dst, refs.size());
+  for (NodeRef ref : refs) util::PutVarint64(dst, ref);
+}
+
+void PutEdgeList(std::string* dst, const std::vector<RefEdge>& edges) {
+  util::PutVarint64(dst, edges.size());
+  for (const RefEdge& edge : edges) {
+    util::PutVarint64(dst, edge.node);
+    util::PutVarSigned64(dst, edge.offset_from);
+    util::PutVarSigned64(dst, edge.offset_to);
+  }
+}
+
+}  // namespace
+
+bool WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+Server::Session::~Session() {
+  if (fd >= 0) ::close(fd);
+}
+
+bool Server::SessionQueue::Push(std::unique_ptr<Session> session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || sessions_.size() >= capacity_) return false;
+  sessions_.push_back(std::move(session));
+  cv_.notify_one();
+  return true;
+}
+
+std::unique_ptr<Server::Session> Server::SessionQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !sessions_.empty(); });
+  if (sessions_.empty()) return nullptr;  // closed and drained
+  std::unique_ptr<Session> session = std::move(sessions_.front());
+  sessions_.pop_front();
+  return session;
+}
+
+void Server::SessionQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  sessions_.clear();  // unserved connections are simply closed
+  cv_.notify_all();
+}
+
+util::Result<std::unique_ptr<Server>> Server::Start(
+    const ServerOptions& options, std::unique_ptr<HyperStore> backend) {
+  if (backend == nullptr) {
+    return util::Status::InvalidArgument("server requires a backend");
+  }
+  if (options.workers <= 0) {
+    return util::Status::InvalidArgument("server requires >= 1 worker");
+  }
+  std::unique_ptr<Server> server(
+      new Server(options, std::move(backend)));
+  HM_RETURN_IF_ERROR(server->Listen());
+  server->listener_ = std::thread([s = server.get()] { s->ListenLoop(); });
+  for (int i = 0; i < options.workers; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  return server;
+}
+
+util::Status Server::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return util::Status::InvalidArgument("bad bind address: " +
+                                         options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind " + options_.host + ":" +
+                 std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 128) != 0) return Errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &len) != 0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  return util::Status::Ok();
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  stopping_.store(true);
+  // Unblock accept(); the listener exits its loop on the next return.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (listener_.joinable()) listener_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  queue_.Close();
+  {
+    // Kick in-flight connections out of recv(). See TrackFd() for why
+    // this cannot hit a recycled descriptor.
+    std::lock_guard<std::mutex> lock(fds_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void Server::TrackFd(int fd) {
+  std::lock_guard<std::mutex> lock(fds_mu_);
+  active_fds_.insert(fd);
+}
+
+void Server::UntrackFd(int fd) {
+  std::lock_guard<std::mutex> lock(fds_mu_);
+  active_fds_.erase(fd);
+}
+
+void Server::Dispatch(std::string_view request, std::string* response) {
+  if (request.empty()) {
+    PutStatus(response,
+              util::Status::InvalidArgument("empty request payload"));
+    return;
+  }
+  const auto op = static_cast<OpCode>(request[0]);
+  util::Decoder body(request.substr(1));
+
+  // Decode helpers: on failure the request is answered with
+  // InvalidArgument rather than dropping the connection — framing is
+  // still intact, only this request was malformed.
+  auto bad_request = [&] {
+    response->clear();
+    PutStatus(response,
+              util::Status::InvalidArgument("malformed request body"));
+  };
+  // Appends `status` plus, when OK, the body built by `fill`.
+  auto reply = [&](const util::Status& status, auto&& fill) {
+    PutStatus(response, status);
+    if (status.ok()) fill();
+  };
+  auto reply_status = [&](const util::Status& status) {
+    PutStatus(response, status);
+  };
+
+  std::lock_guard<std::mutex> lock(backend_mu_);
+  requests_.fetch_add(1);
+
+  switch (op) {
+    case OpCode::kHello: {
+      std::string name = backend_->name();
+      reply(util::Status::Ok(), [&] {
+        response->push_back(static_cast<char>(kWireVersion));
+        util::PutLengthPrefixed(response, name);
+      });
+      return;
+    }
+    case OpCode::kReset: {
+      if (!options_.reset_factory) {
+        reply_status(util::Status::NotSupported(
+            "server was started without a reset factory"));
+        return;
+      }
+      auto fresh = options_.reset_factory();
+      if (!fresh.ok()) {
+        reply_status(fresh.status());
+        return;
+      }
+      backend_ = std::move(*fresh);
+      reply_status(util::Status::Ok());
+      return;
+    }
+    case OpCode::kBegin:
+      reply_status(backend_->Begin());
+      return;
+    case OpCode::kCommit:
+      reply_status(backend_->Commit());
+      return;
+    case OpCode::kAbort:
+      reply_status(backend_->Abort());
+      return;
+    case OpCode::kCloseReopen:
+      reply_status(backend_->CloseReopen());
+      return;
+    case OpCode::kCreateNode: {
+      NodeAttrs attrs;
+      uint64_t near = 0;
+      uint64_t kind = 0;
+      if (!body.GetVarSigned64(&attrs.unique_id) ||
+          !body.GetVarSigned64(&attrs.ten) ||
+          !body.GetVarSigned64(&attrs.hundred) ||
+          !body.GetVarSigned64(&attrs.thousand) ||
+          !body.GetVarSigned64(&attrs.million) ||
+          !body.GetVarint64(&kind) || kind > 3 ||
+          !body.GetVarint64(&near)) {
+        bad_request();
+        return;
+      }
+      attrs.kind = static_cast<NodeKind>(kind);
+      auto ref = backend_->CreateNode(attrs, near);
+      reply(ref.status(), [&] { util::PutVarint64(response, *ref); });
+      return;
+    }
+    case OpCode::kSetText: {
+      uint64_t node = 0;
+      std::string_view text;
+      if (!body.GetVarint64(&node) || !body.GetLengthPrefixed(&text)) {
+        bad_request();
+        return;
+      }
+      reply_status(backend_->SetText(node, text));
+      return;
+    }
+    case OpCode::kSetForm: {
+      uint64_t node = 0;
+      std::string_view serialized;
+      if (!body.GetVarint64(&node) ||
+          !body.GetLengthPrefixed(&serialized)) {
+        bad_request();
+        return;
+      }
+      auto form = util::Bitmap::Deserialize(serialized);
+      if (!form.ok()) {
+        reply_status(form.status());
+        return;
+      }
+      reply_status(backend_->SetForm(node, *form));
+      return;
+    }
+    case OpCode::kAddChild: {
+      uint64_t parent = 0, child = 0;
+      if (!body.GetVarint64(&parent) || !body.GetVarint64(&child)) {
+        bad_request();
+        return;
+      }
+      reply_status(backend_->AddChild(parent, child));
+      return;
+    }
+    case OpCode::kAddPart: {
+      uint64_t owner = 0, part = 0;
+      if (!body.GetVarint64(&owner) || !body.GetVarint64(&part)) {
+        bad_request();
+        return;
+      }
+      reply_status(backend_->AddPart(owner, part));
+      return;
+    }
+    case OpCode::kAddRef: {
+      uint64_t from = 0, to = 0;
+      int64_t offset_from = 0, offset_to = 0;
+      if (!body.GetVarint64(&from) || !body.GetVarint64(&to) ||
+          !body.GetVarSigned64(&offset_from) ||
+          !body.GetVarSigned64(&offset_to)) {
+        bad_request();
+        return;
+      }
+      reply_status(backend_->AddRef(from, to, offset_from, offset_to));
+      return;
+    }
+    case OpCode::kGetAttr:
+    case OpCode::kSetAttr: {
+      uint64_t node = 0;
+      uint64_t attr = 0;
+      if (!body.GetVarint64(&node) || !body.GetVarint64(&attr) ||
+          attr > 4) {
+        bad_request();
+        return;
+      }
+      if (op == OpCode::kGetAttr) {
+        auto value = backend_->GetAttr(node, static_cast<Attr>(attr));
+        reply(value.status(),
+              [&] { util::PutVarSigned64(response, *value); });
+      } else {
+        int64_t value = 0;
+        if (!body.GetVarSigned64(&value)) {
+          bad_request();
+          return;
+        }
+        reply_status(
+            backend_->SetAttr(node, static_cast<Attr>(attr), value));
+      }
+      return;
+    }
+    case OpCode::kGetKind: {
+      uint64_t node = 0;
+      if (!body.GetVarint64(&node)) {
+        bad_request();
+        return;
+      }
+      auto kind = backend_->GetKind(node);
+      reply(kind.status(), [&] {
+        response->push_back(static_cast<char>(*kind));
+      });
+      return;
+    }
+    case OpCode::kGetText:
+    case OpCode::kGetContents: {
+      uint64_t node = 0;
+      if (!body.GetVarint64(&node)) {
+        bad_request();
+        return;
+      }
+      auto text = op == OpCode::kGetText ? backend_->GetText(node)
+                                         : backend_->GetContents(node);
+      reply(text.status(),
+            [&] { util::PutLengthPrefixed(response, *text); });
+      return;
+    }
+    case OpCode::kGetForm: {
+      uint64_t node = 0;
+      if (!body.GetVarint64(&node)) {
+        bad_request();
+        return;
+      }
+      auto form = backend_->GetForm(node);
+      reply(form.status(), [&] {
+        util::PutLengthPrefixed(response, form->Serialize());
+      });
+      return;
+    }
+    case OpCode::kSetContents: {
+      uint64_t node = 0;
+      std::string_view data;
+      if (!body.GetVarint64(&node) || !body.GetLengthPrefixed(&data)) {
+        bad_request();
+        return;
+      }
+      reply_status(backend_->SetContents(node, data));
+      return;
+    }
+    case OpCode::kLookupUnique: {
+      int64_t unique_id = 0;
+      if (!body.GetVarSigned64(&unique_id)) {
+        bad_request();
+        return;
+      }
+      auto ref = backend_->LookupUnique(unique_id);
+      reply(ref.status(), [&] { util::PutVarint64(response, *ref); });
+      return;
+    }
+    case OpCode::kRangeHundred:
+    case OpCode::kRangeMillion: {
+      int64_t lo = 0, hi = 0;
+      if (!body.GetVarSigned64(&lo) || !body.GetVarSigned64(&hi)) {
+        bad_request();
+        return;
+      }
+      std::vector<NodeRef> refs;
+      util::Status status =
+          op == OpCode::kRangeHundred
+              ? backend_->RangeHundred(lo, hi, &refs)
+              : backend_->RangeMillion(lo, hi, &refs);
+      reply(status, [&] { PutRefList(response, refs); });
+      return;
+    }
+    case OpCode::kChildren:
+    case OpCode::kParts:
+    case OpCode::kPartOf: {
+      uint64_t node = 0;
+      if (!body.GetVarint64(&node)) {
+        bad_request();
+        return;
+      }
+      std::vector<NodeRef> refs;
+      util::Status status =
+          op == OpCode::kChildren ? backend_->Children(node, &refs)
+          : op == OpCode::kParts  ? backend_->Parts(node, &refs)
+                                  : backend_->PartOf(node, &refs);
+      reply(status, [&] { PutRefList(response, refs); });
+      return;
+    }
+    case OpCode::kParent: {
+      uint64_t node = 0;
+      if (!body.GetVarint64(&node)) {
+        bad_request();
+        return;
+      }
+      auto parent = backend_->Parent(node);
+      reply(parent.status(),
+            [&] { util::PutVarint64(response, *parent); });
+      return;
+    }
+    case OpCode::kRefsTo:
+    case OpCode::kRefsFrom: {
+      uint64_t node = 0;
+      if (!body.GetVarint64(&node)) {
+        bad_request();
+        return;
+      }
+      std::vector<RefEdge> edges;
+      util::Status status = op == OpCode::kRefsTo
+                                ? backend_->RefsTo(node, &edges)
+                                : backend_->RefsFrom(node, &edges);
+      reply(status, [&] { PutEdgeList(response, edges); });
+      return;
+    }
+    case OpCode::kStorageBytes: {
+      auto bytes = backend_->StorageBytes();
+      reply(bytes.status(),
+            [&] { util::PutVarint64(response, *bytes); });
+      return;
+    }
+  }
+  reply_status(util::Status::NotSupported(
+      "unknown opcode " + std::to_string(request[0])));
+}
+
+}  // namespace hm::server

@@ -1,0 +1,174 @@
+#ifndef HM_SERVER_SERVER_H_
+#define HM_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "hypermodel/store.h"
+#include "server/wire.h"
+#include "util/status.h"
+
+namespace hm::server {
+
+/// Configuration for a HyperStore server.
+struct ServerOptions {
+  /// Interface to bind. The benchmark protocol measures the loopback
+  /// hop by default; bind 0.0.0.0 to serve other machines.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Fixed worker-pool size. Each worker owns one connection at a
+  /// time; backend calls are serialized internally, so workers buy
+  /// parallel I/O and framing, not parallel storage access.
+  int workers = 4;
+  /// Bound on connections accepted but not yet claimed by a worker.
+  /// When full, new connections are closed immediately (backpressure
+  /// at the door rather than unbounded memory growth).
+  size_t queue_capacity = 64;
+  /// Per-frame payload ceiling; oversized frames drop the connection.
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Rebuilds the served database in place when a client sends
+  /// kReset (the benchmark harness does, so repeated runs against a
+  /// long-lived server start from an empty store). Unset => kReset is
+  /// answered with NotSupported.
+  std::function<util::Result<std::unique_ptr<HyperStore>>()> reset_factory;
+};
+
+/// A TCP server exposing one HyperStore backend over the binary wire
+/// protocol (server/wire.h). Architecture:
+///
+///   listener thread --accept--> bounded session queue --pop--> workers
+///
+/// The listener only accepts and enqueues; each worker serves one
+/// connection to completion (read frame, dispatch, write response).
+/// Dispatch serializes on a single backend mutex — the HyperStore
+/// implementations are single-threaded by contract, so the server
+/// provides the same coarse isolation the §5 protocol assumes while
+/// still overlapping network I/O across connections.
+///
+/// Stop() (also run by the destructor) is a clean shutdown: it stops
+/// accepting, discards queued-but-unserved connections, shuts down
+/// in-flight sockets so workers unblock, and joins every thread.
+class Server {
+ public:
+  /// Binds, listens and starts the listener + worker threads. Takes
+  /// ownership of `backend`; it is destroyed after all threads stop.
+  static util::Result<std::unique_ptr<Server>> Start(
+      const ServerOptions& options, std::unique_ptr<HyperStore> backend);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Idempotent clean shutdown; blocks until all threads have joined.
+  void Stop();
+
+  const std::string& host() const { return options_.host; }
+  /// Actual bound port (resolves port 0 to the kernel's choice).
+  uint16_t port() const { return port_; }
+
+  HyperStore* backend() { return backend_.get(); }
+
+  // --- Counters (diagnostics; monotone over the server's life) -------
+  uint64_t requests_served() const { return requests_.load(); }
+  uint64_t connections_accepted() const { return accepted_.load(); }
+  /// Connections closed at accept time because the queue was full.
+  uint64_t connections_rejected() const { return rejected_.load(); }
+
+ private:
+  /// One accepted connection: the socket plus its peer label. Closing
+  /// happens in the destructor so a session dropped anywhere (queue
+  /// overflow, shutdown, serve completion) releases its socket.
+  struct Session {
+    explicit Session(int fd) : fd(fd) {}
+    ~Session();
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+    int fd = -1;
+    std::string buffer;  // bytes received but not yet framed
+  };
+
+  /// Bounded MPSC-ish handoff between the listener and the workers.
+  class SessionQueue {
+   public:
+    explicit SessionQueue(size_t capacity) : capacity_(capacity) {}
+    /// False (dropping `session`) when full or closed.
+    bool Push(std::unique_ptr<Session> session);
+    /// Blocks; returns null once closed and drained.
+    std::unique_ptr<Session> Pop();
+    /// Wakes all poppers and discards any queued sessions.
+    void Close();
+
+   private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::unique_ptr<Session>> sessions_;
+    size_t capacity_;
+    bool closed_ = false;
+  };
+
+  explicit Server(const ServerOptions& options,
+                  std::unique_ptr<HyperStore> backend)
+      : options_(options), backend_(std::move(backend)),
+        queue_(options.queue_capacity) {}
+
+  util::Status Listen();
+
+  // listener.cc
+  void ListenLoop();
+
+  // worker.cc
+  void WorkerLoop();
+  void ServeSession(Session* session);
+
+  // server.cc — decodes one request payload, runs it against the
+  // backend (under backend_mu_) and appends the response payload.
+  void Dispatch(std::string_view request, std::string* response);
+
+  /// Tracks sockets currently being served so Stop() can shut them
+  /// down to unblock workers. Membership implies the fd is open:
+  /// workers erase before closing, and Stop() only touches members
+  /// while holding the same mutex, so a recycled descriptor is never
+  /// shut down by mistake.
+  void TrackFd(int fd);
+  void UntrackFd(int fd);
+
+  ServerOptions options_;
+  std::unique_ptr<HyperStore> backend_;
+  std::mutex backend_mu_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+
+  SessionQueue queue_;
+  std::thread listener_;
+  std::vector<std::thread> workers_;
+
+  std::mutex fds_mu_;
+  std::unordered_set<int> active_fds_;
+
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+/// Writes all of `data` to `fd`, retrying on short writes and EINTR.
+bool WriteAll(int fd, std::string_view data);
+
+}  // namespace hm::server
+
+#endif  // HM_SERVER_SERVER_H_

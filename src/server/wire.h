@@ -1,0 +1,120 @@
+#ifndef HM_SERVER_WIRE_H_
+#define HM_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/coding.h"
+#include "util/status.h"
+
+namespace hm::server {
+
+/// Binary wire protocol between `RemoteStore` clients and `hm_serve`
+/// servers. One request frame yields exactly one response frame, in
+/// order, per connection.
+///
+/// Frame layout (little-endian, 8-byte header):
+///
+///   +----------------+----------------+====================+
+///   | payload length | masked CRC-32  |      payload       |
+///   |    fixed32     |    fixed32     |  `length` bytes    |
+///   +----------------+----------------+====================+
+///
+/// The CRC covers the payload only and is masked with the same
+/// rotation used by the WAL (util/crc32) so a frame embedding another
+/// frame never checksums to itself. A request payload is one opcode
+/// byte followed by the opcode-specific body; a response payload is a
+/// status byte (`util::StatusCode`), then for failures a
+/// length-prefixed message, or for success the result body.
+///
+/// Integers use the same fixed/varint encodings as the storage layer
+/// (util/coding): NodeRefs travel as varint64, attribute values as
+/// zig-zag varints, strings and serialized bitmaps length-prefixed.
+
+/// Bumped whenever the frame or body encodings change incompatibly.
+/// Exchanged in the kHello response so a stale client fails fast
+/// instead of mis-decoding frames.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Bytes before the payload: fixed32 length + fixed32 masked CRC.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Default ceiling on payload size. Generous: the largest legitimate
+/// payload is a level-6 form bitmap (~20 KB); anything near this limit
+/// is a corrupt or hostile length field.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// One opcode per HyperStore method, plus session management. Values
+/// are part of the wire format — append only, never renumber.
+enum class OpCode : uint8_t {
+  kHello = 1,        // -> version byte + backend name
+  kReset = 2,        // recreate the served database (benchmark setup)
+  kBegin = 3,
+  kCommit = 4,
+  kAbort = 5,
+  kCloseReopen = 6,
+  kCreateNode = 7,
+  kSetText = 8,
+  kSetForm = 9,
+  kAddChild = 10,
+  kAddPart = 11,
+  kAddRef = 12,
+  kGetAttr = 13,
+  kSetAttr = 14,
+  kGetKind = 15,
+  kGetText = 16,
+  kGetForm = 17,
+  kSetContents = 18,
+  kGetContents = 19,
+  kLookupUnique = 20,
+  kRangeHundred = 21,
+  kRangeMillion = 22,
+  kChildren = 23,
+  kParent = 24,
+  kParts = 25,
+  kPartOf = 26,
+  kRefsTo = 27,
+  kRefsFrom = 28,
+  kStorageBytes = 29,
+};
+
+/// Outcome of scanning a receive buffer for one frame.
+enum class FrameResult : uint8_t {
+  kOk = 0,          // a complete, CRC-valid frame was decoded
+  kIncomplete = 1,  // need more bytes; read again and retry
+  kCorrupt = 2,     // CRC mismatch — the stream is unrecoverable
+  kTooLarge = 3,    // length field exceeds the frame-size ceiling
+};
+
+std::string_view FrameResultName(FrameResult result);
+
+/// Appends a framed copy of `payload` (header + payload) to `dst`.
+void AppendFrame(std::string* dst, std::string_view payload);
+
+/// Tries to decode one frame from the front of `buf`. On kOk,
+/// `*payload` views the payload bytes inside `buf` and `*frame_len` is
+/// the total frame size to consume. On kIncomplete nothing is written.
+/// kCorrupt / kTooLarge mean the connection must be dropped: framing
+/// can't resynchronise after a bad header.
+FrameResult DecodeFrame(std::string_view buf, std::string_view* payload,
+                        size_t* frame_len,
+                        uint32_t max_payload = kDefaultMaxFrameBytes);
+
+/// Rebuilds a Status from its wire code; unknown codes map to
+/// kInternal so a newer server can't crash an older client.
+util::Status StatusFromCode(util::StatusCode code, std::string msg);
+
+/// Appends the response header for `status`: the code byte, plus the
+/// length-prefixed message when not OK. An OK header is followed by
+/// the opcode-specific result body.
+void PutStatus(std::string* dst, const util::Status& status);
+
+/// Splits a response payload into its Status and (for OK) the result
+/// body. Returns false if the payload is malformed.
+bool SplitResponse(std::string_view payload, util::Status* status,
+                   std::string_view* body);
+
+}  // namespace hm::server
+
+#endif  // HM_SERVER_WIRE_H_

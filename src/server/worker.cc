@@ -1,0 +1,51 @@
+// Worker pool: each worker claims one queued connection and serves it
+// to completion — read bytes, peel off complete frames, dispatch, and
+// write the response frame — then returns for the next connection.
+// Serving is connection-granular: a worker never interleaves two
+// sessions, which keeps per-connection state (the receive buffer) free
+// of synchronization.
+
+#include <sys/socket.h>
+
+#include <memory>
+
+#include "server/server.h"
+
+namespace hm::server {
+
+void Server::WorkerLoop() {
+  while (std::unique_ptr<Session> session = queue_.Pop()) {
+    TrackFd(session->fd);
+    ServeSession(session.get());
+    // Erase-before-close ordering matters: see TrackFd().
+    UntrackFd(session->fd);
+  }
+}
+
+void Server::ServeSession(Session* session) {
+  char chunk[64 * 1024];
+  for (;;) {
+    // Peel off every complete frame already buffered before reading
+    // again — a pipelining client may have several requests in flight.
+    for (;;) {
+      std::string_view payload;
+      size_t frame_len = 0;
+      FrameResult result = DecodeFrame(session->buffer, &payload,
+                                       &frame_len,
+                                       options_.max_frame_bytes);
+      if (result == FrameResult::kIncomplete) break;
+      if (result != FrameResult::kOk) return;  // framing lost: hang up
+      std::string response;
+      Dispatch(payload, &response);
+      session->buffer.erase(0, frame_len);
+      std::string out;
+      AppendFrame(&out, response);
+      if (!WriteAll(session->fd, out)) return;
+    }
+    ssize_t n = ::recv(session->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return;  // peer closed, error, or Stop() shut us down
+    session->buffer.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace hm::server

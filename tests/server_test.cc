@@ -1,0 +1,251 @@
+// Server-level tests: the worker pool, per-connection sessions, reset,
+// shutdown behaviour and protocol hygiene over real loopback sockets.
+// These carry the `server` ctest label so they can be singled out for
+// a TSAN run (cmake -DHM_SANITIZE=thread, then ctest -L server).
+
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "hypermodel/backends/mem_store.h"
+#include "hypermodel/backends/remote_store.h"
+
+namespace hm {
+namespace {
+
+using backends::MemStore;
+using backends::RemoteStore;
+
+std::unique_ptr<server::Server> StartMemServer(
+    server::ServerOptions options = {}) {
+  options.host = "127.0.0.1";
+  options.port = 0;
+  auto srv = server::Server::Start(options, std::make_unique<MemStore>());
+  EXPECT_TRUE(srv.ok()) << srv.status().ToString();
+  return srv.ok() ? std::move(*srv) : nullptr;
+}
+
+std::unique_ptr<RemoteStore> ConnectTo(const server::Server& srv) {
+  backends::RemoteOptions options;
+  options.host = srv.host();
+  options.port = srv.port();
+  auto store = RemoteStore::Connect(options);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return store.ok() ? std::move(*store) : nullptr;
+}
+
+NodeAttrs MakeAttrs(int64_t uid) {
+  NodeAttrs attrs;
+  attrs.unique_id = uid;
+  attrs.ten = uid % 10 + 1;
+  attrs.hundred = uid % 100 + 1;
+  attrs.thousand = uid % 1000 + 1;
+  attrs.million = uid % 1000000 + 1;
+  return attrs;
+}
+
+TEST(ServerTest, StartsOnEphemeralPortAndStops) {
+  auto srv = StartMemServer();
+  ASSERT_NE(srv, nullptr);
+  EXPECT_GT(srv->port(), 0);
+  srv->Stop();
+  srv->Stop();  // idempotent
+}
+
+TEST(ServerTest, HandshakeReportsBackendAndVersion) {
+  auto srv = StartMemServer();
+  ASSERT_NE(srv, nullptr);
+  auto client = ConnectTo(*srv);
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(client->name(), "remote");
+  EXPECT_EQ(client->server_backend(), "mem");
+}
+
+TEST(ServerTest, ServesBasicOperations) {
+  auto srv = StartMemServer();
+  ASSERT_NE(srv, nullptr);
+  auto client = ConnectTo(*srv);
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(client->Begin().ok());
+  auto node = client->CreateNode(MakeAttrs(7), kInvalidNode);
+  ASSERT_TRUE(node.ok()) << node.status().ToString();
+  ASSERT_TRUE(client->Commit().ok());
+
+  EXPECT_EQ(*client->GetAttr(*node, Attr::kUniqueId), 7);
+  EXPECT_EQ(*client->LookupUnique(7), *node);
+  EXPECT_TRUE(client->LookupUnique(9999).status().IsNotFound());
+  EXPECT_GE(srv->requests_served(), 6u);
+}
+
+TEST(ServerTest, ServesConcurrentClients) {
+  server::ServerOptions options;
+  options.workers = 4;
+  auto srv = StartMemServer(options);
+  ASSERT_NE(srv, nullptr);
+
+  // Each thread drives its own connection over a disjoint uid range;
+  // the server serializes backend access, so all creates must land.
+  constexpr int kClients = 4;
+  constexpr int kNodesPerClient = 50;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = ConnectTo(*srv);
+      ASSERT_NE(client, nullptr);
+      ASSERT_TRUE(client->Begin().ok());
+      for (int i = 0; i < kNodesPerClient; ++i) {
+        int64_t uid = c * kNodesPerClient + i + 1;
+        auto node = client->CreateNode(MakeAttrs(uid), kInvalidNode);
+        ASSERT_TRUE(node.ok()) << node.status().ToString();
+      }
+      ASSERT_TRUE(client->Commit().ok());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  auto checker = ConnectTo(*srv);
+  ASSERT_NE(checker, nullptr);
+  for (int64_t uid = 1; uid <= kClients * kNodesPerClient; ++uid) {
+    EXPECT_TRUE(checker->LookupUnique(uid).ok()) << "uid " << uid;
+  }
+  EXPECT_EQ(srv->connections_accepted(), kClients + 1u);
+}
+
+TEST(ServerTest, MoreClientsThanWorkers) {
+  // With a single worker, connections are served one after another;
+  // clients queue at the door instead of failing.
+  server::ServerOptions options;
+  options.workers = 1;
+  auto srv = StartMemServer(options);
+  ASSERT_NE(srv, nullptr);
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 6; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = ConnectTo(*srv);
+      ASSERT_NE(client, nullptr);
+      auto node = client->CreateNode(MakeAttrs(c + 1), kInvalidNode);
+      EXPECT_TRUE(node.ok()) << node.status().ToString();
+      // Client destructor closes the connection, freeing the worker.
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(srv->connections_rejected(), 0u);
+}
+
+TEST(ServerTest, ResetRecreatesBackend) {
+  server::ServerOptions options;
+  options.reset_factory = []() -> util::Result<std::unique_ptr<HyperStore>> {
+    return std::unique_ptr<HyperStore>(std::make_unique<MemStore>());
+  };
+  auto srv = StartMemServer(options);
+  ASSERT_NE(srv, nullptr);
+  auto client = ConnectTo(*srv);
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(client->Begin().ok());
+  ASSERT_TRUE(client->CreateNode(MakeAttrs(1), kInvalidNode).ok());
+  ASSERT_TRUE(client->Commit().ok());
+  ASSERT_TRUE(client->LookupUnique(1).ok());
+
+  ASSERT_TRUE(client->ResetServer().ok());
+  EXPECT_TRUE(client->LookupUnique(1).status().IsNotFound());
+  // The uid is free again — a second benchmark run can rebuild.
+  ASSERT_TRUE(client->Begin().ok());
+  EXPECT_TRUE(client->CreateNode(MakeAttrs(1), kInvalidNode).ok());
+  ASSERT_TRUE(client->Commit().ok());
+}
+
+TEST(ServerTest, ResetWithoutFactoryIsNotSupported) {
+  auto srv = StartMemServer();
+  ASSERT_NE(srv, nullptr);
+  auto client = ConnectTo(*srv);
+  ASSERT_NE(client, nullptr);
+  util::Status status = client->ResetServer();
+  EXPECT_EQ(status.code(), util::StatusCode::kNotSupported);
+}
+
+TEST(ServerTest, StopUnblocksConnectedIdleClient) {
+  auto srv = StartMemServer();
+  ASSERT_NE(srv, nullptr);
+  auto client = ConnectTo(*srv);
+  ASSERT_NE(client, nullptr);
+
+  // Stop while the worker is blocked in recv() on this connection;
+  // Stop() must not hang, and the client must see a clean error
+  // rather than a wedged socket.
+  srv->Stop();
+  util::Status status = client->Begin();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kIoError);
+}
+
+TEST(ServerTest, GarbageFrameDropsConnectionOnly) {
+  auto srv = StartMemServer();
+  ASSERT_NE(srv, nullptr);
+
+  // Hand-roll a client that sends a CRC-corrupted frame.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(srv->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  std::string frame;
+  server::AppendFrame(&frame, "\x01");  // a Hello request...
+  frame.back() ^= 0x40;                 // ...with a flipped payload bit
+  ASSERT_TRUE(server::WriteAll(fd, frame));
+
+  // The server hangs up on us without replying.
+  char buf[16];
+  ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+  EXPECT_EQ(n, 0);
+  ::close(fd);
+
+  // And keeps serving well-formed clients.
+  auto client = ConnectTo(*srv);
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->Begin().ok());
+}
+
+TEST(ServerTest, LoopbackStoreOwnsItsServer) {
+  auto store = RemoteStore::Loopback(std::make_unique<MemStore>());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE((*store)->Begin().ok());
+  auto node = (*store)->CreateNode(MakeAttrs(11), kInvalidNode);
+  ASSERT_TRUE(node.ok());
+  ASSERT_TRUE((*store)->Commit().ok());
+  EXPECT_EQ(*(*store)->GetAttr(*node, Attr::kUniqueId), 11);
+  // Destruction tears down client then server without deadlock.
+}
+
+TEST(ServerTest, ManySequentialConnections) {
+  // Connection churn: sockets are returned promptly and fd tracking
+  // never shuts down a recycled descriptor.
+  server::ServerOptions options;
+  options.workers = 2;
+  auto srv = StartMemServer(options);
+  ASSERT_NE(srv, nullptr);
+  for (int i = 0; i < 50; ++i) {
+    auto client = ConnectTo(*srv);
+    ASSERT_NE(client, nullptr);
+    EXPECT_TRUE(client->StorageBytes().ok());
+  }
+  EXPECT_EQ(srv->connections_accepted(), 50u);
+}
+
+}  // namespace
+}  // namespace hm

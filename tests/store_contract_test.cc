@@ -1,7 +1,9 @@
 // Backend contract suite: every HyperStore implementation must satisfy
-// the same observable semantics. Parameterized over {mem, oodb, rel}
-// so a behaviour divergence between backends fails here, not in a
-// benchmark number.
+// the same observable semantics. Parameterized over {mem, oodb, rel,
+// net, remote} so a behaviour divergence between backends fails here,
+// not in a benchmark number. The `remote` entry runs the whole suite
+// through the wire protocol against an in-process loopback server, so
+// every contract guarantee is also a guarantee of the serving path.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +15,7 @@
 #include "hypermodel/backends/net_store.h"
 #include "hypermodel/backends/oodb_store.h"
 #include "hypermodel/backends/rel_store.h"
+#include "hypermodel/backends/remote_store.h"
 #include "hypermodel/store.h"
 
 namespace hm {
@@ -47,6 +50,15 @@ std::vector<BackendFactory> Factories() {
        [](const std::string& dir) -> std::unique_ptr<HyperStore> {
          auto store =
              backends::NetStore::Open(backends::NetOptions{}, dir + "/net");
+         EXPECT_TRUE(store.ok()) << store.status().ToString();
+         return std::move(*store);
+       }},
+      {"remote",
+       [](const std::string&) -> std::unique_ptr<HyperStore> {
+         // Server on a loopback in-process thread wrapping a MemStore;
+         // the contract then exercises the wire path end-to-end.
+         auto store =
+             backends::RemoteStore::Loopback(std::make_unique<backends::MemStore>());
          EXPECT_TRUE(store.ok()) << store.status().ToString();
          return std::move(*store);
        }},
@@ -333,7 +345,7 @@ TEST_P(StoreContractTest, StorageBytesGrowsWithData) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, StoreContractTest,
-                         ::testing::Range<size_t>(0, 4),
+                         ::testing::Range<size_t>(0, 5),
                          [](const ::testing::TestParamInfo<size_t>& info) {
                            return Factories()[info.param].name;
                          });

@@ -1,12 +1,14 @@
 // hmbench — command-line driver for the HyperModel benchmark.
 //
 // Runs the full §6 protocol (or a chosen subset) against any of the
-// backends and prints the paper-style tables, optionally CSV.
+// backends and prints the paper-style tables, optionally CSV. Can also
+// run as a server (`hmbench serve`) exposing one backend over the
+// binary wire protocol for `--backends=remote` clients.
 //
 // Usage:
 //   hmbench [options]
 //     --levels=4,5,6        leaf levels of the 1-N hierarchy (default 4)
-//     --backends=mem,oodb,rel  backends to run (default all)
+//     --backends=mem,oodb,rel  backends to run (default all in-process)
 //     --ops=01,03,10        operation numbers to run (default: all 20;
 //                           accepts 01,02,03,04,05A,05B,06,07A,07B,
 //                           08..18)
@@ -14,29 +16,47 @@
 //     --cache-pages=2048    workstation cache size in 8 KiB pages
 //     --seed=7              input-selection seed
 //     --dir=PATH            working directory (default /tmp/hmbench)
+//     --remote=HOST:PORT    server for the `remote` backend; without
+//                           it, `remote` spawns an in-process loopback
+//                           server over a mem backend
 //     --csv                 machine-readable CSV instead of tables
 //     --creation            include the §5.3 creation table
 //     --help
+//
+//   hmbench serve [options]
+//     --backend=mem         backend to serve (mem,oodb,rel,net)
+//     --host=127.0.0.1      bind address
+//     --port=7433           TCP port (0 = ephemeral)
+//     --workers=4           worker-pool size
+//     --queue=64            pending-connection queue bound
+//     --cache-pages=2048    backend cache size
+//     --dir=PATH            backend directory (default /tmp/hmserve)
 //
 // Examples:
 //   hmbench --levels=4 --ops=10,14,15          # closure traversals
 //   hmbench --levels=4,5,6 --creation          # the full paper matrix
 //   hmbench --backends=oodb --csv > oodb.csv
+//   hmbench serve --backend=mem &              # then, in another shell:
+//   hmbench --backends=remote --remote=127.0.0.1:7433
 
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "hypermodel/backends/mem_store.h"
 #include "hypermodel/backends/net_store.h"
 #include "hypermodel/backends/oodb_store.h"
 #include "hypermodel/backends/rel_store.h"
+#include "hypermodel/backends/remote_store.h"
 #include "hypermodel/driver.h"
 #include "hypermodel/generator.h"
 #include "hypermodel/report.h"
+#include "server/server.h"
 
 namespace {
 
@@ -48,6 +68,7 @@ struct Args {
   size_t cache_pages = 2048;
   uint64_t seed = 7;
   std::string dir = "/tmp/hmbench";
+  std::string remote;  // host:port of an external server, or empty
   bool csv = false;
   bool creation = false;
 };
@@ -57,14 +78,26 @@ struct Args {
       "hmbench — the HyperModel benchmark (Berre/Anderson/Mallison, "
       "TR CS/E-88-031)\n\n"
       "  --levels=4,5,6      leaf levels to run (paper sizes: 4, 5, 6)\n"
-      "  --backends=...      subset of mem,oodb,rel,net\n"
+      "  --backends=...      subset of mem,oodb,rel,net,remote\n"
       "  --ops=01,05A,10     operation numbers (default: all 20)\n"
       "  --iters=N           runs per cold/warm phase (default 50)\n"
       "  --cache-pages=N     workstation cache size in 8 KiB pages\n"
       "  --seed=N            input-selection seed\n"
       "  --dir=PATH          scratch directory\n"
+      "  --remote=HOST:PORT  server address for the remote backend\n"
+      "                      (default: spawn an in-process loopback\n"
+      "                      server over a mem backend)\n"
       "  --csv               CSV output\n"
-      "  --creation          include the database-creation table (§5.3)\n";
+      "  --creation          include the database-creation table (§5.3)\n"
+      "\n"
+      "hmbench serve — expose one backend over the wire protocol\n\n"
+      "  --backend=NAME      backend to serve: mem,oodb,rel,net\n"
+      "  --host=ADDR         bind address (default 127.0.0.1)\n"
+      "  --port=N            TCP port (default 7433; 0 = ephemeral)\n"
+      "  --workers=N         worker-pool size (default 4)\n"
+      "  --queue=N           pending-connection bound (default 64)\n"
+      "  --cache-pages=N     backend cache size\n"
+      "  --dir=PATH          backend directory (default /tmp/hmserve)\n";
   std::exit(code);
 }
 
@@ -140,6 +173,8 @@ Args Parse(int argc, char** argv) {
       args.seed = static_cast<uint64_t>(std::atoll(value("--seed=").c_str()));
     } else if (arg.starts_with("--dir=")) {
       args.dir = value("--dir=");
+    } else if (arg.starts_with("--remote=")) {
+      args.remote = value("--remote=");
     } else if (arg == "--csv") {
       args.csv = true;
     } else if (arg == "--creation") {
@@ -188,13 +223,157 @@ std::unique_ptr<hm::HyperStore> OpenBackend(const Args& args,
     CheckOk(store.status());
     return std::move(*store);
   }
+  if (name == "remote") {
+    hm::util::Result<std::unique_ptr<hm::backends::RemoteStore>> store =
+        [&]() {
+          if (args.remote.empty()) {
+            // No server given: self-host over loopback so the remote
+            // backend is runnable out of the box.
+            hm::server::ServerOptions options;
+            options.reset_factory =
+                []() -> hm::util::Result<std::unique_ptr<hm::HyperStore>> {
+              return std::unique_ptr<hm::HyperStore>(
+                  std::make_unique<hm::backends::MemStore>());
+            };
+            return hm::backends::RemoteStore::Loopback(
+                std::make_unique<hm::backends::MemStore>(), options);
+          }
+          auto remote_options = hm::backends::ParseRemoteAddr(args.remote);
+          CheckOk(remote_options.status());
+          return hm::backends::RemoteStore::Connect(*remote_options);
+        }();
+    CheckOk(store.status());
+    // Each (backend, level) run rebuilds the database from uid 1, so a
+    // long-lived server must start empty every time.
+    CheckOk((*store)->ResetServer());
+    return std::move(*store);
+  }
   std::cerr << "unknown backend '" << name << "'\n";
   Usage(1);
+}
+
+// --- `hmbench serve`: the server side of the remote backend ----------
+
+std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+struct ServeArgs {
+  std::string backend = "mem";
+  std::string host = "127.0.0.1";
+  uint16_t port = 7433;
+  int workers = 4;
+  size_t queue = 64;
+  size_t cache_pages = 2048;
+  std::string dir = "/tmp/hmserve";
+};
+
+/// (Re)creates the served backend. Persistent backends start from an
+/// empty directory — the server owns its database the way a DBMS owns
+/// its volume; clients rebuild through the protocol.
+hm::util::Result<std::unique_ptr<hm::HyperStore>> MakeServeBackend(
+    const ServeArgs& args) {
+  if (args.backend == "mem") {
+    return std::unique_ptr<hm::HyperStore>(
+        std::make_unique<hm::backends::MemStore>());
+  }
+  std::string dir = args.dir + "/" + args.backend;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  if (args.backend == "oodb") {
+    hm::backends::OodbOptions options;
+    options.cache_pages = args.cache_pages;
+    auto store = hm::backends::OodbStore::Open(options, dir);
+    HM_RETURN_IF_ERROR(store.status());
+    return std::unique_ptr<hm::HyperStore>(std::move(*store));
+  }
+  if (args.backend == "net") {
+    hm::backends::NetOptions options;
+    options.cache_pages = args.cache_pages;
+    auto store = hm::backends::NetStore::Open(options, dir);
+    HM_RETURN_IF_ERROR(store.status());
+    return std::unique_ptr<hm::HyperStore>(std::move(*store));
+  }
+  if (args.backend == "rel") {
+    hm::backends::RelOptions options;
+    options.cache_pages = args.cache_pages;
+    auto store = hm::backends::RelStore::Open(options, dir);
+    HM_RETURN_IF_ERROR(store.status());
+    return std::unique_ptr<hm::HyperStore>(std::move(*store));
+  }
+  return hm::util::Status::InvalidArgument(
+      "unknown backend '" + args.backend +
+      "' (serve supports mem,oodb,rel,net)");
+}
+
+int ServeMain(int argc, char** argv) {
+  ServeArgs args;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg == "--help" || arg == "-h") {
+      Usage(0);
+    } else if (arg.starts_with("--backend=")) {
+      args.backend = value("--backend=");
+    } else if (arg.starts_with("--host=")) {
+      args.host = value("--host=");
+    } else if (arg.starts_with("--port=")) {
+      args.port = static_cast<uint16_t>(std::atoi(value("--port=").c_str()));
+    } else if (arg.starts_with("--workers=")) {
+      args.workers = std::atoi(value("--workers=").c_str());
+    } else if (arg.starts_with("--queue=")) {
+      args.queue =
+          static_cast<size_t>(std::atoll(value("--queue=").c_str()));
+    } else if (arg.starts_with("--cache-pages=")) {
+      args.cache_pages =
+          static_cast<size_t>(std::atoll(value("--cache-pages=").c_str()));
+    } else if (arg.starts_with("--dir=")) {
+      args.dir = value("--dir=");
+    } else {
+      std::cerr << "unknown serve argument '" << arg << "'\n";
+      Usage(1);
+    }
+  }
+
+  auto backend = MakeServeBackend(args);
+  CheckOk(backend.status());
+
+  hm::server::ServerOptions options;
+  options.host = args.host;
+  options.port = args.port;
+  options.workers = args.workers;
+  options.queue_capacity = args.queue;
+  options.reset_factory = [args] { return MakeServeBackend(args); };
+  auto server = hm::server::Server::Start(options, std::move(*backend));
+  CheckOk(server.status());
+
+  std::cout << "hmbench serve: " << args.backend << " backend on "
+            << (*server)->host() << ":" << (*server)->port() << " ("
+            << args.workers << " workers); Ctrl-C to stop\n"
+            << std::flush;
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  (*server)->Stop();
+  std::cout << "hmbench serve: stopped after "
+            << (*server)->requests_served() << " requests over "
+            << (*server)->connections_accepted() << " connections ("
+            << (*server)->connections_rejected() << " rejected)\n";
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    return ServeMain(argc, argv);
+  }
   Args args = Parse(argc, argv);
   std::filesystem::remove_all(args.dir);
   std::filesystem::create_directories(args.dir);
