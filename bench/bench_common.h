@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "hypermodel/backends/remote_store.h"
 #include "hypermodel/driver.h"
 #include "objstore/object_store.h"
 #include "hypermodel/generator.h"
@@ -23,9 +24,17 @@ namespace hm::bench {
 ///   HM_REMOTE_ADDR host:port served by `hmbench serve` for the
 ///               `remote` backend (default: spawn an in-process
 ///               loopback server over a mem backend)
+///   HM_REMOTE_MODE percall | batched | pushdown (default pushdown) —
+///               the wire-latency rung for the `remote` backend
+///   HM_JSON     path to also write the report as JSON
 /// and from command-line flags, which override the environment:
 ///   --levels=4,5  --backend(s)=remote  --iters=N  --cache-pages=N
-///   --remote=HOST:PORT
+///   --remote=HOST:PORT  --remote-mode=MODE  --json=PATH
+///
+/// A backend spelled `remote[MODE]` (e.g. `remote[percall]`) opens the
+/// remote backend pinned to that rung regardless of `remote_mode`, so
+/// a single run can compare all three rungs side by side:
+///   HM_BACKENDS='remote[percall],remote[batched],remote[pushdown]'
 struct BenchEnv {
   std::vector<int> levels;
   std::vector<std::string> backends{"mem", "oodb", "rel", "net"};
@@ -35,6 +44,8 @@ struct BenchEnv {
       hm::objstore::PlacementPolicy::kClustered;
   std::string workdir;
   std::string remote_addr;  // empty => loopback self-hosting
+  backends::RemoteMode remote_mode = backends::RemoteMode::kPushdown;
+  std::string json_path;  // empty => no JSON output
 };
 
 /// Reads the environment; `default_levels` applies when HM_LEVELS is

@@ -33,10 +33,13 @@ int main(int argc, char** argv) {
   std::cout << "### E13: Multi-user editing under optimistic concurrency "
                "control (R8/R9, §7)\n\n";
 
-  // Shared in-memory store (the image model); OCC is the layer under
-  // test and is backend-independent.
+  // One shared store (default: in-memory, the image model); OCC is the
+  // layer under test and backend-independent, so --backend=remote runs
+  // the same workload with every workspace round-tripping the wire.
+  const std::string& backend = env.backends[0];
+  std::cout << "(backend: " << backend << ")\n\n";
   std::unique_ptr<hm::HyperStore> store =
-      hm::bench::OpenBackend(env, "mem", env.workdir + "/occ");
+      hm::bench::OpenBackend(env, backend, env.workdir + "/occ");
   hm::TestDatabase db =
       hm::bench::BuildDatabase(store.get(), env.levels[0], nullptr);
 

@@ -14,8 +14,11 @@
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "hypermodel/backends/mem_store.h"
 #include "hypermodel/backends/oodb_store.h"
+#include "hypermodel/backends/remote_store.h"
 #include "hypermodel/operations.h"
+#include "server/server.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -30,10 +33,57 @@ int main(int argc, char** argv) {
   std::cout << "### E15: Parallel HyperModel applications (§7) — K readers, "
                "one shared database, private caches\n\n";
 
-  // Build the shared database once and close it cleanly.
+  // Two deployment shapes share the measurement loop below:
+  //  - default (oodb): K store handles with private page caches over
+  //    one on-disk database — the paper's workstation architecture;
+  //  - --backend=remote: K wire-protocol clients against one server,
+  //    exercising the shared-side of the server's backend lock (read-
+  //    only dispatches run concurrently when the backend allows it).
+  const bool remote = env.backends[0].starts_with("remote");
+  hm::backends::RemoteMode remote_mode = env.remote_mode;
+  if (env.backends[0].starts_with("remote[") &&
+      env.backends[0].ends_with("]")) {
+    auto parsed = hm::backends::ParseRemoteMode(
+        env.backends[0].substr(7, env.backends[0].size() - 8));
+    CheckOk(parsed.status());
+    remote_mode = *parsed;
+  }
+  std::cout << "(backend: " << (remote ? env.backends[0] : "oodb")
+            << ")\n\n";
+
+  // Build the shared database once and close the builder cleanly.
   std::string dir = env.workdir + "/shared";
+  std::unique_ptr<hm::server::Server> own_server;
+  hm::backends::RemoteOptions remote_options;
+  remote_options.mode = remote_mode;
   hm::TestDatabase db;
-  {
+  if (remote) {
+    if (env.remote_addr.empty()) {
+      // Self-host one server; enough workers that every reader below
+      // gets a concurrent session.
+      hm::server::ServerOptions options;
+      options.host = "127.0.0.1";
+      options.port = 0;
+      options.workers = 9;  // 8 readers + the builder
+      auto srv = hm::server::Server::Start(
+          options, std::make_unique<hm::backends::MemStore>());
+      CheckOk(srv.status());
+      own_server = std::move(*srv);
+      remote_options.host = own_server->host();
+      remote_options.port = own_server->port();
+    } else {
+      auto parsed = hm::backends::ParseRemoteAddr(env.remote_addr);
+      CheckOk(parsed.status());
+      remote_options.host = parsed->host;
+      remote_options.port = parsed->port;
+    }
+    auto builder = hm::backends::RemoteStore::Connect(remote_options);
+    CheckOk(builder.status());
+    // A long-lived external server must start empty (uids from 1); on
+    // the fresh self-hosted one this is an idempotent no-op.
+    CheckOk((*builder)->ResetServer());
+    db = hm::bench::BuildDatabase(builder->get(), env.levels[0], nullptr);
+  } else {
     std::unique_ptr<hm::HyperStore> store =
         hm::bench::OpenBackend(env, "oodb", dir);
     db = hm::bench::BuildDatabase(store.get(), env.levels[0], nullptr);
@@ -48,15 +98,21 @@ int main(int argc, char** argv) {
             << "\n";
   double baseline_ops_per_sec = 0;
   for (int readers : {1, 2, 4, 8}) {
-    // Each "application" opens its own store handle (own buffer pool)
-    // over the same files — sequentially, before the threads start.
-    std::vector<std::unique_ptr<hm::backends::OodbStore>> apps;
+    // Each "application" opens its own store handle (own buffer pool,
+    // or own connection) — sequentially, before the threads start.
+    std::vector<std::unique_ptr<hm::HyperStore>> apps;
     for (int r = 0; r < readers; ++r) {
-      hm::backends::OodbOptions options;
-      options.cache_pages = env.cache_pages;
-      auto store = hm::backends::OodbStore::Open(options, dir);
-      CheckOk(store.status());
-      apps.push_back(std::move(*store));
+      if (remote) {
+        auto store = hm::backends::RemoteStore::Connect(remote_options);
+        CheckOk(store.status());
+        apps.push_back(std::move(*store));
+      } else {
+        hm::backends::OodbOptions options;
+        options.cache_pages = env.cache_pages;
+        auto store = hm::backends::OodbStore::Open(options, dir);
+        CheckOk(store.status());
+        apps.push_back(std::move(*store));
+      }
     }
 
     std::atomic<uint64_t> nodes_visited{0};
@@ -64,7 +120,7 @@ int main(int argc, char** argv) {
     std::vector<std::thread> threads;
     for (int r = 0; r < readers; ++r) {
       threads.emplace_back([&, r] {
-        hm::backends::OodbStore* store = apps[static_cast<size_t>(r)].get();
+        hm::HyperStore* store = apps[static_cast<size_t>(r)].get();
         hm::util::Rng rng(static_cast<uint64_t>(r) * 131 + 7);
         uint64_t local = 0;
         for (int op = 0; op < ops_per_reader; ++op) {
@@ -90,6 +146,11 @@ int main(int argc, char** argv) {
               << std::setprecision(2) << std::setw(12)
               << ops_per_sec / baseline_ops_per_sec << "\n";
     (void)nodes_visited;
+  }
+  if (own_server) {
+    std::cout << "\n(" << own_server->shared_reads_served()
+              << " dispatches ran under the server's shared lock)\n";
+    own_server->Stop();
   }
   unsigned cores = std::thread::hardware_concurrency();
   std::cout << "\nHost has " << cores << " core(s). Expected shape: "

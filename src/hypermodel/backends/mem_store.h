@@ -21,6 +21,10 @@ class MemStore : public HyperStore {
 
   std::string name() const override { return "mem"; }
 
+  /// Reads touch only const vectors/maps — no buffer pool, no pin
+  /// counts — so parallel readers are safe between mutations.
+  bool SupportsConcurrentReads() const override { return true; }
+
   util::Status Begin() override { return util::Status::Ok(); }
   util::Status Commit() override { return util::Status::Ok(); }
   util::Status Abort() override {

@@ -6,9 +6,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "util/coding.h"
 
@@ -25,7 +28,89 @@ void PutNode(std::string* dst, NodeRef node) {
   util::PutVarint64(dst, node);
 }
 
+/// Nodes per fused-multi request: keeps any one frame far below the
+/// 16 MB ceiling and under the server's kMaxBatchEntries.
+constexpr size_t kMultiChunk = 8192;
+
+/// Decodes one varint-counted ref list from `decoder`, appending.
+util::Status GetRefList(util::Decoder* decoder, std::vector<NodeRef>* out) {
+  uint64_t count = 0;
+  if (!decoder->GetVarint64(&count)) {
+    return util::Status::Corruption("remote: short node-list response");
+  }
+  out->reserve(out->size() + count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t ref = 0;
+    if (!decoder->GetVarint64(&ref)) {
+      return util::Status::Corruption("remote: short node-list response");
+    }
+    out->push_back(ref);
+  }
+  return util::Status::Ok();
+}
+
+util::Status GetEdgeList(util::Decoder* decoder, std::vector<RefEdge>* out) {
+  uint64_t count = 0;
+  if (!decoder->GetVarint64(&count)) {
+    return util::Status::Corruption("remote: short edge-list response");
+  }
+  out->reserve(out->size() + count);
+  for (uint64_t i = 0; i < count; ++i) {
+    RefEdge edge;
+    uint64_t ref = 0;
+    if (!decoder->GetVarint64(&ref) ||
+        !decoder->GetVarSigned64(&edge.offset_from) ||
+        !decoder->GetVarSigned64(&edge.offset_to)) {
+      return util::Status::Corruption("remote: short edge-list response");
+    }
+    edge.node = ref;
+    out->push_back(edge);
+  }
+  return util::Status::Ok();
+}
+
+/// Pre-order assembly over a fetched child map — the local half of the
+/// batched 1-N fallbacks. Iterative so a deep hierarchy cannot blow
+/// the stack; the reverse push makes the first child pop first,
+/// matching the recursive kernel's order exactly.
+void AssemblePreorder(
+    NodeRef start,
+    const std::unordered_map<NodeRef, std::vector<NodeRef>>& children,
+    std::vector<NodeRef>* out) {
+  std::vector<NodeRef> stack{start};
+  while (!stack.empty()) {
+    NodeRef node = stack.back();
+    stack.pop_back();
+    out->push_back(node);
+    auto it = children.find(node);
+    if (it == children.end()) continue;
+    for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+      stack.push_back(*rit);
+    }
+  }
+}
+
 }  // namespace
+
+util::Result<RemoteMode> ParseRemoteMode(const std::string& name) {
+  if (name == "percall") return RemoteMode::kPerCall;
+  if (name == "batched") return RemoteMode::kBatched;
+  if (name == "pushdown") return RemoteMode::kPushdown;
+  return util::Status::InvalidArgument(
+      "bad remote mode '" + name + "' (expected percall|batched|pushdown)");
+}
+
+std::string_view RemoteModeName(RemoteMode mode) {
+  switch (mode) {
+    case RemoteMode::kPerCall:
+      return "percall";
+    case RemoteMode::kBatched:
+      return "batched";
+    case RemoteMode::kPushdown:
+      return "pushdown";
+  }
+  return "?";
+}
 
 util::Result<RemoteOptions> ParseRemoteAddr(const std::string& addr) {
   RemoteOptions options;
@@ -73,13 +158,14 @@ util::Result<std::unique_ptr<RemoteStore>> RemoteStore::Connect(
 
   std::unique_ptr<RemoteStore> store(new RemoteStore());
   store->fd_ = fd;
+  store->mode_ = options.mode;
   HM_RETURN_IF_ERROR(store->Hello());
   return store;
 }
 
 util::Result<std::unique_ptr<RemoteStore>> RemoteStore::Loopback(
     std::unique_ptr<HyperStore> backend,
-    server::ServerOptions server_options) {
+    server::ServerOptions server_options, RemoteMode mode) {
   server_options.host = "127.0.0.1";
   server_options.port = 0;  // ephemeral: never collides with a real one
   auto srv = server::Server::Start(server_options, std::move(backend));
@@ -88,6 +174,7 @@ util::Result<std::unique_ptr<RemoteStore>> RemoteStore::Loopback(
   RemoteOptions options;
   options.host = (*srv)->host();
   options.port = (*srv)->port();
+  options.mode = mode;
   auto store = Connect(options);
   HM_RETURN_IF_ERROR(store.status());
   (*store)->owned_server_ = std::move(*srv);
@@ -100,26 +187,30 @@ RemoteStore::~RemoteStore() {
   // the socket above has already signalled EOF to its worker.
 }
 
-util::Status RemoteStore::Call(server::OpCode op, std::string_view body,
-                               std::string* result) {
+util::Status RemoteStore::SendPayload(std::string_view payload) {
   if (fd_ < 0) {
     return util::Status::IoError("remote: connection is closed");
   }
-  std::string payload;
-  payload.reserve(1 + body.size());
-  payload.push_back(static_cast<char>(op));
-  payload.append(body);
   std::string frame;
   server::AppendFrame(&frame, payload);
+  if (!server::WriteAll(fd_, frame)) {
+    ::close(fd_);
+    fd_ = -1;
+    return Errno("send");
+  }
+  return util::Status::Ok();
+}
 
+util::Status RemoteStore::ReadResponse(util::Status* op_status,
+                                       std::string* result) {
+  if (fd_ < 0) {
+    return util::Status::IoError("remote: connection is closed");
+  }
   auto poison = [&](util::Status status) {
     ::close(fd_);
     fd_ = -1;
     return status;
   };
-
-  if (!server::WriteAll(fd_, frame)) return poison(Errno("send"));
-
   char chunk[64 * 1024];
   for (;;) {
     std::string_view response;
@@ -127,15 +218,14 @@ util::Status RemoteStore::Call(server::OpCode op, std::string_view body,
     server::FrameResult decoded =
         server::DecodeFrame(rx_, &response, &frame_len);
     if (decoded == server::FrameResult::kOk) {
-      util::Status status;
       std::string_view result_body;
-      if (!server::SplitResponse(response, &status, &result_body)) {
+      if (!server::SplitResponse(response, op_status, &result_body)) {
         return poison(
             util::Status::Corruption("remote: malformed response"));
       }
       if (result != nullptr) result->assign(result_body);
       rx_.erase(0, frame_len);
-      return status;
+      return util::Status::Ok();
     }
     if (decoded != server::FrameResult::kIncomplete) {
       return poison(util::Status::Corruption(
@@ -155,9 +245,88 @@ util::Status RemoteStore::Call(server::OpCode op, std::string_view body,
   }
 }
 
+util::Status RemoteStore::Call(server::OpCode op, std::string_view body,
+                               std::string* result) {
+  std::string payload;
+  payload.reserve(1 + body.size());
+  payload.push_back(static_cast<char>(op));
+  payload.append(body);
+  HM_RETURN_IF_ERROR(SendPayload(payload));
+  util::Status op_status;
+  HM_RETURN_IF_ERROR(ReadResponse(&op_status, result));
+  return op_status;
+}
+
+util::Status RemoteStore::CallMany(
+    std::span<const std::string> payloads,
+    std::vector<std::pair<util::Status, std::string>>* out) {
+  out->clear();
+  out->reserve(payloads.size());
+  // Chunked so one kBatch frame never brushes the entry or frame-size
+  // ceilings regardless of how large a fan-out the caller hands us.
+  for (size_t begin = 0; begin < payloads.size(); begin += kMultiChunk) {
+    std::span<const std::string> chunk =
+        payloads.subspan(begin, std::min(kMultiChunk,
+                                         payloads.size() - begin));
+    if (UseBatchFrames() && chunk.size() > 1) {
+      std::string body;
+      util::PutVarint64(&body, chunk.size());
+      for (const std::string& payload : chunk) {
+        util::PutLengthPrefixed(&body, payload);
+      }
+      std::string result;
+      util::Status status = Call(server::OpCode::kBatch, body, &result);
+      if (status.code() == util::StatusCode::kNotSupported) {
+        // v1 server that slipped past the handshake guess; drop to
+        // pipelined singles for good.
+        server_batch_ = false;
+      } else {
+        HM_RETURN_IF_ERROR(status);
+        std::vector<std::string_view> subs;
+        if (!server::DecodeBatch(result, &subs, chunk.size()) ||
+            subs.size() != chunk.size()) {
+          return util::Status::Corruption("remote: bad batch response");
+        }
+        for (std::string_view sub : subs) {
+          util::Status sub_status;
+          std::string_view sub_body;
+          if (!server::SplitResponse(sub, &sub_status, &sub_body)) {
+            return util::Status::Corruption("remote: bad batch response");
+          }
+          out->emplace_back(std::move(sub_status), std::string(sub_body));
+        }
+        continue;
+      }
+    }
+    // Pipelined: every frame in one send, then the responses drained
+    // in order (the server peels buffered frames before recv'ing).
+    std::string wire;
+    for (const std::string& payload : chunk) {
+      server::AppendFrame(&wire, payload);
+    }
+    if (fd_ < 0) {
+      return util::Status::IoError("remote: connection is closed");
+    }
+    if (!server::WriteAll(fd_, wire)) {
+      ::close(fd_);
+      fd_ = -1;
+      return Errno("send");
+    }
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      util::Status op_status;
+      std::string result;
+      HM_RETURN_IF_ERROR(ReadResponse(&op_status, &result));
+      out->emplace_back(std::move(op_status), std::move(result));
+    }
+  }
+  return util::Status::Ok();
+}
+
 util::Status RemoteStore::Hello() {
+  std::string hello_body;
+  util::PutVarint64(&hello_body, server::kWireVersion);
   std::string result;
-  HM_RETURN_IF_ERROR(Call(server::OpCode::kHello, {}, &result));
+  HM_RETURN_IF_ERROR(Call(server::OpCode::kHello, hello_body, &result));
   util::Decoder decoder(result);
   std::string_view name;
   if (result.empty()) {
@@ -168,11 +337,19 @@ util::Status RemoteStore::Hello() {
   if (!decoder.GetLengthPrefixed(&name)) {
     return util::Status::Corruption("remote: short Hello response");
   }
-  if (version != server::kWireVersion) {
+  if (version < server::kMinWireVersion || version > server::kWireVersion) {
     return util::Status::InvalidArgument(
-        "remote: wire version mismatch (server " +
-        std::to_string(version) + ", client " +
+        "remote: wire version mismatch (server negotiated " +
+        std::to_string(version) + ", client speaks " +
+        std::to_string(server::kMinWireVersion) + ".." +
         std::to_string(server::kWireVersion) + ")");
+  }
+  negotiated_version_ = version;
+  if (negotiated_version_ < 2) {
+    // v1 server: no batch frames, no fused ops, no pushdown.
+    server_batch_ = false;
+    server_multi_ = false;
+    server_traversal_ = false;
   }
   server_backend_ = std::string(name);
   return util::Status::Ok();
@@ -344,19 +521,7 @@ util::Status RemoteStore::RefListCall(server::OpCode op,
   std::string result;
   HM_RETURN_IF_ERROR(Call(op, body, &result));
   util::Decoder decoder(result);
-  uint64_t count = 0;
-  if (!decoder.GetVarint64(&count)) {
-    return util::Status::Corruption("remote: short node-list response");
-  }
-  out->reserve(out->size() + count);
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t ref = 0;
-    if (!decoder.GetVarint64(&ref)) {
-      return util::Status::Corruption("remote: short node-list response");
-    }
-    out->push_back(ref);
-  }
-  return util::Status::Ok();
+  return GetRefList(&decoder, out);
 }
 
 util::Status RemoteStore::RangeHundred(int64_t lo, int64_t hi,
@@ -414,23 +579,7 @@ util::Status RemoteStore::EdgeListCall(server::OpCode op, NodeRef node,
   std::string result;
   HM_RETURN_IF_ERROR(Call(op, body, &result));
   util::Decoder decoder(result);
-  uint64_t count = 0;
-  if (!decoder.GetVarint64(&count)) {
-    return util::Status::Corruption("remote: short edge-list response");
-  }
-  out->reserve(out->size() + count);
-  for (uint64_t i = 0; i < count; ++i) {
-    RefEdge edge;
-    uint64_t ref = 0;
-    if (!decoder.GetVarint64(&ref) ||
-        !decoder.GetVarSigned64(&edge.offset_from) ||
-        !decoder.GetVarSigned64(&edge.offset_to)) {
-      return util::Status::Corruption("remote: short edge-list response");
-    }
-    edge.node = ref;
-    out->push_back(edge);
-  }
-  return util::Status::Ok();
+  return GetEdgeList(&decoder, out);
 }
 
 util::Status RemoteStore::RefsTo(NodeRef node, std::vector<RefEdge>* out) {
@@ -451,6 +600,564 @@ util::Result<uint64_t> RemoteStore::StorageBytes() {
     return util::Status::Corruption("remote: short StorageBytes response");
   }
   return bytes;
+}
+
+// --- Fused navigation -------------------------------------------------
+
+util::Status RemoteStore::RefListCallMany(
+    server::OpCode op, std::span<const NodeRef> nodes,
+    std::vector<std::vector<NodeRef>>* out) {
+  std::vector<std::string> payloads;
+  payloads.reserve(nodes.size());
+  for (NodeRef node : nodes) {
+    std::string payload;
+    payload.push_back(static_cast<char>(op));
+    PutNode(&payload, node);
+    payloads.push_back(std::move(payload));
+  }
+  std::vector<std::pair<util::Status, std::string>> results;
+  HM_RETURN_IF_ERROR(CallMany(payloads, &results));
+  out->clear();
+  out->reserve(nodes.size());
+  for (auto& [status, body] : results) {
+    HM_RETURN_IF_ERROR(status);
+    util::Decoder decoder(body);
+    out->emplace_back();
+    HM_RETURN_IF_ERROR(GetRefList(&decoder, &out->back()));
+  }
+  return util::Status::Ok();
+}
+
+util::Status RemoteStore::EdgeListCallMany(
+    server::OpCode op, std::span<const NodeRef> nodes,
+    std::vector<std::vector<RefEdge>>* out) {
+  std::vector<std::string> payloads;
+  payloads.reserve(nodes.size());
+  for (NodeRef node : nodes) {
+    std::string payload;
+    payload.push_back(static_cast<char>(op));
+    PutNode(&payload, node);
+    payloads.push_back(std::move(payload));
+  }
+  std::vector<std::pair<util::Status, std::string>> results;
+  HM_RETURN_IF_ERROR(CallMany(payloads, &results));
+  out->clear();
+  out->reserve(nodes.size());
+  for (auto& [status, body] : results) {
+    HM_RETURN_IF_ERROR(status);
+    util::Decoder decoder(body);
+    out->emplace_back();
+    HM_RETURN_IF_ERROR(GetEdgeList(&decoder, &out->back()));
+  }
+  return util::Status::Ok();
+}
+
+util::Status RemoteStore::ChildrenMulti(
+    std::span<const NodeRef> nodes, std::vector<std::vector<NodeRef>>* out) {
+  out->clear();
+  if (nodes.empty()) return util::Status::Ok();
+  if (UseMultiOps()) {
+    out->reserve(nodes.size());
+    bool fused_ok = true;
+    for (size_t begin = 0; begin < nodes.size() && fused_ok;
+         begin += kMultiChunk) {
+      std::span<const NodeRef> chunk =
+          nodes.subspan(begin, std::min(kMultiChunk, nodes.size() - begin));
+      std::string body;
+      util::PutVarint64(&body, chunk.size());
+      for (NodeRef node : chunk) PutNode(&body, node);
+      std::string result;
+      util::Status status =
+          Call(server::OpCode::kChildrenMulti, body, &result);
+      if (status.code() == util::StatusCode::kNotSupported) {
+        server_multi_ = false;
+        fused_ok = false;
+        break;
+      }
+      HM_RETURN_IF_ERROR(status);
+      util::Decoder decoder(result);
+      uint64_t count = 0;
+      if (!decoder.GetVarint64(&count) || count != chunk.size()) {
+        return util::Status::Corruption(
+            "remote: bad ChildrenMulti response");
+      }
+      for (uint64_t i = 0; i < count; ++i) {
+        out->emplace_back();
+        HM_RETURN_IF_ERROR(GetRefList(&decoder, &out->back()));
+      }
+    }
+    if (fused_ok) return util::Status::Ok();
+    out->clear();
+  }
+  if (mode_ != RemoteMode::kPerCall) {
+    return RefListCallMany(server::OpCode::kChildren, nodes, out);
+  }
+  out->reserve(nodes.size());
+  for (NodeRef node : nodes) {
+    out->emplace_back();
+    HM_RETURN_IF_ERROR(Children(node, &out->back()));
+  }
+  return util::Status::Ok();
+}
+
+util::Status RemoteStore::GetAttrsMulti(std::span<const NodeRef> nodes,
+                                        Attr attr,
+                                        std::vector<int64_t>* values) {
+  values->clear();
+  if (nodes.empty()) return util::Status::Ok();
+  if (UseMultiOps()) {
+    values->reserve(nodes.size());
+    bool fused_ok = true;
+    for (size_t begin = 0; begin < nodes.size() && fused_ok;
+         begin += kMultiChunk) {
+      std::span<const NodeRef> chunk =
+          nodes.subspan(begin, std::min(kMultiChunk, nodes.size() - begin));
+      std::string body;
+      util::PutVarint64(&body, static_cast<uint64_t>(attr));
+      util::PutVarint64(&body, chunk.size());
+      for (NodeRef node : chunk) PutNode(&body, node);
+      std::string result;
+      util::Status status =
+          Call(server::OpCode::kGetAttrsMulti, body, &result);
+      if (status.code() == util::StatusCode::kNotSupported) {
+        server_multi_ = false;
+        fused_ok = false;
+        break;
+      }
+      HM_RETURN_IF_ERROR(status);
+      util::Decoder decoder(result);
+      uint64_t count = 0;
+      if (!decoder.GetVarint64(&count) || count != chunk.size()) {
+        return util::Status::Corruption(
+            "remote: bad GetAttrsMulti response");
+      }
+      for (uint64_t i = 0; i < count; ++i) {
+        int64_t value = 0;
+        if (!decoder.GetVarSigned64(&value)) {
+          return util::Status::Corruption(
+              "remote: bad GetAttrsMulti response");
+        }
+        values->push_back(value);
+      }
+    }
+    if (fused_ok) return util::Status::Ok();
+    values->clear();
+  }
+  if (mode_ != RemoteMode::kPerCall) {
+    std::vector<std::string> payloads;
+    payloads.reserve(nodes.size());
+    for (NodeRef node : nodes) {
+      std::string payload;
+      payload.push_back(static_cast<char>(server::OpCode::kGetAttr));
+      PutNode(&payload, node);
+      util::PutVarint64(&payload, static_cast<uint64_t>(attr));
+      payloads.push_back(std::move(payload));
+    }
+    std::vector<std::pair<util::Status, std::string>> results;
+    HM_RETURN_IF_ERROR(CallMany(payloads, &results));
+    values->reserve(nodes.size());
+    for (auto& [status, body] : results) {
+      HM_RETURN_IF_ERROR(status);
+      util::Decoder decoder(body);
+      int64_t value = 0;
+      if (!decoder.GetVarSigned64(&value)) {
+        return util::Status::Corruption("remote: short GetAttr response");
+      }
+      values->push_back(value);
+    }
+    return util::Status::Ok();
+  }
+  return traversal::BulkGetAttr(this, nodes, attr, values);
+}
+
+// --- TraversalCapable -------------------------------------------------
+//
+// Each kernel tries the pushdown opcode (one round-trip), degrades to
+// the batched level-synchronous walk (O(depth) round-trips), and
+// bottoms out at the generic per-call kernel. A NotSupported answer
+// permanently clears the capability so a v1 server pays the probe
+// exactly once.
+
+util::Status RemoteStore::BulkGetAttr(std::span<const NodeRef> nodes,
+                                      Attr attr,
+                                      std::vector<int64_t>* values) {
+  if (mode_ == RemoteMode::kPerCall) {
+    return traversal::BulkGetAttr(this, nodes, attr, values);
+  }
+  return GetAttrsMulti(nodes, attr, values);
+}
+
+util::Status RemoteStore::TravClosure1N(NodeRef start,
+                                        std::vector<NodeRef>* out) {
+  if (UsePushdown()) {
+    std::string body;
+    PutNode(&body, start);
+    std::string result;
+    util::Status status = Call(server::OpCode::kClosure1N, body, &result);
+    if (status.code() != util::StatusCode::kNotSupported) {
+      HM_RETURN_IF_ERROR(status);
+      out->clear();
+      util::Decoder decoder(result);
+      return GetRefList(&decoder, out);
+    }
+    server_traversal_ = false;
+  }
+  if (mode_ != RemoteMode::kPerCall) return BatchedClosure1N(start, out);
+  return traversal::Closure1N(this, start, out);
+}
+
+util::Result<int64_t> RemoteStore::TravClosure1NAttSum(NodeRef start,
+                                                       uint64_t* visited) {
+  if (UsePushdown()) {
+    std::string body;
+    PutNode(&body, start);
+    std::string result;
+    util::Status status =
+        Call(server::OpCode::kClosure1NAttSum, body, &result);
+    if (status.code() != util::StatusCode::kNotSupported) {
+      HM_RETURN_IF_ERROR(status);
+      util::Decoder decoder(result);
+      uint64_t count = 0;
+      int64_t sum = 0;
+      if (!decoder.GetVarint64(&count) || !decoder.GetVarSigned64(&sum)) {
+        return util::Status::Corruption(
+            "remote: short Closure1NAttSum response");
+      }
+      if (visited != nullptr) *visited = count;
+      return sum;
+    }
+    server_traversal_ = false;
+  }
+  if (mode_ != RemoteMode::kPerCall) {
+    return BatchedClosure1NAttSum(start, visited);
+  }
+  return traversal::Closure1NAttSum(this, start, visited);
+}
+
+util::Result<uint64_t> RemoteStore::TravClosure1NAttSet(NodeRef start) {
+  if (UsePushdown()) {
+    std::string body;
+    PutNode(&body, start);
+    std::string result;
+    util::Status status =
+        Call(server::OpCode::kClosure1NAttSet, body, &result);
+    if (status.code() != util::StatusCode::kNotSupported) {
+      HM_RETURN_IF_ERROR(status);
+      util::Decoder decoder(result);
+      uint64_t count = 0;
+      if (!decoder.GetVarint64(&count)) {
+        return util::Status::Corruption(
+            "remote: short Closure1NAttSet response");
+      }
+      return count;
+    }
+    server_traversal_ = false;
+  }
+  if (mode_ != RemoteMode::kPerCall) return BatchedClosure1NAttSet(start);
+  return traversal::Closure1NAttSet(this, start);
+}
+
+util::Status RemoteStore::TravClosure1NPred(NodeRef start, int64_t lo,
+                                            int64_t hi,
+                                            std::vector<NodeRef>* out) {
+  if (UsePushdown()) {
+    std::string body;
+    PutNode(&body, start);
+    util::PutVarSigned64(&body, lo);
+    util::PutVarSigned64(&body, hi);
+    std::string result;
+    util::Status status =
+        Call(server::OpCode::kClosure1NPred, body, &result);
+    if (status.code() != util::StatusCode::kNotSupported) {
+      HM_RETURN_IF_ERROR(status);
+      out->clear();
+      util::Decoder decoder(result);
+      return GetRefList(&decoder, out);
+    }
+    server_traversal_ = false;
+  }
+  if (mode_ != RemoteMode::kPerCall) {
+    return BatchedClosure1NPred(start, lo, hi, out);
+  }
+  return traversal::Closure1NPred(this, start, lo, hi, out);
+}
+
+util::Status RemoteStore::TravClosureMN(NodeRef start,
+                                        std::vector<NodeRef>* out) {
+  if (UsePushdown()) {
+    std::string body;
+    PutNode(&body, start);
+    std::string result;
+    util::Status status = Call(server::OpCode::kClosureMN, body, &result);
+    if (status.code() != util::StatusCode::kNotSupported) {
+      HM_RETURN_IF_ERROR(status);
+      out->clear();
+      util::Decoder decoder(result);
+      return GetRefList(&decoder, out);
+    }
+    server_traversal_ = false;
+  }
+  if (mode_ != RemoteMode::kPerCall) return BatchedClosureMN(start, out);
+  return traversal::ClosureMN(this, start, out);
+}
+
+util::Status RemoteStore::TravClosureMNAtt(NodeRef start, int depth,
+                                           std::vector<NodeRef>* out) {
+  if (UsePushdown()) {
+    std::string body;
+    PutNode(&body, start);
+    util::PutVarint64(&body, static_cast<uint64_t>(depth));
+    std::string result;
+    util::Status status =
+        Call(server::OpCode::kClosureMNAtt, body, &result);
+    if (status.code() != util::StatusCode::kNotSupported) {
+      HM_RETURN_IF_ERROR(status);
+      out->clear();
+      util::Decoder decoder(result);
+      return GetRefList(&decoder, out);
+    }
+    server_traversal_ = false;
+  }
+  if (mode_ != RemoteMode::kPerCall) {
+    return BatchedClosureMNAtt(start, depth, out);
+  }
+  return traversal::ClosureMNAtt(this, start, depth, out);
+}
+
+util::Status RemoteStore::TravClosureMNAttLinkSum(
+    NodeRef start, int depth, std::vector<NodeDistance>* out) {
+  if (UsePushdown()) {
+    std::string body;
+    PutNode(&body, start);
+    util::PutVarint64(&body, static_cast<uint64_t>(depth));
+    std::string result;
+    util::Status status =
+        Call(server::OpCode::kClosureMNAttLinkSum, body, &result);
+    if (status.code() != util::StatusCode::kNotSupported) {
+      HM_RETURN_IF_ERROR(status);
+      out->clear();
+      util::Decoder decoder(result);
+      uint64_t count = 0;
+      if (!decoder.GetVarint64(&count)) {
+        return util::Status::Corruption(
+            "remote: short ClosureMNAttLinkSum response");
+      }
+      out->reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        NodeDistance d;
+        uint64_t node = 0;
+        if (!decoder.GetVarint64(&node) ||
+            !decoder.GetVarSigned64(&d.distance)) {
+          return util::Status::Corruption(
+              "remote: short ClosureMNAttLinkSum response");
+        }
+        d.node = node;
+        out->push_back(d);
+      }
+      return util::Status::Ok();
+    }
+    server_traversal_ = false;
+  }
+  if (mode_ != RemoteMode::kPerCall) {
+    return BatchedClosureMNAttLinkSum(start, depth, out);
+  }
+  return traversal::ClosureMNAttLinkSum(this, start, depth, out);
+}
+
+// --- Batched (level-synchronous) fallbacks ---------------------------
+
+util::Status RemoteStore::BatchedClosure1N(NodeRef start,
+                                           std::vector<NodeRef>* out) {
+  // Level-order fetch of the whole subtree's child lists, then local
+  // pre-order assembly. The 1-N hierarchy is a tree, so every node is
+  // fetched exactly once — the same access set as the recursive
+  // kernel, in O(depth) round-trips.
+  std::unordered_map<NodeRef, std::vector<NodeRef>> children;
+  std::vector<NodeRef> frontier{start};
+  while (!frontier.empty()) {
+    std::vector<std::vector<NodeRef>> lists;
+    HM_RETURN_IF_ERROR(ChildrenMulti(frontier, &lists));
+    std::vector<NodeRef> next;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      next.insert(next.end(), lists[i].begin(), lists[i].end());
+      children[frontier[i]] = std::move(lists[i]);
+    }
+    frontier = std::move(next);
+  }
+  out->clear();
+  AssemblePreorder(start, children, out);
+  return util::Status::Ok();
+}
+
+util::Result<int64_t> RemoteStore::BatchedClosure1NAttSum(
+    NodeRef start, uint64_t* visited) {
+  std::vector<NodeRef> nodes;
+  HM_RETURN_IF_ERROR(BatchedClosure1N(start, &nodes));
+  std::vector<int64_t> values;
+  HM_RETURN_IF_ERROR(GetAttrsMulti(nodes, Attr::kHundred, &values));
+  int64_t sum = 0;
+  for (int64_t value : values) sum += value;
+  if (visited != nullptr) *visited = nodes.size();
+  return sum;
+}
+
+util::Result<uint64_t> RemoteStore::BatchedClosure1NAttSet(NodeRef start) {
+  std::vector<NodeRef> nodes;
+  HM_RETURN_IF_ERROR(BatchedClosure1N(start, &nodes));
+  std::vector<int64_t> values;
+  HM_RETURN_IF_ERROR(GetAttrsMulti(nodes, Attr::kHundred, &values));
+  std::vector<std::string> payloads;
+  payloads.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    std::string payload;
+    payload.push_back(static_cast<char>(server::OpCode::kSetAttr));
+    PutNode(&payload, nodes[i]);
+    util::PutVarint64(&payload, static_cast<uint64_t>(Attr::kHundred));
+    util::PutVarSigned64(&payload, 99 - values[i]);
+    payloads.push_back(std::move(payload));
+  }
+  std::vector<std::pair<util::Status, std::string>> results;
+  HM_RETURN_IF_ERROR(CallMany(payloads, &results));
+  for (auto& [status, body] : results) {
+    HM_RETURN_IF_ERROR(status);
+  }
+  return nodes.size();
+}
+
+util::Status RemoteStore::BatchedClosure1NPred(NodeRef start, int64_t lo,
+                                               int64_t hi,
+                                               std::vector<NodeRef>* out) {
+  // Level-synchronous walk preserving the pruning contract: every
+  // frontier node's million is read, but children are only fetched
+  // for nodes that pass the predicate — an excluded node's subtree is
+  // never touched, exactly like the recursive kernel.
+  std::unordered_map<NodeRef, std::vector<NodeRef>> children;
+  std::unordered_set<NodeRef> included;
+  std::vector<NodeRef> frontier{start};
+  while (!frontier.empty()) {
+    std::vector<int64_t> millions;
+    HM_RETURN_IF_ERROR(GetAttrsMulti(frontier, Attr::kMillion, &millions));
+    std::vector<NodeRef> survivors;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      if (millions[i] >= lo && millions[i] <= hi) continue;
+      included.insert(frontier[i]);
+      survivors.push_back(frontier[i]);
+    }
+    if (survivors.empty()) break;
+    std::vector<std::vector<NodeRef>> lists;
+    HM_RETURN_IF_ERROR(ChildrenMulti(survivors, &lists));
+    std::vector<NodeRef> next;
+    for (size_t i = 0; i < survivors.size(); ++i) {
+      next.insert(next.end(), lists[i].begin(), lists[i].end());
+      children[survivors[i]] = std::move(lists[i]);
+    }
+    frontier = std::move(next);
+  }
+  out->clear();
+  if (!included.contains(start)) return util::Status::Ok();
+  std::vector<NodeRef> stack{start};
+  while (!stack.empty()) {
+    NodeRef node = stack.back();
+    stack.pop_back();
+    out->push_back(node);
+    auto it = children.find(node);
+    if (it == children.end()) continue;
+    for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+      if (included.contains(*rit)) stack.push_back(*rit);
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status RemoteStore::BatchedClosureMN(NodeRef start,
+                                           std::vector<NodeRef>* out) {
+  // Fetch the parts lists of every reachable node level by level (each
+  // node's parts are read exactly once, like the DFS kernel), then
+  // replay the DFS locally over the map for identical ordering.
+  std::unordered_map<NodeRef, std::vector<NodeRef>> parts;
+  std::vector<NodeRef> frontier{start};
+  std::unordered_set<NodeRef> fetched{start};
+  while (!frontier.empty()) {
+    std::vector<std::vector<NodeRef>> lists;
+    HM_RETURN_IF_ERROR(
+        RefListCallMany(server::OpCode::kParts, frontier, &lists));
+    std::vector<NodeRef> next;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      for (NodeRef part : lists[i]) {
+        if (fetched.insert(part).second) next.push_back(part);
+      }
+      parts[frontier[i]] = std::move(lists[i]);
+    }
+    frontier = std::move(next);
+  }
+  out->clear();
+  std::unordered_set<NodeRef> visited;
+  std::vector<NodeRef> stack{start};
+  while (!stack.empty()) {
+    NodeRef node = stack.back();
+    stack.pop_back();
+    if (!visited.insert(node).second) continue;
+    out->push_back(node);
+    const std::vector<NodeRef>& node_parts = parts[node];
+    for (auto rit = node_parts.rbegin(); rit != node_parts.rend(); ++rit) {
+      if (!visited.contains(*rit)) stack.push_back(*rit);
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status RemoteStore::BatchedClosureMNAtt(NodeRef start, int depth,
+                                              std::vector<NodeRef>* out) {
+  // The generic kernel is already level-synchronous; this is the same
+  // walk with each level's RefsTo calls coalesced into one pipeline.
+  out->clear();
+  std::unordered_set<NodeRef> visited{start};
+  out->push_back(start);
+  std::vector<NodeRef> frontier{start};
+  for (int level = 0; level < depth && !frontier.empty(); ++level) {
+    std::vector<std::vector<RefEdge>> edge_lists;
+    HM_RETURN_IF_ERROR(
+        EdgeListCallMany(server::OpCode::kRefsTo, frontier, &edge_lists));
+    std::vector<NodeRef> next;
+    for (const std::vector<RefEdge>& edges : edge_lists) {
+      for (const RefEdge& edge : edges) {
+        if (visited.insert(edge.node).second) {
+          out->push_back(edge.node);
+          next.push_back(edge.node);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return util::Status::Ok();
+}
+
+util::Status RemoteStore::BatchedClosureMNAttLinkSum(
+    NodeRef start, int depth, std::vector<NodeDistance>* out) {
+  out->clear();
+  std::unordered_set<NodeRef> visited{start};
+  std::vector<NodeDistance> frontier{{start, 0}};
+  out->push_back({start, 0});
+  for (int level = 0; level < depth && !frontier.empty(); ++level) {
+    std::vector<NodeRef> frontier_nodes;
+    frontier_nodes.reserve(frontier.size());
+    for (const NodeDistance& f : frontier) frontier_nodes.push_back(f.node);
+    std::vector<std::vector<RefEdge>> edge_lists;
+    HM_RETURN_IF_ERROR(EdgeListCallMany(server::OpCode::kRefsTo,
+                                        frontier_nodes, &edge_lists));
+    std::vector<NodeDistance> next;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      for (const RefEdge& edge : edge_lists[i]) {
+        if (visited.insert(edge.node).second) {
+          int64_t distance = frontier[i].distance + edge.offset_to;
+          out->push_back({edge.node, distance});
+          next.push_back({edge.node, distance});
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return util::Status::Ok();
 }
 
 }  // namespace hm::backends

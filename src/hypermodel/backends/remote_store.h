@@ -2,13 +2,37 @@
 #define HM_HYPERMODEL_BACKENDS_REMOTE_STORE_H_
 
 #include <memory>
+#include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "hypermodel/store.h"
+#include "hypermodel/traversal.h"
 #include "server/server.h"
 #include "server/wire.h"
 
 namespace hm::backends {
+
+/// How aggressively the client uses the v2 wire features. Exists so
+/// the benchmarks can measure each rung of the latency ladder; normal
+/// callers keep the default.
+enum class RemoteMode {
+  /// One round-trip per HyperStore call (the v1 client behavior —
+  /// the benchmark baseline).
+  kPerCall,
+  /// Batch frames, fused multi-ops and request pipelining, but every
+  /// traversal still runs client-side. Also the automatic fallback
+  /// against a v1 server (minus the v2-only opcodes).
+  kBatched,
+  /// Everything above plus server-side traversal execution (default).
+  kPushdown,
+};
+
+/// Parses "percall" / "batched" / "pushdown".
+util::Result<RemoteMode> ParseRemoteMode(const std::string& name);
+
+std::string_view RemoteModeName(RemoteMode mode);
 
 /// Where to find the server. Distinct from `NetOptions`: `net` is the
 /// CODASYL *network data model* backend (record rings, in-process);
@@ -16,6 +40,7 @@ namespace hm::backends {
 struct RemoteOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 7433;
+  RemoteMode mode = RemoteMode::kPushdown;
 };
 
 /// Parses "host:port" (or just "port") into RemoteOptions.
@@ -29,15 +54,24 @@ util::Result<RemoteOptions> ParseRemoteAddr(const std::string& addr);
 /// exactly the point: it exposes the client/server object-transfer
 /// cost axis the in-process backends cannot measure.
 ///
+/// Against a v2 server the client amortizes round-trips three ways:
+/// fused navigation opcodes (ChildrenMulti/GetAttrsMulti), a generic
+/// Batch frame coalescing arbitrary read-only calls, and — as a
+/// TraversalCapable — pushing whole §6.6 closure kernels to the
+/// server. Against a v1 server (detected in the Hello handshake, or
+/// if an op answers NotSupported) it degrades rung by rung down to
+/// pipelined single requests and finally per-call navigation, so
+/// results are identical at every rung.
+///
 /// Like every HyperStore, a RemoteStore is single-threaded; run one
 /// client (connection) per benchmark thread. Transactions and caching
 /// are entirely server-side: Begin/Commit/CloseReopen are forwarded,
 /// so CloseReopen still makes the next access sequence cold — the
 /// chill just happens at the far end of the socket.
-class RemoteStore : public HyperStore {
+class RemoteStore : public HyperStore, public TraversalCapable {
  public:
   /// Connects to a running server and performs the Hello handshake
-  /// (protocol-version check).
+  /// (protocol-version negotiation).
   static util::Result<std::unique_ptr<RemoteStore>> Connect(
       const RemoteOptions& options);
 
@@ -45,10 +79,12 @@ class RemoteStore : public HyperStore {
   /// (ephemeral port) owning `backend`, then connects to it. The
   /// returned store owns the server; destroying the store shuts it
   /// down. `server_options.reset_factory` may be left unset — Reset
-  /// then reports NotSupported.
+  /// still succeeds while the database is untouched (idempotent
+  /// no-op) and reports NotSupported only once it is dirty.
   static util::Result<std::unique_ptr<RemoteStore>> Loopback(
       std::unique_ptr<HyperStore> backend,
-      server::ServerOptions server_options = {});
+      server::ServerOptions server_options = {},
+      RemoteMode mode = RemoteMode::kPushdown);
 
   ~RemoteStore() override;
 
@@ -58,10 +94,23 @@ class RemoteStore : public HyperStore {
   /// ("mem", "oodb", ...).
   const std::string& server_backend() const { return server_backend_; }
 
+  /// Protocol version agreed in the Hello handshake
+  /// (min(client, server)).
+  uint8_t wire_version() const { return negotiated_version_; }
+
+  RemoteMode mode() const { return mode_; }
+
+  /// The in-process server when this store was created via Loopback()
+  /// (null for Connect()); lets additional clients Connect() to it.
+  server::Server* owned_server() { return owned_server_.get(); }
+
   /// Asks the server to rebuild its database from scratch (wire opcode
   /// kReset). The benchmark harness calls this when it opens a
   /// `remote` store so repeated runs against a long-lived server do
-  /// not collide on uniqueIds.
+  /// not collide on uniqueIds. Server-side this is idempotent: a
+  /// Reset while the database is untouched is a no-op, and sessions
+  /// that lose their database to another session's Reset get a clean
+  /// kConflict, never stale refs.
   util::Status ResetServer();
 
   util::Status Begin() override;
@@ -101,17 +150,59 @@ class RemoteStore : public HyperStore {
 
   util::Result<uint64_t> StorageBytes() override;
 
+  // --- Fused navigation (one frame, many nodes) ----------------------
+  /// Children of every node in `nodes`, positionally. Uses the fused
+  /// v2 opcode, degrading to pipelined kChildren, then per-call.
+  util::Status ChildrenMulti(std::span<const NodeRef> nodes,
+                             std::vector<std::vector<NodeRef>>* out);
+  /// One attribute over many nodes, positionally.
+  util::Status GetAttrsMulti(std::span<const NodeRef> nodes, Attr attr,
+                             std::vector<int64_t>* values);
+
+  // --- TraversalCapable ----------------------------------------------
+  util::Status BulkGetAttr(std::span<const NodeRef> nodes, Attr attr,
+                           std::vector<int64_t>* values) override;
+  util::Status TravClosure1N(NodeRef start,
+                             std::vector<NodeRef>* out) override;
+  util::Result<int64_t> TravClosure1NAttSum(NodeRef start,
+                                            uint64_t* visited) override;
+  util::Result<uint64_t> TravClosure1NAttSet(NodeRef start) override;
+  util::Status TravClosure1NPred(NodeRef start, int64_t lo, int64_t hi,
+                                 std::vector<NodeRef>* out) override;
+  util::Status TravClosureMN(NodeRef start,
+                             std::vector<NodeRef>* out) override;
+  util::Status TravClosureMNAtt(NodeRef start, int depth,
+                                std::vector<NodeRef>* out) override;
+  util::Status TravClosureMNAttLinkSum(NodeRef start, int depth,
+                                       std::vector<NodeDistance>* out) override;
+
  private:
   RemoteStore() = default;
 
+  /// Frames `payload` and sends it. Any transport failure poisons the
+  /// connection: the socket is closed and every later call fails with
+  /// IoError.
+  util::Status SendPayload(std::string_view payload);
+  /// Blocks for one response frame; `*op_status` receives the server's
+  /// status, `*result` (may be null) the response body.
+  util::Status ReadResponse(util::Status* op_status, std::string* result);
   /// Sends one request (opcode + body) and blocks for its response.
-  /// On OK, `*result` receives the response body. Any transport
-  /// failure poisons the connection: the socket is closed and every
-  /// later call fails with IoError.
+  /// Returns the server's status for the op; on OK, `*result` receives
+  /// the response body.
   util::Status Call(server::OpCode op, std::string_view body,
                     std::string* result);
-  /// Handshake after connect: verifies kWireVersion, learns the
-  /// server's backend tag.
+
+  /// The request pipeline: executes every payload (opcode + body) in
+  /// order and returns each (status, body) pair positionally. Against
+  /// a v2 server the chunk travels as one kBatch frame; against a v1
+  /// server the frames are pipelined — written in one syscall, then
+  /// the responses drained in order. Transport errors abort the lot.
+  util::Status CallMany(std::span<const std::string> payloads,
+                        std::vector<std::pair<util::Status, std::string>>* out);
+
+  /// Handshake after connect: negotiates the wire version, learns the
+  /// server's backend tag, and downgrades v2 features when talking to
+  /// a v1 server.
   util::Status Hello();
 
   // Shared bodies for the method families that differ only in opcode.
@@ -121,6 +212,41 @@ class RemoteStore : public HyperStore {
                             std::vector<RefEdge>* out);
   util::Result<std::string> StringCall(server::OpCode op, NodeRef node);
 
+  /// Pipelined single-node ref-list / edge-list fan-outs (the
+  /// CallMany-based fallback rung under the fused opcodes).
+  util::Status RefListCallMany(server::OpCode op,
+                               std::span<const NodeRef> nodes,
+                               std::vector<std::vector<NodeRef>>* out);
+  util::Status EdgeListCallMany(server::OpCode op,
+                                std::span<const NodeRef> nodes,
+                                std::vector<std::vector<RefEdge>>* out);
+
+  // Batched (client-side, level-synchronous) traversal fallbacks.
+  // Each produces byte-identical output to its hm::traversal kernel;
+  // they replace O(visited) round-trips with O(depth) when the server
+  // can't run the walk itself.
+  util::Status BatchedClosure1N(NodeRef start, std::vector<NodeRef>* out);
+  util::Result<int64_t> BatchedClosure1NAttSum(NodeRef start,
+                                               uint64_t* visited);
+  util::Result<uint64_t> BatchedClosure1NAttSet(NodeRef start);
+  util::Status BatchedClosure1NPred(NodeRef start, int64_t lo, int64_t hi,
+                                    std::vector<NodeRef>* out);
+  util::Status BatchedClosureMN(NodeRef start, std::vector<NodeRef>* out);
+  util::Status BatchedClosureMNAtt(NodeRef start, int depth,
+                                   std::vector<NodeRef>* out);
+  util::Status BatchedClosureMNAttLinkSum(NodeRef start, int depth,
+                                          std::vector<NodeDistance>* out);
+
+  bool UseBatchFrames() const {
+    return server_batch_ && mode_ != RemoteMode::kPerCall;
+  }
+  bool UseMultiOps() const {
+    return server_multi_ && mode_ != RemoteMode::kPerCall;
+  }
+  bool UsePushdown() const {
+    return server_traversal_ && mode_ == RemoteMode::kPushdown;
+  }
+
   // Declared before fd_ so the in-process server (loopback mode) is
   // destroyed after the client socket closes: members destruct in
   // reverse order, and ~RemoteStore closes fd_ first anyway.
@@ -129,6 +255,13 @@ class RemoteStore : public HyperStore {
   int fd_ = -1;
   std::string rx_;  // bytes received but not yet framed
   std::string server_backend_;
+  RemoteMode mode_ = RemoteMode::kPushdown;
+  uint8_t negotiated_version_ = server::kWireVersion;
+  // Server capabilities; start optimistic, cleared by the handshake
+  // (v1 server) or a NotSupported answer (belt and braces).
+  bool server_batch_ = true;
+  bool server_multi_ = true;
+  bool server_traversal_ = true;
 };
 
 }  // namespace hm::backends

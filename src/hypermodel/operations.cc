@@ -1,10 +1,20 @@
 #include "hypermodel/operations.h"
 
-#include <unordered_set>
-
+#include "hypermodel/traversal.h"
 #include "util/text.h"
 
 namespace hm::ops {
+
+namespace {
+
+/// Stores may opt into whole-traversal execution (the `remote` backend
+/// runs the walk server-side); everything else takes the generic
+/// navigation-call-at-a-time kernels in hm::traversal.
+TraversalCapable* AsTraversal(HyperStore* store) {
+  return dynamic_cast<TraversalCapable*>(store);
+}
+
+}  // namespace
 
 util::Result<int64_t> NameLookup(HyperStore* store, int64_t unique_id) {
   HM_ASSIGN_OR_RETURN(NodeRef node, store->LookupUnique(unique_id));
@@ -71,180 +81,72 @@ util::Result<uint64_t> SeqScan(HyperStore* store,
                                std::span<const NodeRef> nodes) {
   // "the ten-attribute would be retrieved and assigned to a variable
   // for each node sequentially" — read and discard.
-  volatile int64_t sink = 0;
-  for (NodeRef node : nodes) {
-    HM_ASSIGN_OR_RETURN(int64_t ten, store->GetAttr(node, Attr::kTen));
-    sink = ten;
+  std::vector<int64_t> values;
+  if (TraversalCapable* trav = AsTraversal(store)) {
+    HM_RETURN_IF_ERROR(trav->BulkGetAttr(nodes, Attr::kTen, &values));
+  } else {
+    HM_RETURN_IF_ERROR(traversal::BulkGetAttr(store, nodes, Attr::kTen,
+                                              &values));
   }
+  volatile int64_t sink = 0;
+  for (int64_t ten : values) sink = ten;
   (void)sink;
   return static_cast<uint64_t>(nodes.size());
 }
 
-namespace {
-
-/// Depth-first pre-order walk of the 1-N hierarchy. Children order is
-/// preserved, matching the required "preOrder traversal" list.
-util::Status Preorder1N(HyperStore* store, NodeRef node,
-                        std::vector<NodeRef>* out) {
-  out->push_back(node);
-  std::vector<NodeRef> children;
-  HM_RETURN_IF_ERROR(store->Children(node, &children));
-  for (NodeRef child : children) {
-    HM_RETURN_IF_ERROR(Preorder1N(store, child, out));
-  }
-  return util::Status::Ok();
-}
-
-}  // namespace
-
 util::Status Closure1N(HyperStore* store, NodeRef start,
                        std::vector<NodeRef>* out) {
-  out->clear();
-  return Preorder1N(store, start, out);
+  if (TraversalCapable* trav = AsTraversal(store)) {
+    return trav->TravClosure1N(start, out);
+  }
+  return traversal::Closure1N(store, start, out);
 }
 
 util::Status ClosureMN(HyperStore* store, NodeRef start,
                        std::vector<NodeRef>* out) {
-  out->clear();
-  std::unordered_set<NodeRef> visited;
-  // Iterative pre-order over the M-N parts DAG; shared sub-parts are
-  // listed once (first encounter).
-  std::vector<NodeRef> stack{start};
-  while (!stack.empty()) {
-    NodeRef node = stack.back();
-    stack.pop_back();
-    if (!visited.insert(node).second) continue;
-    out->push_back(node);
-    std::vector<NodeRef> parts;
-    HM_RETURN_IF_ERROR(store->Parts(node, &parts));
-    // Reverse so the first part is popped (and listed) first.
-    for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
-      if (!visited.contains(*it)) stack.push_back(*it);
-    }
+  if (TraversalCapable* trav = AsTraversal(store)) {
+    return trav->TravClosureMN(start, out);
   }
-  return util::Status::Ok();
+  return traversal::ClosureMN(store, start, out);
 }
 
 util::Status ClosureMNAtt(HyperStore* store, NodeRef start, int depth,
                           std::vector<NodeRef>* out) {
-  out->clear();
-  std::unordered_set<NodeRef> visited{start};
-  NodeRef current = start;
-  out->push_back(start);
-  // Each node has exactly one outgoing refTo edge in the generated
-  // database, but the walk handles the general fan-out by breadth
-  // level to honor the depth bound.
-  std::vector<NodeRef> frontier{start};
-  for (int level = 0; level < depth && !frontier.empty(); ++level) {
-    std::vector<NodeRef> next;
-    for (NodeRef node : frontier) {
-      std::vector<RefEdge> edges;
-      HM_RETURN_IF_ERROR(store->RefsTo(node, &edges));
-      for (const RefEdge& edge : edges) {
-        if (visited.insert(edge.node).second) {
-          out->push_back(edge.node);
-          next.push_back(edge.node);
-        }
-      }
-    }
-    frontier = std::move(next);
+  if (TraversalCapable* trav = AsTraversal(store)) {
+    return trav->TravClosureMNAtt(start, depth, out);
   }
-  (void)current;
-  return util::Status::Ok();
+  return traversal::ClosureMNAtt(store, start, depth, out);
 }
-
-namespace {
-
-util::Status Sum1N(HyperStore* store, NodeRef node, int64_t* sum,
-                   uint64_t* count) {
-  HM_ASSIGN_OR_RETURN(int64_t hundred, store->GetAttr(node, Attr::kHundred));
-  *sum += hundred;
-  ++*count;
-  std::vector<NodeRef> children;
-  HM_RETURN_IF_ERROR(store->Children(node, &children));
-  for (NodeRef child : children) {
-    HM_RETURN_IF_ERROR(Sum1N(store, child, sum, count));
-  }
-  return util::Status::Ok();
-}
-
-util::Status Set1N(HyperStore* store, NodeRef node, uint64_t* count) {
-  HM_ASSIGN_OR_RETURN(int64_t hundred, store->GetAttr(node, Attr::kHundred));
-  HM_RETURN_IF_ERROR(store->SetAttr(node, Attr::kHundred, 99 - hundred));
-  ++*count;
-  std::vector<NodeRef> children;
-  HM_RETURN_IF_ERROR(store->Children(node, &children));
-  for (NodeRef child : children) {
-    HM_RETURN_IF_ERROR(Set1N(store, child, count));
-  }
-  return util::Status::Ok();
-}
-
-util::Status Pred1N(HyperStore* store, NodeRef node, int64_t lo, int64_t hi,
-                    std::vector<NodeRef>* out) {
-  HM_ASSIGN_OR_RETURN(int64_t million, store->GetAttr(node, Attr::kMillion));
-  if (million >= lo && million <= hi) {
-    // Excluded — and recursion terminates here (§6.6 op /*13*/).
-    return util::Status::Ok();
-  }
-  out->push_back(node);
-  std::vector<NodeRef> children;
-  HM_RETURN_IF_ERROR(store->Children(node, &children));
-  for (NodeRef child : children) {
-    HM_RETURN_IF_ERROR(Pred1N(store, child, lo, hi, out));
-  }
-  return util::Status::Ok();
-}
-
-}  // namespace
 
 util::Result<int64_t> Closure1NAttSum(HyperStore* store, NodeRef start,
                                       uint64_t* visited) {
-  int64_t sum = 0;
-  uint64_t count = 0;
-  HM_RETURN_IF_ERROR(Sum1N(store, start, &sum, &count));
-  if (visited != nullptr) *visited = count;
-  return sum;
+  if (TraversalCapable* trav = AsTraversal(store)) {
+    return trav->TravClosure1NAttSum(start, visited);
+  }
+  return traversal::Closure1NAttSum(store, start, visited);
 }
 
 util::Result<uint64_t> Closure1NAttSet(HyperStore* store, NodeRef start) {
-  uint64_t count = 0;
-  HM_RETURN_IF_ERROR(Set1N(store, start, &count));
-  return count;
+  if (TraversalCapable* trav = AsTraversal(store)) {
+    return trav->TravClosure1NAttSet(start);
+  }
+  return traversal::Closure1NAttSet(store, start);
 }
 
 util::Status Closure1NPred(HyperStore* store, NodeRef start, int64_t x,
                            std::vector<NodeRef>* out) {
-  out->clear();
-  return Pred1N(store, start, x, x + 9999, out);
+  if (TraversalCapable* trav = AsTraversal(store)) {
+    return trav->TravClosure1NPred(start, x, x + 9999, out);
+  }
+  return traversal::Closure1NPred(store, start, x, x + 9999, out);
 }
 
 util::Status ClosureMNAttLinkSum(HyperStore* store, NodeRef start, int depth,
                                  std::vector<NodeDistance>* out) {
-  out->clear();
-  std::unordered_set<NodeRef> visited{start};
-  struct Frontier {
-    NodeRef node;
-    int64_t distance;
-  };
-  std::vector<Frontier> frontier{{start, 0}};
-  out->push_back({start, 0});
-  for (int level = 0; level < depth && !frontier.empty(); ++level) {
-    std::vector<Frontier> next;
-    for (const Frontier& f : frontier) {
-      std::vector<RefEdge> edges;
-      HM_RETURN_IF_ERROR(store->RefsTo(f.node, &edges));
-      for (const RefEdge& edge : edges) {
-        if (visited.insert(edge.node).second) {
-          int64_t distance = f.distance + edge.offset_to;
-          out->push_back({edge.node, distance});
-          next.push_back({edge.node, distance});
-        }
-      }
-    }
-    frontier = std::move(next);
+  if (TraversalCapable* trav = AsTraversal(store)) {
+    return trav->TravClosureMNAttLinkSum(start, depth, out);
   }
-  return util::Status::Ok();
+  return traversal::ClosureMNAttLinkSum(store, start, depth, out);
 }
 
 util::Result<uint64_t> TextNodeEdit(HyperStore* store, NodeRef text_node,

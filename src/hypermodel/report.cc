@@ -98,4 +98,36 @@ void Report::PrintCsv(std::ostream& os) const {
   }
 }
 
+void Report::PrintJson(std::ostream& os) const {
+  // Backend tags and op names are identifier-like ("mem",
+  // "remote[pushdown]", "10 closure-1N"); nothing needs escaping.
+  os << "{\n  \"creation\": [";
+  for (size_t i = 0; i < creation_rows_.size(); ++i) {
+    const CreationRow& row = creation_rows_[i];
+    const CreationTiming& t = row.timing;
+    os << (i == 0 ? "" : ",") << "\n    {\"backend\": \"" << row.backend
+       << "\", \"level\": " << row.level << ", \"nodes\": " << row.nodes
+       << ", \"internal_nodes_ms\": " << t.internal_nodes_ms
+       << ", \"leaf_nodes_ms\": " << t.leaf_nodes_ms
+       << ", \"rel_1n_ms\": " << t.rel_1n_ms
+       << ", \"rel_mn_ms\": " << t.rel_mn_ms
+       << ", \"rel_mnatt_ms\": " << t.rel_mnatt_ms
+       << ", \"total_ms\": " << t.total_ms() << "}";
+  }
+  os << (creation_rows_.empty() ? "]" : "\n  ]") << ",\n  \"results\": [";
+  for (size_t i = 0; i < op_results_.size(); ++i) {
+    const OpResult& r = op_results_[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"op\": \"" << r.op_name
+       << "\", \"backend\": \"" << r.backend
+       << "\", \"level\": " << r.level
+       << ", \"cold_total_ms\": " << r.cold_total_ms
+       << ", \"warm_total_ms\": " << r.warm_total_ms
+       << ", \"cold_nodes\": " << r.cold_nodes
+       << ", \"warm_nodes\": " << r.warm_nodes
+       << ", \"cold_ms_per_node\": " << r.cold_ms_per_node()
+       << ", \"warm_ms_per_node\": " << r.warm_ms_per_node() << "}";
+  }
+  os << (op_results_.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
 }  // namespace hm

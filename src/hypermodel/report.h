@@ -41,6 +41,12 @@ class Report {
   /// Machine-readable CSV of every op result.
   void PrintCsv(std::ostream& os) const;
 
+  /// Machine-readable JSON: `{"creation": [...], "results": [...]}`,
+  /// one object per creation row / op result, same fields as the CSV.
+  /// This is what `--json=<path>` writes and what the committed
+  /// BENCH_*.json baselines contain.
+  void PrintJson(std::ostream& os) const;
+
   const std::vector<OpResult>& op_results() const { return op_results_; }
 
  private:

@@ -28,6 +28,14 @@ class HyperStore {
   /// Short backend tag for reports ("oodb", "rel", "mem").
   virtual std::string name() const = 0;
 
+  /// True when every read-path method (Get*, Lookup*, Range*,
+  /// navigation) is safe to call from multiple threads concurrently as
+  /// long as no mutation runs — lets the server dispatch read-only
+  /// requests under a shared lock. Backends with internally mutable
+  /// read paths (buffer-pool eviction, pin counts) stay at the safe
+  /// default.
+  virtual bool SupportsConcurrentReads() const { return false; }
+
   // --- Transaction protocol -------------------------------------------
   virtual util::Status Begin() = 0;
   virtual util::Status Commit() = 0;

@@ -1,0 +1,179 @@
+#include "hypermodel/traversal.h"
+
+#include <unordered_set>
+
+namespace hm::traversal {
+
+namespace {
+
+/// Depth-first pre-order walk of the 1-N hierarchy. Children order is
+/// preserved, matching the required "preOrder traversal" list.
+util::Status Preorder1N(HyperStore* store, NodeRef node,
+                        std::vector<NodeRef>* out) {
+  out->push_back(node);
+  std::vector<NodeRef> children;
+  HM_RETURN_IF_ERROR(store->Children(node, &children));
+  for (NodeRef child : children) {
+    HM_RETURN_IF_ERROR(Preorder1N(store, child, out));
+  }
+  return util::Status::Ok();
+}
+
+util::Status Sum1N(HyperStore* store, NodeRef node, int64_t* sum,
+                   uint64_t* count) {
+  HM_ASSIGN_OR_RETURN(int64_t hundred, store->GetAttr(node, Attr::kHundred));
+  *sum += hundred;
+  ++*count;
+  std::vector<NodeRef> children;
+  HM_RETURN_IF_ERROR(store->Children(node, &children));
+  for (NodeRef child : children) {
+    HM_RETURN_IF_ERROR(Sum1N(store, child, sum, count));
+  }
+  return util::Status::Ok();
+}
+
+util::Status Set1N(HyperStore* store, NodeRef node, uint64_t* count) {
+  HM_ASSIGN_OR_RETURN(int64_t hundred, store->GetAttr(node, Attr::kHundred));
+  HM_RETURN_IF_ERROR(store->SetAttr(node, Attr::kHundred, 99 - hundred));
+  ++*count;
+  std::vector<NodeRef> children;
+  HM_RETURN_IF_ERROR(store->Children(node, &children));
+  for (NodeRef child : children) {
+    HM_RETURN_IF_ERROR(Set1N(store, child, count));
+  }
+  return util::Status::Ok();
+}
+
+util::Status Pred1N(HyperStore* store, NodeRef node, int64_t lo, int64_t hi,
+                    std::vector<NodeRef>* out) {
+  HM_ASSIGN_OR_RETURN(int64_t million, store->GetAttr(node, Attr::kMillion));
+  if (million >= lo && million <= hi) {
+    // Excluded — and recursion terminates here (§6.6 op /*13*/).
+    return util::Status::Ok();
+  }
+  out->push_back(node);
+  std::vector<NodeRef> children;
+  HM_RETURN_IF_ERROR(store->Children(node, &children));
+  for (NodeRef child : children) {
+    HM_RETURN_IF_ERROR(Pred1N(store, child, lo, hi, out));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Status Closure1N(HyperStore* store, NodeRef start,
+                       std::vector<NodeRef>* out) {
+  out->clear();
+  return Preorder1N(store, start, out);
+}
+
+util::Result<int64_t> Closure1NAttSum(HyperStore* store, NodeRef start,
+                                      uint64_t* visited) {
+  int64_t sum = 0;
+  uint64_t count = 0;
+  HM_RETURN_IF_ERROR(Sum1N(store, start, &sum, &count));
+  if (visited != nullptr) *visited = count;
+  return sum;
+}
+
+util::Result<uint64_t> Closure1NAttSet(HyperStore* store, NodeRef start) {
+  uint64_t count = 0;
+  HM_RETURN_IF_ERROR(Set1N(store, start, &count));
+  return count;
+}
+
+util::Status Closure1NPred(HyperStore* store, NodeRef start, int64_t lo,
+                           int64_t hi, std::vector<NodeRef>* out) {
+  out->clear();
+  return Pred1N(store, start, lo, hi, out);
+}
+
+util::Status ClosureMN(HyperStore* store, NodeRef start,
+                       std::vector<NodeRef>* out) {
+  out->clear();
+  std::unordered_set<NodeRef> visited;
+  // Iterative pre-order over the M-N parts DAG; shared sub-parts are
+  // listed once (first encounter).
+  std::vector<NodeRef> stack{start};
+  while (!stack.empty()) {
+    NodeRef node = stack.back();
+    stack.pop_back();
+    if (!visited.insert(node).second) continue;
+    out->push_back(node);
+    std::vector<NodeRef> parts;
+    HM_RETURN_IF_ERROR(store->Parts(node, &parts));
+    // Reverse so the first part is popped (and listed) first.
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+      if (!visited.contains(*it)) stack.push_back(*it);
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status ClosureMNAtt(HyperStore* store, NodeRef start, int depth,
+                          std::vector<NodeRef>* out) {
+  out->clear();
+  std::unordered_set<NodeRef> visited{start};
+  out->push_back(start);
+  // Each node has exactly one outgoing refTo edge in the generated
+  // database, but the walk handles the general fan-out by breadth
+  // level to honor the depth bound.
+  std::vector<NodeRef> frontier{start};
+  for (int level = 0; level < depth && !frontier.empty(); ++level) {
+    std::vector<NodeRef> next;
+    for (NodeRef node : frontier) {
+      std::vector<RefEdge> edges;
+      HM_RETURN_IF_ERROR(store->RefsTo(node, &edges));
+      for (const RefEdge& edge : edges) {
+        if (visited.insert(edge.node).second) {
+          out->push_back(edge.node);
+          next.push_back(edge.node);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return util::Status::Ok();
+}
+
+util::Status ClosureMNAttLinkSum(HyperStore* store, NodeRef start, int depth,
+                                 std::vector<NodeDistance>* out) {
+  out->clear();
+  std::unordered_set<NodeRef> visited{start};
+  struct Frontier {
+    NodeRef node;
+    int64_t distance;
+  };
+  std::vector<Frontier> frontier{{start, 0}};
+  out->push_back({start, 0});
+  for (int level = 0; level < depth && !frontier.empty(); ++level) {
+    std::vector<Frontier> next;
+    for (const Frontier& f : frontier) {
+      std::vector<RefEdge> edges;
+      HM_RETURN_IF_ERROR(store->RefsTo(f.node, &edges));
+      for (const RefEdge& edge : edges) {
+        if (visited.insert(edge.node).second) {
+          int64_t distance = f.distance + edge.offset_to;
+          out->push_back({edge.node, distance});
+          next.push_back({edge.node, distance});
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return util::Status::Ok();
+}
+
+util::Status BulkGetAttr(HyperStore* store, std::span<const NodeRef> nodes,
+                         Attr attr, std::vector<int64_t>* values) {
+  values->clear();
+  values->reserve(nodes.size());
+  for (NodeRef node : nodes) {
+    HM_ASSIGN_OR_RETURN(int64_t value, store->GetAttr(node, attr));
+    values->push_back(value);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace hm::traversal

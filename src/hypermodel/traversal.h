@@ -1,0 +1,94 @@
+#ifndef HM_HYPERMODEL_TRAVERSAL_H_
+#define HM_HYPERMODEL_TRAVERSAL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hypermodel/store.h"
+#include "hypermodel/types.h"
+#include "util/status.h"
+
+namespace hm {
+
+/// Optional HyperStore capability: whole-traversal execution. A store
+/// that implements this (the `remote` backend pushes the walk to the
+/// server; a future cached backend could prefetch) is discovered by
+/// `ops::` via dynamic_cast and receives the §6.6 closure kernels as
+/// single calls instead of O(visited-nodes) navigation calls. Every
+/// method must produce byte-identical results to the generic kernels
+/// in `traversal::` below — `store_contract_test` enforces this.
+class TraversalCapable {
+ public:
+  virtual ~TraversalCapable() = default;
+
+  /// GetAttr over many nodes at once; `values` is resized to match
+  /// `nodes` and filled positionally. Used by ops::SeqScan.
+  virtual util::Status BulkGetAttr(std::span<const NodeRef> nodes, Attr attr,
+                                   std::vector<int64_t>* values) = 0;
+
+  // One method per §6.6 kernel; contracts mirror traversal::* exactly
+  // (output containers are replaced, not appended to).
+  virtual util::Status TravClosure1N(NodeRef start,
+                                     std::vector<NodeRef>* out) = 0;
+  virtual util::Result<int64_t> TravClosure1NAttSum(NodeRef start,
+                                                    uint64_t* visited) = 0;
+  virtual util::Result<uint64_t> TravClosure1NAttSet(NodeRef start) = 0;
+  virtual util::Status TravClosure1NPred(NodeRef start, int64_t lo, int64_t hi,
+                                         std::vector<NodeRef>* out) = 0;
+  virtual util::Status TravClosureMN(NodeRef start,
+                                     std::vector<NodeRef>* out) = 0;
+  virtual util::Status TravClosureMNAtt(NodeRef start, int depth,
+                                        std::vector<NodeRef>* out) = 0;
+  virtual util::Status TravClosureMNAttLinkSum(
+      NodeRef start, int depth, std::vector<NodeDistance>* out) = 0;
+};
+
+/// The generic (navigation-call-at-a-time) §6.6 kernels, shared by
+/// three callers: `ops::` uses them as the fallback for stores without
+/// TraversalCapable, the server executes them against its local
+/// backend for the pushdown opcodes, and the contract tests pit them
+/// against capability implementations. They depend only on the
+/// abstract HyperStore navigation API.
+namespace traversal {
+
+/// Pre-order walk of the 1-N hierarchy, children order preserved.
+util::Status Closure1N(HyperStore* store, NodeRef start,
+                       std::vector<NodeRef>* out);
+
+/// Sums Attr::kHundred over the pre-order closure; `visited` (may be
+/// null) receives the node count.
+util::Result<int64_t> Closure1NAttSum(HyperStore* store, NodeRef start,
+                                      uint64_t* visited);
+
+/// Rewrites hundred := 99 - hundred over the pre-order closure;
+/// returns the update count. The only mutating kernel.
+util::Result<uint64_t> Closure1NAttSet(HyperStore* store, NodeRef start);
+
+/// Pre-order closure pruned at nodes with million in [lo, hi]: an
+/// excluded node is skipped AND its subtree is never visited (§6.6
+/// op /*13*/ semantics — recursion terminates at the predicate).
+util::Status Closure1NPred(HyperStore* store, NodeRef start, int64_t lo,
+                           int64_t hi, std::vector<NodeRef>* out);
+
+/// DFS over the M-N parts DAG, first-encounter order, shared
+/// sub-parts listed once.
+util::Status ClosureMN(HyperStore* store, NodeRef start,
+                       std::vector<NodeRef>* out);
+
+/// BFS over refTo edges to `depth` levels, first-encounter order.
+util::Status ClosureMNAtt(HyperStore* store, NodeRef start, int depth,
+                          std::vector<NodeRef>* out);
+
+/// BFS over refTo edges accumulating offset_to distances (op /*18*/).
+util::Status ClosureMNAttLinkSum(HyperStore* store, NodeRef start, int depth,
+                                 std::vector<NodeDistance>* out);
+
+/// Per-node GetAttr loop — the generic BulkGetAttr.
+util::Status BulkGetAttr(HyperStore* store, std::span<const NodeRef> nodes,
+                         Attr attr, std::vector<int64_t>* values);
+
+}  // namespace traversal
+}  // namespace hm
+
+#endif  // HM_HYPERMODEL_TRAVERSAL_H_

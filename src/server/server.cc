@@ -5,9 +5,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
+#include "hypermodel/traversal.h"
 #include "util/bitmap.h"
 #include "util/coding.h"
 
@@ -18,6 +20,10 @@ namespace {
 util::Status Errno(const std::string& what) {
   return util::Status::IoError(what + ": " + std::strerror(errno));
 }
+
+/// Ceiling on a client-supplied BFS depth; anything above it is a
+/// malformed (or hostile) count, not a legitimate traversal bound.
+constexpr uint64_t kMaxTraversalDepth = 1u << 20;
 
 /// Appends an OK header plus a varint-encoded node list.
 void PutRefList(std::string* dst, const std::vector<NodeRef>& refs) {
@@ -86,6 +92,8 @@ util::Result<std::unique_ptr<Server>> Server::Start(
   }
   std::unique_ptr<Server> server(
       new Server(options, std::move(backend)));
+  server->concurrent_reads_ok_.store(
+      server->backend_->SupportsConcurrentReads(), std::memory_order_relaxed);
   HM_RETURN_IF_ERROR(server->Listen());
   server->listener_ = std::thread([s = server.get()] { s->ListenLoop(); });
   for (int i = 0; i < options.workers; ++i) {
@@ -161,7 +169,84 @@ void Server::UntrackFd(int fd) {
   active_fds_.erase(fd);
 }
 
-void Server::Dispatch(std::string_view request, std::string* response) {
+void Server::Dispatch(Session* session, std::string_view request,
+                      std::string* response) {
+  if (request.empty()) {
+    PutStatus(response,
+              util::Status::InvalidArgument("empty request payload"));
+    return;
+  }
+  const auto op = static_cast<OpCode>(request[0]);
+
+  // Batch contents are decoded before taking the lock so an all-read
+  // batch can still ride the shared side.
+  std::vector<std::string_view> subs;
+  const bool is_batch = op == OpCode::kBatch;
+  if (is_batch && !DecodeBatch(request.substr(1), &subs)) {
+    PutStatus(response,
+              util::Status::InvalidArgument("malformed or oversized batch"));
+    return;
+  }
+
+  bool read_only = IsReadOnlyOp(op);
+  if (is_batch) {
+    read_only = std::all_of(subs.begin(), subs.end(), [](std::string_view s) {
+      return !s.empty() && IsReadOnlyOp(static_cast<OpCode>(s[0]));
+    });
+  }
+  const bool use_shared =
+      read_only && concurrent_reads_ok_.load(std::memory_order_relaxed);
+
+  std::shared_lock<std::shared_mutex> read_lock(backend_mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> write_lock(backend_mu_, std::defer_lock);
+  if (use_shared) {
+    read_lock.lock();
+    shared_reads_.fetch_add(1);
+  } else {
+    write_lock.lock();
+  }
+  requests_.fetch_add(is_batch ? subs.size() : 1);
+
+  // A session adopts the server's reset epoch on first contact; a
+  // mismatch later means another session rebuilt the database out from
+  // under this one, and its NodeRefs point into a discarded store —
+  // answer with a clean Conflict instead of serving garbage. Hello and
+  // Reset re-synchronize the session. (Session state is only ever
+  // touched by the one worker serving it.)
+  if (!session->epoch_synced) {
+    session->epoch = reset_epoch_;
+    session->epoch_synced = true;
+  }
+  if (op != OpCode::kHello && op != OpCode::kReset &&
+      session->epoch != reset_epoch_) {
+    PutStatus(response,
+              util::Status::Conflict(
+                  "database was reset by another session; re-handshake "
+                  "(Hello) to observe the new store"));
+    return;
+  }
+
+  if (is_batch) {
+    PutStatus(response, util::Status::Ok());
+    util::PutVarint64(response, subs.size());
+    std::string sub_response;
+    for (std::string_view sub : subs) {
+      sub_response.clear();
+      if (!sub.empty() && static_cast<OpCode>(sub[0]) == OpCode::kBatch) {
+        PutStatus(&sub_response,
+                  util::Status::InvalidArgument("nested batch"));
+      } else {
+        DispatchOne(session, sub, &sub_response);
+      }
+      util::PutLengthPrefixed(response, sub_response);
+    }
+    return;
+  }
+  DispatchOne(session, request, response);
+}
+
+void Server::DispatchOne(Session* session, std::string_view request,
+                         std::string* response) {
   if (request.empty()) {
     PutStatus(response,
               util::Status::InvalidArgument("empty request payload"));
@@ -187,19 +272,41 @@ void Server::Dispatch(std::string_view request, std::string* response) {
     PutStatus(response, status);
   };
 
-  std::lock_guard<std::mutex> lock(backend_mu_);
-  requests_.fetch_add(1);
-
   switch (op) {
     case OpCode::kHello: {
+      uint64_t client_version = 1;  // v1 clients send an empty Hello body
+      if (!body.Empty()) {
+        if (!body.GetVarint64(&client_version) || client_version == 0) {
+          bad_request();
+          return;
+        }
+      }
+      if (client_version < kMinWireVersion) {
+        reply_status(util::Status::InvalidArgument(
+            "client wire version " + std::to_string(client_version) +
+            " is below the minimum " + std::to_string(kMinWireVersion)));
+        return;
+      }
+      const auto negotiated = static_cast<uint8_t>(
+          std::min<uint64_t>(client_version, kWireVersion));
+      session->epoch = reset_epoch_;  // re-handshake adopts the current DB
       std::string name = backend_->name();
       reply(util::Status::Ok(), [&] {
-        response->push_back(static_cast<char>(kWireVersion));
+        response->push_back(static_cast<char>(negotiated));
         util::PutLengthPrefixed(response, name);
       });
       return;
     }
     case OpCode::kReset: {
+      if (!dirty_) {
+        // Nothing mutated since the last rebuild (or startup): Reset
+        // is an idempotent no-op, so concurrent clients that each
+        // reset-on-open don't invalidate one another — and no factory
+        // is needed to "rebuild" an untouched store.
+        session->epoch = reset_epoch_;
+        reply_status(util::Status::Ok());
+        return;
+      }
       if (!options_.reset_factory) {
         reply_status(util::Status::NotSupported(
             "server was started without a reset factory"));
@@ -211,6 +318,11 @@ void Server::Dispatch(std::string_view request, std::string* response) {
         return;
       }
       backend_ = std::move(*fresh);
+      ++reset_epoch_;
+      dirty_ = false;
+      concurrent_reads_ok_.store(backend_->SupportsConcurrentReads(),
+                                 std::memory_order_relaxed);
+      session->epoch = reset_epoch_;
       reply_status(util::Status::Ok());
       return;
     }
@@ -241,6 +353,7 @@ void Server::Dispatch(std::string_view request, std::string* response) {
         return;
       }
       attrs.kind = static_cast<NodeKind>(kind);
+      dirty_ = true;
       auto ref = backend_->CreateNode(attrs, near);
       reply(ref.status(), [&] { util::PutVarint64(response, *ref); });
       return;
@@ -252,6 +365,7 @@ void Server::Dispatch(std::string_view request, std::string* response) {
         bad_request();
         return;
       }
+      dirty_ = true;
       reply_status(backend_->SetText(node, text));
       return;
     }
@@ -268,6 +382,7 @@ void Server::Dispatch(std::string_view request, std::string* response) {
         reply_status(form.status());
         return;
       }
+      dirty_ = true;
       reply_status(backend_->SetForm(node, *form));
       return;
     }
@@ -277,6 +392,7 @@ void Server::Dispatch(std::string_view request, std::string* response) {
         bad_request();
         return;
       }
+      dirty_ = true;
       reply_status(backend_->AddChild(parent, child));
       return;
     }
@@ -286,6 +402,7 @@ void Server::Dispatch(std::string_view request, std::string* response) {
         bad_request();
         return;
       }
+      dirty_ = true;
       reply_status(backend_->AddPart(owner, part));
       return;
     }
@@ -298,6 +415,7 @@ void Server::Dispatch(std::string_view request, std::string* response) {
         bad_request();
         return;
       }
+      dirty_ = true;
       reply_status(backend_->AddRef(from, to, offset_from, offset_to));
       return;
     }
@@ -320,6 +438,7 @@ void Server::Dispatch(std::string_view request, std::string* response) {
           bad_request();
           return;
         }
+        dirty_ = true;
         reply_status(
             backend_->SetAttr(node, static_cast<Attr>(attr), value));
       }
@@ -369,6 +488,7 @@ void Server::Dispatch(std::string_view request, std::string* response) {
         bad_request();
         return;
       }
+      dirty_ = true;
       reply_status(backend_->SetContents(node, data));
       return;
     }
@@ -442,6 +562,155 @@ void Server::Dispatch(std::string_view request, std::string* response) {
       auto bytes = backend_->StorageBytes();
       reply(bytes.status(),
             [&] { util::PutVarint64(response, *bytes); });
+      return;
+    }
+    case OpCode::kBatch:
+      // Unpacked by Dispatch(); reaching here means nesting.
+      reply_status(util::Status::InvalidArgument("nested batch"));
+      return;
+    case OpCode::kChildrenMulti: {
+      uint64_t count = 0;
+      if (!body.GetVarint64(&count) || count > kMaxBatchEntries) {
+        bad_request();
+        return;
+      }
+      std::vector<NodeRef> nodes(count);
+      for (NodeRef& node : nodes) {
+        if (!body.GetVarint64(&node)) {
+          bad_request();
+          return;
+        }
+      }
+      std::string lists;
+      util::Status status = util::Status::Ok();
+      for (NodeRef node : nodes) {
+        std::vector<NodeRef> refs;
+        status = backend_->Children(node, &refs);
+        if (!status.ok()) break;
+        PutRefList(&lists, refs);
+      }
+      reply(status, [&] {
+        util::PutVarint64(response, count);
+        response->append(lists);
+      });
+      return;
+    }
+    case OpCode::kGetAttrsMulti: {
+      uint64_t attr = 0;
+      uint64_t count = 0;
+      if (!body.GetVarint64(&attr) || attr > 4 ||
+          !body.GetVarint64(&count) || count > kMaxBatchEntries) {
+        bad_request();
+        return;
+      }
+      std::vector<NodeRef> nodes(count);
+      for (NodeRef& node : nodes) {
+        if (!body.GetVarint64(&node)) {
+          bad_request();
+          return;
+        }
+      }
+      std::string values;
+      util::Status status = util::Status::Ok();
+      for (NodeRef node : nodes) {
+        auto value = backend_->GetAttr(node, static_cast<Attr>(attr));
+        status = value.status();
+        if (!status.ok()) break;
+        util::PutVarSigned64(&values, *value);
+      }
+      reply(status, [&] {
+        util::PutVarint64(response, count);
+        response->append(values);
+      });
+      return;
+    }
+    case OpCode::kClosure1N:
+    case OpCode::kClosureMN: {
+      uint64_t start = 0;
+      if (!body.GetVarint64(&start)) {
+        bad_request();
+        return;
+      }
+      std::vector<NodeRef> refs;
+      util::Status status =
+          op == OpCode::kClosure1N
+              ? traversal::Closure1N(backend_.get(), start, &refs)
+              : traversal::ClosureMN(backend_.get(), start, &refs);
+      reply(status, [&] { PutRefList(response, refs); });
+      return;
+    }
+    case OpCode::kClosureMNAtt: {
+      uint64_t start = 0;
+      uint64_t depth = 0;
+      if (!body.GetVarint64(&start) || !body.GetVarint64(&depth) ||
+          depth > kMaxTraversalDepth) {
+        bad_request();
+        return;
+      }
+      std::vector<NodeRef> refs;
+      util::Status status = traversal::ClosureMNAtt(
+          backend_.get(), start, static_cast<int>(depth), &refs);
+      reply(status, [&] { PutRefList(response, refs); });
+      return;
+    }
+    case OpCode::kClosure1NAttSum: {
+      uint64_t start = 0;
+      if (!body.GetVarint64(&start)) {
+        bad_request();
+        return;
+      }
+      uint64_t visited = 0;
+      auto sum = traversal::Closure1NAttSum(backend_.get(), start, &visited);
+      reply(sum.status(), [&] {
+        util::PutVarint64(response, visited);
+        util::PutVarSigned64(response, *sum);
+      });
+      return;
+    }
+    case OpCode::kClosure1NAttSet: {
+      uint64_t start = 0;
+      if (!body.GetVarint64(&start)) {
+        bad_request();
+        return;
+      }
+      dirty_ = true;
+      auto count = traversal::Closure1NAttSet(backend_.get(), start);
+      reply(count.status(),
+            [&] { util::PutVarint64(response, *count); });
+      return;
+    }
+    case OpCode::kClosure1NPred: {
+      uint64_t start = 0;
+      int64_t lo = 0, hi = 0;
+      if (!body.GetVarint64(&start) || !body.GetVarSigned64(&lo) ||
+          !body.GetVarSigned64(&hi)) {
+        bad_request();
+        return;
+      }
+      std::vector<NodeRef> refs;
+      util::Status status =
+          traversal::Closure1NPred(backend_.get(), start, lo, hi, &refs);
+      reply(status, [&] { PutRefList(response, refs); });
+      return;
+    }
+    case OpCode::kClosureMNAttLinkSum: {
+      uint64_t start = 0;
+      uint64_t depth = 0;
+      if (!body.GetVarint64(&start) || !body.GetVarint64(&depth) ||
+          depth > kMaxTraversalDepth) {
+        bad_request();
+        return;
+      }
+      std::vector<NodeDistance> dists;
+      util::Status status = traversal::ClosureMNAttLinkSum(
+          backend_.get(), start, static_cast<int>(depth), &dists);
+      reply(status, [&] {
+        util::PutVarint64(response, dists.size());
+        for (const NodeDistance& d : dists) {
+          util::PutVarint64(response, d.node);
+          util::PutVarSigned64(response, d.distance);
+        }
+      });
       return;
     }
   }

@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -50,10 +51,20 @@ struct ServerOptions {
 ///
 /// The listener only accepts and enqueues; each worker serves one
 /// connection to completion (read frame, dispatch, write response).
-/// Dispatch serializes on a single backend mutex — the HyperStore
-/// implementations are single-threaded by contract, so the server
-/// provides the same coarse isolation the §5 protocol assumes while
-/// still overlapping network I/O across connections.
+/// Dispatch takes a shared/exclusive lock on the backend: read-only
+/// opcodes (see IsReadOnlyOp) run under the shared side when the
+/// backend declares SupportsConcurrentReads(), so the worker pool
+/// serves concurrent readers; mutations, transactions and Reset take
+/// the exclusive side, preserving the coarse isolation the §5
+/// protocol assumes. Backends without concurrent-read support degrade
+/// to exclusive-for-everything (PR-1 behavior).
+///
+/// Reset is epoch-stamped: each session adopts the server's reset
+/// epoch on first contact, a Reset that actually rebuilds bumps it,
+/// and requests from sessions holding a stale epoch are answered with
+/// kConflict (their NodeRefs point into a discarded store). Resetting
+/// an already-clean database is an idempotent no-op, so concurrent
+/// benchmark clients that each Reset-on-open don't bounce each other.
 ///
 /// Stop() (also run by the destructor) is a clean shutdown: it stops
 /// accepting, discards queued-but-unserved connections, shuts down
@@ -80,10 +91,13 @@ class Server {
   HyperStore* backend() { return backend_.get(); }
 
   // --- Counters (diagnostics; monotone over the server's life) -------
+  /// Batch frames count each sub-request individually.
   uint64_t requests_served() const { return requests_.load(); }
   uint64_t connections_accepted() const { return accepted_.load(); }
   /// Connections closed at accept time because the queue was full.
   uint64_t connections_rejected() const { return rejected_.load(); }
+  /// Dispatches that ran under the shared (reader) side of the lock.
+  uint64_t shared_reads_served() const { return shared_reads_.load(); }
 
  private:
   /// One accepted connection: the socket plus its peer label. Closing
@@ -96,6 +110,10 @@ class Server {
     Session& operator=(const Session&) = delete;
     int fd = -1;
     std::string buffer;  // bytes received but not yet framed
+    /// Reset epoch this session last observed (only its worker thread
+    /// touches these; see Dispatch for the staleness check).
+    uint64_t epoch = 0;
+    bool epoch_synced = false;
   };
 
   /// Bounded MPSC-ish handoff between the listener and the workers.
@@ -132,8 +150,14 @@ class Server {
   void ServeSession(Session* session);
 
   // server.cc — decodes one request payload, runs it against the
-  // backend (under backend_mu_) and appends the response payload.
-  void Dispatch(std::string_view request, std::string* response);
+  // backend (under backend_mu_, shared or exclusive per the opcode)
+  // and appends the response payload. Unpacks kBatch into DispatchOne
+  // calls under a single lock acquisition.
+  void Dispatch(Session* session, std::string_view request,
+                std::string* response);
+  /// One non-batch request; the caller holds backend_mu_.
+  void DispatchOne(Session* session, std::string_view request,
+                   std::string* response);
 
   /// Tracks sockets currently being served so Stop() can shut them
   /// down to unblock workers. Membership implies the fd is open:
@@ -145,7 +169,19 @@ class Server {
 
   ServerOptions options_;
   std::unique_ptr<HyperStore> backend_;
-  std::mutex backend_mu_;
+  /// Shared for read-only opcodes (when the backend allows concurrent
+  /// reads), exclusive for everything else. reset_epoch_ and dirty_
+  /// are guarded by it: written only under the exclusive side, read
+  /// under either side.
+  std::shared_mutex backend_mu_;
+  uint64_t reset_epoch_ = 0;
+  /// True once any mutating opcode ran; cleared by a rebuilding Reset.
+  /// A Reset while clean is an idempotent no-op.
+  bool dirty_ = false;
+  /// Cached backend_->SupportsConcurrentReads(), refreshed when Reset
+  /// swaps the backend. Atomic because Dispatch reads it before
+  /// deciding which side of backend_mu_ to take.
+  std::atomic<bool> concurrent_reads_ok_{false};
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
@@ -164,6 +200,7 @@ class Server {
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> shared_reads_{0};
 };
 
 /// Writes all of `data` to `fd`, retrying on short writes and EINTR.

@@ -40,6 +40,61 @@ FrameResult DecodeFrame(std::string_view buf, std::string_view* payload,
   return FrameResult::kOk;
 }
 
+bool IsReadOnlyOp(OpCode op) {
+  switch (op) {
+    case OpCode::kHello:
+    case OpCode::kGetAttr:
+    case OpCode::kGetKind:
+    case OpCode::kGetText:
+    case OpCode::kGetForm:
+    case OpCode::kGetContents:
+    case OpCode::kLookupUnique:
+    case OpCode::kRangeHundred:
+    case OpCode::kRangeMillion:
+    case OpCode::kChildren:
+    case OpCode::kParent:
+    case OpCode::kParts:
+    case OpCode::kPartOf:
+    case OpCode::kRefsTo:
+    case OpCode::kRefsFrom:
+    case OpCode::kStorageBytes:
+    case OpCode::kChildrenMulti:
+    case OpCode::kGetAttrsMulti:
+    case OpCode::kClosure1N:
+    case OpCode::kClosureMN:
+    case OpCode::kClosureMNAtt:
+    case OpCode::kClosure1NAttSum:
+    case OpCode::kClosure1NPred:
+    case OpCode::kClosureMNAttLinkSum:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void EncodeBatch(const std::vector<std::string>& entries, std::string* dst) {
+  util::PutVarint64(dst, entries.size());
+  for (const std::string& entry : entries) {
+    util::PutLengthPrefixed(dst, entry);
+  }
+}
+
+bool DecodeBatch(std::string_view body, std::vector<std::string_view>* entries,
+                 uint64_t max_entries) {
+  entries->clear();
+  util::Decoder decoder(body);
+  uint64_t count = 0;
+  if (!decoder.GetVarint64(&count)) return false;
+  if (count > max_entries) return false;
+  entries->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view entry;
+    if (!decoder.GetLengthPrefixed(&entry)) return false;
+    entries->push_back(entry);
+  }
+  return decoder.Empty();
+}
+
 util::Status StatusFromCode(util::StatusCode code, std::string msg) {
   switch (code) {
     case util::StatusCode::kOk:

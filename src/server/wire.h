@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/coding.h"
 #include "util/status.h"
@@ -32,10 +33,19 @@ namespace hm::server {
 /// (util/coding): NodeRefs travel as varint64, attribute values as
 /// zig-zag varints, strings and serialized bitmaps length-prefixed.
 
-/// Bumped whenever the frame or body encodings change incompatibly.
-/// Exchanged in the kHello response so a stale client fails fast
-/// instead of mis-decoding frames.
-inline constexpr uint8_t kWireVersion = 1;
+/// Bumped whenever the frame or body encodings change incompatibly or
+/// new opcodes are added. Negotiated in kHello: the client sends its
+/// version as the (optional) request body, the server replies with
+/// min(client, server). v1 clients send an empty Hello body and v1
+/// servers ignore the body entirely, so both directions interoperate.
+///
+/// v2 adds the Batch frame, fused navigation ops and the server-side
+/// traversal (closure pushdown) opcodes.
+inline constexpr uint8_t kWireVersion = 2;
+
+/// Oldest peer version this build still speaks. A negotiated version
+/// below this fails the handshake.
+inline constexpr uint8_t kMinWireVersion = 1;
 
 /// Bytes before the payload: fixed32 length + fixed32 masked CRC.
 inline constexpr size_t kFrameHeaderBytes = 8;
@@ -77,7 +87,49 @@ enum class OpCode : uint8_t {
   kRefsTo = 27,
   kRefsFrom = 28,
   kStorageBytes = 29,
+
+  // ---- v2: batching ----
+  // N sub-requests in one frame, one reply frame with N sub-responses.
+  // Body: varint count, then per entry a length-prefixed sub-payload.
+  // A sub-request is a regular request payload (opcode + body); a
+  // sub-response is a regular response payload (status + body). The
+  // same shape encodes both directions; nesting is rejected.
+  kBatch = 30,
+  kChildrenMulti = 31,   // varint n + n refs -> n length-counted ref lists
+  kGetAttrsMulti = 32,   // attr + varint n + n refs -> n zig-zag values
+
+  // ---- v2: server-side traversal (closure pushdown, §6.6) ----
+  // The server walks the backend locally and ships only the result,
+  // turning O(visited-nodes) round-trips into one.
+  kClosure1N = 33,           // start -> pre-order ref list
+  kClosureMN = 34,           // start -> DFS first-encounter ref list
+  kClosureMNAtt = 35,        // start + varint depth -> BFS ref list
+  kClosure1NAttSum = 36,     // start -> varint visited + zig-zag sum
+  kClosure1NAttSet = 37,     // start -> varint updated count (MUTATES)
+  kClosure1NPred = 38,       // start + zig-zag lo,hi -> ref list
+  kClosureMNAttLinkSum = 39, // start + varint depth -> (ref, zig-zag dist) list
 };
+
+/// True for opcodes whose handler never mutates the served database —
+/// the server may dispatch these under a shared lock when the backend
+/// supports concurrent reads. kBatch is classified by its contents;
+/// kReset, transactions, every Set*/Add*/Create* and the attr-set
+/// pushdown are exclusive.
+bool IsReadOnlyOp(OpCode op);
+
+/// Ceiling on sub-requests per Batch frame (and refs per Multi op).
+/// Anything above this is a malformed or hostile count field.
+inline constexpr uint64_t kMaxBatchEntries = 65536;
+
+/// Appends the Batch body encoding of `entries` to `dst`: varint count
+/// followed by each entry length-prefixed. Used for both the request
+/// (sub-requests) and the response (sub-responses) directions.
+void EncodeBatch(const std::vector<std::string>& entries, std::string* dst);
+
+/// Decodes a Batch body into entry views into `body`. Strict: fails on
+/// a count above `max_entries`, a truncated entry, or trailing bytes.
+bool DecodeBatch(std::string_view body, std::vector<std::string_view>* entries,
+                 uint64_t max_entries = kMaxBatchEntries);
 
 /// Outcome of scanning a receive buffer for one frame.
 enum class FrameResult : uint8_t {

@@ -36,7 +36,7 @@ void Server::ServeSession(Session* session) {
       if (result == FrameResult::kIncomplete) break;
       if (result != FrameResult::kOk) return;  // framing lost: hang up
       std::string response;
-      Dispatch(payload, &response);
+      Dispatch(session, payload, &response);
       session->buffer.erase(0, frame_len);
       std::string out;
       AppendFrame(&out, response);

@@ -23,6 +23,7 @@ namespace hm {
 namespace {
 
 using backends::MemStore;
+using backends::RemoteModeName;
 using backends::RemoteStore;
 
 std::unique_ptr<server::Server> StartMemServer(
@@ -34,13 +35,23 @@ std::unique_ptr<server::Server> StartMemServer(
   return srv.ok() ? std::move(*srv) : nullptr;
 }
 
-std::unique_ptr<RemoteStore> ConnectTo(const server::Server& srv) {
+std::unique_ptr<RemoteStore> ConnectTo(
+    const server::Server& srv,
+    backends::RemoteMode mode = backends::RemoteMode::kPushdown) {
   backends::RemoteOptions options;
   options.host = srv.host();
   options.port = srv.port();
+  options.mode = mode;
   auto store = RemoteStore::Connect(options);
   EXPECT_TRUE(store.ok()) << store.status().ToString();
   return store.ok() ? std::move(*store) : nullptr;
+}
+
+server::ServerOptions WithMemResetFactory(server::ServerOptions options = {}) {
+  options.reset_factory = []() -> util::Result<std::unique_ptr<HyperStore>> {
+    return std::unique_ptr<HyperStore>(std::make_unique<MemStore>());
+  };
+  return options;
 }
 
 NodeAttrs MakeAttrs(int64_t uid) {
@@ -144,11 +155,7 @@ TEST(ServerTest, MoreClientsThanWorkers) {
 }
 
 TEST(ServerTest, ResetRecreatesBackend) {
-  server::ServerOptions options;
-  options.reset_factory = []() -> util::Result<std::unique_ptr<HyperStore>> {
-    return std::unique_ptr<HyperStore>(std::make_unique<MemStore>());
-  };
-  auto srv = StartMemServer(options);
+  auto srv = StartMemServer(WithMemResetFactory());
   ASSERT_NE(srv, nullptr);
   auto client = ConnectTo(*srv);
   ASSERT_NE(client, nullptr);
@@ -166,13 +173,273 @@ TEST(ServerTest, ResetRecreatesBackend) {
   ASSERT_TRUE(client->Commit().ok());
 }
 
-TEST(ServerTest, ResetWithoutFactoryIsNotSupported) {
+TEST(ServerTest, ResetWithoutFactoryIsNotSupportedOnceDirty) {
   auto srv = StartMemServer();
   ASSERT_NE(srv, nullptr);
   auto client = ConnectTo(*srv);
   ASSERT_NE(client, nullptr);
+  // While the database is untouched, Reset is an idempotent no-op
+  // even without a factory — and can be repeated freely.
+  EXPECT_TRUE(client->ResetServer().ok());
+  EXPECT_TRUE(client->ResetServer().ok());
+  // Once something mutated, an actual rebuild is needed, and there is
+  // nothing to rebuild with.
+  ASSERT_TRUE(client->CreateNode(MakeAttrs(1), kInvalidNode).ok());
   util::Status status = client->ResetServer();
   EXPECT_EQ(status.code(), util::StatusCode::kNotSupported);
+}
+
+TEST(ServerTest, ResetOnOpenIsIdempotentAcrossSessions) {
+  // The benchmark harness resets on every open; two harness processes
+  // opening a clean server back to back must not invalidate each
+  // other's sessions (no epoch bump on a no-op reset).
+  auto srv = StartMemServer(WithMemResetFactory());
+  ASSERT_NE(srv, nullptr);
+  auto first = ConnectTo(*srv);
+  auto second = ConnectTo(*srv);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_TRUE(first->ResetServer().ok());
+  EXPECT_TRUE(second->ResetServer().ok());
+  // Both sessions still work: the database was never rebuilt.
+  EXPECT_TRUE(first->StorageBytes().ok());
+  EXPECT_TRUE(second->StorageBytes().ok());
+}
+
+TEST(ServerTest, ResetByAnotherSessionYieldsCleanConflict) {
+  // Regression: one client resets a dirty database while another holds
+  // refs into it. The bystander must get a clean kConflict — its refs
+  // point into a discarded store — not a crash or stale data.
+  auto srv = StartMemServer(WithMemResetFactory());
+  ASSERT_NE(srv, nullptr);
+  auto builder = ConnectTo(*srv);
+  auto bystander = ConnectTo(*srv);
+  ASSERT_NE(builder, nullptr);
+  ASSERT_NE(bystander, nullptr);
+
+  ASSERT_TRUE(builder->Begin().ok());
+  auto node = builder->CreateNode(MakeAttrs(1), kInvalidNode);
+  ASSERT_TRUE(node.ok());
+  ASSERT_TRUE(builder->Commit().ok());
+  // The bystander observes the dirty store before the reset.
+  EXPECT_TRUE(bystander->LookupUnique(1).ok());
+
+  ASSERT_TRUE(builder->ResetServer().ok());
+  // The resetting session keeps working against the fresh store...
+  EXPECT_TRUE(builder->LookupUnique(1).status().IsNotFound());
+  // ...while the bystander's stale session gets kConflict on any op.
+  util::Status status = bystander->GetAttr(*node, Attr::kUniqueId).status();
+  EXPECT_EQ(status.code(), util::StatusCode::kConflict)
+      << status.ToString();
+  // A brand-new session adopts the fresh store cleanly.
+  auto late = ConnectTo(*srv);
+  ASSERT_NE(late, nullptr);
+  EXPECT_TRUE(late->LookupUnique(1).status().IsNotFound());
+}
+
+TEST(ServerTest, OldClientHelloInteroperates) {
+  // A v1 client sends Hello with an empty body; the v2 server must
+  // negotiate down to version 1 and keep serving v1 opcodes.
+  auto srv = StartMemServer();
+  ASSERT_NE(srv, nullptr);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(srv->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  auto roundtrip = [&](std::string_view payload) {
+    std::string frame;
+    server::AppendFrame(&frame, payload);
+    EXPECT_TRUE(server::WriteAll(fd, frame));
+    std::string rx;
+    char buf[4096];
+    for (;;) {
+      std::string_view response;
+      size_t frame_len = 0;
+      server::FrameResult decoded =
+          server::DecodeFrame(rx, &response, &frame_len);
+      if (decoded == server::FrameResult::kOk) return std::string(response);
+      EXPECT_EQ(decoded, server::FrameResult::kIncomplete);
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      EXPECT_GT(n, 0);
+      if (n <= 0) return std::string();
+      rx.append(buf, static_cast<size_t>(n));
+    }
+  };
+
+  std::string hello = roundtrip(std::string(1, '\x01'));  // kHello, no body
+  ASSERT_GE(hello.size(), 2u);
+  EXPECT_EQ(hello[0], 0);  // StatusCode::kOk
+  EXPECT_EQ(hello[1], 1);  // negotiated down to wire version 1
+  // v1 opcodes still work on the same connection.
+  std::string storage =
+      roundtrip(std::string(1, static_cast<char>(29)));  // kStorageBytes
+  ASSERT_GE(storage.size(), 1u);
+  EXPECT_EQ(storage[0], 0);
+  ::close(fd);
+}
+
+TEST(ServerTest, ConcurrentReadersRunUnderSharedLock) {
+  // >= 4 reader clients traversing simultaneously: the mem backend
+  // declares concurrent-read support, so read-only dispatches take the
+  // shared side of the backend lock. (Under TSAN this is the test that
+  // proves the shared-lock dispatch is race-free.)
+  server::ServerOptions options;
+  options.workers = 4;
+  auto srv = StartMemServer(options);
+  ASSERT_NE(srv, nullptr);
+
+  // Build a small tree: root with 3 children, each with 3 children.
+  auto builder = ConnectTo(*srv);
+  ASSERT_NE(builder, nullptr);
+  ASSERT_TRUE(builder->Begin().ok());
+  auto root = builder->CreateNode(MakeAttrs(1), kInvalidNode);
+  ASSERT_TRUE(root.ok());
+  int64_t uid = 2;
+  std::vector<NodeRef> mid;
+  for (int i = 0; i < 3; ++i) {
+    auto node = builder->CreateNode(MakeAttrs(uid++), kInvalidNode);
+    ASSERT_TRUE(node.ok());
+    ASSERT_TRUE(builder->AddChild(*root, *node).ok());
+    mid.push_back(*node);
+  }
+  for (NodeRef parent : mid) {
+    for (int i = 0; i < 3; ++i) {
+      auto node = builder->CreateNode(MakeAttrs(uid++), kInvalidNode);
+      ASSERT_TRUE(node.ok());
+      ASSERT_TRUE(builder->AddChild(parent, *node).ok());
+    }
+  }
+  ASSERT_TRUE(builder->Commit().ok());
+
+  constexpr int kReaders = 4;
+  constexpr int kOpsPerReader = 50;
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      // Alternate modes so pushdown, fused and pipelined reads all
+      // travel the shared-lock path.
+      auto reader = ConnectTo(*srv, r % 2 == 0
+                                        ? backends::RemoteMode::kPushdown
+                                        : backends::RemoteMode::kBatched);
+      ASSERT_NE(reader, nullptr);
+      for (int i = 0; i < kOpsPerReader; ++i) {
+        std::vector<NodeRef> out;
+        ASSERT_TRUE(reader->TravClosure1N(*root, &out).ok());
+        ASSERT_EQ(out.size(), 13u);
+        uint64_t visited = 0;
+        auto sum = reader->TravClosure1NAttSum(*root, &visited);
+        ASSERT_TRUE(sum.ok());
+        ASSERT_EQ(visited, 13u);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_GT(srv->shared_reads_served(), 0u);
+}
+
+TEST(ServerTest, AllRemoteModesAgreeOnTraversals) {
+  auto srv = StartMemServer();
+  ASSERT_NE(srv, nullptr);
+
+  auto builder = ConnectTo(*srv);
+  ASSERT_NE(builder, nullptr);
+  ASSERT_TRUE(builder->Begin().ok());
+  auto root = builder->CreateNode(MakeAttrs(1), kInvalidNode);
+  ASSERT_TRUE(root.ok());
+  std::vector<NodeRef> nodes{*root};
+  for (int64_t uid = 2; uid <= 10; ++uid) {
+    auto node = builder->CreateNode(MakeAttrs(uid), kInvalidNode);
+    ASSERT_TRUE(node.ok());
+    // Attach to a deterministic parent to get a bushy tree, plus a
+    // parts edge and a weighted ref edge for the M-N walks.
+    ASSERT_TRUE(
+        builder->AddChild(nodes[static_cast<size_t>(uid / 3)], *node).ok());
+    ASSERT_TRUE(builder->AddPart(nodes.back(), *node).ok());
+    ASSERT_TRUE(builder->AddRef(nodes.back(), *node, uid, uid * 2).ok());
+    nodes.push_back(*node);
+  }
+  ASSERT_TRUE(builder->Commit().ok());
+
+  auto percall = ConnectTo(*srv, backends::RemoteMode::kPerCall);
+  auto batched = ConnectTo(*srv, backends::RemoteMode::kBatched);
+  auto pushdown = ConnectTo(*srv, backends::RemoteMode::kPushdown);
+  ASSERT_NE(percall, nullptr);
+  ASSERT_NE(batched, nullptr);
+  ASSERT_NE(pushdown, nullptr);
+  std::vector<RemoteStore*> clients{percall.get(), batched.get(),
+                                    pushdown.get()};
+
+  std::vector<NodeRef> expected_1n;
+  ASSERT_TRUE(percall->TravClosure1N(*root, &expected_1n).ok());
+  std::vector<NodeRef> expected_mn;
+  ASSERT_TRUE(percall->TravClosureMN(*root, &expected_mn).ok());
+  std::vector<NodeRef> expected_mnatt;
+  ASSERT_TRUE(percall->TravClosureMNAtt(*root, 5, &expected_mnatt).ok());
+  std::vector<NodeDistance> expected_link;
+  ASSERT_TRUE(
+      percall->TravClosureMNAttLinkSum(*root, 5, &expected_link).ok());
+  std::vector<NodeRef> expected_pred;
+  ASSERT_TRUE(
+      percall->TravClosure1NPred(*root, 0, 1000000, &expected_pred).ok());
+
+  for (RemoteStore* client : clients) {
+    std::vector<NodeRef> refs;
+    ASSERT_TRUE(client->TravClosure1N(*root, &refs).ok());
+    EXPECT_EQ(refs, expected_1n) << RemoteModeName(client->mode());
+    ASSERT_TRUE(client->TravClosureMN(*root, &refs).ok());
+    EXPECT_EQ(refs, expected_mn) << RemoteModeName(client->mode());
+    ASSERT_TRUE(client->TravClosureMNAtt(*root, 5, &refs).ok());
+    EXPECT_EQ(refs, expected_mnatt) << RemoteModeName(client->mode());
+    ASSERT_TRUE(client->TravClosure1NPred(*root, 0, 1000000, &refs).ok());
+    EXPECT_EQ(refs, expected_pred) << RemoteModeName(client->mode());
+    std::vector<NodeDistance> dists;
+    ASSERT_TRUE(client->TravClosureMNAttLinkSum(*root, 5, &dists).ok());
+    ASSERT_EQ(dists.size(), expected_link.size())
+        << RemoteModeName(client->mode());
+    for (size_t i = 0; i < dists.size(); ++i) {
+      EXPECT_EQ(dists[i].node, expected_link[i].node);
+      EXPECT_EQ(dists[i].distance, expected_link[i].distance);
+    }
+    uint64_t visited = 0;
+    auto sum = client->TravClosure1NAttSum(*root, &visited);
+    ASSERT_TRUE(sum.ok());
+    EXPECT_EQ(visited, expected_1n.size());
+  }
+
+  // The mutating kernel: run it twice per client; two applications of
+  // hundred := 99 - hundred are the identity, so each client leaves
+  // the store as it found it and all agree on the count.
+  for (RemoteStore* client : clients) {
+    auto first = client->TravClosure1NAttSet(*root);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(*first, expected_1n.size());
+    auto second = client->TravClosure1NAttSet(*root);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(*second, expected_1n.size());
+  }
+
+  // Fused navigation agrees with per-call too.
+  std::vector<std::vector<NodeRef>> expected_children;
+  ASSERT_TRUE(percall->ChildrenMulti(nodes, &expected_children).ok());
+  std::vector<int64_t> expected_values;
+  ASSERT_TRUE(
+      percall->GetAttrsMulti(nodes, Attr::kHundred, &expected_values).ok());
+  for (RemoteStore* client : clients) {
+    std::vector<std::vector<NodeRef>> children;
+    ASSERT_TRUE(client->ChildrenMulti(nodes, &children).ok());
+    EXPECT_EQ(children, expected_children) << RemoteModeName(client->mode());
+    std::vector<int64_t> values;
+    ASSERT_TRUE(
+        client->GetAttrsMulti(nodes, Attr::kHundred, &values).ok());
+    EXPECT_EQ(values, expected_values) << RemoteModeName(client->mode());
+  }
 }
 
 TEST(ServerTest, StopUnblocksConnectedIdleClient) {

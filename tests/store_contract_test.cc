@@ -16,7 +16,9 @@
 #include "hypermodel/backends/oodb_store.h"
 #include "hypermodel/backends/rel_store.h"
 #include "hypermodel/backends/remote_store.h"
+#include "hypermodel/operations.h"
 #include "hypermodel/store.h"
+#include "hypermodel/traversal.h"
 
 namespace hm {
 namespace {
@@ -342,6 +344,120 @@ TEST_P(StoreContractTest, StorageBytesGrowsWithData) {
   auto full = store_->StorageBytes();
   ASSERT_TRUE(full.ok());
   EXPECT_GT(*full, *empty);
+}
+
+TEST_P(StoreContractTest, CapabilityTraversalsMatchGenericKernels) {
+  // ops:: routes through TraversalCapable when the backend offers it
+  // (remote pushes the walk across the wire) and falls back to the
+  // generic kernels otherwise. Whichever path a backend takes, the
+  // results must be byte-identical to running the generic kernels
+  // directly against the same store.
+  ASSERT_TRUE(store_->Begin().ok());
+  NodeRef root = Create(1);
+  std::vector<NodeRef> nodes{root};
+  for (int64_t uid = 2; uid <= 40; ++uid) {
+    NodeRef node = Create(uid);
+    ASSERT_TRUE(
+        store_->AddChild(nodes[static_cast<size_t>(uid / 3)], node).ok());
+    // A parts DAG with sharing (two owners for every third node) and
+    // weighted ref edges so the M-N walks have real work to do.
+    ASSERT_TRUE(store_->AddPart(nodes.back(), node).ok());
+    if (uid % 3 == 0) {
+      ASSERT_TRUE(store_->AddPart(nodes[nodes.size() / 2], node).ok());
+    }
+    ASSERT_TRUE(store_->AddRef(nodes.back(), node, uid, uid % 7 + 1).ok());
+    nodes.push_back(node);
+  }
+  ASSERT_TRUE(store_->Commit().ok());
+
+  HyperStore* store = store_.get();
+  {
+    std::vector<NodeRef> routed, generic;
+    ASSERT_TRUE(ops::Closure1N(store, root, &routed).ok());
+    ASSERT_TRUE(traversal::Closure1N(store, root, &generic).ok());
+    EXPECT_EQ(routed, generic);
+    ASSERT_FALSE(generic.empty());
+  }
+  {
+    uint64_t visited_r = 0, visited_g = 0;
+    auto routed = ops::Closure1NAttSum(store, root, &visited_r);
+    auto generic = traversal::Closure1NAttSum(store, root, &visited_g);
+    ASSERT_TRUE(routed.ok());
+    ASSERT_TRUE(generic.ok());
+    EXPECT_EQ(*routed, *generic);
+    EXPECT_EQ(visited_r, visited_g);
+  }
+  {
+    // The predicate walk prunes whole subtrees; both paths must prune
+    // identically. million = uid * 37 % 1e6 + 1 scatters values, so
+    // pick a band that excludes some of the 40 nodes but not all.
+    std::vector<NodeRef> routed, generic;
+    ASSERT_TRUE(ops::Closure1NPred(store, root, 300, &routed).ok());
+    ASSERT_TRUE(
+        traversal::Closure1NPred(store, root, 300, 300 + 9999, &generic)
+            .ok());
+    EXPECT_EQ(routed, generic);
+  }
+  {
+    std::vector<NodeRef> routed, generic;
+    ASSERT_TRUE(ops::ClosureMN(store, root, &routed).ok());
+    ASSERT_TRUE(traversal::ClosureMN(store, root, &generic).ok());
+    EXPECT_EQ(routed, generic);
+  }
+  for (int depth : {0, 2, 50}) {
+    std::vector<NodeRef> routed, generic;
+    ASSERT_TRUE(ops::ClosureMNAtt(store, root, depth, &routed).ok());
+    ASSERT_TRUE(traversal::ClosureMNAtt(store, root, depth, &generic).ok());
+    EXPECT_EQ(routed, generic) << "depth " << depth;
+
+    std::vector<NodeDistance> routed_d, generic_d;
+    ASSERT_TRUE(
+        ops::ClosureMNAttLinkSum(store, root, depth, &routed_d).ok());
+    ASSERT_TRUE(
+        traversal::ClosureMNAttLinkSum(store, root, depth, &generic_d).ok());
+    ASSERT_EQ(routed_d.size(), generic_d.size()) << "depth " << depth;
+    for (size_t i = 0; i < routed_d.size(); ++i) {
+      EXPECT_EQ(routed_d[i].node, generic_d[i].node);
+      EXPECT_EQ(routed_d[i].distance, generic_d[i].distance);
+    }
+  }
+  {
+    // The mutating kernel: the routed pass flips hundred := 99 -
+    // hundred; the generic pass flips it back. Equal counts plus a
+    // restored attribute prove both touched exactly the same nodes.
+    auto before = store->GetAttr(root, Attr::kHundred);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(store_->Begin().ok());
+    auto routed = ops::Closure1NAttSet(store, root);
+    ASSERT_TRUE(routed.ok());
+    auto mid = store->GetAttr(root, Attr::kHundred);
+    ASSERT_TRUE(mid.ok());
+    EXPECT_EQ(*mid, 99 - *before);
+    auto generic = traversal::Closure1NAttSet(store, root);
+    ASSERT_TRUE(generic.ok());
+    ASSERT_TRUE(store_->Commit().ok());
+    EXPECT_EQ(*routed, *generic);
+    auto after = store->GetAttr(root, Attr::kHundred);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*after, *before);
+  }
+  {
+    // BulkGetAttr (the SeqScan capability) positionally matches
+    // per-node GetAttr.
+    std::vector<int64_t> bulk;
+    if (auto* trav = dynamic_cast<TraversalCapable*>(store)) {
+      ASSERT_TRUE(trav->BulkGetAttr(nodes, Attr::kMillion, &bulk).ok());
+    } else {
+      ASSERT_TRUE(
+          traversal::BulkGetAttr(store, nodes, Attr::kMillion, &bulk).ok());
+    }
+    ASSERT_EQ(bulk.size(), nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      auto one = store->GetAttr(nodes[i], Attr::kMillion);
+      ASSERT_TRUE(one.ok());
+      EXPECT_EQ(bulk[i], *one) << "node " << i;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, StoreContractTest,

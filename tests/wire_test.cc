@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
+#include "util/coding.h"
 #include "util/status.h"
 
 namespace hm::server {
@@ -165,6 +167,83 @@ TEST(WireStatusTest, RejectsMalformedResponses) {
   payload.push_back(static_cast<char>(util::StatusCode::kNotFound));
   payload.append("\x05\x00", 2);  // half a fixed32
   EXPECT_FALSE(SplitResponse(payload, &status, &body));
+}
+
+TEST(WireBatchTest, RoundTripsSubRequests) {
+  std::vector<std::string> entries{"first", "", "third with \x00 byte"};
+  std::string body;
+  EncodeBatch(entries, &body);
+  std::vector<std::string_view> decoded;
+  ASSERT_TRUE(DecodeBatch(body, &decoded));
+  ASSERT_EQ(decoded.size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(decoded[i], entries[i]) << "entry " << i;
+  }
+}
+
+TEST(WireBatchTest, RoundTripsEmptyBatch) {
+  std::string body;
+  EncodeBatch({}, &body);
+  std::vector<std::string_view> decoded{"stale"};
+  ASSERT_TRUE(DecodeBatch(body, &decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(WireBatchTest, RejectsOversizedBatch) {
+  // A count over the cap is rejected before any entry is touched —
+  // a hostile header cannot make the server reserve gigabytes.
+  std::string body;
+  util::PutVarint64(&body, kMaxBatchEntries + 1);
+  std::vector<std::string_view> decoded;
+  EXPECT_FALSE(DecodeBatch(body, &decoded));
+  // At the cap exactly, the count is fine (the entries just have to
+  // actually be there — zero of them is a lie).
+  body.clear();
+  util::PutVarint64(&body, kMaxBatchEntries);
+  EXPECT_FALSE(DecodeBatch(body, &decoded));
+  // A caller-supplied tighter limit is honored too.
+  std::vector<std::string> entries{"a", "b", "c"};
+  body.clear();
+  EncodeBatch(entries, &body);
+  EXPECT_FALSE(DecodeBatch(body, &decoded, /*max_entries=*/2));
+  EXPECT_TRUE(DecodeBatch(body, &decoded, /*max_entries=*/3));
+}
+
+TEST(WireBatchTest, RejectsTruncatedSubRequest) {
+  std::vector<std::string> entries{"complete", "also complete"};
+  std::string body;
+  EncodeBatch(entries, &body);
+  // Every proper prefix is malformed: either the count promises more
+  // entries than present, or an entry's bytes are cut short.
+  for (size_t len = 0; len < body.size(); ++len) {
+    std::vector<std::string_view> decoded;
+    EXPECT_FALSE(DecodeBatch(body.substr(0, len), &decoded))
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(WireBatchTest, RejectsTrailingGarbage) {
+  std::vector<std::string> entries{"payload"};
+  std::string body;
+  EncodeBatch(entries, &body);
+  body.push_back('\x7f');
+  std::vector<std::string_view> decoded;
+  EXPECT_FALSE(DecodeBatch(body, &decoded));
+}
+
+TEST(WireBatchTest, FrameCrcCoversBatchContents) {
+  // A bit flip inside a sub-request of a framed batch is caught by the
+  // frame CRC — corruption cannot surface as a decoded batch entry.
+  std::vector<std::string> entries{"sub-request one", "sub-request two"};
+  std::string body;
+  EncodeBatch(entries, &body);
+  std::string frame;
+  AppendFrame(&frame, body);
+  frame[frame.size() / 2] ^= 0x01;  // flip a bit inside the batch body
+  std::string_view payload;
+  size_t frame_len = 0;
+  EXPECT_EQ(DecodeFrame(frame, &payload, &frame_len),
+            FrameResult::kCorrupt);
 }
 
 }  // namespace

@@ -19,6 +19,9 @@
 //     --remote=HOST:PORT    server for the `remote` backend; without
 //                           it, `remote` spawns an in-process loopback
 //                           server over a mem backend
+//     --remote-mode=MODE    percall | batched | pushdown (default) —
+//                           or pin per run via remote[MODE] backends
+//     --json=PATH           also write the report as JSON
 //     --csv                 machine-readable CSV instead of tables
 //     --creation            include the §5.3 creation table
 //     --help
@@ -43,6 +46,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -69,6 +73,9 @@ struct Args {
   uint64_t seed = 7;
   std::string dir = "/tmp/hmbench";
   std::string remote;  // host:port of an external server, or empty
+  hm::backends::RemoteMode remote_mode =
+      hm::backends::RemoteMode::kPushdown;
+  std::string json;  // path for JSON output, or empty
   bool csv = false;
   bool creation = false;
 };
@@ -87,6 +94,12 @@ struct Args {
       "  --remote=HOST:PORT  server address for the remote backend\n"
       "                      (default: spawn an in-process loopback\n"
       "                      server over a mem backend)\n"
+      "  --remote-mode=MODE  wire-latency rung for the remote backend:\n"
+      "                      percall, batched or pushdown (default);\n"
+      "                      or spell a backend remote[MODE] to pin one\n"
+      "                      run, e.g. --backends=remote[percall],\n"
+      "                      remote[pushdown]\n"
+      "  --json=PATH         also write the report as JSON\n"
       "  --csv               CSV output\n"
       "  --creation          include the database-creation table (§5.3)\n"
       "\n"
@@ -137,6 +150,13 @@ const std::map<std::string, hm::OpId>& OpTable() {
   return table;
 }
 
+void CheckOk(const hm::util::Status& status) {
+  if (!status.ok()) {
+    std::cerr << "hmbench: " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
 Args Parse(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
@@ -175,6 +195,12 @@ Args Parse(int argc, char** argv) {
       args.dir = value("--dir=");
     } else if (arg.starts_with("--remote=")) {
       args.remote = value("--remote=");
+    } else if (arg.starts_with("--remote-mode=")) {
+      auto parsed = hm::backends::ParseRemoteMode(value("--remote-mode="));
+      CheckOk(parsed.status());
+      args.remote_mode = *parsed;
+    } else if (arg.starts_with("--json=")) {
+      args.json = value("--json=");
     } else if (arg == "--csv") {
       args.csv = true;
     } else if (arg == "--creation") {
@@ -189,13 +215,6 @@ Args Parse(int argc, char** argv) {
     Usage(1);
   }
   return args;
-}
-
-void CheckOk(const hm::util::Status& status) {
-  if (!status.ok()) {
-    std::cerr << "hmbench: " << status.ToString() << "\n";
-    std::exit(1);
-  }
 }
 
 std::unique_ptr<hm::HyperStore> OpenBackend(const Args& args,
@@ -223,7 +242,19 @@ std::unique_ptr<hm::HyperStore> OpenBackend(const Args& args,
     CheckOk(store.status());
     return std::move(*store);
   }
-  if (name == "remote") {
+  if (name == "remote" || name.starts_with("remote[")) {
+    hm::backends::RemoteMode mode = args.remote_mode;
+    if (name.starts_with("remote[")) {
+      if (!name.ends_with("]")) {
+        std::cerr << "bad backend spelling '" << name
+                  << "' (want remote[percall|batched|pushdown])\n";
+        std::exit(1);
+      }
+      auto parsed =
+          hm::backends::ParseRemoteMode(name.substr(7, name.size() - 8));
+      CheckOk(parsed.status());
+      mode = *parsed;
+    }
     hm::util::Result<std::unique_ptr<hm::backends::RemoteStore>> store =
         [&]() {
           if (args.remote.empty()) {
@@ -236,10 +267,11 @@ std::unique_ptr<hm::HyperStore> OpenBackend(const Args& args,
                   std::make_unique<hm::backends::MemStore>());
             };
             return hm::backends::RemoteStore::Loopback(
-                std::make_unique<hm::backends::MemStore>(), options);
+                std::make_unique<hm::backends::MemStore>(), options, mode);
           }
           auto remote_options = hm::backends::ParseRemoteAddr(args.remote);
           CheckOk(remote_options.status());
+          remote_options->mode = mode;
           return hm::backends::RemoteStore::Connect(*remote_options);
         }();
     CheckOk(store.status());
@@ -408,6 +440,9 @@ int main(int argc, char** argv) {
       for (hm::OpId op : args.ops) {
         auto result = driver.Run(op);
         CheckOk(result.status());
+        // Keep the requested spelling ("remote[percall]") so pinned
+        // remote modes stay distinct columns in the report.
+        result->backend = backend;
         report.AddOpResult(*result);
       }
     }
@@ -418,6 +453,15 @@ int main(int argc, char** argv) {
   } else {
     if (args.creation) report.PrintCreationTable(std::cout);
     report.PrintOpTable(std::cout);
+  }
+  if (!args.json.empty()) {
+    std::ofstream json(args.json);
+    if (!json) {
+      std::cerr << "hmbench: cannot write JSON to '" << args.json << "'\n";
+      return 1;
+    }
+    report.PrintJson(json);
+    std::cerr << "JSON written to " << args.json << "\n";
   }
   return 0;
 }
