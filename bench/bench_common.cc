@@ -15,6 +15,7 @@
 #include "hypermodel/backends/rel_store.h"
 #include "hypermodel/backends/remote_store.h"
 #include "server/server.h"
+#include "telemetry/metrics.h"
 #include "util/check.h"
 
 namespace hm::bench {
@@ -69,6 +70,9 @@ BenchEnv ParseEnv(std::vector<int> default_levels) {
   if (const char* json = std::getenv("HM_JSON")) {
     env.json_path = json;
   }
+  if (const char* stats = std::getenv("HM_STATS")) {
+    env.stats = std::string(stats) != "0";
+  }
   env.workdir =
       "/tmp/hm_bench_" + std::to_string(static_cast<long>(::getpid()));
   std::filesystem::remove_all(env.workdir);
@@ -105,10 +109,13 @@ BenchEnv ParseEnv(int argc, char** argv, std::vector<int> default_levels) {
       env.remote_mode = *parsed;
     } else if (arg.starts_with("--json=")) {
       env.json_path = value("--json=");
+    } else if (arg == "--stats") {
+      env.stats = true;
     } else {
       std::cerr << "unknown argument '" << arg
                 << "' (supported: --levels= --backend(s)= --iters= "
-                   "--cache-pages= --remote= --remote-mode= --json=)\n";
+                   "--cache-pages= --remote= --remote-mode= --json= "
+                   "--stats)\n";
       std::exit(1);
     }
   }
@@ -206,6 +213,11 @@ void RunOpsBench(const BenchEnv& env, const std::vector<OpId>& ops,
             << " runs warm, per §6; cache " << env.cache_pages
             << " pages)\n\n";
 
+  telemetry::Snapshot stats_before;
+  if (env.stats) {
+    stats_before = telemetry::Registry::Global().TakeSnapshot();
+  }
+
   Report report;
   for (int level : env.levels) {
     for (const std::string& backend : env.backends) {
@@ -213,11 +225,24 @@ void RunOpsBench(const BenchEnv& env, const std::vector<OpId>& ops,
                         std::to_string(level);
       std::unique_ptr<HyperStore> store = OpenBackend(env, backend, dir);
 
+      // Report the spelling that actually ran: a bare "remote" is
+      // resolved to its pinned rung (remote[pushdown] etc.) so runs at
+      // different rungs stay distinct rows in one JSON/CSV file.
+      std::string label = backend;
+      if (backend == "remote") {
+        if (auto* remote =
+                dynamic_cast<backends::RemoteStore*>(store.get())) {
+          label = "remote[" +
+                  std::string(backends::RemoteModeName(remote->mode())) +
+                  "]";
+        }
+      }
+
       CreationTiming timing;
       TestDatabase db = BuildDatabase(store.get(), level, &timing);
       if (include_creation) {
         CreationRow row;
-        row.backend = backend;
+        row.backend = label;
         row.level = level;
         row.nodes = db.node_count();
         row.timing = timing;
@@ -231,9 +256,8 @@ void RunOpsBench(const BenchEnv& env, const std::vector<OpId>& ops,
         auto result = driver.Run(op);
         CheckOk(result.status());
         // The driver reports the store's name ("remote"); keep the
-        // requested spelling so remote[percall] vs remote[pushdown]
-        // stay distinct columns.
-        result->backend = backend;
+        // requested spelling (resolved to the effective rung above).
+        result->backend = label;
         report.AddOpResult(*result);
       }
     }
@@ -250,6 +274,13 @@ void RunOpsBench(const BenchEnv& env, const std::vector<OpId>& ops,
     }
     report.PrintJson(json);
     std::cout << "JSON written to " << env.json_path << "\n";
+  }
+  if (env.stats) {
+    std::cout << "\n=== Telemetry (registry diff over this run) ===\n";
+    telemetry::Registry::Global()
+        .TakeSnapshot()
+        .DiffSince(stats_before)
+        .PrintTo(std::cout);
   }
 }
 

@@ -27,9 +27,12 @@ namespace hm::bench {
 ///   HM_REMOTE_MODE percall | batched | pushdown (default pushdown) —
 ///               the wire-latency rung for the `remote` backend
 ///   HM_JSON     path to also write the report as JSON
+///   HM_STATS    any value but "0": dump the telemetry registry diff
+///               (before/after) once the run finishes — works for any
+///               backend, not just remote
 /// and from command-line flags, which override the environment:
 ///   --levels=4,5  --backend(s)=remote  --iters=N  --cache-pages=N
-///   --remote=HOST:PORT  --remote-mode=MODE  --json=PATH
+///   --remote=HOST:PORT  --remote-mode=MODE  --json=PATH  --stats
 ///
 /// A backend spelled `remote[MODE]` (e.g. `remote[percall]`) opens the
 /// remote backend pinned to that rung regardless of `remote_mode`, so
@@ -46,6 +49,7 @@ struct BenchEnv {
   std::string remote_addr;  // empty => loopback self-hosting
   backends::RemoteMode remote_mode = backends::RemoteMode::kPushdown;
   std::string json_path;  // empty => no JSON output
+  bool stats = false;     // dump the per-run telemetry diff
 };
 
 /// Reads the environment; `default_levels` applies when HM_LEVELS is

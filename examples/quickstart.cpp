@@ -16,6 +16,7 @@
 #include "hypermodel/generator.h"
 #include "hypermodel/operations.h"
 #include "hypermodel/report.h"
+#include "telemetry/metrics.h"
 
 namespace {
 
@@ -103,5 +104,19 @@ int main() {
 
   std::cout << "\n";
   report.PrintOpTable(std::cout);
+
+  // Everything above also recorded itself into the process-wide
+  // telemetry registry (src/telemetry) — the same numbers a server
+  // exposes over the wire via `hmbench stats`.
+  hm::telemetry::Snapshot stats =
+      hm::telemetry::Registry::Global().TakeSnapshot();
+  std::cout << "telemetry: buffer pool "
+            << stats.counter("storage.buffer_pool.hits") << " hits / "
+            << stats.counter("storage.buffer_pool.misses")
+            << " misses, wal " << stats.counter("storage.wal.appends")
+            << " appends / " << stats.counter("storage.wal.syncs")
+            << " syncs (" << stats.counters.size() << " counters, "
+            << stats.gauges.size() << " gauges, "
+            << stats.histograms.size() << " histograms registered)\n";
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 
+#include "telemetry/metrics.h"
 #include "util/coding.h"
 
 namespace hm::backends {
@@ -25,6 +26,25 @@ void MemStore::IndexErase(std::map<int64_t, std::vector<NodeRef>>* index,
   if (bucket.empty()) index->erase(it);
 }
 
+namespace {
+
+// Live node/edge totals (`backend.mem.*`). Process-wide across store
+// instances, so per-phase registry diffs show how much each run grew
+// the database.
+void CountNodes(int64_t n) {
+  static telemetry::Gauge* nodes =
+      telemetry::Registry::Global().GetGauge("backend.mem.nodes");
+  nodes->Add(n);
+}
+
+void CountEdges(int64_t n) {
+  static telemetry::Gauge* edges =
+      telemetry::Registry::Global().GetGauge("backend.mem.edges");
+  edges->Add(n);
+}
+
+}  // namespace
+
 util::Result<NodeRef> MemStore::CreateNode(const NodeAttrs& attrs,
                                            NodeRef near) {
   (void)near;  // no physical placement in memory
@@ -37,6 +57,7 @@ util::Result<NodeRef> MemStore::CreateNode(const NodeAttrs& attrs,
   by_unique_[attrs.unique_id] = ref;
   by_hundred_[attrs.hundred].push_back(ref);
   by_million_[attrs.million].push_back(ref);
+  CountNodes(1);
   return ref;
 }
 
@@ -66,6 +87,7 @@ util::Status MemStore::AddChild(NodeRef parent, NodeRef child) {
   }
   p->children.push_back(child);
   c->parent = parent;
+  CountEdges(1);
   return util::Status::Ok();
 }
 
@@ -74,6 +96,7 @@ util::Status MemStore::AddPart(NodeRef owner, NodeRef part) {
   HM_ASSIGN_OR_RETURN(MemNode * p, Find(part));
   o->parts.push_back(part);
   p->part_of.push_back(owner);
+  CountEdges(1);
   return util::Status::Ok();
 }
 
@@ -83,6 +106,7 @@ util::Status MemStore::AddRef(NodeRef from, NodeRef to, int64_t offset_from,
   HM_ASSIGN_OR_RETURN(MemNode * t, Find(to));
   f->refs_to.push_back(RefEdge{to, offset_from, offset_to});
   t->refs_from.push_back(RefEdge{from, offset_from, offset_to});
+  CountEdges(1);
   return util::Status::Ok();
 }
 

@@ -1,5 +1,6 @@
 #include "hypermodel/backends/oodb_store.h"
 
+#include "telemetry/metrics.h"
 #include "util/check.h"
 #include "util/coding.h"
 
@@ -284,6 +285,23 @@ util::Status OodbStore::WriteNode(NodeRef node, const NodeRecord& record) {
   return store_->Update(&*txn_, node, record.Encode());
 }
 
+namespace {
+
+// Live node/edge totals (`backend.oodb.*`); see mem_store.cc.
+void CountNodes(int64_t n) {
+  static telemetry::Gauge* nodes =
+      telemetry::Registry::Global().GetGauge("backend.oodb.nodes");
+  nodes->Add(n);
+}
+
+void CountEdges(int64_t n) {
+  static telemetry::Gauge* edges =
+      telemetry::Registry::Global().GetGauge("backend.oodb.edges");
+  edges->Add(n);
+}
+
+}  // namespace
+
 util::Result<NodeRef> OodbStore::CreateNode(const NodeAttrs& attrs,
                                             NodeRef near) {
   HM_RETURN_IF_ERROR(RequireActiveTxn());
@@ -301,6 +319,7 @@ util::Result<NodeRef> OodbStore::CreateNode(const NodeAttrs& attrs,
       Key128{static_cast<uint64_t>(attrs.hundred), oid}, oid));
   HM_RETURN_IF_ERROR(by_million_->Insert(
       Key128{static_cast<uint64_t>(attrs.million), oid}, oid));
+  CountNodes(1);
   return oid;
 }
 
@@ -351,7 +370,9 @@ util::Status OodbStore::AddChild(NodeRef parent, NodeRef child) {
   parent_rec.children.push_back(child);
   child_rec.parent = parent;
   HM_RETURN_IF_ERROR(WriteNode(parent, parent_rec));
-  return WriteNode(child, child_rec);
+  HM_RETURN_IF_ERROR(WriteNode(child, child_rec));
+  CountEdges(1);
+  return util::Status::Ok();
 }
 
 util::Status OodbStore::AddPart(NodeRef owner, NodeRef part) {
@@ -361,7 +382,9 @@ util::Status OodbStore::AddPart(NodeRef owner, NodeRef part) {
   owner_rec.parts.push_back(part);
   part_rec.part_of.push_back(owner);
   HM_RETURN_IF_ERROR(WriteNode(owner, owner_rec));
-  return WriteNode(part, part_rec);
+  HM_RETURN_IF_ERROR(WriteNode(part, part_rec));
+  CountEdges(1);
+  return util::Status::Ok();
 }
 
 util::Status OodbStore::AddRef(NodeRef from, NodeRef to, int64_t offset_from,
@@ -371,13 +394,17 @@ util::Status OodbStore::AddRef(NodeRef from, NodeRef to, int64_t offset_from,
   if (from == to) {
     from_rec.refs_to.push_back(RefEdge{to, offset_from, offset_to});
     from_rec.refs_from.push_back(RefEdge{from, offset_from, offset_to});
-    return WriteNode(from, from_rec);
+    HM_RETURN_IF_ERROR(WriteNode(from, from_rec));
+    CountEdges(1);
+    return util::Status::Ok();
   }
   HM_ASSIGN_OR_RETURN(NodeRecord to_rec, ReadNode(to));
   from_rec.refs_to.push_back(RefEdge{to, offset_from, offset_to});
   to_rec.refs_from.push_back(RefEdge{from, offset_from, offset_to});
   HM_RETURN_IF_ERROR(WriteNode(from, from_rec));
-  return WriteNode(to, to_rec);
+  HM_RETURN_IF_ERROR(WriteNode(to, to_rec));
+  CountEdges(1);
+  return util::Status::Ok();
 }
 
 util::Result<int64_t> OodbStore::GetAttr(NodeRef node, Attr attr) {

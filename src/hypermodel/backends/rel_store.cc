@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "storage/slotted_page.h"
+#include "telemetry/metrics.h"
 #include "util/check.h"
 #include "util/coding.h"
 
@@ -193,6 +194,23 @@ util::Result<Tuple> RelStore::NodeRow(NodeRef node) const {
   return node_table_->Read(rid);
 }
 
+namespace {
+
+// Live node/edge totals (`backend.rel.*`); see mem_store.cc.
+void CountNodes(int64_t n) {
+  static telemetry::Gauge* nodes =
+      telemetry::Registry::Global().GetGauge("backend.rel.nodes");
+  nodes->Add(n);
+}
+
+void CountEdges(int64_t n) {
+  static telemetry::Gauge* edges =
+      telemetry::Registry::Global().GetGauge("backend.rel.edges");
+  edges->Add(n);
+}
+
+}  // namespace
+
 util::Result<NodeRef> RelStore::CreateNode(const NodeAttrs& attrs,
                                            NodeRef near) {
   (void)near;  // no clustering in the relational mapping
@@ -208,6 +226,7 @@ util::Result<NodeRef> RelStore::CreateNode(const NodeAttrs& attrs,
       Key128{static_cast<uint64_t>(attrs.hundred), uid}, rid));
   HM_RETURN_IF_ERROR(idx_node_million_->Insert(
       Key128{static_cast<uint64_t>(attrs.million), uid}, rid));
+  CountNodes(1);
   return uid;
 }
 
@@ -330,7 +349,9 @@ util::Status RelStore::AddChild(NodeRef parent, NodeRef child) {
              static_cast<int64_t>(seq)});
   HM_ASSIGN_OR_RETURN(Rid rid, children_table_->Insert(row));
   HM_RETURN_IF_ERROR(idx_children_parent_->Insert(Key128{parent, seq}, rid));
-  return idx_children_child_->Insert(Key128{child, 0}, rid);
+  HM_RETURN_IF_ERROR(idx_children_child_->Insert(Key128{child, 0}, rid));
+  CountEdges(1);
+  return util::Status::Ok();
 }
 
 util::Status RelStore::AddPart(NodeRef owner, NodeRef part) {
@@ -338,7 +359,9 @@ util::Status RelStore::AddPart(NodeRef owner, NodeRef part) {
   HM_ASSIGN_OR_RETURN(Rid rid, parts_table_->Insert(row));
   // RID as key suffix: the same (owner, part) pair may repeat.
   HM_RETURN_IF_ERROR(idx_parts_owner_->Insert(Key128{owner, rid}, rid));
-  return idx_parts_part_->Insert(Key128{part, rid}, rid);
+  HM_RETURN_IF_ERROR(idx_parts_part_->Insert(Key128{part, rid}, rid));
+  CountEdges(1);
+  return util::Status::Ok();
 }
 
 util::Status RelStore::AddRef(NodeRef from, NodeRef to, int64_t offset_from,
@@ -347,7 +370,9 @@ util::Status RelStore::AddRef(NodeRef from, NodeRef to, int64_t offset_from,
              offset_from, offset_to});
   HM_ASSIGN_OR_RETURN(Rid rid, refs_table_->Insert(row));
   HM_RETURN_IF_ERROR(idx_refs_from_->Insert(Key128{from, rid}, rid));
-  return idx_refs_to_->Insert(Key128{to, rid}, rid);
+  HM_RETURN_IF_ERROR(idx_refs_to_->Insert(Key128{to, rid}, rid));
+  CountEdges(1);
+  return util::Status::Ok();
 }
 
 util::Result<int64_t> RelStore::GetAttr(NodeRef node, Attr attr) {

@@ -245,8 +245,44 @@ util::Status RemoteStore::ReadResponse(util::Status* op_status,
   }
 }
 
+telemetry::Counter* RemoteStore::RoundTrips() {
+  if (roundtrips_ == nullptr) {
+    roundtrips_ = telemetry::Registry::Global().GetCounter(
+        "remote." + std::string(RemoteModeName(mode_)) + ".roundtrips");
+  }
+  return roundtrips_;
+}
+
+void RemoteStore::DegradeBatch() {
+  if (server_batch_) {
+    telemetry::Registry::Global()
+        .GetCounter("remote.degrade.batch")
+        ->Add();
+    server_batch_ = false;
+  }
+}
+
+void RemoteStore::DegradeMulti() {
+  if (server_multi_) {
+    telemetry::Registry::Global()
+        .GetCounter("remote.degrade.multi")
+        ->Add();
+    server_multi_ = false;
+  }
+}
+
+void RemoteStore::DegradePushdown() {
+  if (server_traversal_) {
+    telemetry::Registry::Global()
+        .GetCounter("remote.degrade.pushdown")
+        ->Add();
+    server_traversal_ = false;
+  }
+}
+
 util::Status RemoteStore::Call(server::OpCode op, std::string_view body,
                                std::string* result) {
+  RoundTrips()->Add();
   std::string payload;
   payload.reserve(1 + body.size());
   payload.push_back(static_cast<char>(op));
@@ -279,7 +315,7 @@ util::Status RemoteStore::CallMany(
       if (status.code() == util::StatusCode::kNotSupported) {
         // v1 server that slipped past the handshake guess; drop to
         // pipelined singles for good.
-        server_batch_ = false;
+        DegradeBatch();
       } else {
         HM_RETURN_IF_ERROR(status);
         std::vector<std::string_view> subs;
@@ -300,6 +336,9 @@ util::Status RemoteStore::CallMany(
     }
     // Pipelined: every frame in one send, then the responses drained
     // in order (the server peels buffered frames before recv'ing).
+    // Latency-wise that is one round trip per chunk, same as a batch
+    // frame.
+    RoundTrips()->Add();
     std::string wire;
     for (const std::string& payload : chunk) {
       server::AppendFrame(&wire, payload);
@@ -347,9 +386,9 @@ util::Status RemoteStore::Hello() {
   negotiated_version_ = version;
   if (negotiated_version_ < 2) {
     // v1 server: no batch frames, no fused ops, no pushdown.
-    server_batch_ = false;
-    server_multi_ = false;
-    server_traversal_ = false;
+    DegradeBatch();
+    DegradeMulti();
+    DegradePushdown();
   }
   server_backend_ = std::string(name);
   return util::Status::Ok();
@@ -357,6 +396,15 @@ util::Status RemoteStore::Hello() {
 
 util::Status RemoteStore::ResetServer() {
   return Call(server::OpCode::kReset, {}, nullptr);
+}
+
+util::Status RemoteStore::ServerStats(telemetry::Snapshot* out) {
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(server::OpCode::kStats, {}, &result));
+  auto snapshot = telemetry::Snapshot::Deserialize(result);
+  HM_RETURN_IF_ERROR(snapshot.status());
+  *out = std::move(*snapshot);
+  return util::Status::Ok();
 }
 
 util::Status RemoteStore::Begin() {
@@ -670,7 +718,7 @@ util::Status RemoteStore::ChildrenMulti(
       util::Status status =
           Call(server::OpCode::kChildrenMulti, body, &result);
       if (status.code() == util::StatusCode::kNotSupported) {
-        server_multi_ = false;
+        DegradeMulti();
         fused_ok = false;
         break;
       }
@@ -720,7 +768,7 @@ util::Status RemoteStore::GetAttrsMulti(std::span<const NodeRef> nodes,
       util::Status status =
           Call(server::OpCode::kGetAttrsMulti, body, &result);
       if (status.code() == util::StatusCode::kNotSupported) {
-        server_multi_ = false;
+        DegradeMulti();
         fused_ok = false;
         break;
       }
@@ -800,7 +848,7 @@ util::Status RemoteStore::TravClosure1N(NodeRef start,
       util::Decoder decoder(result);
       return GetRefList(&decoder, out);
     }
-    server_traversal_ = false;
+    DegradePushdown();
   }
   if (mode_ != RemoteMode::kPerCall) return BatchedClosure1N(start, out);
   return traversal::Closure1N(this, start, out);
@@ -826,7 +874,7 @@ util::Result<int64_t> RemoteStore::TravClosure1NAttSum(NodeRef start,
       if (visited != nullptr) *visited = count;
       return sum;
     }
-    server_traversal_ = false;
+    DegradePushdown();
   }
   if (mode_ != RemoteMode::kPerCall) {
     return BatchedClosure1NAttSum(start, visited);
@@ -851,7 +899,7 @@ util::Result<uint64_t> RemoteStore::TravClosure1NAttSet(NodeRef start) {
       }
       return count;
     }
-    server_traversal_ = false;
+    DegradePushdown();
   }
   if (mode_ != RemoteMode::kPerCall) return BatchedClosure1NAttSet(start);
   return traversal::Closure1NAttSet(this, start);
@@ -874,7 +922,7 @@ util::Status RemoteStore::TravClosure1NPred(NodeRef start, int64_t lo,
       util::Decoder decoder(result);
       return GetRefList(&decoder, out);
     }
-    server_traversal_ = false;
+    DegradePushdown();
   }
   if (mode_ != RemoteMode::kPerCall) {
     return BatchedClosure1NPred(start, lo, hi, out);
@@ -895,7 +943,7 @@ util::Status RemoteStore::TravClosureMN(NodeRef start,
       util::Decoder decoder(result);
       return GetRefList(&decoder, out);
     }
-    server_traversal_ = false;
+    DegradePushdown();
   }
   if (mode_ != RemoteMode::kPerCall) return BatchedClosureMN(start, out);
   return traversal::ClosureMN(this, start, out);
@@ -916,7 +964,7 @@ util::Status RemoteStore::TravClosureMNAtt(NodeRef start, int depth,
       util::Decoder decoder(result);
       return GetRefList(&decoder, out);
     }
-    server_traversal_ = false;
+    DegradePushdown();
   }
   if (mode_ != RemoteMode::kPerCall) {
     return BatchedClosureMNAtt(start, depth, out);
@@ -956,7 +1004,7 @@ util::Status RemoteStore::TravClosureMNAttLinkSum(
       }
       return util::Status::Ok();
     }
-    server_traversal_ = false;
+    DegradePushdown();
   }
   if (mode_ != RemoteMode::kPerCall) {
     return BatchedClosureMNAttLinkSum(start, depth, out);

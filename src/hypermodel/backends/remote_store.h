@@ -11,6 +11,7 @@
 #include "hypermodel/traversal.h"
 #include "server/server.h"
 #include "server/wire.h"
+#include "telemetry/metrics.h"
 
 namespace hm::backends {
 
@@ -112,6 +113,12 @@ class RemoteStore : public HyperStore, public TraversalCapable {
   /// that lose their database to another session's Reset get a clean
   /// kConflict, never stale refs.
   util::Status ResetServer();
+
+  /// Fetches the server's telemetry registry (wire opcode kStats, v3).
+  /// Surfaces the server's NotSupported verbatim when talking to a
+  /// pre-v3 server — callers treat that as "no stats", never an error
+  /// worth failing over.
+  util::Status ServerStats(telemetry::Snapshot* out);
 
   util::Status Begin() override;
   util::Status Commit() override;
@@ -237,6 +244,17 @@ class RemoteStore : public HyperStore, public TraversalCapable {
   util::Status BatchedClosureMNAttLinkSum(NodeRef start, int depth,
                                           std::vector<NodeDistance>* out);
 
+  /// Lazily interned `remote.<mode>.roundtrips` counter (the mode is
+  /// fixed before the first call, at Connect time).
+  telemetry::Counter* RoundTrips();
+
+  // Capability step-downs. Each clears its flag and, on the actual
+  // transition (not on repeat NotSupported answers), bumps the
+  // matching `remote.degrade.*` counter.
+  void DegradeBatch();
+  void DegradeMulti();
+  void DegradePushdown();
+
   bool UseBatchFrames() const {
     return server_batch_ && mode_ != RemoteMode::kPerCall;
   }
@@ -262,6 +280,7 @@ class RemoteStore : public HyperStore, public TraversalCapable {
   bool server_batch_ = true;
   bool server_multi_ = true;
   bool server_traversal_ = true;
+  telemetry::Counter* roundtrips_ = nullptr;
 };
 
 }  // namespace hm::backends

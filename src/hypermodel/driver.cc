@@ -335,15 +335,23 @@ util::Result<OpResult> Driver::Run(OpId op) {
   // Ensure the cold run really is cold.
   HM_RETURN_IF_ERROR(store_->CloseReopen());
 
+  // Bracket each phase with registry snapshots; the diffs carry the
+  // cache-hit evidence for the cold/warm protocol. (Loopback remote
+  // servers live in this process, so their counters land here too.)
+  telemetry::Registry& registry = telemetry::Registry::Global();
+  telemetry::Snapshot before = registry.TakeSnapshot();
   RunTotals cold;
   HM_RETURN_IF_ERROR(TimedRun(op, /*warm=*/false, &cold));
   result.cold_total_ms = cold.total_ms;
   result.cold_nodes = cold.nodes;
+  telemetry::Snapshot mid = registry.TakeSnapshot();
+  result.cold_stats = mid.DiffSince(before);
 
   RunTotals warm;
   HM_RETURN_IF_ERROR(TimedRun(op, /*warm=*/true, &warm));
   result.warm_total_ms = warm.total_ms;
   result.warm_nodes = warm.nodes;
+  result.warm_stats = registry.TakeSnapshot().DiffSince(mid);
 
   // (e) Close the database so this operation's cache contents cannot
   // help the next one.

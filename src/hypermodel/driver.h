@@ -7,6 +7,7 @@
 
 #include "hypermodel/generator.h"
 #include "hypermodel/store.h"
+#include "telemetry/metrics.h"
 #include "util/status.h"
 
 namespace hm {
@@ -65,6 +66,12 @@ struct OpResult {
   double warm_total_ms = 0;
   uint64_t cold_nodes = 0;
   uint64_t warm_nodes = 0;
+  /// Telemetry registry deltas over each timed phase (what the run
+  /// did, not process totals): the §5.3 cold/warm claim is checkable
+  /// here — a cold run shows `storage.buffer_pool.misses`, the warm
+  /// re-run mostly hits. Embedded per result by Report::PrintJson.
+  telemetry::Snapshot cold_stats;
+  telemetry::Snapshot warm_stats;
 
   double cold_ms_per_node() const {
     return cold_nodes == 0 ? 0 : cold_total_ms / static_cast<double>(cold_nodes);

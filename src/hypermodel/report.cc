@@ -49,14 +49,21 @@ void Report::PrintOpTable(std::ostream& os) const {
     }
   }
 
+  // Column width fits the longest "<backend>-cold" header ("remote
+  // [pushdown]-cold" is wider than the 14 plain names need).
+  int col = 14;
+  for (const std::string& backend : backends) {
+    col = std::max(col, static_cast<int>(backend.size()) + 7);
+  }
+
   for (int level : levels) {
     os << "=== HyperModel operations, level " << level
        << " database — ms per node returned (cold / warm, commit "
           "included) ===\n";
     os << std::left << std::setw(26) << "operation";
     for (const std::string& backend : backends) {
-      os << std::right << std::setw(14) << (backend + "-cold")
-         << std::setw(14) << (backend + "-warm");
+      os << std::right << std::setw(col) << (backend + "-cold")
+         << std::setw(col) << (backend + "-warm");
     }
     os << "\n";
 
@@ -74,12 +81,12 @@ void Report::PrintOpTable(std::ostream& os) const {
       for (const std::string& backend : backends) {
         auto it = rows[op_name].find(backend);
         if (it == rows[op_name].end()) {
-          os << std::right << std::setw(14) << "-" << std::setw(14) << "-";
+          os << std::right << std::setw(col) << "-" << std::setw(col) << "-";
           continue;
         }
         os << std::right << std::fixed << std::setprecision(4)
-           << std::setw(14) << it->second->cold_ms_per_node()
-           << std::setw(14) << it->second->warm_ms_per_node();
+           << std::setw(col) << it->second->cold_ms_per_node()
+           << std::setw(col) << it->second->warm_ms_per_node();
       }
       os << "\n";
     }
@@ -125,7 +132,12 @@ void Report::PrintJson(std::ostream& os) const {
        << ", \"cold_nodes\": " << r.cold_nodes
        << ", \"warm_nodes\": " << r.warm_nodes
        << ", \"cold_ms_per_node\": " << r.cold_ms_per_node()
-       << ", \"warm_ms_per_node\": " << r.warm_ms_per_node() << "}";
+       << ", \"warm_ms_per_node\": " << r.warm_ms_per_node()
+       << ", \"telemetry\": {\"cold\": ";
+    r.cold_stats.PrintJson(os);
+    os << ", \"warm\": ";
+    r.warm_stats.PrintJson(os);
+    os << "}}";
   }
   os << (op_results_.empty() ? "]" : "\n  ]") << "\n}\n";
 }

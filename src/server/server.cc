@@ -6,12 +6,15 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstring>
 
 #include "hypermodel/traversal.h"
+#include "telemetry/metrics.h"
 #include "util/bitmap.h"
 #include "util/coding.h"
+#include "util/timer.h"
 
 namespace hm::server {
 
@@ -19,6 +22,31 @@ namespace {
 
 util::Status Errno(const std::string& what) {
   return util::Status::IoError(what + ": " + std::strerror(errno));
+}
+
+/// Per-opcode telemetry, resolved once for all 256 opcode bytes so the
+/// dispatch fast path never touches the registry lock. Bytes outside
+/// the OpCode enum share the "unknown" metrics.
+struct OpMetrics {
+  telemetry::Counter* count;
+  telemetry::Counter* errors;
+  telemetry::Histogram* latency_us;
+};
+
+const OpMetrics& MetricsFor(uint8_t op) {
+  static const std::array<OpMetrics, 256>* table = [] {
+    auto* t = new std::array<OpMetrics, 256>();
+    auto& reg = telemetry::Registry::Global();
+    for (size_t i = 0; i < t->size(); ++i) {
+      std::string base = "server.op.";
+      base += OpCodeName(static_cast<OpCode>(i));
+      (*t)[i] = OpMetrics{reg.GetCounter(base + ".count"),
+                          reg.GetCounter(base + ".errors"),
+                          reg.GetHistogram(base + ".latency_us")};
+    }
+    return t;
+  }();
+  return (*table)[op];
 }
 
 /// Ceiling on a client-supplied BFS depth; anything above it is a
@@ -206,6 +234,11 @@ void Server::Dispatch(Session* session, std::string_view request,
     write_lock.lock();
   }
   requests_.fetch_add(is_batch ? subs.size() : 1);
+  if (is_batch) {
+    static telemetry::Histogram* batch_size =
+        telemetry::Registry::Global().GetHistogram("server.batch.size");
+    batch_size->Record(subs.size());
+  }
 
   // A session adopts the server's reset epoch on first contact; a
   // mismatch later means another session rebuilt the database out from
@@ -219,6 +252,9 @@ void Server::Dispatch(Session* session, std::string_view request,
   }
   if (op != OpCode::kHello && op != OpCode::kReset &&
       session->epoch != reset_epoch_) {
+    static telemetry::Counter* conflicts =
+        telemetry::Registry::Global().GetCounter("server.conflicts");
+    conflicts->Add();
     PutStatus(response,
               util::Status::Conflict(
                   "database was reset by another session; re-handshake "
@@ -247,6 +283,23 @@ void Server::Dispatch(Session* session, std::string_view request,
 
 void Server::DispatchOne(Session* session, std::string_view request,
                          std::string* response) {
+  // `response` arrives empty (fresh sub_response for batch entries, an
+  // untouched buffer for singles), so the first byte of what Impl
+  // wrote is the status code.
+  const OpMetrics& metrics =
+      MetricsFor(request.empty() ? 0 : static_cast<uint8_t>(request[0]));
+  util::Timer timer;
+  DispatchOneImpl(session, request, response);
+  metrics.count->Add();
+  if (response->empty() ||
+      response->front() != static_cast<char>(util::StatusCode::kOk)) {
+    metrics.errors->Add();
+  }
+  metrics.latency_us->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+}
+
+void Server::DispatchOneImpl(Session* session, std::string_view request,
+                             std::string* response) {
   if (request.empty()) {
     PutStatus(response,
               util::Status::InvalidArgument("empty request payload"));
@@ -287,8 +340,8 @@ void Server::DispatchOne(Session* session, std::string_view request,
             " is below the minimum " + std::to_string(kMinWireVersion)));
         return;
       }
-      const auto negotiated = static_cast<uint8_t>(
-          std::min<uint64_t>(client_version, kWireVersion));
+      const auto negotiated = static_cast<uint8_t>(std::min<uint64_t>(
+          {client_version, kWireVersion, options_.max_wire_version}));
       session->epoch = reset_epoch_;  // re-handshake adopts the current DB
       std::string name = backend_->name();
       reply(util::Status::Ok(), [&] {
@@ -711,6 +764,23 @@ void Server::DispatchOne(Session* session, std::string_view request,
           util::PutVarSigned64(response, d.distance);
         }
       });
+      return;
+    }
+    case OpCode::kStats: {
+      if (options_.max_wire_version < 3) {
+        // A capped "v2" server behaves exactly like a build that
+        // predates the opcode.
+        reply_status(util::Status::NotSupported(
+            "unknown opcode " + std::to_string(request[0])));
+        return;
+      }
+      if (!body.Empty()) {
+        bad_request();
+        return;
+      }
+      telemetry::Snapshot snapshot =
+          telemetry::Registry::Global().TakeSnapshot();
+      reply(util::Status::Ok(), [&] { snapshot.SerializeTo(response); });
       return;
     }
   }

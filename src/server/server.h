@@ -42,6 +42,11 @@ struct ServerOptions {
   /// long-lived server start from an empty store). Unset => kReset is
   /// answered with NotSupported.
   std::function<util::Result<std::unique_ptr<HyperStore>>()> reset_factory;
+  /// Highest wire version this server will negotiate; a cap below a
+  /// feature's version makes its opcodes answer NotSupported. Tests
+  /// cap it to impersonate older servers (e.g. a v2 server that has
+  /// never heard of kStats) against current clients.
+  uint8_t max_wire_version = kWireVersion;
 };
 
 /// A TCP server exposing one HyperStore backend over the binary wire
@@ -155,9 +160,13 @@ class Server {
   // calls under a single lock acquisition.
   void Dispatch(Session* session, std::string_view request,
                 std::string* response);
-  /// One non-batch request; the caller holds backend_mu_.
+  /// One non-batch request; the caller holds backend_mu_. Wraps
+  /// DispatchOneImpl with the per-opcode telemetry (request count,
+  /// error count, latency histogram).
   void DispatchOne(Session* session, std::string_view request,
                    std::string* response);
+  void DispatchOneImpl(Session* session, std::string_view request,
+                       std::string* response);
 
   /// Tracks sockets currently being served so Stop() can shut them
   /// down to unblock workers. Membership implies the fd is open:

@@ -66,10 +66,57 @@ bool IsReadOnlyOp(OpCode op) {
     case OpCode::kClosure1NAttSum:
     case OpCode::kClosure1NPred:
     case OpCode::kClosureMNAttLinkSum:
+    case OpCode::kStats:
       return true;
     default:
       return false;
   }
+}
+
+std::string_view OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kHello: return "hello";
+    case OpCode::kReset: return "reset";
+    case OpCode::kBegin: return "begin";
+    case OpCode::kCommit: return "commit";
+    case OpCode::kAbort: return "abort";
+    case OpCode::kCloseReopen: return "close_reopen";
+    case OpCode::kCreateNode: return "create_node";
+    case OpCode::kSetText: return "set_text";
+    case OpCode::kSetForm: return "set_form";
+    case OpCode::kAddChild: return "add_child";
+    case OpCode::kAddPart: return "add_part";
+    case OpCode::kAddRef: return "add_ref";
+    case OpCode::kGetAttr: return "get_attr";
+    case OpCode::kSetAttr: return "set_attr";
+    case OpCode::kGetKind: return "get_kind";
+    case OpCode::kGetText: return "get_text";
+    case OpCode::kGetForm: return "get_form";
+    case OpCode::kSetContents: return "set_contents";
+    case OpCode::kGetContents: return "get_contents";
+    case OpCode::kLookupUnique: return "lookup_unique";
+    case OpCode::kRangeHundred: return "range_hundred";
+    case OpCode::kRangeMillion: return "range_million";
+    case OpCode::kChildren: return "children";
+    case OpCode::kParent: return "parent";
+    case OpCode::kParts: return "parts";
+    case OpCode::kPartOf: return "part_of";
+    case OpCode::kRefsTo: return "refs_to";
+    case OpCode::kRefsFrom: return "refs_from";
+    case OpCode::kStorageBytes: return "storage_bytes";
+    case OpCode::kBatch: return "batch";
+    case OpCode::kChildrenMulti: return "children_multi";
+    case OpCode::kGetAttrsMulti: return "get_attrs_multi";
+    case OpCode::kClosure1N: return "closure_1n";
+    case OpCode::kClosureMN: return "closure_mn";
+    case OpCode::kClosureMNAtt: return "closure_mn_att";
+    case OpCode::kClosure1NAttSum: return "closure_1n_att_sum";
+    case OpCode::kClosure1NAttSet: return "closure_1n_att_set";
+    case OpCode::kClosure1NPred: return "closure_1n_pred";
+    case OpCode::kClosureMNAttLinkSum: return "closure_mn_att_link_sum";
+    case OpCode::kStats: return "stats";
+  }
+  return "unknown";
 }
 
 void EncodeBatch(const std::vector<std::string>& entries, std::string* dst) {

@@ -41,7 +41,11 @@ namespace hm::server {
 ///
 /// v2 adds the Batch frame, fused navigation ops and the server-side
 /// traversal (closure pushdown) opcodes.
-inline constexpr uint8_t kWireVersion = 2;
+///
+/// v3 adds kStats (telemetry snapshot). Append-only as always: a v2
+/// server answers the unknown opcode with NotSupported, which v3
+/// clients treat as "no stats", so the handshake never has to fail.
+inline constexpr uint8_t kWireVersion = 3;
 
 /// Oldest peer version this build still speaks. A negotiated version
 /// below this fails the handshake.
@@ -108,7 +112,16 @@ enum class OpCode : uint8_t {
   kClosure1NAttSet = 37,     // start -> varint updated count (MUTATES)
   kClosure1NPred = 38,       // start + zig-zag lo,hi -> ref list
   kClosureMNAttLinkSum = 39, // start + varint depth -> (ref, zig-zag dist) list
+
+  // ---- v3: introspection ----
+  kStats = 40,  // empty body -> serialized telemetry::Snapshot
 };
+
+/// Stable lower-snake-case opcode name ("get_attr", "closure_1n");
+/// these spell the per-opcode metric names
+/// (`server.op.<name>.count` etc.), so they are part of the telemetry
+/// surface — extend, don't rename.
+std::string_view OpCodeName(OpCode op);
 
 /// True for opcodes whose handler never mutates the served database —
 /// the server may dispatch these under a shared lock when the backend

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "server/server.h"
+#include "telemetry/metrics.h"
 
 namespace hm::server {
 
@@ -23,6 +24,10 @@ void Server::WorkerLoop() {
 }
 
 void Server::ServeSession(Session* session) {
+  static telemetry::Counter* bytes_in =
+      telemetry::Registry::Global().GetCounter("server.net.bytes_in");
+  static telemetry::Counter* bytes_out =
+      telemetry::Registry::Global().GetCounter("server.net.bytes_out");
   char chunk[64 * 1024];
   for (;;) {
     // Peel off every complete frame already buffered before reading
@@ -40,10 +45,12 @@ void Server::ServeSession(Session* session) {
       session->buffer.erase(0, frame_len);
       std::string out;
       AppendFrame(&out, response);
+      bytes_out->Add(out.size());
       if (!WriteAll(session->fd, out)) return;
     }
     ssize_t n = ::recv(session->fd, chunk, sizeof(chunk), 0);
     if (n <= 0) return;  // peer closed, error, or Stop() shut us down
+    bytes_in->Add(static_cast<uint64_t>(n));
     session->buffer.append(chunk, static_cast<size_t>(n));
   }
 }

@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include "telemetry/metrics.h"
 #include "util/check.h"
 
 namespace hm::storage {
@@ -48,6 +49,11 @@ void PageGuard::Release() {
 BufferPool::BufferPool(FileManager* file, size_t capacity) : file_(file) {
   HM_CHECK(capacity > 0);
   frames_.resize(capacity);
+  auto& registry = telemetry::Registry::Global();
+  t_hits_ = registry.GetCounter("storage.buffer_pool.hits");
+  t_misses_ = registry.GetCounter("storage.buffer_pool.misses");
+  t_evictions_ = registry.GetCounter("storage.buffer_pool.evictions");
+  t_flushes_ = registry.GetCounter("storage.buffer_pool.flushes");
 }
 
 BufferPool::~BufferPool() {
@@ -59,12 +65,14 @@ util::Result<PageGuard> BufferPool::Fetch(PageId id) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.hits;
+    t_hits_->Add();
     Frame& frame = frames_[it->second];
     ++frame.pin_count;
     frame.referenced = true;
     return PageGuard(this, it->second, frame.page.get(), id);
   }
   ++stats_.misses;
+  t_misses_->Add();
   HM_ASSIGN_OR_RETURN(size_t victim, EvictOne());
   Frame& frame = frames_[victim];
   HM_RETURN_IF_ERROR(file_->ReadPage(id, frame.page.get()));
@@ -133,6 +141,7 @@ util::Status BufferPool::FlushFrame(Frame* frame) {
   HM_RETURN_IF_ERROR(file_->WritePage(frame->id, frame->page.get()));
   frame->dirty = false;
   ++stats_.flushes;
+  t_flushes_->Add();
   return util::Status::Ok();
 }
 
@@ -155,6 +164,7 @@ util::Result<size_t> BufferPool::EvictOne() {
     page_table_.erase(frame.id);
     frame.id = kInvalidPageId;
     ++stats_.evictions;
+    t_evictions_->Add();
     return i;
   }
   return util::Status::Internal("buffer pool exhausted: all pages pinned");

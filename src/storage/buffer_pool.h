@@ -8,6 +8,7 @@
 
 #include "storage/file_manager.h"
 #include "storage/page.h"
+#include "telemetry/metrics.h"
 #include "util/status.h"
 
 namespace hm::storage {
@@ -112,6 +113,13 @@ class BufferPool {
   std::unordered_map<PageId, size_t> page_table_;
   size_t clock_hand_ = 0;
   BufferPoolStats stats_;
+  // Process-wide mirrors of stats_ (`storage.buffer_pool.*`),
+  // interned once at construction so the hot path pays one extra
+  // relaxed atomic add.
+  telemetry::Counter* t_hits_;
+  telemetry::Counter* t_misses_;
+  telemetry::Counter* t_evictions_;
+  telemetry::Counter* t_flushes_;
 };
 
 }  // namespace hm::storage

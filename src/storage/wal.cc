@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "telemetry/metrics.h"
 #include "util/coding.h"
 #include "util/crc32.h"
 
@@ -63,6 +64,9 @@ util::Result<uint64_t> Wal::Append(WalRecordType type, uint64_t txn_id,
   util::PutFixed32(&buffer_, util::MaskCrc(util::Crc32(body)));
   buffer_.append(body);
   ++records_appended_;
+  static telemetry::Counter* appends =
+      telemetry::Registry::Global().GetCounter("storage.wal.appends");
+  appends->Add();
   return lsn;
 }
 
@@ -73,6 +77,9 @@ util::Status Wal::Sync() {
     return util::Status::IoError(ErrnoMessage("fdatasync", path_));
   }
   ++syncs_;
+  static telemetry::Counter* syncs =
+      telemetry::Registry::Global().GetCounter("storage.wal.syncs");
+  syncs->Add();
   return util::Status::Ok();
 }
 

@@ -1,0 +1,186 @@
+#ifndef HM_TELEMETRY_METRICS_H_
+#define HM_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace hm::telemetry {
+
+/// Dependency-free process metrics. Naming scheme is
+/// `layer.component.metric` (e.g. `storage.buffer_pool.misses`,
+/// `server.op.get_attrs.latency_us`); see DESIGN.md §9.
+///
+/// All recording paths are single relaxed atomic RMWs — lock-free,
+/// TSAN-clean, and cheap enough for per-request instrumentation. Reads
+/// (snapshots, quantiles) are relaxed too: a snapshot taken while
+/// writers are active is a per-cell-consistent view, not a global
+/// atomic cut, which is all a monitoring surface needs.
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (node counts, queue depths); can go down.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-scale bucketing shared by Histogram and its snapshots: values
+/// below `kSubBuckets` get exact buckets; above, each power-of-two
+/// octave is split into `kSubBuckets` sub-buckets, so the relative
+/// width of any bucket is at most 1/16 (≈6%) of its value. 16 exact +
+/// 60 octaves x 16 = 976 buckets cover the whole uint64 range.
+inline constexpr uint32_t kSubBuckets = 16;
+inline constexpr uint32_t kNumBuckets =
+    kSubBuckets + (64 - 4) * kSubBuckets;  // 976
+
+inline uint32_t BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<uint32_t>(value);
+  const uint32_t exp = static_cast<uint32_t>(std::bit_width(value)) - 1;
+  const uint32_t sub =
+      static_cast<uint32_t>(value >> (exp - 4)) - kSubBuckets;
+  return kSubBuckets + (exp - 4) * kSubBuckets + sub;
+}
+
+/// Smallest value that lands in bucket `index` (the bucket's lower
+/// edge). `BucketUpperBound` is the largest; edges are contiguous:
+/// upper(i) + 1 == lower(i + 1).
+inline uint64_t BucketLowerBound(uint32_t index) {
+  if (index < kSubBuckets) return index;
+  const uint32_t octave = (index - kSubBuckets) / kSubBuckets;
+  const uint32_t sub = (index - kSubBuckets) % kSubBuckets;
+  return static_cast<uint64_t>(kSubBuckets + sub) << octave;
+}
+
+inline uint64_t BucketUpperBound(uint32_t index) {
+  if (index < kSubBuckets) return index;
+  const uint32_t octave = (index - kSubBuckets) / kSubBuckets;
+  return BucketLowerBound(index) + ((1ULL << octave) - 1);
+}
+
+/// Passive histogram snapshot: sparse buckets plus count/sum. This is
+/// what crosses the wire and what diffs/quantiles are computed on.
+struct HistogramData {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::map<uint32_t, uint64_t> buckets;  // bucket index -> count
+
+  /// Estimated q-quantile (q in [0, 1]) as the upper edge of the
+  /// bucket holding the rank — within one bucket width (≤6% relative
+  /// error) of the true value. Returns 0 for an empty histogram.
+  uint64_t Quantile(double q) const;
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+};
+
+/// Fixed-bucket log-scale histogram for latencies and sizes.
+/// `Record` is one relaxed fetch_add per call (plus count/sum);
+/// snapshots from concurrent threads merge deterministically because
+/// bucketing is a pure function of the value.
+class Histogram {
+ public:
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Sparse copy of the current state.
+  HistogramData Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Point-in-time copy of a whole registry. Serializable (this is the
+/// `kStats` wire body), diffable (per-phase deltas in benchmark
+/// reports) and printable (`hmbench stats`).
+struct Snapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Wire encoding: three varint-counted sections of
+  /// (length-prefixed name, payload); histograms store only nonzero
+  /// buckets as (varint index, varint count) pairs.
+  void SerializeTo(std::string* out) const;
+  static util::Result<Snapshot> Deserialize(std::string_view in);
+
+  /// Delta `this - before`. Counters and histogram cells subtract
+  /// (saturating at zero — e.g. across a registry restart); gauges are
+  /// levels, so the diff keeps the `this`-side value. Entries that
+  /// diff to zero are dropped.
+  Snapshot DiffSince(const Snapshot& before) const;
+
+  uint64_t counter(std::string_view name) const;
+
+  /// Aligned human-readable dump, one metric per line; histograms show
+  /// count/mean/p50/p90/p99.
+  void PrintTo(std::ostream& os) const;
+
+  /// Flat JSON object: counters and gauges verbatim, histograms as
+  /// `<name>.count` / `<name>.p50` / `<name>.p99` keys. Zero-valued
+  /// entries are skipped (diffs stay small).
+  void PrintJson(std::ostream& os) const;
+};
+
+/// Process-wide metric registry. `Get*` interns the metric on first
+/// use and returns a stable pointer — call sites look the name up once
+/// and keep the pointer, so steady-state recording never touches the
+/// registry lock.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide instance every subsystem records into.
+  static Registry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  Snapshot TakeSnapshot() const;
+
+ private:
+  template <typename T>
+  T* Intern(std::map<std::string, std::unique_ptr<T>, std::less<>>* map,
+            std::string_view name);
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace hm::telemetry
+
+#endif  // HM_TELEMETRY_METRICS_H_

@@ -18,6 +18,7 @@
 
 #include "hypermodel/backends/mem_store.h"
 #include "hypermodel/backends/remote_store.h"
+#include "telemetry/metrics.h"
 
 namespace hm {
 namespace {
@@ -497,6 +498,80 @@ TEST(ServerTest, LoopbackStoreOwnsItsServer) {
   ASSERT_TRUE((*store)->Commit().ok());
   EXPECT_EQ(*(*store)->GetAttr(*node, Attr::kUniqueId), 11);
   // Destruction tears down client then server without deadlock.
+}
+
+TEST(ServerTest, StatsOpcodeCountsScriptedSequence) {
+  auto srv = StartMemServer();
+  ASSERT_NE(srv, nullptr);
+  auto client = ConnectTo(*srv);
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(client->wire_version(), server::kWireVersion);
+
+  // The registry is process-global and other tests in this binary have
+  // already bumped it, so every assertion is over a snapshot *diff*
+  // bracketing a known request sequence.
+  telemetry::Snapshot before;
+  ASSERT_TRUE(client->ServerStats(&before).ok());
+
+  ASSERT_TRUE(client->Begin().ok());
+  std::vector<NodeRef> nodes;
+  for (int64_t uid = 1; uid <= 3; ++uid) {
+    auto node = client->CreateNode(MakeAttrs(uid), kInvalidNode);
+    ASSERT_TRUE(node.ok()) << node.status().ToString();
+    nodes.push_back(*node);
+  }
+  ASSERT_TRUE(client->Commit().ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(client->GetAttr(nodes[0], Attr::kUniqueId).ok());
+  }
+  EXPECT_FALSE(client->GetAttr(NodeRef{999999}, Attr::kUniqueId).ok());
+  EXPECT_TRUE(client->LookupUnique(2).ok());
+
+  telemetry::Snapshot after;
+  ASSERT_TRUE(client->ServerStats(&after).ok());
+  telemetry::Snapshot diff = after.DiffSince(before);
+
+  EXPECT_EQ(diff.counter("server.op.begin.count"), 1u);
+  EXPECT_EQ(diff.counter("server.op.create_node.count"), 3u);
+  EXPECT_EQ(diff.counter("server.op.commit.count"), 1u);
+  EXPECT_EQ(diff.counter("server.op.get_attr.count"), 6u);
+  EXPECT_EQ(diff.counter("server.op.get_attr.errors"), 1u);
+  EXPECT_EQ(diff.counter("server.op.lookup_unique.count"), 1u);
+  EXPECT_EQ(diff.counter("server.op.create_node.errors"), 0u);
+  // The first kStats call's own bookkeeping lands after its snapshot
+  // is taken, so exactly one stats request falls inside the bracket.
+  EXPECT_EQ(diff.counter("server.op.stats.count"), 1u);
+
+  // Latency histograms see one sample per request, and the socket
+  // byte counters moved.
+  ASSERT_TRUE(diff.histograms.contains("server.op.get_attr.latency_us"));
+  EXPECT_EQ(diff.histograms.at("server.op.get_attr.latency_us").count, 6u);
+  EXPECT_GT(diff.counter("server.net.bytes_in"), 0u);
+  EXPECT_GT(diff.counter("server.net.bytes_out"), 0u);
+}
+
+TEST(ServerTest, StatsFallsBackPolitelyOnV2Server) {
+  // Cap the server at wire v2: it predates kStats and answers the
+  // unknown opcode with NotSupported, exactly like a real old binary.
+  server::ServerOptions options;
+  options.max_wire_version = 2;
+  auto srv = StartMemServer(options);
+  ASSERT_NE(srv, nullptr);
+  auto client = ConnectTo(*srv);
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(client->wire_version(), 2);
+
+  telemetry::Snapshot snap;
+  util::Status status = client->ServerStats(&snap);
+  EXPECT_EQ(status.code(), util::StatusCode::kNotSupported)
+      << status.ToString();
+
+  // The rest of the protocol is unaffected by the failed probe.
+  ASSERT_TRUE(client->Begin().ok());
+  auto node = client->CreateNode(MakeAttrs(7), kInvalidNode);
+  ASSERT_TRUE(node.ok()) << node.status().ToString();
+  ASSERT_TRUE(client->Commit().ok());
+  EXPECT_EQ(*client->LookupUnique(7), *node);
 }
 
 TEST(ServerTest, ManySequentialConnections) {

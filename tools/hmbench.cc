@@ -26,6 +26,11 @@
 //     --creation            include the §5.3 creation table
 //     --help
 //
+//   hmbench stats [options]
+//     --remote=HOST:PORT    server to query (default 127.0.0.1:7433);
+//                           fetches the server's telemetry registry
+//                           (wire opcode kStats) and pretty-prints it
+//
 //   hmbench serve [options]
 //     --backend=mem         backend to serve (mem,oodb,rel,net)
 //     --host=127.0.0.1      bind address
@@ -41,6 +46,7 @@
 //   hmbench --backends=oodb --csv > oodb.csv
 //   hmbench serve --backend=mem &              # then, in another shell:
 //   hmbench --backends=remote --remote=127.0.0.1:7433
+//   hmbench stats --remote=127.0.0.1:7433      # live server telemetry
 
 #include <csignal>
 #include <cstdlib>
@@ -61,6 +67,7 @@
 #include "hypermodel/generator.h"
 #include "hypermodel/report.h"
 #include "server/server.h"
+#include "telemetry/metrics.h"
 
 namespace {
 
@@ -102,6 +109,9 @@ struct Args {
       "  --json=PATH         also write the report as JSON\n"
       "  --csv               CSV output\n"
       "  --creation          include the database-creation table (§5.3)\n"
+      "\n"
+      "hmbench stats — fetch and print a live server's telemetry\n\n"
+      "  --remote=HOST:PORT  server to query (default 127.0.0.1:7433)\n"
       "\n"
       "hmbench serve — expose one backend over the wire protocol\n\n"
       "  --backend=NAME      backend to serve: mem,oodb,rel,net\n"
@@ -400,11 +410,52 @@ int ServeMain(int argc, char** argv) {
   return 0;
 }
 
+// --- `hmbench stats`: live telemetry from a running server -----------
+
+int StatsMain(int argc, char** argv) {
+  std::string remote = "127.0.0.1:7433";
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage(0);
+    } else if (arg.starts_with("--remote=")) {
+      remote = arg.substr(std::strlen("--remote="));
+    } else {
+      std::cerr << "unknown stats argument '" << arg << "'\n";
+      Usage(1);
+    }
+  }
+  auto options = hm::backends::ParseRemoteAddr(remote);
+  CheckOk(options.status());
+  auto store = hm::backends::RemoteStore::Connect(*options);
+  CheckOk(store.status());
+  hm::telemetry::Snapshot snapshot;
+  hm::util::Status status = (*store)->ServerStats(&snapshot);
+  if (status.code() == hm::util::StatusCode::kNotSupported) {
+    // A pre-v3 server answers the unknown opcode with NotSupported;
+    // say so instead of printing a scary error.
+    std::cerr << "hmbench stats: server at " << remote
+              << " speaks wire v"
+              << static_cast<int>((*store)->wire_version())
+              << " and has no stats opcode (needs v3)\n";
+    return 1;
+  }
+  CheckOk(status);
+  std::cout << "server " << remote << " — backend "
+            << (*store)->server_backend() << ", wire v"
+            << static_cast<int>((*store)->wire_version()) << "\n";
+  snapshot.PrintTo(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
     return ServeMain(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
+    return StatsMain(argc, argv);
   }
   Args args = Parse(argc, argv);
   std::filesystem::remove_all(args.dir);
@@ -418,6 +469,20 @@ int main(int argc, char** argv) {
       std::unique_ptr<hm::HyperStore> store =
           OpenBackend(args, backend, dir);
 
+      // Report the spelling that actually ran: a bare "remote"
+      // resolves to its effective rung so pinned and default modes
+      // stay distinct rows in one report.
+      std::string label = backend;
+      if (backend == "remote") {
+        if (auto* remote =
+                dynamic_cast<hm::backends::RemoteStore*>(store.get())) {
+          label = "remote[" +
+                  std::string(
+                      hm::backends::RemoteModeName(remote->mode())) +
+                  "]";
+        }
+      }
+
       hm::GeneratorConfig gen_config;
       gen_config.levels = level;
       hm::Generator generator(gen_config);
@@ -426,7 +491,7 @@ int main(int argc, char** argv) {
       CheckOk(db.status());
       if (args.creation) {
         hm::CreationRow row;
-        row.backend = backend;
+        row.backend = label;
         row.level = level;
         row.nodes = db->node_count();
         row.timing = timing;
@@ -441,8 +506,9 @@ int main(int argc, char** argv) {
         auto result = driver.Run(op);
         CheckOk(result.status());
         // Keep the requested spelling ("remote[percall]") so pinned
-        // remote modes stay distinct columns in the report.
-        result->backend = backend;
+        // remote modes stay distinct columns in the report (a bare
+        // "remote" was resolved to its rung above).
+        result->backend = label;
         report.AddOpResult(*result);
       }
     }
