@@ -76,9 +76,12 @@ util::Status OccManager::CommitWorkspace(WorkspaceId ws) {
   for (const auto& [node, observed] : workspace->read_versions) {
     if (NodeVersionLocked(node) != observed) {
       ++conflicts_;
+      // `node` refers into read_versions, which dies with the erase —
+      // build the status from a copy.
+      const NodeRef stale = node;
       workspaces_.erase(ws);
       return util::Status::Conflict(
-          "node " + std::to_string(node) +
+          "node " + std::to_string(stale) +
           " was committed by another user since it was read");
     }
   }

@@ -87,7 +87,7 @@ Server::Session::~Session() {
 }
 
 bool Server::SessionQueue::Push(std::unique_ptr<Session> session) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   if (closed_ || sessions_.size() >= capacity_) return false;
   sessions_.push_back(std::move(session));
   cv_.notify_one();
@@ -95,7 +95,7 @@ bool Server::SessionQueue::Push(std::unique_ptr<Session> session) {
 }
 
 std::unique_ptr<Server::Session> Server::SessionQueue::Pop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   cv_.wait(lock, [&] { return closed_ || !sessions_.empty(); });
   if (sessions_.empty()) return nullptr;  // closed and drained
   std::unique_ptr<Session> session = std::move(sessions_.front());
@@ -104,7 +104,7 @@ std::unique_ptr<Server::Session> Server::SessionQueue::Pop() {
 }
 
 void Server::SessionQueue::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   closed_ = true;
   sessions_.clear();  // unserved connections are simply closed
   cv_.notify_all();
@@ -164,7 +164,7 @@ Server::~Server() { Stop(); }
 
 void Server::Stop() {
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    std::lock_guard lock(stop_mu_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -179,7 +179,7 @@ void Server::Stop() {
   {
     // Kick in-flight connections out of recv(). See TrackFd() for why
     // this cannot hit a recycled descriptor.
-    std::lock_guard<std::mutex> lock(fds_mu_);
+    std::lock_guard lock(fds_mu_);
     for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   for (std::thread& worker : workers_) {
@@ -188,12 +188,12 @@ void Server::Stop() {
 }
 
 void Server::TrackFd(int fd) {
-  std::lock_guard<std::mutex> lock(fds_mu_);
+  std::lock_guard lock(fds_mu_);
   active_fds_.insert(fd);
 }
 
 void Server::UntrackFd(int fd) {
-  std::lock_guard<std::mutex> lock(fds_mu_);
+  std::lock_guard lock(fds_mu_);
   active_fds_.erase(fd);
 }
 
@@ -225,8 +225,8 @@ void Server::Dispatch(Session* session, std::string_view request,
   const bool use_shared =
       read_only && concurrent_reads_ok_.load(std::memory_order_relaxed);
 
-  std::shared_lock<std::shared_mutex> read_lock(backend_mu_, std::defer_lock);
-  std::unique_lock<std::shared_mutex> write_lock(backend_mu_, std::defer_lock);
+  std::shared_lock read_lock(backend_mu_, std::defer_lock);
+  std::unique_lock write_lock(backend_mu_, std::defer_lock);
   if (use_shared) {
     read_lock.lock();
     shared_reads_.fetch_add(1);

@@ -16,6 +16,7 @@
 
 #include "hypermodel/store.h"
 #include "server/wire.h"
+#include "util/lock_rank.h"
 #include "util/status.h"
 
 namespace hm::server {
@@ -133,8 +134,8 @@ class Server {
     void Close();
 
    private:
-    std::mutex mu_;
-    std::condition_variable cv_;
+    util::RankedMutex<util::LockRank::kListener> mu_;
+    std::condition_variable_any cv_;
     std::deque<std::unique_ptr<Session>> sessions_;
     size_t capacity_;
     bool closed_ = false;
@@ -181,8 +182,9 @@ class Server {
   /// Shared for read-only opcodes (when the backend allows concurrent
   /// reads), exclusive for everything else. reset_epoch_ and dirty_
   /// are guarded by it: written only under the exclusive side, read
-  /// under either side.
-  std::shared_mutex backend_mu_;
+  /// under either side. Rank-checked: dispatch calls down into the
+  /// WAL / buffer pool / telemetry registry, never the reverse.
+  util::RankedSharedMutex<util::LockRank::kServerDispatch> backend_mu_;
   uint64_t reset_epoch_ = 0;
   /// True once any mutating opcode ran; cleared by a rebuilding Reset.
   /// A Reset while clean is an idempotent no-op.
@@ -199,11 +201,11 @@ class Server {
   std::thread listener_;
   std::vector<std::thread> workers_;
 
-  std::mutex fds_mu_;
+  util::RankedMutex<util::LockRank::kListener> fds_mu_;
   std::unordered_set<int> active_fds_;
 
   std::atomic<bool> stopping_{false};
-  std::mutex stop_mu_;
+  util::RankedMutex<util::LockRank::kListener> stop_mu_;
   bool stopped_ = false;
 
   std::atomic<uint64_t> requests_{0};

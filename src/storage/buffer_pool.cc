@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <mutex>
+
 #include "telemetry/metrics.h"
 #include "util/check.h"
 
@@ -47,7 +49,7 @@ void PageGuard::Release() {
 }
 
 BufferPool::BufferPool(FileManager* file, size_t capacity) : file_(file) {
-  HM_CHECK(capacity > 0);
+  HM_CHECK_GT(capacity, 0u);
   frames_.resize(capacity);
   auto& registry = telemetry::Registry::Global();
   t_hits_ = registry.GetCounter("storage.buffer_pool.hits");
@@ -62,6 +64,7 @@ BufferPool::~BufferPool() {
 }
 
 util::Result<PageGuard> BufferPool::Fetch(PageId id) {
+  std::lock_guard lock(mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.hits;
@@ -85,6 +88,7 @@ util::Result<PageGuard> BufferPool::Fetch(PageId id) {
 }
 
 util::Result<PageGuard> BufferPool::New(PageType type) {
+  std::lock_guard lock(mu_);
   HM_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
   HM_ASSIGN_OR_RETURN(size_t victim, EvictOne());
   Frame& frame = frames_[victim];
@@ -100,6 +104,11 @@ util::Result<PageGuard> BufferPool::New(PageType type) {
 }
 
 util::Status BufferPool::FlushAll() {
+  std::lock_guard lock(mu_);
+  return FlushAllLocked();
+}
+
+util::Status BufferPool::FlushAllLocked() {
   for (Frame& frame : frames_) {
     if (frame.id != kInvalidPageId && frame.dirty) {
       HM_RETURN_IF_ERROR(FlushFrame(&frame));
@@ -109,7 +118,8 @@ util::Status BufferPool::FlushAll() {
 }
 
 util::Status BufferPool::DropAll() {
-  HM_RETURN_IF_ERROR(FlushAll());
+  std::lock_guard lock(mu_);
+  HM_RETURN_IF_ERROR(FlushAllLocked());
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& frame = frames_[i];
     if (frame.id == kInvalidPageId) continue;
@@ -125,15 +135,20 @@ util::Status BufferPool::DropAll() {
   return util::Status::Ok();
 }
 
-size_t BufferPool::ResidentCount() const { return page_table_.size(); }
+size_t BufferPool::ResidentCount() const {
+  std::lock_guard lock(mu_);
+  return page_table_.size();
+}
 
 void BufferPool::Unpin(size_t frame_index) {
+  std::lock_guard lock(mu_);
   Frame& frame = frames_[frame_index];
-  HM_CHECK(frame.pin_count > 0);
+  HM_CHECK_GT(frame.pin_count, 0);
   --frame.pin_count;
 }
 
 void BufferPool::MarkDirty(size_t frame_index) {
+  std::lock_guard lock(mu_);
   frames_[frame_index].dirty = true;
 }
 

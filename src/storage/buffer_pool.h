@@ -9,6 +9,7 @@
 #include "storage/file_manager.h"
 #include "storage/page.h"
 #include "telemetry/metrics.h"
+#include "util/lock_rank.h"
 #include "util/status.h"
 
 namespace hm::storage {
@@ -104,9 +105,16 @@ class BufferPool {
 
   void Unpin(size_t frame_index);
   void MarkDirty(size_t frame_index);
+  util::Status FlushAllLocked();
   util::Status FlushFrame(Frame* frame);
   /// Finds a victim frame via CLOCK; flushes it if dirty.
   util::Result<size_t> EvictOne();
+
+  /// Guards the frame table, page table, clock hand and stats. Public
+  /// entry points (and the PageGuard pin/dirty hooks) lock it; the
+  /// private helpers above assume it is held. Ranked below the WAL and
+  /// the server dispatch lock, above the telemetry registry.
+  mutable util::RankedMutex<util::LockRank::kBufferPool> mu_;
 
   FileManager* file_;
   std::vector<Frame> frames_;

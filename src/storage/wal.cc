@@ -6,6 +6,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -28,6 +29,7 @@ std::string ErrnoMessage(const std::string& what, const std::string& path) {
 Wal::~Wal() { Close(); }
 
 util::Status Wal::Open(const std::string& path) {
+  std::lock_guard lock(mu_);
   if (is_open()) return util::Status::InvalidArgument("WAL already open");
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
   if (fd < 0) return util::Status::IoError(ErrnoMessage("open", path));
@@ -43,8 +45,9 @@ util::Status Wal::Open(const std::string& path) {
 }
 
 util::Status Wal::Close() {
+  std::lock_guard lock(mu_);
   if (!is_open()) return util::Status::Ok();
-  util::Status s = Sync();
+  util::Status s = SyncLocked();
   ::close(fd_);
   fd_ = -1;
   return s;
@@ -52,8 +55,14 @@ util::Status Wal::Close() {
 
 util::Result<uint64_t> Wal::Append(WalRecordType type, uint64_t txn_id,
                                    std::string_view payload) {
+  std::lock_guard lock(mu_);
+  return AppendLocked(type, txn_id, payload);
+}
+
+util::Result<uint64_t> Wal::AppendLocked(WalRecordType type, uint64_t txn_id,
+                                         std::string_view payload) {
   if (!is_open()) return util::Status::InvalidArgument("WAL not open");
-  uint64_t lsn = SizeBytes();
+  uint64_t lsn = SizeBytesLocked();
   std::string body;
   body.reserve(kRecordPrefixSize + payload.size());
   body.push_back(static_cast<char>(type));
@@ -71,6 +80,11 @@ util::Result<uint64_t> Wal::Append(WalRecordType type, uint64_t txn_id,
 }
 
 util::Status Wal::Sync() {
+  std::lock_guard lock(mu_);
+  return SyncLocked();
+}
+
+util::Status Wal::SyncLocked() {
   if (!is_open()) return util::Status::InvalidArgument("WAL not open");
   HM_RETURN_IF_ERROR(FlushBuffer());
   if (::fdatasync(fd_) != 0) {
@@ -109,8 +123,24 @@ util::Status Wal::ReadAll(std::string* contents) const {
   return util::Status::Ok();
 }
 
+uint64_t Wal::SizeBytes() const {
+  std::lock_guard lock(mu_);
+  return SizeBytesLocked();
+}
+
+uint64_t Wal::records_appended() const {
+  std::lock_guard lock(mu_);
+  return records_appended_;
+}
+
+uint64_t Wal::syncs() const {
+  std::lock_guard lock(mu_);
+  return syncs_;
+}
+
 util::Status Wal::Recover(
     const std::function<util::Status(uint64_t, std::string_view)>& redo) {
+  std::lock_guard lock(mu_);
   if (!is_open()) return util::Status::InvalidArgument("WAL not open");
   HM_RETURN_IF_ERROR(FlushBuffer());
   std::string log;
@@ -160,6 +190,7 @@ util::Status Wal::Recover(
 }
 
 util::Status Wal::Checkpoint() {
+  std::lock_guard lock(mu_);
   if (!is_open()) return util::Status::InvalidArgument("WAL not open");
   HM_RETURN_IF_ERROR(FlushBuffer());
   // Truncate, then write a fresh checkpoint record as the new head.
@@ -172,9 +203,9 @@ util::Status Wal::Checkpoint() {
   }
   file_size_ = 0;
   HM_ASSIGN_OR_RETURN(uint64_t lsn,
-                      Append(WalRecordType::kCheckpoint, 0, ""));
+                      AppendLocked(WalRecordType::kCheckpoint, 0, ""));
   (void)lsn;
-  return Sync();
+  return SyncLocked();
 }
 
 }  // namespace hm::storage

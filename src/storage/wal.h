@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/lock_rank.h"
 #include "util/status.h"
 
 namespace hm::storage {
@@ -58,15 +59,27 @@ class Wal {
   util::Status Checkpoint();
 
   /// Current log size in bytes (including unflushed buffer).
-  uint64_t SizeBytes() const { return file_size_ + buffer_.size(); }
+  uint64_t SizeBytes() const;
 
-  uint64_t records_appended() const { return records_appended_; }
-  uint64_t syncs() const { return syncs_; }
+  uint64_t records_appended() const;
+  uint64_t syncs() const;
 
  private:
+  // Lock-free internals for the public methods above; callers hold
+  // mu_. Checkpoint() and Close() compose appends and syncs, so the
+  // split keeps them from re-acquiring their own rank.
+  util::Result<uint64_t> AppendLocked(WalRecordType type, uint64_t txn_id,
+                                      std::string_view payload);
+  util::Status SyncLocked();
+  uint64_t SizeBytesLocked() const { return file_size_ + buffer_.size(); }
   util::Status FlushBuffer();
   /// Reads the whole log file into `*contents`.
   util::Status ReadAll(std::string* contents) const;
+
+  /// Guards fd_/buffer_/file_size_ and the counters. Ranked between
+  /// the server dispatch lock (above) and the buffer pool / telemetry
+  /// registry (below).
+  mutable util::RankedMutex<util::LockRank::kWal> mu_;
 
   int fd_ = -1;
   std::string path_;

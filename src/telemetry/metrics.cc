@@ -221,11 +221,11 @@ T* Registry::Intern(
     std::map<std::string, std::unique_ptr<T>, std::less<>>* map,
     std::string_view name) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::shared_lock lock(mu_);
     auto it = map->find(name);
     if (it != map->end()) return it->second.get();
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   auto [it, _] = map->try_emplace(std::string(name), std::make_unique<T>());
   return it->second.get();
 }
@@ -243,7 +243,7 @@ Histogram* Registry::GetHistogram(std::string_view name) {
 }
 
 Snapshot Registry::TakeSnapshot() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock lock(mu_);
   Snapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters[name] = counter->value();

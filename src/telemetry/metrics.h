@@ -11,6 +11,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/lock_rank.h"
 #include "util/status.h"
 
 namespace hm::telemetry {
@@ -175,7 +176,9 @@ class Registry {
   T* Intern(std::map<std::string, std::unique_ptr<T>, std::less<>>* map,
             std::string_view name);
 
-  mutable std::shared_mutex mu_;
+  // Rank-checked (lowest rank: interning happens under any other
+  // subsystem lock — dispatch, WAL, buffer pool — never above them).
+  mutable util::RankedSharedMutex<util::LockRank::kTelemetryRegistry> mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

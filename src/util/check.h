@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 /// Always-on invariant check: prints the failed condition with its
 /// source location and aborts. Used for programmer errors (violated
@@ -28,5 +29,47 @@
       std::abort();                                                  \
     }                                                                \
   } while (0)
+
+namespace hm::util::check_internal {
+
+/// Formats and reports a failed comparison with both operand values
+/// ("HM_CHECK failed: a == b (3 vs 5) at f.cc:10"), then aborts.
+/// Out-of-line per instantiation keeps the macro body small; operands
+/// only need operator<<.
+template <typename A, typename B>
+[[noreturn]] inline void CheckOpFailed(const char* expr_a,
+                                       const char* expr_b, const char* op,
+                                       const A& a, const B& b,
+                                       const char* file, int line) {
+  std::ostringstream os;
+  os << "HM_CHECK failed: " << expr_a << ' ' << op << ' ' << expr_b
+     << " (" << a << " vs " << b << ") at " << file << ':' << line;
+  std::fprintf(stderr, "%s\n", os.str().c_str());
+  std::abort();
+}
+
+}  // namespace hm::util::check_internal
+
+/// Comparison checks that print both operand values on failure (the
+/// GTest EXPECT_EQ idiom): `HM_CHECK_EQ(frame.pin_count, 0)` reports
+/// "frame.pin_count == 0 (3 vs 0)" instead of just the expression.
+/// Operands are evaluated exactly once.
+#define HM_CHECK_OP(op, a, b)                                            \
+  do {                                                                   \
+    auto&& hm_check_lhs_ = (a);                                          \
+    auto&& hm_check_rhs_ = (b);                                          \
+    if (!(hm_check_lhs_ op hm_check_rhs_)) {                             \
+      ::hm::util::check_internal::CheckOpFailed(                         \
+          #a, #b, #op, hm_check_lhs_, hm_check_rhs_, __FILE__,           \
+          __LINE__);                                                     \
+    }                                                                    \
+  } while (0)
+
+#define HM_CHECK_EQ(a, b) HM_CHECK_OP(==, a, b)
+#define HM_CHECK_NE(a, b) HM_CHECK_OP(!=, a, b)
+#define HM_CHECK_LT(a, b) HM_CHECK_OP(<, a, b)
+#define HM_CHECK_LE(a, b) HM_CHECK_OP(<=, a, b)
+#define HM_CHECK_GT(a, b) HM_CHECK_OP(>, a, b)
+#define HM_CHECK_GE(a, b) HM_CHECK_OP(>=, a, b)
 
 #endif  // HM_UTIL_CHECK_H_

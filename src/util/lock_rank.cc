@@ -1,0 +1,94 @@
+#include "util/lock_rank.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hm::util {
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kTelemetryRegistry:
+      return "telemetry_registry";
+    case LockRank::kBufferPool:
+      return "buffer_pool";
+    case LockRank::kWal:
+      return "wal";
+    case LockRank::kServerDispatch:
+      return "server_dispatch";
+    case LockRank::kListener:
+      return "listener";
+  }
+  return "?";
+}
+
+#ifdef HM_LOCK_RANK_CHECKS
+
+namespace lock_rank_internal {
+
+namespace {
+
+/// Per-thread stack of held ranks. Fixed capacity, no allocation: the
+/// deepest legal chain is one lock per rank (5), and a thread that
+/// nests deeper than 16 ranked locks has already violated the strict
+/// descent rule many times over.
+constexpr int kMaxHeld = 16;
+
+struct HeldStack {
+  LockRank ranks[kMaxHeld];
+  int depth = 0;
+};
+
+thread_local HeldStack tl_held;
+
+[[noreturn]] void RankViolation(const char* what, LockRank rank) {
+  std::fprintf(stderr,
+               "lock-rank violation: %s rank %d (%s) while holding [",
+               what, static_cast<int>(rank), LockRankName(rank));
+  for (int i = 0; i < tl_held.depth; ++i) {
+    std::fprintf(stderr, "%s%d (%s)", i == 0 ? "" : ", ",
+                 static_cast<int>(tl_held.ranks[i]),
+                 LockRankName(tl_held.ranks[i]));
+  }
+  std::fprintf(stderr,
+               "]; acquisitions must strictly descend "
+               "(listener > server_dispatch > wal > buffer_pool > "
+               "telemetry_registry)\n");
+  std::abort();
+}
+
+}  // namespace
+
+void PushRank(LockRank rank) {
+  for (int i = 0; i < tl_held.depth; ++i) {
+    if (tl_held.ranks[i] <= rank) {
+      RankViolation("acquiring", rank);
+    }
+  }
+  if (tl_held.depth >= kMaxHeld) {
+    RankViolation("overflowing the held-rank stack acquiring", rank);
+  }
+  tl_held.ranks[tl_held.depth++] = rank;
+}
+
+void PopRank(LockRank rank) {
+  // Release is LIFO in practice (guards), but scan from the top so an
+  // out-of-order explicit unlock is still accounted correctly.
+  for (int i = tl_held.depth - 1; i >= 0; --i) {
+    if (tl_held.ranks[i] == rank) {
+      for (int j = i; j + 1 < tl_held.depth; ++j) {
+        tl_held.ranks[j] = tl_held.ranks[j + 1];
+      }
+      --tl_held.depth;
+      return;
+    }
+  }
+  RankViolation("releasing un-held", rank);
+}
+
+int HeldDepth() { return tl_held.depth; }
+
+}  // namespace lock_rank_internal
+
+#endif  // HM_LOCK_RANK_CHECKS
+
+}  // namespace hm::util

@@ -1,0 +1,163 @@
+#ifndef HM_UTIL_LOCK_RANK_H_
+#define HM_UTIL_LOCK_RANK_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+/// Debug lock-rank deadlock detector.
+///
+/// The process holds a handful of long-lived mutexes (telemetry
+/// registry, buffer pool, WAL, server dispatch, listener bookkeeping)
+/// and the only thing standing between them and an ABBA deadlock is
+/// convention. `RankedMutex`/`RankedSharedMutex` turn the convention
+/// into a machine-checked rule: every mutex carries a static rank, a
+/// thread may only acquire a mutex whose rank is *strictly below*
+/// every rank it already holds, and a violation aborts immediately
+/// with a diagnostic naming the held ranks — deterministically, on the
+/// first wrong nesting, instead of whenever two threads happen to race
+/// the inverted orders.
+///
+/// The rank table mirrors the call graph, leaf-most lowest: server
+/// dispatch calls into the WAL, which sits above the buffer pool,
+/// which may intern telemetry metrics. Acquisitions therefore descend:
+///
+///   kListener(4) > kServerDispatch(3) > kWal(2) > kBufferPool(1)
+///                > kTelemetryRegistry(0)
+///
+/// Checking is compiled in when HM_LOCK_RANK_CHECKS is defined (the
+/// default for every build type except Release — see the top-level
+/// CMakeLists). Without it the wrappers are empty derivations of
+/// `std::mutex`/`std::shared_mutex`: no extra state, no extra code,
+/// zero cost.
+namespace hm::util {
+
+/// Static acquisition ranks, leaf-most lowest. A thread holding rank R
+/// may only acquire ranks strictly below R; acquiring the same rank
+/// twice (self-deadlock, or two same-level instances in unspecified
+/// order) is also a violation.
+enum class LockRank : int {
+  kTelemetryRegistry = 0,  // telemetry::Registry interning
+  kBufferPool = 1,         // storage::BufferPool frame table
+  kWal = 2,                // storage::Wal append buffer
+  kServerDispatch = 3,     // server backend shared_mutex
+  kListener = 4,           // server accept queue / fd set / stop latch
+};
+
+/// Stable lower-snake-case rank name for diagnostics.
+const char* LockRankName(LockRank rank);
+
+#ifdef HM_LOCK_RANK_CHECKS
+
+namespace lock_rank_internal {
+
+/// Records `rank` on the calling thread's held stack; aborts with a
+/// diagnostic (held ranks, attempted rank, site) if any held rank is
+/// <= `rank`.
+void PushRank(LockRank rank);
+
+/// Removes the most recent occurrence of `rank`; aborts if the thread
+/// does not hold it (unlock without lock).
+void PopRank(LockRank rank);
+
+/// Number of ranks the calling thread currently holds (test hook).
+int HeldDepth();
+
+}  // namespace lock_rank_internal
+
+/// `std::mutex` with rank checking on every acquisition. Satisfies
+/// Lockable, so `std::lock_guard`, `std::unique_lock` and
+/// `std::condition_variable_any` all work unchanged.
+template <LockRank Rank>
+class RankedMutex {
+ public:
+  RankedMutex() = default;
+  RankedMutex(const RankedMutex&) = delete;
+  RankedMutex& operator=(const RankedMutex&) = delete;
+
+  void lock() {
+    lock_rank_internal::PushRank(Rank);
+    mu_.lock();
+  }
+
+  bool try_lock() {
+    // A failed try_lock blocks nobody, so only a successful
+    // acquisition joins the held stack — but the attempt itself must
+    // still be rank-legal, or the success path deadlocks.
+    lock_rank_internal::PushRank(Rank);
+    if (mu_.try_lock()) return true;
+    lock_rank_internal::PopRank(Rank);
+    return false;
+  }
+
+  void unlock() {
+    mu_.unlock();
+    lock_rank_internal::PopRank(Rank);
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// `std::shared_mutex` with rank checking on both the exclusive and
+/// the shared side: a reader participates in deadlock cycles exactly
+/// like a writer, so both acquisitions must descend.
+template <LockRank Rank>
+class RankedSharedMutex {
+ public:
+  RankedSharedMutex() = default;
+  RankedSharedMutex(const RankedSharedMutex&) = delete;
+  RankedSharedMutex& operator=(const RankedSharedMutex&) = delete;
+
+  void lock() {
+    lock_rank_internal::PushRank(Rank);
+    mu_.lock();
+  }
+
+  bool try_lock() {
+    lock_rank_internal::PushRank(Rank);
+    if (mu_.try_lock()) return true;
+    lock_rank_internal::PopRank(Rank);
+    return false;
+  }
+
+  void unlock() {
+    mu_.unlock();
+    lock_rank_internal::PopRank(Rank);
+  }
+
+  void lock_shared() {
+    lock_rank_internal::PushRank(Rank);
+    mu_.lock_shared();
+  }
+
+  bool try_lock_shared() {
+    lock_rank_internal::PushRank(Rank);
+    if (mu_.try_lock_shared()) return true;
+    lock_rank_internal::PopRank(Rank);
+    return false;
+  }
+
+  void unlock_shared() {
+    mu_.unlock_shared();
+    lock_rank_internal::PopRank(Rank);
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+#else  // !HM_LOCK_RANK_CHECKS
+
+/// Release builds: the wrappers *are* the standard mutexes (empty
+/// public derivations — no data, no overrides, no overhead).
+template <LockRank Rank>
+class RankedMutex : public std::mutex {};
+
+template <LockRank Rank>
+class RankedSharedMutex : public std::shared_mutex {};
+
+#endif  // HM_LOCK_RANK_CHECKS
+
+}  // namespace hm::util
+
+#endif  // HM_UTIL_LOCK_RANK_H_

@@ -357,6 +357,12 @@ TEST_F(OccTest, OverlappingUpdatesConflict) {
   EXPECT_TRUE(occ.CommitWorkspace(user1).ok());
   util::Status second = occ.CommitWorkspace(user2);
   EXPECT_TRUE(second.IsConflict()) << second.ToString();
+  // The message names the stale node. Regression for an ASAN finding:
+  // it used to be built from a reference into the just-erased
+  // workspace's read_versions map (use-after-free).
+  EXPECT_NE(second.ToString().find(std::to_string(nodes_[0])),
+            std::string::npos)
+      << second.ToString();
   EXPECT_EQ(occ.conflicts(), 1u);
   EXPECT_EQ(*store_.GetText(nodes_[0]), "user1 edit");  // first wins
 }

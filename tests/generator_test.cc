@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/fsck.h"
 #include "hypermodel/backends/mem_store.h"
 #include "hypermodel/generator.h"
 
@@ -263,6 +264,28 @@ TEST(GeneratorTest, CreationTimingIsPopulated) {
   EXPECT_EQ(timing.rel_mn, 155u);     // 31 internal x 5
   EXPECT_EQ(timing.rel_mnatt, 156u);  // one per node
   EXPECT_GT(timing.total_ms(), 0.0);
+}
+
+// Every generated database must pass the structural verifier: fsck
+// re-derives the §4/§5.2 invariants from the config alone, so this is
+// the end-to-end cross-check that generator and checker agree on them.
+TEST(GeneratorTest, FsckVerifiesGeneratedDatabase) {
+  for (int levels : {2, 3}) {
+    backends::MemStore store;
+    GeneratorConfig config;
+    config.levels = levels;
+    BuildMem(&store, config);
+    analysis::FsckOptions options;
+    options.config = config;
+    auto report = analysis::RunFsck(&store, options);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->ok()) << [&] {
+      std::ostringstream os;
+      report->PrintTo(os);
+      return os.str();
+    }();
+    EXPECT_EQ(report->nodes_checked, Generator::ExpectedNodeCount(config));
+  }
 }
 
 TEST(GeneratorTest, RejectsDegenerateConfig) {

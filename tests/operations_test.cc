@@ -10,6 +10,7 @@
 #include <numeric>
 #include <set>
 
+#include "analysis/fsck.h"
 #include "hypermodel/backends/mem_store.h"
 #include "hypermodel/backends/net_store.h"
 #include "hypermodel/backends/oodb_store.h"
@@ -285,6 +286,36 @@ TEST_F(OpsFixture, FormNodeEditClampsRectangle) {
           .ok());
   util::Bitmap after = *store_.GetForm(node);
   EXPECT_EQ(after.PopCount(), before.PopCount() + 25 * 25);
+}
+
+// The editing operations (/*16*/, /*17*/) and the attribute-writing
+// closure (/*12*/) must leave a structurally valid database: fsck
+// after a full round of edits. One Closure1NAttSet application moves
+// `hundred` out of [1,100] by design, so that pass runs with the
+// attr-range gate off; after the self-inverse second application the
+// strict check passes again.
+TEST_F(OpsFixture, FsckCleanAfterEditingOps) {
+  ASSERT_TRUE(
+      ops::TextNodeEdit(&store_, db_.text_nodes[0], "version1", "version-2")
+          .ok());
+  ASSERT_TRUE(ops::FormNodeEdit(&store_, db_.form_nodes[0], 10, 10, 30, 40)
+                  .ok());
+  ASSERT_TRUE(ops::Closure1NAttSet(&store_, db_.root).ok());
+
+  analysis::FsckOptions options;
+  options.config.levels = 3;  // matches the fixture's generator config
+  options.check_attr_ranges = false;
+  auto report = analysis::RunFsck(&store_, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->violations[0].ToString();
+
+  // hundred := 99 - hundred is self-inverse; a second application
+  // restores the §5.2 intervals and full fsck passes.
+  ASSERT_TRUE(ops::Closure1NAttSet(&store_, db_.root).ok());
+  options.check_attr_ranges = true;
+  report = analysis::RunFsck(&store_, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->violations[0].ToString();
 }
 
 // ---------- Cross-backend equivalence ----------

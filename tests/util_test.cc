@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "util/bitmap.h"
+#include "util/check.h"
 #include "util/coding.h"
 #include "util/crc32.h"
 #include "util/random.h"
@@ -228,6 +229,57 @@ TEST(CodingTest, DecoderSkip) {
   EXPECT_FALSE(dec.Skip(3));
 }
 
+// Shift-edge regression: the 10-byte encoding of UINT64_MAX ends with
+// a 63-bit shift, and the one-past values must fail as overlong, not
+// wrap. Run under -DHM_SANITIZE=undefined this pins the decode loop's
+// shift arithmetic.
+TEST(CodingTest, Varint64EncodingBoundaries) {
+  const uint64_t edges[] = {0,       127,        128,
+                            16383,   16384,      (1ULL << 63) - 1,
+                            1ULL << 63, UINT64_MAX};
+  for (uint64_t value : edges) {
+    std::string buf;
+    PutVarint64(&buf, value);
+    Decoder dec(buf);
+    uint64_t decoded = 0;
+    ASSERT_TRUE(dec.GetVarint64(&decoded)) << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_TRUE(dec.Empty());
+  }
+  std::string max_buf;
+  PutVarint64(&max_buf, UINT64_MAX);
+  EXPECT_EQ(max_buf.size(), 10u);
+}
+
+TEST(CodingTest, Varint64RejectsOverlongAndTruncated) {
+  // Ten continuation bytes: more than 64 bits of payload.
+  std::string overlong(10, static_cast<char>(0x80));
+  uint64_t v = 0;
+  EXPECT_FALSE(Decoder(overlong).GetVarint64(&v));
+  // Continuation bit set but the buffer ends.
+  std::string truncated(3, static_cast<char>(0x80));
+  EXPECT_FALSE(Decoder(truncated).GetVarint64(&v));
+}
+
+// Zig-zag must round-trip the extremes: INT64_MIN exercises the
+// signed->unsigned cast and the arithmetic shift by 63.
+TEST(CodingTest, VarSigned64ExtremesRoundTrip) {
+  const int64_t edges[] = {0, -1, 1, INT64_MIN, INT64_MAX,
+                           INT64_MIN + 1, -1000000};
+  for (int64_t value : edges) {
+    std::string buf;
+    PutVarSigned64(&buf, value);
+    Decoder dec(buf);
+    int64_t decoded = 0;
+    ASSERT_TRUE(dec.GetVarSigned64(&decoded)) << value;
+    EXPECT_EQ(decoded, value);
+  }
+  // Small magnitudes stay small on the wire — the point of zig-zag.
+  std::string buf;
+  PutVarSigned64(&buf, -5);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
 // ---------- CRC32 ----------
 
 TEST(Crc32Test, KnownVector) {
@@ -427,6 +479,46 @@ TEST(StatsTest, EmptyIsZero) {
   EXPECT_EQ(acc.Mean(), 0.0);
   EXPECT_EQ(acc.Percentile(0.5), 0.0);
   EXPECT_EQ(acc.StdDev(), 0.0);
+}
+
+// ---------- HM_CHECK ----------
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  HM_CHECK(1 + 1 == 2);
+  HM_CHECK_EQ(2 + 2, 4);
+  HM_CHECK_NE(std::string("a"), std::string("b"));
+  HM_CHECK_LT(1, 2);
+  HM_CHECK_GE(2u, 2u);
+}
+
+TEST(CheckTest, OperandsAreEvaluatedOnce) {
+  int calls = 0;
+  auto next = [&calls] { return ++calls; };
+  HM_CHECK_LE(next(), 10);
+  EXPECT_EQ(calls, 1);
+}
+
+// The comparison macros report both operand values, GTest-style —
+// "(3 vs 5)" — not just the failed expression text.
+TEST(CheckDeathTest, ComparisonFailurePrintsOperands) {
+  int lhs = 3;
+  int rhs = 5;
+  EXPECT_DEATH(HM_CHECK_EQ(lhs, rhs),
+               "HM_CHECK failed: lhs == rhs \\(3 vs 5\\) at");
+  EXPECT_DEATH(HM_CHECK_GT(lhs, rhs),
+               "HM_CHECK failed: lhs > rhs \\(3 vs 5\\) at");
+}
+
+TEST(CheckDeathTest, StreamableOperandsPrintValues) {
+  std::string got = "actual";
+  EXPECT_DEATH(HM_CHECK_EQ(got, std::string("expected")),
+               "\\(actual vs expected\\)");
+}
+
+TEST(CheckDeathTest, PlainCheckPrintsExpression) {
+  EXPECT_DEATH(HM_CHECK(1 == 2), "HM_CHECK failed: 1 == 2 at");
+  EXPECT_DEATH(HM_CHECK_MSG(false, "context %d", 7),
+               "HM_CHECK failed: false at .*: context 7");
 }
 
 TEST(TimerTest, MeasuresElapsed) {

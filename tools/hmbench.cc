@@ -31,6 +31,17 @@
 //                           fetches the server's telemetry registry
 //                           (wire opcode kStats) and pretty-prints it
 //
+//   hmbench fsck [options]
+//     --backend=mem         backend to verify (mem,oodb,rel,net,remote)
+//     --level=4             leaf level of the generated database
+//     --cache-pages=2048    backend cache size
+//     --dir=PATH            scratch directory (default /tmp/hmfsck)
+//     --remote=HOST:PORT    server for the remote backend
+//     Generates a fresh §5.2 database into the backend, then walks it
+//     through the public store API checking every schema invariant
+//     (src/analysis/fsck.h). Exits 0 on a clean report, 2 on
+//     violations.
+//
 //   hmbench serve [options]
 //     --backend=mem         backend to serve (mem,oodb,rel,net)
 //     --host=127.0.0.1      bind address
@@ -58,6 +69,7 @@
 #include <sstream>
 #include <thread>
 
+#include "analysis/fsck.h"
 #include "hypermodel/backends/mem_store.h"
 #include "hypermodel/backends/net_store.h"
 #include "hypermodel/backends/oodb_store.h"
@@ -91,6 +103,11 @@ struct Args {
   std::cout <<
       "hmbench — the HyperModel benchmark (Berre/Anderson/Mallison, "
       "TR CS/E-88-031)\n\n"
+      "usage: hmbench [options]           run the benchmark\n"
+      "       hmbench serve [options]     expose a backend over TCP\n"
+      "       hmbench stats [options]     print a live server's telemetry\n"
+      "       hmbench fsck [options]      verify a generated database\n"
+      "\n"
       "  --levels=4,5,6      leaf levels to run (paper sizes: 4, 5, 6)\n"
       "  --backends=...      subset of mem,oodb,rel,net,remote\n"
       "  --ops=01,05A,10     operation numbers (default: all 20)\n"
@@ -120,7 +137,15 @@ struct Args {
       "  --workers=N         worker-pool size (default 4)\n"
       "  --queue=N           pending-connection bound (default 64)\n"
       "  --cache-pages=N     backend cache size\n"
-      "  --dir=PATH          backend directory (default /tmp/hmserve)\n";
+      "  --dir=PATH          backend directory (default /tmp/hmserve)\n"
+      "\n"
+      "hmbench fsck — generate a database, verify every §5.2 invariant\n\n"
+      "  --backend=NAME      backend to verify: mem,oodb,rel,net,remote\n"
+      "  --level=N           leaf level of the generated tree (default 4)\n"
+      "  --cache-pages=N     backend cache size\n"
+      "  --dir=PATH          scratch directory (default /tmp/hmfsck)\n"
+      "  --remote=HOST:PORT  server for the remote backend (default:\n"
+      "                      in-process loopback over a mem backend)\n";
   std::exit(code);
 }
 
@@ -448,6 +473,62 @@ int StatsMain(int argc, char** argv) {
   return 0;
 }
 
+// --- `hmbench fsck`: build a database, verify every invariant --------
+
+int FsckMain(int argc, char** argv) {
+  std::string backend = "mem";
+  int level = 4;
+  Args shim;  // carries cache/remote settings into OpenBackend
+  shim.dir = "/tmp/hmfsck";
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg == "--help" || arg == "-h") {
+      Usage(0);
+    } else if (arg.starts_with("--backend=")) {
+      backend = value("--backend=");
+    } else if (arg.starts_with("--level=")) {
+      level = std::atoi(value("--level=").c_str());
+    } else if (arg.starts_with("--cache-pages=")) {
+      shim.cache_pages =
+          static_cast<size_t>(std::atoll(value("--cache-pages=").c_str()));
+    } else if (arg.starts_with("--dir=")) {
+      shim.dir = value("--dir=");
+    } else if (arg.starts_with("--remote=")) {
+      shim.remote = value("--remote=");
+    } else {
+      std::cerr << "unknown fsck argument '" << arg << "'\n";
+      Usage(1);
+    }
+  }
+  if (level < 1) {
+    std::cerr << "hmbench fsck: --level must be >= 1\n";
+    Usage(1);
+  }
+
+  std::filesystem::remove_all(shim.dir);
+  std::filesystem::create_directories(shim.dir);
+  std::unique_ptr<hm::HyperStore> store =
+      OpenBackend(shim, backend, shim.dir + "/" + backend);
+
+  hm::GeneratorConfig config;
+  config.levels = level;
+  hm::Generator generator(config);
+  auto db = generator.Build(store.get(), nullptr);
+  CheckOk(db.status());
+
+  hm::analysis::FsckOptions options;
+  options.config = config;
+  auto report = hm::analysis::RunFsck(store.get(), options);
+  CheckOk(report.status());
+  std::cout << "hmbench fsck: backend " << backend << ", level " << level
+            << " (" << db->node_count() << " nodes)\n";
+  report->PrintTo(std::cout);
+  return report->ok() ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -456,6 +537,15 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
     return StatsMain(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "fsck") == 0) {
+    return FsckMain(argc, argv);
+  }
+  if (argc > 1 && argv[1][0] != '-') {
+    // A bare word that is not a known subcommand is a typo'd
+    // subcommand, not a benchmark flag.
+    std::cerr << "unknown subcommand '" << argv[1] << "'\n";
+    Usage(1);
   }
   Args args = Parse(argc, argv);
   std::filesystem::remove_all(args.dir);
