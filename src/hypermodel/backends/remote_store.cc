@@ -3,17 +3,22 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "util/coding.h"
+#include "util/failpoint.h"
 
 namespace hm::backends {
 
@@ -31,6 +36,23 @@ void PutNode(std::string* dst, NodeRef node) {
 /// Nodes per fused-multi request: keeps any one frame far below the
 /// 16 MB ceiling and under the server's kMaxBatchEntries.
 constexpr size_t kMultiChunk = 8192;
+
+/// Opcodes safe to re-issue after a transport failure whose progress
+/// is unknown (the request may or may not have executed). Read-only
+/// opcodes trivially qualify; kReset is epoch-idempotent and
+/// kCloseReopen only drops caches, so running either twice is
+/// indistinguishable from once. Everything else mutates, and a
+/// duplicated mutation is corruption — those surface kUnavailable.
+bool RetrySafeOp(server::OpCode op) {
+  switch (op) {
+    case server::OpCode::kPing:
+    case server::OpCode::kReset:
+    case server::OpCode::kCloseReopen:
+      return true;
+    default:
+      return server::IsReadOnlyOp(op);
+  }
+}
 
 /// Decodes one varint-counted ref list from `decoder`, appending.
 util::Status GetRefList(util::Decoder* decoder, std::vector<NodeRef>* out) {
@@ -135,43 +157,153 @@ util::Result<RemoteOptions> ParseRemoteAddr(const std::string& addr) {
 
 util::Result<std::unique_ptr<RemoteStore>> RemoteStore::Connect(
     const RemoteOptions& options) {
+  std::unique_ptr<RemoteStore> store(new RemoteStore());
+  store->options_ = options;
+  store->mode_ = options.mode;
+  HM_RETURN_IF_ERROR(store->ConnectSocket());
+  HM_RETURN_IF_ERROR(store->Hello());
+  return store;
+}
+
+util::Status RemoteStore::ConnectSocket() {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(options.port);
-  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
     return util::Status::InvalidArgument("remote: bad address: " +
-                                         options.host);
+                                         options_.host);
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
-    util::Status status = Errno("connect " + options.host + ":" +
-                                std::to_string(options.port));
+    util::Status status = Errno("connect " + options_.host + ":" +
+                                std::to_string(options_.port));
     ::close(fd);
     return status;
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options_.deadline_ms > 0) {
+    // Receives are bounded by poll() in ReadResponse; bound sends the
+    // cheap way so a peer that stops draining its socket cannot park
+    // us in send() forever either.
+    timeval tv{};
+    tv.tv_sec = options_.deadline_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((options_.deadline_ms % 1000) *
+                                          1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  rx_.clear();
+  fd_ = fd;
+  return util::Status::Ok();
+}
 
-  std::unique_ptr<RemoteStore> store(new RemoteStore());
-  store->fd_ = fd;
-  store->mode_ = options.mode;
-  HM_RETURN_IF_ERROR(store->Hello());
-  return store;
+util::Status RemoteStore::Reconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+  HM_RETURN_IF_ERROR(ConnectSocket());
+  static telemetry::Counter* reconnects =
+      telemetry::Registry::Global().GetCounter("remote.reconnects");
+  reconnects->Add();
+  // Re-handshake: negotiates the version again and re-adopts the
+  // server's current reset epoch, so a reset that happened while we
+  // were away surfaces as fresh state, not phantom Conflicts.
+  return Hello();
+}
+
+util::Status RemoteStore::EnsureConnected() {
+  if (fd_ >= 0 || in_recovery_) return util::Status::Ok();
+  if (options_.max_retries <= 0) {
+    return util::Status::IoError("remote: connection is closed");
+  }
+  // The previous call's failure already surfaced to the caller, so
+  // nothing of unknown fate is outstanding — reconnecting here is safe
+  // for any opcode, mutations included.
+  in_recovery_ = true;
+  util::Status last;
+  for (int attempt = 1; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 1) Backoff(attempt - 1);
+    last = Reconnect();
+    if (last.ok()) {
+      in_recovery_ = false;
+      return last;
+    }
+    if (fd_ >= 0) {  // connected but the handshake failed: not usable
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  in_recovery_ = false;
+  return util::Status::Unavailable(
+      "remote: reconnect failed after " +
+      std::to_string(options_.max_retries) + " attempts: " +
+      last.message());
+}
+
+void RemoteStore::Backoff(int attempt) {
+  if (options_.backoff_base_ms <= 0) return;
+  const int64_t cap = std::max(1, options_.backoff_cap_ms);
+  const int shift = std::min(attempt - 1, 20);
+  const int64_t ceiling =
+      std::min<int64_t>(cap, static_cast<int64_t>(options_.backoff_base_ms)
+                                 << shift);
+  // Full jitter (sleep uniform[0, ceiling]) decorrelates clients that
+  // all lost the same server at the same moment.
+  const int64_t ms = static_cast<int64_t>(
+      backoff_rng_.NextBounded(static_cast<uint64_t>(ceiling) + 1));
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+util::Status RemoteStore::RetryTransport(
+    const char* what, util::Status first,
+    const std::function<util::Status()>& once) {
+  static telemetry::Counter* retries =
+      telemetry::Registry::Global().GetCounter("remote.retries");
+  in_recovery_ = true;
+  util::Status last = std::move(first);
+  for (int attempt = 1; attempt <= options_.max_retries; ++attempt) {
+    Backoff(attempt);
+    util::Status reconnected = Reconnect();
+    if (!reconnected.ok()) {
+      if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+      }
+      last = std::move(reconnected);
+      continue;
+    }
+    retries->Add();
+    last = once();
+    if (last.ok() || fd_ >= 0) {
+      // The server answered — success or a genuine op-level error;
+      // either way recovery is over.
+      in_recovery_ = false;
+      return last;
+    }
+  }
+  in_recovery_ = false;
+  return util::Status::Unavailable(
+      "remote: " + std::string(what) + " still failing after " +
+      std::to_string(options_.max_retries) + " reconnect attempts: " +
+      last.message());
 }
 
 util::Result<std::unique_ptr<RemoteStore>> RemoteStore::Loopback(
     std::unique_ptr<HyperStore> backend,
-    server::ServerOptions server_options, RemoteMode mode) {
+    server::ServerOptions server_options, RemoteMode mode,
+    RemoteOptions client_options) {
   server_options.host = "127.0.0.1";
   server_options.port = 0;  // ephemeral: never collides with a real one
   auto srv = server::Server::Start(server_options, std::move(backend));
   HM_RETURN_IF_ERROR(srv.status());
 
-  RemoteOptions options;
+  RemoteOptions options = client_options;  // deadline/retry/backoff knobs
   options.host = (*srv)->host();
   options.port = (*srv)->port();
   options.mode = mode;
@@ -190,6 +322,12 @@ RemoteStore::~RemoteStore() {
 util::Status RemoteStore::SendPayload(std::string_view payload) {
   if (fd_ < 0) {
     return util::Status::IoError("remote: connection is closed");
+  }
+  if (HM_FAILPOINT_FIRED("remote/send/error")) {
+    ::close(fd_);
+    fd_ = -1;
+    return util::Status::IoError(
+        "remote: injected failure at failpoint remote/send/error");
   }
   std::string frame;
   server::AppendFrame(&frame, payload);
@@ -211,6 +349,10 @@ util::Status RemoteStore::ReadResponse(util::Status* op_status,
     fd_ = -1;
     return status;
   };
+  const bool bounded = options_.deadline_ms > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(bounded ? options_.deadline_ms : 0);
   char chunk[64 * 1024];
   for (;;) {
     std::string_view response;
@@ -231,6 +373,41 @@ util::Status RemoteStore::ReadResponse(util::Status* op_status,
       return poison(util::Status::Corruption(
           "remote: bad response frame (" +
           std::string(server::FrameResultName(decoded)) + ")"));
+    }
+    if (HM_FAILPOINT_FIRED("remote/recv/error")) {
+      return poison(util::Status::IoError(
+          "remote: injected failure at failpoint remote/recv/error"));
+    }
+    if (bounded) {
+      // The deadline covers the whole call, not each recv: poll for at
+      // most the time remaining, so a server trickling partial frames
+      // cannot stretch one call indefinitely. This is the fix for the
+      // half-open-socket hang — a dead server now costs deadline_ms,
+      // not forever.
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      int ready = 0;
+      if (remaining > 0) {
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+        if (ready < 0) {
+          if (errno == EINTR) continue;
+          return poison(Errno("poll"));
+        }
+      }
+      if (ready == 0) {
+        static telemetry::Counter* deadline_exceeded =
+            telemetry::Registry::Global().GetCounter(
+                "remote.deadline_exceeded");
+        deadline_exceeded->Add();
+        return poison(util::Status::DeadlineExceeded(
+            "remote: no response within " +
+            std::to_string(options_.deadline_ms) + " ms"));
+      }
     }
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n == 0) {
@@ -280,8 +457,9 @@ void RemoteStore::DegradePushdown() {
   }
 }
 
-util::Status RemoteStore::Call(server::OpCode op, std::string_view body,
-                               std::string* result) {
+util::Status RemoteStore::CallOnce(server::OpCode op,
+                                   std::string_view body,
+                                   std::string* result) {
   RoundTrips()->Add();
   std::string payload;
   payload.reserve(1 + body.size());
@@ -293,7 +471,53 @@ util::Status RemoteStore::Call(server::OpCode op, std::string_view body,
   return op_status;
 }
 
+util::Status RemoteStore::Call(server::OpCode op, std::string_view body,
+                               std::string* result) {
+  HM_RETURN_IF_ERROR(EnsureConnected());
+  util::Status status = CallOnce(op, body, result);
+  // fd_ still open means the server answered (an op-level error is the
+  // caller's business, not a transport fault); fd_ poisoned means the
+  // call's fate is unknown and recovery policy kicks in.
+  if (status.ok() || fd_ >= 0 || in_recovery_ ||
+      options_.max_retries <= 0) {
+    return status;
+  }
+  if (!RetrySafeOp(op)) {
+    return util::Status::Unavailable(
+        "remote: " + std::string(server::OpCodeName(op)) +
+        " failed in transit and is not safe to re-send: " +
+        status.message());
+  }
+  return RetryTransport(server::OpCodeName(op).data(), std::move(status),
+                        [&] { return CallOnce(op, body, result); });
+}
+
 util::Status RemoteStore::CallMany(
+    std::span<const std::string> payloads,
+    std::vector<std::pair<util::Status, std::string>>* out) {
+  HM_RETURN_IF_ERROR(EnsureConnected());
+  util::Status status = CallManyOnce(payloads, out);
+  if (status.ok() || fd_ >= 0 || in_recovery_ ||
+      options_.max_retries <= 0) {
+    return status;
+  }
+  for (const std::string& payload : payloads) {
+    if (payload.empty() ||
+        !RetrySafeOp(static_cast<server::OpCode>(payload[0]))) {
+      return util::Status::Unavailable(
+          "remote: pipelined request failed in transit and contains "
+          "ops that are not safe to re-send: " +
+          status.message());
+    }
+  }
+  // Rerunning the whole pipeline is safe (all retry-safe) and simpler
+  // than tracking which responses already arrived: CallManyOnce
+  // restarts `out` from scratch.
+  return RetryTransport("pipelined request", std::move(status),
+                        [&] { return CallManyOnce(payloads, out); });
+}
+
+util::Status RemoteStore::CallManyOnce(
     std::span<const std::string> payloads,
     std::vector<std::pair<util::Status, std::string>>* out) {
   out->clear();
@@ -396,6 +620,12 @@ util::Status RemoteStore::Hello() {
 
 util::Status RemoteStore::ResetServer() {
   return Call(server::OpCode::kReset, {}, nullptr);
+}
+
+util::Status RemoteStore::Ping() {
+  // Like ServerStats: sent regardless of the negotiated version; a
+  // pre-v4 server answers NotSupported and the caller sees it as-is.
+  return Call(server::OpCode::kPing, {}, nullptr);
 }
 
 util::Status RemoteStore::ServerStats(telemetry::Snapshot* out) {

@@ -1,6 +1,7 @@
 #ifndef HM_HYPERMODEL_BACKENDS_REMOTE_STORE_H_
 #define HM_HYPERMODEL_BACKENDS_REMOTE_STORE_H_
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -12,6 +13,7 @@
 #include "server/server.h"
 #include "server/wire.h"
 #include "telemetry/metrics.h"
+#include "util/random.h"
 
 namespace hm::backends {
 
@@ -42,6 +44,22 @@ struct RemoteOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 7433;
   RemoteMode mode = RemoteMode::kPushdown;
+
+  // --- Fault tolerance (DESIGN.md §11) -------------------------------
+  /// Per-call deadline: the longest any one call may block waiting for
+  /// the server (covers every recv of the call, and bounds send via
+  /// SO_SNDTIMEO). A miss surfaces kDeadlineExceeded and poisons the
+  /// connection. 0 waits forever (the pre-v4 behavior).
+  int64_t deadline_ms = 5000;
+  /// Reconnect/retry budget after a transport failure. Read-only (and
+  /// otherwise idempotent) opcodes are re-issued after reconnecting;
+  /// mutations whose fate is unknown are never re-sent — they surface
+  /// a typed kUnavailable instead. 0 disables reconnection entirely.
+  int max_retries = 3;
+  /// Capped exponential backoff between reconnect attempts, with full
+  /// jitter: attempt k sleeps uniform[0, min(cap, base << k)] ms.
+  int backoff_base_ms = 5;
+  int backoff_cap_ms = 200;
 };
 
 /// Parses "host:port" (or just "port") into RemoteOptions.
@@ -85,7 +103,8 @@ class RemoteStore : public HyperStore, public TraversalCapable {
   static util::Result<std::unique_ptr<RemoteStore>> Loopback(
       std::unique_ptr<HyperStore> backend,
       server::ServerOptions server_options = {},
-      RemoteMode mode = RemoteMode::kPushdown);
+      RemoteMode mode = RemoteMode::kPushdown,
+      RemoteOptions client_options = {});
 
   ~RemoteStore() override;
 
@@ -113,6 +132,11 @@ class RemoteStore : public HyperStore, public TraversalCapable {
   /// that lose their database to another session's Reset get a clean
   /// kConflict, never stale refs.
   util::Status ResetServer();
+
+  /// Liveness probe (wire opcode kPing, v4): one empty round trip
+  /// through the full frame/dispatch path without touching the data.
+  /// A pre-v4 server answers NotSupported, surfaced verbatim.
+  util::Status Ping();
 
   /// Fetches the server's telemetry registry (wire opcode kStats, v3).
   /// Surfaces the server's NotSupported verbatim when talking to a
@@ -186,26 +210,59 @@ class RemoteStore : public HyperStore, public TraversalCapable {
  private:
   RemoteStore() = default;
 
+  /// Opens and configures the socket to options_.host:port (TCP_NODELAY,
+  /// SO_SNDTIMEO from the deadline), storing it in fd_.
+  util::Status ConnectSocket();
+  /// Drops any poisoned socket, reconnects and re-runs the Hello
+  /// handshake (which also re-adopts the server's reset epoch). Counts
+  /// `remote.reconnects`.
+  util::Status Reconnect();
+  /// When the connection is poisoned and no call is in flight (the
+  /// previous failure already surfaced to the caller), reconnects
+  /// within the retry budget — safe for any opcode, since nothing of
+  /// unknown fate is outstanding.
+  util::Status EnsureConnected();
+  /// Capped-exponential-backoff sleep with full jitter, attempt >= 1.
+  void Backoff(int attempt);
+  /// Shared reconnect-and-rerun loop behind Call/CallMany: `once`
+  /// re-executes the (retry-safe) operation against a fresh
+  /// connection. Exhausting the budget surfaces kUnavailable.
+  util::Status RetryTransport(const char* what, util::Status first,
+                              const std::function<util::Status()>& once);
+
   /// Frames `payload` and sends it. Any transport failure poisons the
-  /// connection: the socket is closed and every later call fails with
-  /// IoError.
+  /// connection: the socket is closed, making the failure recoverable
+  /// (EnsureConnected / the retry loop) instead of sticky.
   util::Status SendPayload(std::string_view payload);
-  /// Blocks for one response frame; `*op_status` receives the server's
+  /// Blocks for one response frame — at most options_.deadline_ms
+  /// (poll before every recv); a miss poisons the connection and
+  /// returns kDeadlineExceeded. `*op_status` receives the server's
   /// status, `*result` (may be null) the response body.
   util::Status ReadResponse(util::Status* op_status, std::string* result);
   /// Sends one request (opcode + body) and blocks for its response.
   /// Returns the server's status for the op; on OK, `*result` receives
-  /// the response body.
+  /// the response body. Transport failures of retry-safe opcodes are
+  /// retried via RetryTransport; a mutation of unknown fate surfaces
+  /// kUnavailable without ever being re-sent.
   util::Status Call(server::OpCode op, std::string_view body,
                     std::string* result);
+  /// One attempt of Call, no recovery.
+  util::Status CallOnce(server::OpCode op, std::string_view body,
+                        std::string* result);
 
   /// The request pipeline: executes every payload (opcode + body) in
   /// order and returns each (status, body) pair positionally. Against
   /// a v2 server the chunk travels as one kBatch frame; against a v1
   /// server the frames are pipelined — written in one syscall, then
-  /// the responses drained in order. Transport errors abort the lot.
+  /// the responses drained in order. A transport failure reruns the
+  /// whole pipeline (when every payload is retry-safe) or surfaces
+  /// kUnavailable.
   util::Status CallMany(std::span<const std::string> payloads,
                         std::vector<std::pair<util::Status, std::string>>* out);
+  /// One attempt of CallMany, no recovery.
+  util::Status CallManyOnce(
+      std::span<const std::string> payloads,
+      std::vector<std::pair<util::Status, std::string>>* out);
 
   /// Handshake after connect: negotiates the wire version, learns the
   /// server's backend tag, and downgrades v2 features when talking to
@@ -270,8 +327,16 @@ class RemoteStore : public HyperStore, public TraversalCapable {
   // reverse order, and ~RemoteStore closes fd_ first anyway.
   std::unique_ptr<server::Server> owned_server_;
 
+  RemoteOptions options_;
   int fd_ = -1;
   std::string rx_;  // bytes received but not yet framed
+  /// True while RetryTransport/EnsureConnected is reconnecting; stops
+  /// the Hello inside Reconnect() from recursing into its own retry.
+  bool in_recovery_ = false;
+  /// Backoff jitter. Fixed seed: the jitter decorrelates concurrent
+  /// clients via their differing attempt timings, and deterministic
+  /// sleeps keep test runs reproducible.
+  util::Rng backoff_rng_{0xFA117001};
   std::string server_backend_;
   RemoteMode mode_ = RemoteMode::kPushdown;
   uint8_t negotiated_version_ = server::kWireVersion;

@@ -79,18 +79,38 @@ util::Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(
   if (store->data_file_.page_count() == 0) {
     HM_RETURN_IF_ERROR(store->InitFresh());
   } else {
-    HM_RETURN_IF_ERROR(store->LoadMeta());
-    HM_RETURN_IF_ERROR(store->Recover());
+    util::Status meta = store->LoadMeta();
+    if (!meta.ok() && store->wal_.SizeBytes() == 0) {
+      // Creation is made durable by InitFresh's checkpoint, whose WAL
+      // checkpoint record is written last (after the data-file sync).
+      // An unreadable meta page alongside an empty WAL therefore means
+      // a crash interrupted the very first checkpoint: the store never
+      // existed durably, so re-initialize instead of refusing forever.
+      // An established store can never hit this branch — its meta page
+      // is synced before its WAL is ever truncated.
+      HM_RETURN_IF_ERROR(store->InitFresh());
+    } else {
+      HM_RETURN_IF_ERROR(meta);
+      HM_RETURN_IF_ERROR(store->Recover());
+    }
   }
   store->open_ = true;
   return store;
 }
 
 util::Status ObjectStore::InitFresh() {
-  HM_ASSIGN_OR_RETURN(PageGuard meta, pool_->New(PageType::kMeta));
-  HM_CHECK(meta.id() == 0);
-  meta.MarkDirty();
-  meta.Release();
+  if (data_file_.page_count() == 0) {
+    HM_ASSIGN_OR_RETURN(PageGuard meta, pool_->New(PageType::kMeta));
+    HM_CHECK(meta.id() == 0);
+    meta.MarkDirty();
+    meta.Release();
+  } else {
+    // Re-initializing after a crash mid-creation: page 0 exists in the
+    // file (zeroed — its write never happened) but holds no meta yet.
+    HM_ASSIGN_OR_RETURN(PageGuard meta, pool_->Fetch(0));
+    meta.MarkDirty();
+    meta.Release();
+  }
   next_oid_ = 1;
   // Establish a durable baseline immediately: a crash right after
   // creation must find a valid (empty) meta page to replay onto.
@@ -149,9 +169,12 @@ util::Status ObjectStore::LoadMeta() {
 
 util::Status ObjectStore::Recover() {
   // Redo-only recovery: replay every update of a committed transaction
-  // over the checkpointed page image. Records are idempotent (create
-  // skips existing oids, update overwrites, delete skips missing), so
-  // replay over any intermediate page state converges. Changes of
+  // over the checkpointed page image. Replay is self-healing (see
+  // ApplyLogical's `recovering` mode): a crash mid-checkpoint persists
+  // an arbitrary subset of dirty pages, so the directory and the data
+  // pages it points into may be from different moments — each record's
+  // target location is verified and the record relocated when the page
+  // image is older than the directory entry. Changes of
   // uncommitted transactions never reach the data file between
   // checkpoints except through buffer-pool steals, a window we accept
   // in this reproduction (commits sync the full WAL buffer).
@@ -166,7 +189,7 @@ util::Status ObjectStore::Recover() {
         return util::Status::Ok();
       }));
   for (const Pending& rec : all) {
-    HM_RETURN_IF_ERROR(ApplyLogical(rec.payload));
+    HM_RETURN_IF_ERROR(ApplyLogical(rec.payload, /*recovering=*/true));
   }
   recovered_records_ = all.size();
   // A full checkpoint makes the replayed state the new baseline.
@@ -462,7 +485,8 @@ util::Status ObjectStore::Remove(const DirEntry& entry) {
   return util::Status::Ok();
 }
 
-util::Status ObjectStore::ApplyLogical(std::string_view payload) {
+util::Status ObjectStore::ApplyLogical(std::string_view payload,
+                                       bool recovering) {
   util::Decoder dec(payload);
   if (dec.Remaining() < 1) {
     return util::Status::Corruption("empty logical record");
@@ -480,7 +504,15 @@ util::Status ObjectStore::ApplyLogical(std::string_view payload) {
 
   switch (op) {
     case kOpCreate: {
-      if (Exists(oid)) return util::Status::Ok();  // idempotent replay
+      if (Exists(oid)) {
+        next_oid_ = std::max(next_oid_, oid + 1);
+        // Replay idempotency normally trusts the directory, but after
+        // a crash the entry may point into a data page whose flushed
+        // image predates it. Only skip when the record is actually
+        // readable there; otherwise rewrite it at a fresh location
+        // (later update records in the log fix up the contents).
+        if (!recovering || Read(oid).ok()) return util::Status::Ok();
+      }
       HM_ASSIGN_OR_RETURN(DirEntry entry, Place(after, near));
       HM_RETURN_IF_ERROR(DirSet(oid, entry));
       next_oid_ = std::max(next_oid_, oid + 1);
@@ -492,23 +524,34 @@ util::Status ObjectStore::ApplyLogical(std::string_view payload) {
       DirEntry entry = *entry_or;
       if (entry.flags == kDirSlotted &&
           after.size() <= kOverflowThreshold) {
-        HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(entry.page));
-        util::Status s = SlottedPage::Update(guard.page(), entry.slot, after);
-        if (s.ok()) {
-          guard.MarkDirty();
-          return util::Status::Ok();
+        auto guard_or = pool_->Fetch(entry.page);
+        if (!guard_or.ok() && !recovering) return guard_or.status();
+        if (guard_or.ok()) {
+          util::Status s =
+              SlottedPage::Update(guard_or->page(), entry.slot, after);
+          if (s.ok()) {
+            guard_or->MarkDirty();
+            return util::Status::Ok();
+          }
+          // kOutOfRange: the record no longer fits in place. During
+          // recovery a stale page image can also make the slot itself
+          // vanish (kNotFound); both relocate below.
+          if (s.code() != util::StatusCode::kOutOfRange &&
+              !(recovering && s.code() == util::StatusCode::kNotFound)) {
+            return s;
+          }
         }
-        if (s.code() != util::StatusCode::kOutOfRange) return s;
-        // Fall through: relocate.
       }
-      HM_RETURN_IF_ERROR(Remove(entry));
+      util::Status removed = Remove(entry);
+      if (!removed.ok() && !recovering) return removed;
       HM_ASSIGN_OR_RETURN(DirEntry fresh, Place(after, oid));
       return DirSet(oid, fresh);
     }
     case kOpDelete: {
       auto entry_or = DirGet(oid);
       if (!entry_or.ok()) return util::Status::Ok();  // idempotent replay
-      HM_RETURN_IF_ERROR(Remove(*entry_or));
+      util::Status removed = Remove(*entry_or);
+      if (!removed.ok() && !recovering) return removed;
       return DirSet(oid, DirEntry{});
     }
     default:

@@ -212,8 +212,14 @@ class ObjectStore {
   util::Status Remove(const DirEntry& entry);
 
   /// Applies one logical WAL record (create/update/delete) — shared by
-  /// the forward path and recovery redo.
-  util::Status ApplyLogical(std::string_view payload);
+  /// the forward path and recovery redo. With `recovering` set the
+  /// apply is self-healing: a crash mid-checkpoint can persist a
+  /// directory page ahead of the data page it points into, so replay
+  /// verifies each target location and relocates the record when the
+  /// page image is older than the directory entry. The forward path
+  /// stays strict — there a dangling entry is a bug, not a crash scar.
+  util::Status ApplyLogical(std::string_view payload,
+                            bool recovering = false);
 
   /// Logs then applies a logical mutation.
   util::Status LogAndApply(Transaction* txn, std::string_view payload);

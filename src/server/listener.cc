@@ -12,6 +12,9 @@
 #include <memory>
 
 #include "server/server.h"
+#include "server/wire.h"
+#include "telemetry/metrics.h"
+#include "util/failpoint.h"
 
 namespace hm::server {
 
@@ -26,14 +29,33 @@ void Server::ListenLoop() {
       // Stop() shut the listening socket down, or it failed terminally.
       break;
     }
+    if (HM_FAILPOINT_FIRED("server/accept/error")) {
+      // Simulated accept-path failure (fd exhaustion, RST before
+      // handoff): the connection vanishes without ever being served.
+      ::close(fd);
+      continue;
+    }
     // The protocol is strict request/response with small frames;
     // Nagle's algorithm would add 40ms stalls to every benchmark op.
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
     accepted_.fetch_add(1);
-    if (!queue_.Push(std::make_unique<Session>(fd))) {
-      rejected_.fetch_add(1);  // Push dropped (and closed) the session
+    auto session = std::make_unique<Session>(fd);
+    if (!queue_.Push(session)) {
+      rejected_.fetch_add(1);
+      shed_.fetch_add(1);
+      static telemetry::Counter* shed_counter =
+          telemetry::Registry::Global().GetCounter("server.shed_requests");
+      shed_counter->Add();
+      // Refuse politely: a best-effort kOverloaded frame turns the
+      // client's pending read into a typed error instead of a bare
+      // ECONNRESET. The Session destructor then closes the socket.
+      std::string payload, frame;
+      PutStatus(&payload, util::Status::Overloaded(
+                              "server overloaded: session queue is full"));
+      AppendFrame(&frame, payload);
+      (void)WriteAll(session->fd, frame);
     }
   }
 }

@@ -8,12 +8,15 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "hypermodel/traversal.h"
 #include "telemetry/metrics.h"
 #include "util/bitmap.h"
 #include "util/coding.h"
+#include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace hm::server {
@@ -86,7 +89,7 @@ Server::Session::~Session() {
   if (fd >= 0) ::close(fd);
 }
 
-bool Server::SessionQueue::Push(std::unique_ptr<Session> session) {
+bool Server::SessionQueue::Push(std::unique_ptr<Session>& session) {
   std::lock_guard lock(mu_);
   if (closed_ || sessions_.size() >= capacity_) return false;
   sessions_.push_back(std::move(session));
@@ -177,10 +180,28 @@ void Server::Stop() {
 
   queue_.Close();
   {
-    // Kick in-flight connections out of recv(). See TrackFd() for why
-    // this cannot hit a recycled descriptor.
+    // Drain phase: half-close the read side of every in-flight
+    // connection. The worker's next recv() returns 0 (no further
+    // requests) but the write side stays open, so responses to
+    // requests already received are still delivered. See TrackFd()
+    // for why this cannot hit a recycled descriptor.
     std::lock_guard lock(fds_mu_);
-    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.drain_ms);
+  for (;;) {
+    {
+      std::lock_guard lock(fds_mu_);
+      if (active_fds_.empty()) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        // Grace period exhausted: sever both directions so workers
+        // blocked writing to unresponsive peers unblock too.
+        for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
@@ -205,6 +226,37 @@ void Server::Dispatch(Session* session, std::string_view request,
     return;
   }
   const auto op = static_cast<OpCode>(request[0]);
+
+  // Load shedding: beyond the in-flight ceiling, answer kOverloaded
+  // immediately instead of queueing behind backend_mu_ — a loaded
+  // server stays responsive (with refusals) rather than building an
+  // unbounded convoy of waiters.
+  struct InflightSlot {
+    std::atomic<int>* count = nullptr;
+    ~InflightSlot() {
+      if (count != nullptr) count->fetch_sub(1, std::memory_order_acq_rel);
+    }
+  } slot;
+  if (options_.max_inflight > 0) {
+    if (inflight_.fetch_add(1, std::memory_order_acq_rel) >=
+        options_.max_inflight) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      shed_.fetch_add(1);
+      static telemetry::Counter* shed_counter =
+          telemetry::Registry::Global().GetCounter("server.shed_requests");
+      shed_counter->Add();
+      PutStatus(response,
+                util::Status::Overloaded(
+                    "server overloaded: in-flight ceiling of " +
+                    std::to_string(options_.max_inflight) + " reached"));
+      return;
+    }
+    slot.count = &inflight_;
+  }
+  // Artificial dispatch latency for deadline/drain tests; inside the
+  // in-flight slot so a delayed request occupies capacity like a
+  // genuinely slow one.
+  HM_FAILPOINT_HIT("server/dispatch/delay");
 
   // Batch contents are decoded before taking the lock so an all-read
   // batch can still ride the shared side.
@@ -781,6 +833,22 @@ void Server::DispatchOneImpl(Session* session, std::string_view request,
       telemetry::Snapshot snapshot =
           telemetry::Registry::Global().TakeSnapshot();
       reply(util::Status::Ok(), [&] { snapshot.SerializeTo(response); });
+      return;
+    }
+
+    case OpCode::kPing: {
+      if (options_.max_wire_version < 4) {
+        reply_status(util::Status::NotSupported(
+            "unknown opcode " + std::to_string(request[0])));
+        return;
+      }
+      if (!body.Empty()) {
+        bad_request();
+        return;
+      }
+      // Liveness probe: proves the whole request/response path (frame,
+      // dispatch, lock) without touching the backend's data.
+      reply_status(util::Status::Ok());
       return;
     }
   }

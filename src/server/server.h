@@ -48,6 +48,15 @@ struct ServerOptions {
   /// cap it to impersonate older servers (e.g. a v2 server that has
   /// never heard of kStats) against current clients.
   uint8_t max_wire_version = kWireVersion;
+  /// Ceiling on requests executing (or waiting on backend_mu_)
+  /// concurrently; beyond it Dispatch sheds the request with a typed
+  /// kOverloaded response instead of queueing it behind the lock.
+  /// 0 disables shedding (the worker pool still bounds concurrency).
+  int max_inflight = 0;
+  /// Stop() grace period: how long to wait for in-flight requests to
+  /// finish (their responses are still written) before severing the
+  /// remaining connections. 0 reverts to immediate hard shutdown.
+  int drain_ms = 2000;
 };
 
 /// A TCP server exposing one HyperStore backend over the binary wire
@@ -72,9 +81,12 @@ struct ServerOptions {
 /// an already-clean database is an idempotent no-op, so concurrent
 /// benchmark clients that each Reset-on-open don't bounce each other.
 ///
-/// Stop() (also run by the destructor) is a clean shutdown: it stops
-/// accepting, discards queued-but-unserved connections, shuts down
-/// in-flight sockets so workers unblock, and joins every thread.
+/// Stop() (also run by the destructor) is a clean shutdown with a
+/// drain phase: it stops accepting, discards queued-but-unserved
+/// connections, half-closes in-flight sockets (SHUT_RD) so workers
+/// take no further requests but still write the responses already in
+/// flight, waits up to ServerOptions::drain_ms for those to finish,
+/// then severs whatever remains and joins every thread.
 class Server {
  public:
   /// Binds, listens and starts the listener + worker threads. Takes
@@ -102,6 +114,9 @@ class Server {
   uint64_t connections_accepted() const { return accepted_.load(); }
   /// Connections closed at accept time because the queue was full.
   uint64_t connections_rejected() const { return rejected_.load(); }
+  /// Requests answered kOverloaded (max_inflight ceiling) plus
+  /// connections refused with an kOverloaded frame at the door.
+  uint64_t requests_shed() const { return shed_.load(); }
   /// Dispatches that ran under the shared (reader) side of the lock.
   uint64_t shared_reads_served() const { return shared_reads_.load(); }
 
@@ -126,8 +141,10 @@ class Server {
   class SessionQueue {
    public:
     explicit SessionQueue(size_t capacity) : capacity_(capacity) {}
-    /// False (dropping `session`) when full or closed.
-    bool Push(std::unique_ptr<Session> session);
+    /// Takes ownership and returns true on success; when full or
+    /// closed, returns false leaving `session` with the caller (the
+    /// listener still owns the socket and can refuse it politely).
+    bool Push(std::unique_ptr<Session>& session);
     /// Blocks; returns null once closed and drained.
     std::unique_ptr<Session> Pop();
     /// Wakes all poppers and discards any queued sessions.
@@ -212,6 +229,10 @@ class Server {
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> shared_reads_{0};
+  /// Requests currently inside Dispatch (only maintained when
+  /// max_inflight > 0).
+  std::atomic<int> inflight_{0};
+  std::atomic<uint64_t> shed_{0};
 };
 
 /// Writes all of `data` to `fd`, retrying on short writes and EINTR.

@@ -67,6 +67,7 @@ bool IsReadOnlyOp(OpCode op) {
     case OpCode::kClosure1NPred:
     case OpCode::kClosureMNAttLinkSum:
     case OpCode::kStats:
+    case OpCode::kPing:
       return true;
     default:
       return false;
@@ -115,6 +116,7 @@ std::string_view OpCodeName(OpCode op) {
     case OpCode::kClosure1NPred: return "closure_1n_pred";
     case OpCode::kClosureMNAttLinkSum: return "closure_mn_att_link_sum";
     case OpCode::kStats: return "stats";
+    case OpCode::kPing: return "ping";
   }
   return "unknown";
 }
@@ -166,6 +168,12 @@ util::Status StatusFromCode(util::StatusCode code, std::string msg) {
       return util::Status::NotSupported(std::move(msg));
     case util::StatusCode::kInternal:
       return util::Status::Internal(std::move(msg));
+    case util::StatusCode::kUnavailable:
+      return util::Status::Unavailable(std::move(msg));
+    case util::StatusCode::kDeadlineExceeded:
+      return util::Status::DeadlineExceeded(std::move(msg));
+    case util::StatusCode::kOverloaded:
+      return util::Status::Overloaded(std::move(msg));
   }
   return util::Status::Internal("unknown wire status code: " +
                                 std::move(msg));

@@ -45,7 +45,12 @@ namespace hm::server {
 /// v3 adds kStats (telemetry snapshot). Append-only as always: a v2
 /// server answers the unknown opcode with NotSupported, which v3
 /// clients treat as "no stats", so the handshake never has to fail.
-inline constexpr uint8_t kWireVersion = 3;
+///
+/// v4 adds kPing (the fault-tolerant client's liveness/reconnect
+/// probe) and carries the new kUnavailable / kDeadlineExceeded /
+/// kOverloaded status codes; older peers that cannot name those codes
+/// fold them into kInternal, degrading safely.
+inline constexpr uint8_t kWireVersion = 4;
 
 /// Oldest peer version this build still speaks. A negotiated version
 /// below this fails the handshake.
@@ -115,6 +120,9 @@ enum class OpCode : uint8_t {
 
   // ---- v3: introspection ----
   kStats = 40,  // empty body -> serialized telemetry::Snapshot
+
+  // ---- v4: fault tolerance ----
+  kPing = 41,  // empty body -> empty OK (liveness / reconnect probe)
 };
 
 /// Stable lower-snake-case opcode name ("get_attr", "closure_1n");

@@ -11,6 +11,7 @@
 
 #include "server/server.h"
 #include "telemetry/metrics.h"
+#include "util/failpoint.h"
 
 namespace hm::server {
 
@@ -45,9 +46,18 @@ void Server::ServeSession(Session* session) {
       session->buffer.erase(0, frame_len);
       std::string out;
       AppendFrame(&out, response);
+      if (HM_FAILPOINT_FIRED("server/conn/drop")) {
+        // Drop mid-frame: half a response, then hang up. The client
+        // must detect the truncated frame, not consume it.
+        (void)WriteAll(session->fd,
+                       std::string_view(out).substr(0, out.size() / 2));
+        return;
+      }
+      if (HM_FAILPOINT_FIRED("server/write/error")) return;
       bytes_out->Add(out.size());
       if (!WriteAll(session->fd, out)) return;
     }
+    if (HM_FAILPOINT_FIRED("server/read/error")) return;
     ssize_t n = ::recv(session->fd, chunk, sizeof(chunk), 0);
     if (n <= 0) return;  // peer closed, error, or Stop() shut us down
     bytes_in->Add(static_cast<uint64_t>(n));

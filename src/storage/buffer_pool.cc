@@ -4,6 +4,7 @@
 
 #include "telemetry/metrics.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace hm::storage {
 
@@ -153,6 +154,7 @@ void BufferPool::MarkDirty(size_t frame_index) {
 }
 
 util::Status BufferPool::FlushFrame(Frame* frame) {
+  HM_FAILPOINT("buffer_pool/flush/error");
   HM_RETURN_IF_ERROR(file_->WritePage(frame->id, frame->page.get()));
   frame->dirty = false;
   ++stats_.flushes;

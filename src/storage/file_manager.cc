@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/failpoint.h"
+
 namespace hm::storage {
 
 namespace {
@@ -64,6 +66,7 @@ util::Status FileManager::ReadPage(PageId id, Page* page) {
     return util::Status::OutOfRange("read past end of file, page " +
                                     std::to_string(id));
   }
+  HM_FAILPOINT("file/read/error");
   ssize_t n = ::pread(fd_, page->raw(), kPageSize,
                       static_cast<off_t>(id) * kPageSize);
   if (n != static_cast<ssize_t>(kPageSize)) {
@@ -83,7 +86,17 @@ util::Status FileManager::WritePage(PageId id, Page* page) {
     return util::Status::OutOfRange("write would leave a hole, page " +
                                     std::to_string(id));
   }
+  HM_FAILPOINT("file/write/error");
   page->UpdateChecksum();
+  if (HM_FAILPOINT_FIRED("file/write/short")) {
+    // Short write: half the page lands on disk, so the stored checksum
+    // no longer matches and the next ReadPage must report Corruption.
+    (void)!::pwrite(fd_, page->raw(), kPageSize / 2,
+                    static_cast<off_t>(id) * kPageSize);
+    if (id == page_count_) ++page_count_;
+    return util::Status::IoError(
+        "injected short write at failpoint file/write/short");
+  }
   ssize_t n = ::pwrite(fd_, page->raw(), kPageSize,
                        static_cast<off_t>(id) * kPageSize);
   if (n != static_cast<ssize_t>(kPageSize)) {
@@ -96,6 +109,7 @@ util::Status FileManager::WritePage(PageId id, Page* page) {
 
 util::Status FileManager::Sync() {
   if (!is_open()) return util::Status::InvalidArgument("file not open");
+  HM_FAILPOINT("file/sync/error");
   if (::fdatasync(fd_) != 0) {
     return util::Status::IoError(ErrnoMessage("fdatasync", path_));
   }

@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <mutex>
@@ -12,6 +13,7 @@
 
 #include "telemetry/metrics.h"
 #include "util/coding.h"
+#include "util/failpoint.h"
 #include "util/crc32.h"
 
 namespace hm::storage {
@@ -62,6 +64,7 @@ util::Result<uint64_t> Wal::Append(WalRecordType type, uint64_t txn_id,
 util::Result<uint64_t> Wal::AppendLocked(WalRecordType type, uint64_t txn_id,
                                          std::string_view payload) {
   if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  HM_FAILPOINT("wal/append/error");
   uint64_t lsn = SizeBytesLocked();
   std::string body;
   body.reserve(kRecordPrefixSize + payload.size());
@@ -86,6 +89,7 @@ util::Status Wal::Sync() {
 
 util::Status Wal::SyncLocked() {
   if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  HM_FAILPOINT("wal/sync/error");
   HM_RETURN_IF_ERROR(FlushBuffer());
   if (::fdatasync(fd_) != 0) {
     return util::Status::IoError(ErrnoMessage("fdatasync", path_));
@@ -99,6 +103,24 @@ util::Status Wal::SyncLocked() {
 
 util::Status Wal::FlushBuffer() {
   if (buffer_.empty()) return util::Status::Ok();
+  if (HM_FAILPOINT_FIRED("wal/append/short_write")) {
+    // Torn tail: persist all but the final bytes of the buffered
+    // frames, exactly the state a power cut mid-write() leaves on
+    // disk. Recover() must detect the truncated last record and stop
+    // there without losing anything before it.
+    size_t keep = buffer_.size() - std::min<size_t>(buffer_.size(), 5);
+    size_t torn_off = 0;
+    while (torn_off < keep) {
+      ssize_t n =
+          ::write(fd_, buffer_.data() + torn_off, keep - torn_off);
+      if (n < 0) return util::Status::IoError(ErrnoMessage("write", path_));
+      torn_off += static_cast<size_t>(n);
+    }
+    file_size_ += keep;
+    buffer_.clear();
+    return util::Status::IoError(
+        "injected torn tail at failpoint wal/append/short_write");
+  }
   size_t off = 0;
   while (off < buffer_.size()) {
     ssize_t n = ::write(fd_, buffer_.data() + off, buffer_.size() - off);
@@ -172,6 +194,16 @@ util::Status Wal::Recover(
       checkpoint_index = records.size();
     }
     pos += kFrameHeaderSize + len;
+  }
+
+  if (pos < log.size()) {
+    // Torn or corrupt tail: drop it so subsequent O_APPEND writes land
+    // contiguously after the intact prefix. Without the truncate, new
+    // records would sit beyond the garbage and never replay.
+    if (::ftruncate(fd_, static_cast<off_t>(pos)) != 0) {
+      return util::Status::IoError(ErrnoMessage("ftruncate", path_));
+    }
+    file_size_ = pos;
   }
 
   std::unordered_set<uint64_t> committed;

@@ -49,7 +49,9 @@ class Wal {
   /// Replays the log: first pass collects committed transaction ids,
   /// second pass invokes `redo(txn_id, payload)` for every kUpdate
   /// record of a committed transaction, in log order. Records after
-  /// the last kCheckpoint are the only ones replayed.
+  /// the last kCheckpoint are the only ones replayed. A torn or
+  /// corrupt tail (partial final write, CRC mismatch) is truncated so
+  /// the log is immediately appendable again.
   util::Status Recover(
       const std::function<util::Status(uint64_t txn_id,
                                        std::string_view payload)>& redo);

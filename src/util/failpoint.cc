@@ -1,0 +1,278 @@
+#include "util/failpoint.h"
+
+#ifdef HM_FAILPOINT_SITES
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "telemetry/metrics.h"
+#include "util/lock_rank.h"
+
+namespace hm::util {
+
+namespace {
+
+enum class Action : uint8_t { kError, kCrash, kDelay };
+
+struct SiteState {
+  Action action = Action::kError;
+  uint64_t one_in = 1;    // fire every Nth eligible evaluation
+  uint64_t after = 0;     // evaluations that pass before any can fire
+  uint64_t times = 0;     // max fires; 0 = unlimited
+  uint64_t delay_ms = 0;  // kDelay only
+  uint64_t evaluations = 0;
+  uint64_t fires = 0;
+  telemetry::Counter* fires_counter = nullptr;  // interned at Enable
+};
+
+/// What one evaluation decided, extracted under the lock so the slow
+/// actions (sleep, _exit) run outside it.
+struct Outcome {
+  bool fired = false;
+  Action action = Action::kError;
+  uint64_t delay_ms = 0;
+};
+
+/// Count of enabled sites; the fast path for the (overwhelmingly
+/// common) all-inactive case is this single relaxed load.
+std::atomic<int> g_active{0};
+
+RankedMutex<LockRank::kFailpoint>& Mutex() {
+  static RankedMutex<LockRank::kFailpoint> mu;
+  return mu;
+}
+
+std::map<std::string, SiteState, std::less<>>& Sites() {
+  static std::map<std::string, SiteState, std::less<>> sites;
+  return sites;
+}
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - (c - '0')) / 10) return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+Status ParseSpec(std::string_view name, std::string_view spec,
+                 SiteState* out) {
+  SiteState state;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view clause = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (clause.empty()) {
+      return Status::InvalidArgument("failpoint " + std::string(name) +
+                                     ": empty clause in spec \"" +
+                                     std::string(spec) + "\"");
+    }
+    size_t eq = clause.find('=');
+    std::string_view key = clause.substr(0, eq);
+    if (eq == std::string_view::npos) {
+      if (key == "error") {
+        state.action = Action::kError;
+      } else if (key == "crash") {
+        state.action = Action::kCrash;
+      } else {
+        return Status::InvalidArgument("failpoint " + std::string(name) +
+                                       ": unknown action \"" +
+                                       std::string(key) + "\"");
+      }
+      continue;
+    }
+    uint64_t value = 0;
+    if (!ParseU64(clause.substr(eq + 1), &value)) {
+      return Status::InvalidArgument(
+          "failpoint " + std::string(name) + ": \"" + std::string(clause) +
+          "\" needs an unsigned integer value");
+    }
+    if (key == "delay") {
+      state.action = Action::kDelay;
+      state.delay_ms = value;
+    } else if (key == "1in") {
+      if (value == 0) {
+        return Status::InvalidArgument("failpoint " + std::string(name) +
+                                       ": 1in=0 is meaningless");
+      }
+      state.one_in = value;
+    } else if (key == "after") {
+      state.after = value;
+    } else if (key == "times") {
+      state.times = value;
+    } else {
+      return Status::InvalidArgument("failpoint " + std::string(name) +
+                                     ": unknown clause \"" +
+                                     std::string(clause) + "\"");
+    }
+  }
+  *out = state;
+  return Status::Ok();
+}
+
+/// True on the thread currently running the env loader: the loader
+/// arms its specs through Enable(), which re-enters EnsureEnvLoaded —
+/// without this guard that inner call deadlocks on the once-latch.
+thread_local bool t_loading_env = false;
+
+/// Loads HM_FAILPOINTS exactly once, before the first evaluation or
+/// admin call. A malformed value aborts: silently ignoring a typo'd
+/// injection spec would make a CI fault run vacuously green.
+void EnsureEnvLoaded() {
+  static std::once_flag once;
+  if (t_loading_env) return;
+  std::call_once(once, [] {
+    t_loading_env = true;
+    const char* env = std::getenv("HM_FAILPOINTS");
+    if (env != nullptr && *env != '\0') {
+      Status status = Failpoint::EnableFromSpecList(env);
+      if (!status.ok()) {
+        std::fprintf(stderr, "HM_FAILPOINTS: %s\n",
+                     status.ToString().c_str());
+        std::abort();
+      }
+    }
+    t_loading_env = false;
+  });
+}
+
+/// One evaluation of `name`: bumps counters and decides firing under
+/// the registry lock; the action itself happens in the caller.
+Outcome EvaluateSite(const char* name) {
+  EnsureEnvLoaded();
+  Outcome outcome;
+  if (g_active.load(std::memory_order_relaxed) == 0) return outcome;
+  telemetry::Counter* fires_counter = nullptr;
+  {
+    std::lock_guard<RankedMutex<LockRank::kFailpoint>> lock(Mutex());
+    auto it = Sites().find(std::string_view(name));
+    if (it == Sites().end()) return outcome;
+    SiteState& state = it->second;
+    ++state.evaluations;
+    if (state.evaluations <= state.after) return outcome;
+    const uint64_t eligible = state.evaluations - state.after;
+    if (eligible % state.one_in != 0) return outcome;
+    if (state.times != 0 && state.fires >= state.times) return outcome;
+    ++state.fires;
+    fires_counter = state.fires_counter;
+    outcome.fired = true;
+    outcome.action = state.action;
+    outcome.delay_ms = state.delay_ms;
+  }
+  if (fires_counter != nullptr) fires_counter->Add();
+  if (outcome.action == Action::kCrash) {
+    std::fprintf(stderr, "failpoint %s: crash (exit %d)\n", name,
+                 kFailpointCrashExit);
+    // _exit, not exit: no atexit hooks, no stream flushes — the closest
+    // userspace gets to yanking the power cord.
+    ::_exit(kFailpointCrashExit);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+Status Failpoint::Enable(std::string_view name, std::string_view spec) {
+  EnsureEnvLoaded();
+  if (name.empty()) {
+    return Status::InvalidArgument("failpoint name is empty");
+  }
+  SiteState state;
+  HM_RETURN_IF_ERROR(ParseSpec(name, spec, &state));
+  state.fires_counter = telemetry::Registry::Global().GetCounter(
+      "failpoint.fires." + std::string(name));
+  std::lock_guard<RankedMutex<LockRank::kFailpoint>> lock(Mutex());
+  Sites()[std::string(name)] = state;
+  g_active.store(static_cast<int>(Sites().size()),
+                 std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void Failpoint::Disable(std::string_view name) {
+  EnsureEnvLoaded();
+  std::lock_guard<RankedMutex<LockRank::kFailpoint>> lock(Mutex());
+  auto it = Sites().find(name);
+  if (it == Sites().end()) return;
+  Sites().erase(it);
+  g_active.store(static_cast<int>(Sites().size()),
+                 std::memory_order_relaxed);
+}
+
+void Failpoint::DisableAll() {
+  EnsureEnvLoaded();
+  std::lock_guard<RankedMutex<LockRank::kFailpoint>> lock(Mutex());
+  Sites().clear();
+  g_active.store(0, std::memory_order_relaxed);
+}
+
+uint64_t Failpoint::FireCount(std::string_view name) {
+  EnsureEnvLoaded();
+  std::lock_guard<RankedMutex<LockRank::kFailpoint>> lock(Mutex());
+  auto it = Sites().find(name);
+  return it == Sites().end() ? 0 : it->second.fires;
+}
+
+Status Failpoint::EnableFromSpecList(std::string_view list) {
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t semi = list.find(';', pos);
+    if (semi == std::string_view::npos) semi = list.size();
+    std::string_view entry = list.substr(pos, semi - pos);
+    pos = semi + 1;
+    // Trim surrounding whitespace so shell-quoted lists read naturally.
+    while (!entry.empty() && (entry.front() == ' ' || entry.front() == '\t')) {
+      entry.remove_prefix(1);
+    }
+    while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\t')) {
+      entry.remove_suffix(1);
+    }
+    if (entry.empty()) continue;
+    // First '=' splits name from spec; the spec may itself contain '='
+    // (wal/sync/error=1in=50).
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint list entry \"" +
+                                     std::string(entry) +
+                                     "\" is not name=spec");
+    }
+    HM_RETURN_IF_ERROR(Enable(entry.substr(0, eq), entry.substr(eq + 1)));
+  }
+  return Status::Ok();
+}
+
+Status Failpoint::Evaluate(const char* name) {
+  Outcome outcome = EvaluateSite(name);
+  if (!outcome.fired) return Status::Ok();
+  if (outcome.action == Action::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(outcome.delay_ms));
+    return Status::Ok();
+  }
+  return Status::IoError("injected failure at failpoint " +
+                         std::string(name));
+}
+
+bool Failpoint::Fired(const char* name) {
+  Outcome outcome = EvaluateSite(name);
+  if (!outcome.fired) return false;
+  if (outcome.action == Action::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(outcome.delay_ms));
+  }
+  return true;
+}
+
+}  // namespace hm::util
+
+#endif  // HM_FAILPOINT_SITES

@@ -1,0 +1,162 @@
+#ifndef HM_UTIL_FAILPOINT_H_
+#define HM_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+/// Failpoint fault-injection registry (DESIGN.md §11).
+///
+/// A *failpoint* is a named site compiled into an error path we want
+/// to exercise on demand: a WAL write that comes up short, an fsync
+/// that fails, a server worker that drops the connection mid-frame.
+/// Sites are inert until a test (or the HM_FAILPOINTS environment
+/// variable) activates them by name with a *spec* describing the fault
+/// to inject:
+///
+///   spec    := clause (',' clause)*
+///   clause  := 'error'      -- site reports an injected IoError (default)
+///            | 'crash'      -- process exits immediately with
+///                              kFailpointCrashExit (simulated power cut)
+///            | 'delay=MS'   -- site sleeps MS milliseconds, then proceeds
+///            | '1in=N'      -- fire deterministically every Nth
+///                              eligible evaluation (the Nth, 2Nth, ...)
+///            | 'after=N'    -- first N evaluations pass untouched
+///            | 'times=N'    -- stop firing after N fires (0 = unlimited)
+///
+/// Examples: `error`, `1in=50`, `crash,after=3`, `delay=200,times=1`.
+/// Everything is deterministic — `1in` is a modulus over the site's
+/// evaluation counter, not a coin flip — so torture runs replay
+/// exactly from a seed.
+///
+/// The HM_FAILPOINTS environment variable holds `;`-separated
+/// `name=spec` entries (the *first* `=` splits name from spec, so
+/// `wal/sync/error=1in=50` means site `wal/sync/error`, spec `1in=50`)
+/// and is loaded once, at the first site evaluation.
+///
+/// Site naming convention: `component/operation/fault`, e.g.
+/// `wal/append/short_write`. Every fire bumps the telemetry counter
+/// `failpoint.fires.<name>` (interned when the site is enabled, so the
+/// hot path never allocates).
+///
+/// Sites are compiled in when HM_FAILPOINT_SITES is defined (the
+/// default for every build type except Release — see the top-level
+/// CMakeLists, mirroring HM_LOCK_RANK). Without it the macros expand
+/// to nothing at all — `((void)0)` / `false` — which the static_asserts
+/// at the bottom of this header prove at compile time.
+namespace hm::util {
+
+/// Exit code of the `crash` action. Torture harnesses waitpid() for it
+/// to distinguish an injected crash from a genuine child failure.
+inline constexpr int kFailpointCrashExit = 42;
+
+#ifdef HM_FAILPOINT_SITES
+
+inline constexpr bool kFailpointsCompiled = true;
+
+class Failpoint {
+ public:
+  /// Activates site `name` with `spec` (grammar above). Re-enabling an
+  /// active site replaces its spec and resets its counters. Returns
+  /// InvalidArgument on a malformed spec, leaving the site untouched.
+  static Status Enable(std::string_view name, std::string_view spec);
+
+  /// Deactivates one site / every site. Missing names are a no-op, so
+  /// test teardown can disable unconditionally.
+  static void Disable(std::string_view name);
+  static void DisableAll();
+
+  /// Times site `name` actually fired (not mere evaluations) since it
+  /// was last enabled; 0 when inactive.
+  static uint64_t FireCount(std::string_view name);
+
+  /// Parses one HM_FAILPOINTS-style string (`name=spec;name=spec`) and
+  /// enables every entry. Split out of the lazy getenv path so tests
+  /// can exercise the grammar without mutating the environment.
+  static Status EnableFromSpecList(std::string_view list);
+
+  // Site hooks — call through the macros below, not directly.
+
+  /// Statement sites (HM_FAILPOINT): returns the injected error when
+  /// the site fires with the `error` action, Ok otherwise. `crash`
+  /// exits the process; `delay` sleeps, then returns Ok.
+  static Status Evaluate(const char* name);
+
+  /// Expression sites (HM_FAILPOINT_FIRED): true when the site fires,
+  /// leaving the injected behavior to the caller (torn writes, dropped
+  /// connections). `crash` and `delay` act as in Evaluate().
+  static bool Fired(const char* name);
+};
+
+/// Injects a whole-operation failure: when the named site fires with
+/// the `error` action, returns the injected Status from the enclosing
+/// function (which must return util::Status or util::Result<T>).
+#define HM_FAILPOINT(name)                                               \
+  do {                                                                   \
+    ::hm::util::Status _hm_fp_s = ::hm::util::Failpoint::Evaluate(name); \
+    if (!_hm_fp_s.ok()) return _hm_fp_s;                                 \
+  } while (0)
+
+/// Expression form for sites with bespoke fault behavior: evaluates to
+/// true when the site fires, and the caller decides what breaking
+/// looks like (write half the bytes, close the socket, ...).
+#define HM_FAILPOINT_FIRED(name) (::hm::util::Failpoint::Fired(name))
+
+/// Statement form of HM_FAILPOINT_FIRED for sites whose only useful
+/// actions are `delay` and `crash` (e.g. server/dispatch/delay).
+#define HM_FAILPOINT_HIT(name)                   \
+  do {                                           \
+    (void)::hm::util::Failpoint::Fired(name);    \
+  } while (0)
+
+#else  // !HM_FAILPOINT_SITES
+
+inline constexpr bool kFailpointsCompiled = false;
+
+/// Release builds: the admin surface still links (tools may call it
+/// unconditionally) but nothing can be enabled, and the site macros
+/// below expand to no code whatsoever.
+class Failpoint {
+ public:
+  static Status Enable(std::string_view, std::string_view) {
+    return Status::NotSupported(
+        "failpoints are compiled out of this build (HM_FAILPOINTS=off)");
+  }
+  static void Disable(std::string_view) {}
+  static void DisableAll() {}
+  static uint64_t FireCount(std::string_view) { return 0; }
+  static Status EnableFromSpecList(std::string_view) {
+    return Status::NotSupported(
+        "failpoints are compiled out of this build (HM_FAILPOINTS=off)");
+  }
+};
+
+#define HM_FAILPOINT(name) ((void)0)
+#define HM_FAILPOINT_FIRED(name) (false)
+#define HM_FAILPOINT_HIT(name) ((void)0)
+
+// Compile-time proof of the zero-overhead claim: stringize the macro
+// expansions and check they contain no code. A future edit that sneaks
+// real work into the disabled path fails right here.
+#define HM_FAILPOINT_STR_IMPL(x) #x
+#define HM_FAILPOINT_STR(x) HM_FAILPOINT_STR_IMPL(x)
+static_assert(std::string_view(HM_FAILPOINT_STR(HM_FAILPOINT(x))) ==
+                  "((void)0)",
+              "disabled HM_FAILPOINT must expand to no code");
+static_assert(std::string_view(HM_FAILPOINT_STR(HM_FAILPOINT_FIRED(x))) ==
+                  "(false)",
+              "disabled HM_FAILPOINT_FIRED must expand to a constant");
+static_assert(std::string_view(HM_FAILPOINT_STR(HM_FAILPOINT_HIT(x))) ==
+                  "((void)0)",
+              "disabled HM_FAILPOINT_HIT must expand to no code");
+#undef HM_FAILPOINT_STR
+#undef HM_FAILPOINT_STR_IMPL
+
+#endif  // HM_FAILPOINT_SITES
+
+}  // namespace hm::util
+
+#endif  // HM_UTIL_FAILPOINT_H_

@@ -9,6 +9,8 @@ const char* LockRankName(LockRank rank) {
   switch (rank) {
     case LockRank::kTelemetryRegistry:
       return "telemetry_registry";
+    case LockRank::kFailpoint:
+      return "failpoint";
     case LockRank::kBufferPool:
       return "buffer_pool";
     case LockRank::kWal:
@@ -28,7 +30,7 @@ namespace lock_rank_internal {
 namespace {
 
 /// Per-thread stack of held ranks. Fixed capacity, no allocation: the
-/// deepest legal chain is one lock per rank (5), and a thread that
+/// deepest legal chain is one lock per rank (6), and a thread that
 /// nests deeper than 16 ranked locks has already violated the strict
 /// descent rule many times over.
 constexpr int kMaxHeld = 16;
@@ -52,7 +54,7 @@ thread_local HeldStack tl_held;
   std::fprintf(stderr,
                "]; acquisitions must strictly descend "
                "(listener > server_dispatch > wal > buffer_pool > "
-               "telemetry_registry)\n");
+               "failpoint > telemetry_registry)\n");
   std::abort();
 }
 

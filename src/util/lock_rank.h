@@ -19,10 +19,12 @@
 ///
 /// The rank table mirrors the call graph, leaf-most lowest: server
 /// dispatch calls into the WAL, which sits above the buffer pool,
-/// which may intern telemetry metrics. Acquisitions therefore descend:
+/// which may consult the failpoint registry (fault-injection sites run
+/// under storage locks), which may intern telemetry metrics.
+/// Acquisitions therefore descend:
 ///
-///   kListener(4) > kServerDispatch(3) > kWal(2) > kBufferPool(1)
-///                > kTelemetryRegistry(0)
+///   kListener(5) > kServerDispatch(4) > kWal(3) > kBufferPool(2)
+///                > kFailpoint(1) > kTelemetryRegistry(0)
 ///
 /// Checking is compiled in when HM_LOCK_RANK_CHECKS is defined (the
 /// default for every build type except Release — see the top-level
@@ -37,10 +39,12 @@ namespace hm::util {
 /// order) is also a violation.
 enum class LockRank : int {
   kTelemetryRegistry = 0,  // telemetry::Registry interning
-  kBufferPool = 1,         // storage::BufferPool frame table
-  kWal = 2,                // storage::Wal append buffer
-  kServerDispatch = 3,     // server backend shared_mutex
-  kListener = 4,           // server accept queue / fd set / stop latch
+  kFailpoint = 1,          // util::Failpoint registry (sites fire under
+                           // storage/server locks, and bump telemetry)
+  kBufferPool = 2,         // storage::BufferPool frame table
+  kWal = 3,                // storage::Wal append buffer
+  kServerDispatch = 4,     // server backend shared_mutex
+  kListener = 5,           // server accept queue / fd set / stop latch
 };
 
 /// Stable lower-snake-case rank name for diagnostics.

@@ -22,6 +22,9 @@ enum class StatusCode : uint8_t {
   kPermissionDenied = 8,
   kNotSupported = 9,
   kInternal = 10,
+  kUnavailable = 11,       // transient transport failure; a retry may succeed
+  kDeadlineExceeded = 12,  // per-call deadline elapsed before completion
+  kOverloaded = 13,        // server shed the request under load
 };
 
 /// Human-readable name for a status code ("NotFound", ...).
@@ -66,11 +69,25 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
   bool IsPermissionDenied() const {
     return code_ == StatusCode::kPermissionDenied;
   }

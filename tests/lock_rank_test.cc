@@ -80,15 +80,15 @@ TEST(LockRankDeathTest, AscendingAcquisitionAborts) {
   RankedMutex<LockRank::kWal> wal;
   std::lock_guard held(pool);
   EXPECT_DEATH(wal.lock(),
-               "lock-rank violation: acquiring rank 2 \\(wal\\) while "
-               "holding \\[1 \\(buffer_pool\\)\\]");
+               "lock-rank violation: acquiring rank 3 \\(wal\\) while "
+               "holding \\[2 \\(buffer_pool\\)\\]");
 }
 
 TEST(LockRankDeathTest, SameRankReacquisitionAborts) {
   RankedMutex<LockRank::kWal> a;
   RankedMutex<LockRank::kWal> b;
   std::lock_guard held(a);
-  EXPECT_DEATH(b.lock(), "lock-rank violation.*2 \\(wal\\)");
+  EXPECT_DEATH(b.lock(), "lock-rank violation.*3 \\(wal\\)");
 }
 
 TEST(LockRankDeathTest, SharedSideParticipatesInRanking) {
@@ -98,7 +98,7 @@ TEST(LockRankDeathTest, SharedSideParticipatesInRanking) {
   RankedSharedMutex<LockRank::kServerDispatch> dispatch;
   std::lock_guard held(pool);
   EXPECT_DEATH(dispatch.lock_shared(),
-               "lock-rank violation: acquiring rank 3 \\(server_dispatch\\)");
+               "lock-rank violation: acquiring rank 4 \\(server_dispatch\\)");
 }
 
 TEST(LockRankDeathTest, AscendingTryLockAborts) {
@@ -113,7 +113,7 @@ TEST(LockRankDeathTest, AscendingTryLockAborts) {
 
 TEST(LockRankDeathTest, UnlockWithoutLockAborts) {
   RankedMutex<LockRank::kWal> wal;
-  EXPECT_DEATH(wal.unlock(), "releasing un-held rank 2 \\(wal\\)");
+  EXPECT_DEATH(wal.unlock(), "releasing un-held rank 3 \\(wal\\)");
 }
 
 #else  // !HM_LOCK_RANK_CHECKS

@@ -16,9 +16,12 @@
 #include <thread>
 #include <vector>
 
+#include <chrono>
+
 #include "hypermodel/backends/mem_store.h"
 #include "hypermodel/backends/remote_store.h"
 #include "telemetry/metrics.h"
+#include "util/failpoint.h"
 
 namespace hm {
 namespace {
@@ -451,11 +454,14 @@ TEST(ServerTest, StopUnblocksConnectedIdleClient) {
 
   // Stop while the worker is blocked in recv() on this connection;
   // Stop() must not hang, and the client must see a clean error
-  // rather than a wedged socket.
+  // rather than a wedged socket. Begin is not retry-safe, so the
+  // fault-tolerant client surfaces the dead transport as a typed
+  // kUnavailable instead of blindly re-sending it.
   srv->Stop();
   util::Status status = client->Begin();
   EXPECT_FALSE(status.ok());
-  EXPECT_EQ(status.code(), util::StatusCode::kIoError);
+  EXPECT_EQ(status.code(), util::StatusCode::kUnavailable)
+      << status.ToString();
 }
 
 TEST(ServerTest, GarbageFrameDropsConnectionOnly) {
@@ -572,6 +578,272 @@ TEST(ServerTest, StatsFallsBackPolitelyOnV2Server) {
   ASSERT_TRUE(node.ok()) << node.status().ToString();
   ASSERT_TRUE(client->Commit().ok());
   EXPECT_EQ(*client->LookupUnique(7), *node);
+}
+
+// ---- Fault tolerance: deadlines, retries, shedding, draining ---------
+
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::Failpoint::DisableAll(); }
+
+  /// Tests that depend on an injected fault call this first; in builds
+  /// without failpoint sites they skip instead of timing out.
+  void RequireFailpoints() {
+    if (!util::kFailpointsCompiled) {
+      GTEST_SKIP() << "failpoints compiled out of this build";
+    }
+  }
+
+  static std::unique_ptr<RemoteStore> ConnectWith(
+      const server::Server& srv, backends::RemoteOptions options) {
+    options.host = srv.host();
+    options.port = srv.port();
+    auto store = RemoteStore::Connect(options);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    return store.ok() ? std::move(*store) : nullptr;
+  }
+
+  static int RawConnect(uint16_t port) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
+  }
+
+  static uint64_t Counter(const char* name) {
+    return telemetry::Registry::Global().GetCounter(name)->value();
+  }
+};
+
+// The regression the PR exists for: a server that dies (or wedges)
+// mid-call must produce a typed error within the deadline, never a
+// hang. The "server" here is a bare listening socket whose backlog
+// completes our TCP connect but which never reads or replies.
+TEST_F(FaultToleranceTest, CallAgainstDeadServerTimesOutTyped) {
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+
+  backends::RemoteOptions options;
+  options.host = "127.0.0.1";
+  options.port = ntohs(addr.sin_port);
+  options.deadline_ms = 250;
+  options.max_retries = 0;  // surface the typed status, don't retry
+
+  auto start = std::chrono::steady_clock::now();
+  uint64_t deadline_counter_before = Counter("remote.deadline_exceeded");
+  auto store = RemoteStore::Connect(options);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  ASSERT_FALSE(store.ok());
+  EXPECT_TRUE(store.status().IsDeadlineExceeded())
+      << store.status().ToString();
+  EXPECT_LT(elapsed.count(), 3000) << "deadline did not bound the call";
+  EXPECT_GT(Counter("remote.deadline_exceeded"), deadline_counter_before);
+  ::close(listener);
+}
+
+TEST_F(FaultToleranceTest, SlowDispatchHitsCallDeadline) {
+  RequireFailpoints();
+  if (IsSkipped()) return;
+  auto srv = StartMemServer();
+  ASSERT_NE(srv, nullptr);
+  backends::RemoteOptions options;
+  options.deadline_ms = 250;
+  options.max_retries = 0;
+  auto client = ConnectWith(*srv, options);
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(
+      util::Failpoint::Enable("server/dispatch/delay", "delay=1500,times=1")
+          .ok());
+  auto start = std::chrono::steady_clock::now();
+  util::Status status = client->StorageBytes().status();
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  EXPECT_LT(elapsed.count(), 1300);
+}
+
+TEST_F(FaultToleranceTest, ReadRetriesTransparentlyAfterTransportError) {
+  RequireFailpoints();
+  if (IsSkipped()) return;
+  auto srv = StartMemServer();
+  ASSERT_NE(srv, nullptr);
+  auto client = ConnectTo(*srv);
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->Begin().ok());
+  auto node = client->CreateNode(MakeAttrs(5), kInvalidNode);
+  ASSERT_TRUE(node.ok());
+  ASSERT_TRUE(client->Commit().ok());
+
+  uint64_t retries_before = Counter("remote.retries");
+  uint64_t reconnects_before = Counter("remote.reconnects");
+  ASSERT_TRUE(
+      util::Failpoint::Enable("remote/recv/error", "error,times=1").ok());
+  // The first receive fails and poisons the connection; GetAttr is
+  // read-only, so the client reconnects and re-sends invisibly.
+  auto attr = client->GetAttr(*node, Attr::kUniqueId);
+  ASSERT_TRUE(attr.ok()) << attr.status().ToString();
+  EXPECT_EQ(*attr, 5);
+  EXPECT_GT(Counter("remote.retries"), retries_before);
+  EXPECT_GT(Counter("remote.reconnects"), reconnects_before);
+}
+
+TEST_F(FaultToleranceTest, WriteOpSurfacesUnavailableThenReconnects) {
+  RequireFailpoints();
+  if (IsSkipped()) return;
+  auto srv = StartMemServer();
+  ASSERT_NE(srv, nullptr);
+  auto client = ConnectTo(*srv);
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(
+      util::Failpoint::Enable("remote/send/error", "error,times=1").ok());
+  // Begin is not idempotent, so the transport failure must surface as
+  // a typed kUnavailable instead of a blind re-send.
+  util::Status status = client->Begin();
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+
+  // The next call finds the poisoned connection and re-establishes it.
+  EXPECT_TRUE(client->Begin().ok());
+  auto node = client->CreateNode(MakeAttrs(6), kInvalidNode);
+  ASSERT_TRUE(node.ok());
+  EXPECT_TRUE(client->Commit().ok());
+}
+
+TEST_F(FaultToleranceTest, PingRoundTripsAndOldServerDeclines) {
+  auto srv = StartMemServer();
+  ASSERT_NE(srv, nullptr);
+  auto client = ConnectTo(*srv);
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->Ping().ok());
+
+  server::ServerOptions capped;
+  capped.max_wire_version = 3;
+  auto old_srv = StartMemServer(capped);
+  ASSERT_NE(old_srv, nullptr);
+  auto old_client = ConnectTo(*old_srv);
+  ASSERT_NE(old_client, nullptr);
+  EXPECT_EQ(old_client->wire_version(), 3);
+  util::Status status = old_client->Ping();
+  EXPECT_EQ(status.code(), util::StatusCode::kNotSupported)
+      << status.ToString();
+}
+
+TEST_F(FaultToleranceTest, InflightCeilingShedsExcessRequests) {
+  RequireFailpoints();
+  if (IsSkipped()) return;
+  server::ServerOptions options;
+  options.workers = 2;
+  options.max_inflight = 1;
+  auto srv = StartMemServer(options);
+  ASSERT_NE(srv, nullptr);
+  // Connect both clients before arming the failpoint so their Hello
+  // dispatches are not the ones delayed or shed.
+  auto slow = ConnectTo(*srv);
+  auto shed = ConnectTo(*srv);
+  ASSERT_NE(slow, nullptr);
+  ASSERT_NE(shed, nullptr);
+
+  uint64_t shed_before = Counter("server.shed_requests");
+  ASSERT_TRUE(
+      util::Failpoint::Enable("server/dispatch/delay", "delay=600,times=1")
+          .ok());
+  std::thread holder([&] {
+    // Occupies the single in-flight slot for ~600ms; the request
+    // itself still succeeds.
+    EXPECT_TRUE(slow->StorageBytes().ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  util::Status status = shed->StorageBytes().status();
+  holder.join();
+
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsOverloaded()) << status.ToString();
+  EXPECT_GE(srv->requests_shed(), 1u);
+  EXPECT_GT(Counter("server.shed_requests"), shed_before);
+}
+
+TEST_F(FaultToleranceTest, ListenerQueueFullRepliesOverloaded) {
+  server::ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  auto srv = StartMemServer(options);
+  ASSERT_NE(srv, nullptr);
+
+  // The only worker serves this connection for the rest of the test.
+  auto busy = ConnectTo(*srv);
+  ASSERT_NE(busy, nullptr);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Fills the one queue slot.
+  int queued = RawConnect(srv->port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Over capacity: the listener answers with a framed kOverloaded
+  // before hanging up, instead of a silent close.
+  int refused = RawConnect(srv->port());
+  std::string rx;
+  char buf[256];
+  std::string_view payload;
+  size_t frame_len = 0;
+  for (;;) {
+    server::FrameResult decoded =
+        server::DecodeFrame(rx, &payload, &frame_len);
+    if (decoded == server::FrameResult::kOk) break;
+    ASSERT_EQ(decoded, server::FrameResult::kIncomplete);
+    ssize_t n = ::recv(refused, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "connection closed without an overload response";
+    rx.append(buf, static_cast<size_t>(n));
+  }
+  ASSERT_FALSE(payload.empty());
+  EXPECT_EQ(static_cast<util::StatusCode>(payload[0]),
+            util::StatusCode::kOverloaded);
+  // ...and then the connection is closed.
+  EXPECT_EQ(::recv(refused, buf, sizeof(buf), 0), 0);
+  ::close(refused);
+  ::close(queued);
+}
+
+TEST_F(FaultToleranceTest, StopDrainsInflightRequests) {
+  RequireFailpoints();
+  if (IsSkipped()) return;
+  server::ServerOptions options;
+  options.drain_ms = 2000;
+  auto srv = StartMemServer(options);
+  ASSERT_NE(srv, nullptr);
+  auto client = ConnectTo(*srv);
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(
+      util::Failpoint::Enable("server/dispatch/delay", "delay=400,times=1")
+          .ok());
+  util::Status result = util::Status::Internal("never ran");
+  std::thread in_flight(
+      [&] { result = client->StorageBytes().status(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Stop() while the request sleeps inside dispatch: the drain must
+  // let it finish and its response reach the client.
+  srv->Stop();
+  in_flight.join();
+  EXPECT_TRUE(result.ok()) << result.ToString();
 }
 
 TEST(ServerTest, ManySequentialConnections) {

@@ -226,6 +226,25 @@ TEST(SnapshotTest, PrintersEmitEveryMetricName) {
   EXPECT_EQ(json.str().find("a.b.zero"), std::string::npos);
 }
 
+TEST(GlobalRegistryTest, FaultToleranceCountersRegisterAndSnapshot) {
+  // The fault-tolerance counters this repo's retry/shed/failpoint
+  // paths bump. Interning them here pins the names: a rename in the
+  // client or server silently orphans dashboards, so this test is the
+  // canary. Each is bumped through the same Global() registry the
+  // production sites use and must appear in a snapshot.
+  const char* names[] = {
+      "remote.retries",           "remote.reconnects",
+      "remote.deadline_exceeded", "server.shed_requests",
+      "failpoint.fires.telemetry_test/fake_site",
+  };
+  Registry& registry = Registry::Global();
+  for (const char* name : names) registry.GetCounter(name)->Add();
+  Snapshot snapshot = registry.TakeSnapshot();
+  for (const char* name : names) {
+    EXPECT_GE(snapshot.counter(name), 1u) << name;
+  }
+}
+
 TEST(GlobalRegistryTest, IsASingleton) {
   Registry& a = Registry::Global();
   Registry& b = Registry::Global();

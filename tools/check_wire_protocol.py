@@ -17,7 +17,17 @@ evolves under three rules this check enforces mechanically:
      lower_snake_case name — these spell the per-opcode metric names,
      so a missing or duplicated entry silently merges metrics.
 
-Usage: check_wire_protocol.py <wire.h> <wire.cc>
+With a third argument (src/util/status.h) the same discipline is
+applied to StatusCode, which rides the wire in every response frame:
+
+  4. Status numbering: StatusCode values are unique, strictly
+     ascending and contiguous starting at 0 (kOk).
+  5. Decode coverage: every StatusCode enumerator has a
+     `case util::StatusCode::kFoo` in wire.cc's StatusFromCode(), so a
+     new code round-trips instead of collapsing to kInternal on peers
+     that already know it.
+
+Usage: check_wire_protocol.py <wire.h> <wire.cc> [<status.h>]
 Exits non-zero with one line per violation.
 """
 
@@ -84,10 +94,80 @@ def parse_opcode_names(source_text):
     )
 
 
+def parse_status_enum(status_text):
+    """Returns [(name, value, line_no)] from the StatusCode enum body."""
+    match = re.search(
+        r"enum\s+class\s+StatusCode\s*:\s*uint8_t\s*\{(.*?)\};",
+        status_text,
+        re.DOTALL,
+    )
+    if not match:
+        fail(["status.h: cannot find `enum class StatusCode : uint8_t`"])
+    body = match.group(1)
+    body_start_line = status_text[: match.start(1)].count("\n") + 1
+    codes = []
+    for offset, line in enumerate(body.splitlines()):
+        entry = re.match(r"\s*(k\w+)\s*=\s*(\d+)\s*,", line)
+        if entry:
+            codes.append(
+                (entry.group(1), int(entry.group(2)), body_start_line + offset)
+            )
+    return codes
+
+
+def check_status_codes(status_text, source_text, errors):
+    codes = parse_status_enum(status_text)
+    if not codes:
+        fail(["status.h: StatusCode enum has no entries"])
+
+    # Rule 4: unique, ascending, contiguous from 0.
+    if codes[0][1] != 0:
+        errors.append(
+            f"status.h:{codes[0][2]}: first status code {codes[0][0]} is "
+            f"{codes[0][1]}, expected 0"
+        )
+    for (prev_name, prev_value, _), (name, value, line_no) in zip(
+        codes, codes[1:]
+    ):
+        if value != prev_value + 1:
+            errors.append(
+                f"status.h:{line_no}: {name} = {value} after {prev_name} = "
+                f"{prev_value}; status numbering must be append-only "
+                f"(ascending and contiguous)"
+            )
+
+    # Rule 5: StatusFromCode decodes every enumerator.
+    match = re.search(
+        r"StatusFromCode\s*\(util::StatusCode\s+code.*?\{(.*?)\n\}",
+        source_text,
+        re.DOTALL,
+    )
+    if not match:
+        fail(["wire.cc: cannot find StatusFromCode(util::StatusCode ...)"])
+    decoded = set(
+        re.findall(r"case\s+util::StatusCode::(k\w+)\s*:", match.group(1))
+    )
+    for name, _, line_no in codes:
+        if name not in decoded:
+            errors.append(
+                f"wire.cc: StatusFromCode() has no case for {name} "
+                f"(status.h:{line_no}); the code would decode as kInternal"
+            )
+    enum_names = {name for name, _, _ in codes}
+    for name in decoded:
+        if name not in enum_names:
+            errors.append(
+                f"wire.cc: StatusFromCode() has stale case {name} not "
+                f"present in the StatusCode enum"
+            )
+    return len(codes)
+
+
 def main():
-    if len(sys.argv) != 3:
-        fail(["usage: check_wire_protocol.py <wire.h> <wire.cc>"])
+    if len(sys.argv) not in (3, 4):
+        fail(["usage: check_wire_protocol.py <wire.h> <wire.cc> [<status.h>]"])
     header_path, source_path = sys.argv[1], sys.argv[2]
+    status_path = sys.argv[3] if len(sys.argv) == 4 else None
     with open(header_path, encoding="utf-8") as f:
         header_text = f.read()
     with open(source_path, encoding="utf-8") as f:
@@ -174,12 +254,22 @@ def main():
                 f"present in the OpCode enum"
             )
 
+    # Rules 4–5: status code numbering and decode coverage.
+    status_count = 0
+    if status_path is not None:
+        with open(status_path, encoding="utf-8") as f:
+            status_text = f.read()
+        status_count = check_status_codes(status_text, source_text, errors)
+
     if errors:
         fail(errors)
-    print(
+    summary = (
         f"check_wire_protocol: OK — {len(opcodes)} opcodes, "
         f"wire v{wire_version}, {len(markers)} version gate(s)"
     )
+    if status_path is not None:
+        summary += f", {status_count} status codes"
+    print(summary)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,386 @@
+// hm_torture — crash-recovery torture driver.
+//
+// Each round forks a child that builds a §5.2 test database into the
+// persistent oodb backend and then runs a SetText edit workload, with
+// one failpoint armed to kill the process (`crash`) or surface an
+// injected I/O error (`error`) after a randomly chosen number of
+// evaluations. The parent records a durability oracle the child
+// fsyncs line-by-line, waits for the child to die, reopens the store
+// (driving WAL recovery), and asserts:
+//
+//   1. reopen succeeds — recovery never refuses a crashed store,
+//   2. fsck is clean once the build had committed ("built" marker),
+//   3. every edit whose "committed" marker reached the oracle is
+//      readable with exactly the committed text — zero committed-edit
+//      loss.
+//
+// The oracle protocol tolerates the one unavoidable race: a crash
+// between Commit() returning and the marker write leaves the LAST
+// intended edit committed-but-unrecorded, so that single edit may
+// read as either its old or new text. Everything older must match.
+//
+// Usage:
+//   hm_torture [--rounds=25] [--seed=ci] [--dir=/tmp/hm_torture]
+//              [--levels=3] [--edits=40] [--keep]
+//
+// Exits 0 when every round recovers cleanly; 1 otherwise (failed
+// rounds keep their directory for inspection). Requires a build with
+// failpoints compiled in (-DHM_FAILPOINTS=on, or any non-Release
+// 'auto' build).
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/fsck.h"
+#include "hypermodel/backends/oodb_store.h"
+#include "hypermodel/generator.h"
+#include "util/failpoint.h"
+#include "util/random.h"
+
+namespace {
+
+using hm::GeneratorConfig;
+using hm::NodeRef;
+using hm::backends::OodbOptions;
+using hm::backends::OodbStore;
+
+/// Child exit code when an injected `error`-action failpoint surfaced
+/// through the store API: the app "died" right after a failed commit,
+/// leaving whatever the fault left on disk (e.g. a torn WAL tail).
+constexpr int kInjectedErrorExit = 43;
+
+/// One crash point the torture rotates through. `crash` kills the
+/// child inside the store; `error` (only) injects the fault and lets
+/// the child exit immediately after the first failed operation.
+struct CrashPoint {
+  const char* site;
+  bool crash;  // false: "error" action
+  uint64_t min_after;
+  uint64_t max_after;
+};
+
+// `after=K` ranges sized to the workload: a levels=3 build commits
+// once per generator phase (~5 WAL syncs, a few hundred appends) and
+// each edit adds one commit, so small K crashes mid-build and large K
+// crashes mid-edits or not at all (a clean-shutdown round, also worth
+// checking). wal/append/short_write runs in `error` mode so the torn
+// tail is actually written before the child dies — a `crash` there
+// would exit before tearing anything.
+constexpr CrashPoint kCrashPoints[] = {
+    {"wal/sync/error", true, 1, 50},
+    {"wal/sync/error", false, 1, 50},
+    {"wal/append/error", true, 1, 300},
+    {"wal/append/short_write", false, 1, 50},
+    {"file/write/error", true, 1, 12},
+    {"buffer_pool/flush/error", true, 1, 12},
+};
+
+struct Args {
+  int rounds = 25;
+  std::string seed = "ci";
+  std::string dir = "/tmp/hm_torture";
+  int levels = 3;
+  int edits = 40;
+  bool keep = false;
+};
+
+/// FNV-1a so `--seed=ci` and friends map to a stable uint64.
+uint64_t HashSeed(const std::string& seed) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : seed) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* out) {
+  std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: hm_torture [--rounds=N] [--seed=STR] [--dir=PATH]\n"
+               "                  [--levels=N] [--edits=N] [--keep]\n");
+}
+
+/// Appends one line to the oracle log and fsyncs it. The oracle is the
+/// ground truth the parent judges recovery against, so a marker that
+/// is not on disk must not be trusted — hence the fsync per line.
+bool OracleWrite(int fd, const std::string& line) {
+  std::string payload = line + "\n";
+  size_t off = 0;
+  while (off < payload.size()) {
+    ssize_t n = ::write(fd, payload.data() + off, payload.size() - off);
+    if (n < 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return ::fsync(fd) == 0;
+}
+
+std::string EditText(int i) { return "torture-edit-" + std::to_string(i); }
+
+/// The child's whole life. Never returns; exit codes:
+///   0  workload finished (the failpoint never fired),
+///   42 kFailpointCrashExit — the armed crash point killed us,
+///   43 an injected error surfaced and we stopped,
+///   3..5 real bugs (open/build/edit failed without injection).
+[[noreturn]] void RunChild(const std::string& dir, const CrashPoint& point,
+                           uint64_t after, const Args& args) {
+  std::string spec = std::string(point.crash ? "crash" : "error") +
+                     ",after=" + std::to_string(after);
+  hm::util::Status status = hm::util::Failpoint::Enable(point.site, spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "child: Enable(%s): %s\n", point.site,
+                 status.ToString().c_str());
+    ::_exit(2);
+  }
+
+  int oracle = ::open((dir + "/oracle.log").c_str(),
+                      O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (oracle < 0) ::_exit(2);
+
+  OodbOptions options;  // sync_commits=true: commits are durable
+  auto store = OodbStore::Open(options, dir);
+  if (!store.ok()) {
+    if (!point.crash) ::_exit(kInjectedErrorExit);
+    std::fprintf(stderr, "child: Open: %s\n",
+                 store.status().ToString().c_str());
+    ::_exit(3);
+  }
+
+  GeneratorConfig config;
+  config.levels = args.levels;
+  auto db = hm::Generator(config).Build(store->get(), nullptr);
+  if (!db.ok()) {
+    if (!point.crash) ::_exit(kInjectedErrorExit);
+    std::fprintf(stderr, "child: Build: %s\n",
+                 db.status().ToString().c_str());
+    ::_exit(4);
+  }
+  if (!OracleWrite(oracle, "built")) ::_exit(2);
+
+  const std::vector<NodeRef>& texts = db->text_nodes;
+  for (int i = 0; i < args.edits; ++i) {
+    NodeRef ref = texts[static_cast<size_t>(i) % texts.size()];
+    if (!OracleWrite(oracle, "intent " + std::to_string(i) + " " +
+                                 std::to_string(ref))) {
+      ::_exit(2);
+    }
+    hm::util::Status edit = (*store)->Begin();
+    if (edit.ok()) edit = (*store)->SetText(ref, EditText(i));
+    if (edit.ok()) edit = (*store)->Commit();
+    if (!edit.ok()) {
+      if (!point.crash) ::_exit(kInjectedErrorExit);
+      std::fprintf(stderr, "child: edit %d: %s\n", i,
+                   edit.ToString().c_str());
+      ::_exit(5);
+    }
+    if (!OracleWrite(oracle, "committed " + std::to_string(i) + " " +
+                                 std::to_string(ref))) {
+      ::_exit(2);
+    }
+  }
+  store.value().reset();  // clean close — this round never crashed
+  ::_exit(0);
+}
+
+/// What the oracle on disk promises about the crashed child.
+struct Oracle {
+  bool built = false;
+  /// ref -> index of the last edit whose "committed" marker landed.
+  std::map<NodeRef, int> committed;
+  /// The final "intent" line, if any: the one edit that may have
+  /// committed without its marker.
+  int last_intent_index = -1;
+  NodeRef last_intent_ref = hm::kInvalidNode;
+  int committed_count = 0;
+};
+
+Oracle ReadOracle(const std::string& dir) {
+  Oracle oracle;
+  std::ifstream in(dir + "/oracle.log");
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream tokens(line);
+    std::string kind;
+    tokens >> kind;
+    if (kind == "built") {
+      oracle.built = true;
+    } else if (kind == "intent") {
+      tokens >> oracle.last_intent_index >> oracle.last_intent_ref;
+    } else if (kind == "committed") {
+      int index = 0;
+      NodeRef ref = hm::kInvalidNode;
+      tokens >> index >> ref;
+      oracle.committed[ref] = index;
+      ++oracle.committed_count;
+    }
+  }
+  return oracle;
+}
+
+/// Reopens the store (running WAL recovery) and checks it against the
+/// oracle. Returns an empty string on success, else the failure text.
+std::string VerifyRound(const std::string& dir, const Args& args) {
+  Oracle oracle = ReadOracle(dir);
+
+  OodbOptions options;
+  auto store = OodbStore::Open(options, dir);
+  if (!store.ok()) {
+    return "reopen after crash failed: " + store.status().ToString();
+  }
+
+  if (!oracle.built) return "";  // crashed mid-build: reopening is the test
+
+  GeneratorConfig config;
+  config.levels = args.levels;
+  hm::analysis::FsckOptions fsck_options;
+  fsck_options.config = config;
+  auto report = hm::analysis::RunFsck(store->get(), fsck_options);
+  if (!report.ok()) return "fsck did not run: " + report.status().ToString();
+  if (!report->ok()) {
+    std::ostringstream out;
+    out << "fsck found " << report->violations.size() << " violations; first: "
+        << report->violations.front().ToString();
+    return out.str();
+  }
+
+  for (const auto& [ref, index] : oracle.committed) {
+    auto text = (*store)->GetText(ref);
+    if (!text.ok()) {
+      return "GetText(" + std::to_string(ref) +
+             ") after recovery: " + text.status().ToString();
+    }
+    if (*text == EditText(index)) continue;
+    // The final intended edit may have committed just before the
+    // crash without its marker reaching the oracle.
+    if (ref == oracle.last_intent_ref && oracle.last_intent_index > index &&
+        *text == EditText(oracle.last_intent_index)) {
+      continue;
+    }
+    return "committed edit lost on node " + std::to_string(ref) +
+           ": expected \"" + EditText(index) + "\", got \"" + *text + "\"";
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!hm::util::kFailpointsCompiled) {
+    std::fprintf(stderr,
+                 "hm_torture: failpoints are compiled out of this build; "
+                 "configure with -DHM_FAILPOINTS=on\n");
+    return 2;
+  }
+
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "rounds", &value)) {
+      args.rounds = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "seed", &value)) {
+      args.seed = value;
+    } else if (ParseFlag(arg, "dir", &value)) {
+      args.dir = value;
+    } else if (ParseFlag(arg, "levels", &value)) {
+      args.levels = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "edits", &value)) {
+      args.edits = std::atoi(value.c_str());
+    } else if (arg == "--keep") {
+      args.keep = true;
+    } else if (arg == "--help") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "hm_torture: unknown argument '%s'\n",
+                   arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+  if (args.rounds <= 0 || args.levels < 2 || args.edits <= 0) {
+    std::fprintf(stderr, "hm_torture: rounds/levels/edits out of range\n");
+    return 2;
+  }
+
+  hm::util::Rng rng(HashSeed(args.seed));
+  std::filesystem::create_directories(args.dir);
+
+  int failures = 0;
+  for (int round = 0; round < args.rounds; ++round) {
+    const CrashPoint& point =
+        kCrashPoints[rng.NextBounded(std::size(kCrashPoints))];
+    uint64_t after = static_cast<uint64_t>(rng.UniformInt(
+        static_cast<int64_t>(point.min_after),
+        static_cast<int64_t>(point.max_after)));
+    std::string dir = args.dir + "/round-" + std::to_string(round);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "fork: %s\n", std::strerror(errno));
+      return 2;
+    }
+    if (pid == 0) RunChild(dir, point, after, args);
+
+    int wait_status = 0;
+    if (::waitpid(pid, &wait_status, 0) != pid) {
+      std::fprintf(stderr, "waitpid: %s\n", std::strerror(errno));
+      return 2;
+    }
+
+    std::string failure;
+    int exit_code = -1;
+    if (WIFEXITED(wait_status)) {
+      exit_code = WEXITSTATUS(wait_status);
+      if (exit_code != 0 && exit_code != hm::util::kFailpointCrashExit &&
+          exit_code != kInjectedErrorExit) {
+        failure = "child exited " + std::to_string(exit_code) +
+                  " (store bug, not an injected fault)";
+      }
+    } else if (WIFSIGNALED(wait_status)) {
+      failure = "child killed by signal " +
+                std::to_string(WTERMSIG(wait_status)) +
+                " (faults must surface as Status, never crash)";
+    }
+    if (failure.empty()) failure = VerifyRound(dir, args);
+
+    Oracle oracle = ReadOracle(dir);
+    std::printf("round %2d  %-28s %-5s after=%-3" PRIu64
+                " exit=%-2d built=%s committed=%d  %s\n",
+                round, point.site, point.crash ? "crash" : "error", after,
+                exit_code, oracle.built ? "yes" : "no ",
+                oracle.committed_count,
+                failure.empty() ? "OK" : ("FAIL: " + failure).c_str());
+
+    if (!failure.empty()) {
+      ++failures;
+      std::printf("         kept %s for inspection\n", dir.c_str());
+    } else if (!args.keep) {
+      std::filesystem::remove_all(dir);
+    }
+  }
+
+  std::printf("hm_torture: %d/%d rounds recovered cleanly\n",
+              args.rounds - failures, args.rounds);
+  return failures == 0 ? 0 : 1;
+}

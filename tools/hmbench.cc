@@ -48,8 +48,14 @@
 //     --port=7433           TCP port (0 = ephemeral)
 //     --workers=4           worker-pool size
 //     --queue=64            pending-connection queue bound
+//     --max-inflight=0      in-flight request ceiling; beyond it the
+//                           server sheds with kOverloaded (0 = off)
+//     --drain-ms=2000       Stop() grace for in-flight requests
 //     --cache-pages=2048    backend cache size
 //     --dir=PATH            backend directory (default /tmp/hmserve)
+//     On SIGINT/SIGTERM the server stops accepting, drains in-flight
+//     work, checkpoints persistent state, prints its telemetry, and
+//     exits 0.
 //
 // Examples:
 //   hmbench --levels=4 --ops=10,14,15          # closure traversals
@@ -333,6 +339,8 @@ struct ServeArgs {
   size_t queue = 64;
   size_t cache_pages = 2048;
   std::string dir = "/tmp/hmserve";
+  int max_inflight = 0;
+  int drain_ms = 2000;
 };
 
 /// (Re)creates the served backend. Persistent backends start from an
@@ -394,6 +402,10 @@ int ServeMain(int argc, char** argv) {
     } else if (arg.starts_with("--queue=")) {
       args.queue =
           static_cast<size_t>(std::atoll(value("--queue=").c_str()));
+    } else if (arg.starts_with("--max-inflight=")) {
+      args.max_inflight = std::atoi(value("--max-inflight=").c_str());
+    } else if (arg.starts_with("--drain-ms=")) {
+      args.drain_ms = std::atoi(value("--drain-ms=").c_str());
     } else if (arg.starts_with("--cache-pages=")) {
       args.cache_pages =
           static_cast<size_t>(std::atoll(value("--cache-pages=").c_str()));
@@ -413,6 +425,8 @@ int ServeMain(int argc, char** argv) {
   options.port = args.port;
   options.workers = args.workers;
   options.queue_capacity = args.queue;
+  options.max_inflight = args.max_inflight;
+  options.drain_ms = args.drain_ms;
   options.reset_factory = [args] { return MakeServeBackend(args); };
   auto server = hm::server::Server::Start(options, std::move(*backend));
   CheckOk(server.status());
@@ -427,11 +441,19 @@ int ServeMain(int argc, char** argv) {
   while (g_stop_requested == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
+  // Stop() drains: the listener closes first, in-flight requests get
+  // up to --drain-ms to finish with their responses delivered.
   (*server)->Stop();
   std::cout << "hmbench serve: stopped after "
             << (*server)->requests_served() << " requests over "
             << (*server)->connections_accepted() << " connections ("
-            << (*server)->connections_rejected() << " rejected)\n";
+            << (*server)->connections_rejected() << " rejected, "
+            << (*server)->requests_shed() << " shed)\n";
+  // Destroying the server destroys the backend, whose teardown
+  // checkpoints the WAL — persistent state is durable before exit.
+  server->reset();
+  hm::telemetry::Registry::Global().TakeSnapshot().PrintTo(std::cout);
+  std::cout << std::flush;
   return 0;
 }
 
