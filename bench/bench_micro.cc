@@ -11,8 +11,8 @@
 #include "objstore/object_store.h"
 #include "storage/buffer_pool.h"
 #include "storage/file_manager.h"
+#include "storage/commit_pipeline/segmented_wal.h"
 #include "storage/slotted_page.h"
-#include "storage/wal.h"
 #include "util/bitmap.h"
 #include "util/crc32.h"
 #include "util/random.h"
@@ -195,7 +195,7 @@ BENCHMARK(BM_ObjectUpdateCommit);
 
 void BM_WalAppend(benchmark::State& state) {
   std::string dir = ScratchDir("wal");
-  hm::storage::Wal wal;
+  hm::storage::SegmentedWal wal;
   (void)wal.Open(dir + "/w.log");
   std::string payload(static_cast<size_t>(state.range(0)), 'w');
   for (auto _ : state) {

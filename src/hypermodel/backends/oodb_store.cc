@@ -152,6 +152,10 @@ util::Result<std::unique_ptr<OodbStore>> OodbStore::Open(
   store_options.cache_pages = options.cache_pages;
   store_options.placement = options.placement;
   store_options.sync_commits = options.sync_commits;
+  store_options.group_commit_us = options.group_commit_us;
+  store_options.wal_segment_bytes = options.wal_segment_bytes;
+  store_options.checkpoint_interval_ms = options.checkpoint_interval_ms;
+  store_options.checkpoint_wal_bytes = options.checkpoint_wal_bytes;
 
   std::unique_ptr<OodbStore> oodb(new OodbStore());
   HM_ASSIGN_OR_RETURN(oodb->store_,
@@ -249,11 +253,22 @@ util::Status OodbStore::Begin() {
 }
 
 util::Status OodbStore::Commit() {
+  HM_ASSIGN_OR_RETURN(uint64_t ticket, CommitBegin());
+  return CommitWait(ticket);
+}
+
+util::Result<uint64_t> OodbStore::CommitBegin() {
   HM_RETURN_IF_ERROR(RequireActiveTxn());
   HM_RETURN_IF_ERROR(PersistIndexRoots());
-  util::Status s = store_->Commit(&*txn_);
+  util::Result<uint64_t> ticket = store_->CommitAsync(&*txn_);
+  // The API-level transaction ends here either way (matching the old
+  // Commit semantics, where a failed store commit still cleared txn_).
   txn_.reset();
-  return s;
+  return ticket;
+}
+
+util::Status OodbStore::CommitWait(uint64_t ticket) {
+  return store_->WaitCommitDurable(ticket);
 }
 
 util::Status OodbStore::Abort() {

@@ -21,6 +21,14 @@ struct OodbOptions {
   objstore::PlacementPolicy placement = objstore::PlacementPolicy::kClustered;
   /// fsync WAL on commit.
   bool sync_commits = true;
+  /// Group-commit window in microseconds (0 = fsync per commit).
+  uint64_t group_commit_us = 0;
+  /// WAL segment rollover threshold in bytes.
+  uint64_t wal_segment_bytes = 16ull * 1024 * 1024;
+  /// Background fuzzy-checkpoint interval in ms (0 = foreground only).
+  uint64_t checkpoint_interval_ms = 0;
+  /// WAL bytes that nudge the checkpointer early (0 = 4x segment).
+  uint64_t checkpoint_wal_bytes = 0;
 };
 
 /// The persistent OODB backend — the architecture class the paper's
@@ -33,7 +41,7 @@ struct OodbOptions {
 /// roots persist in the store catalog. Relationships are embedded in
 /// the node record (forward and inverse), so traversal is a pointer
 /// chase — clustered along the 1-N hierarchy when enabled.
-class OodbStore : public HyperStore {
+class OodbStore : public HyperStore, public PipelinedCommitCapable {
  public:
   /// Opens (creating or recovering) a store under `dir`. After WAL
   /// replay the secondary indexes are rebuilt from the objects.
@@ -48,6 +56,12 @@ class OodbStore : public HyperStore {
   util::Status Commit() override;
   util::Status Abort() override;
   util::Status CloseReopen() override;
+
+  // PipelinedCommitCapable: CommitBegin logs the commit record (and
+  // ends the API-level transaction) under the store's write lock;
+  // CommitWait blocks on the group-commit coordinator's fsync.
+  util::Result<uint64_t> CommitBegin() override;
+  util::Status CommitWait(uint64_t ticket) override;
 
   util::Result<NodeRef> CreateNode(const NodeAttrs& attrs,
                                    NodeRef near) override;

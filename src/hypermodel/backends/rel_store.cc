@@ -1,5 +1,6 @@
 #include "hypermodel/backends/rel_store.h"
 
+#include <cstdlib>
 #include <filesystem>
 
 #include "storage/slotted_page.h"
@@ -65,8 +66,22 @@ util::Result<std::unique_ptr<RelStore>> RelStore::Open(
     return util::Status::IoError("create_directories '" + dir +
                                  "': " + ec.message());
   }
+  uint64_t group_commit_us = options.group_commit_us;
+  if (const char* env = std::getenv("HM_GROUP_COMMIT_US")) {
+    char* end = nullptr;
+    uint64_t v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') group_commit_us = v;
+  }
+
   std::unique_ptr<RelStore> rel(new RelStore());
   HM_RETURN_IF_ERROR(rel->file_.Open(dir + "/relational.db"));
+  if (group_commit_us > 0) {
+    storage::GroupCommitCoordinator::Options gc;
+    gc.window_us = static_cast<uint32_t>(group_commit_us);
+    storage::FileManager* file = &rel->file_;
+    rel->group_commit_ = std::make_unique<storage::GroupCommitCoordinator>(
+        [file] { return file->Sync(); }, gc);
+  }
   rel->pool_ = std::make_unique<storage::BufferPool>(&rel->file_,
                                                      options.cache_pages);
 
@@ -86,6 +101,7 @@ util::Result<std::unique_ptr<RelStore>> RelStore::Open(
 }
 
 RelStore::~RelStore() {
+  if (group_commit_ != nullptr) group_commit_->Drain();
   if (pool_ != nullptr) {
     SaveMeta();
     pool_->FlushAll();
@@ -174,10 +190,29 @@ util::Status RelStore::LoadMeta() {
 }
 
 util::Status RelStore::Commit() {
+  HM_ASSIGN_OR_RETURN(uint64_t ticket, CommitBegin());
+  return CommitWait(ticket);
+}
+
+util::Result<uint64_t> RelStore::CommitBegin() {
   // FORCE policy: durability by flushing every dirty page at commit.
+  // The flush runs under commit_mu_ so concurrent committers do not
+  // interleave SaveMeta; the fsync is either inline (no coordinator)
+  // or batched with other committers' by the coordinator.
+  std::unique_lock lock(commit_mu_);
   HM_RETURN_IF_ERROR(SaveMeta());
   HM_RETURN_IF_ERROR(pool_->FlushAll());
-  return file_.Sync();
+  if (group_commit_ == nullptr) {
+    lock.unlock();
+    HM_RETURN_IF_ERROR(file_.Sync());
+    return uint64_t{0};
+  }
+  return group_commit_->Enroll();
+}
+
+util::Status RelStore::CommitWait(uint64_t ticket) {
+  if (group_commit_ == nullptr) return util::Status::Ok();
+  return group_commit_->WaitDurable(ticket);
 }
 
 util::Status RelStore::CloseReopen() {

@@ -2,6 +2,7 @@
 #define HM_HYPERMODEL_BACKENDS_REL_STORE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "index/bptree.h"
 #include "relstore/table.h"
 #include "storage/buffer_pool.h"
+#include "storage/commit_pipeline/group_commit.h"
 #include "storage/file_manager.h"
 
 namespace hm::backends {
@@ -17,6 +19,10 @@ namespace hm::backends {
 /// Options for the relational comparator backend.
 struct RelOptions {
   size_t cache_pages = 2048;
+  /// Group-commit window in microseconds (0 = fsync per commit). The
+  /// FORCE flush still happens per commit; only the fsync is batched.
+  /// Overridable via HM_GROUP_COMMIT_US.
+  uint64_t group_commit_us = 0;
 };
 
 /// The relational-mapping backend, following the /BLAH88/ methodology
@@ -38,7 +44,7 @@ struct RelOptions {
 /// closure operations — and there is no clustering along the
 /// hierarchy. Commit uses a FORCE policy (flush all dirty pages +
 /// fsync); there is no rollback.
-class RelStore : public HyperStore {
+class RelStore : public HyperStore, public PipelinedCommitCapable {
  public:
   static util::Result<std::unique_ptr<RelStore>> Open(
       const RelOptions& options, const std::string& dir);
@@ -54,6 +60,13 @@ class RelStore : public HyperStore {
         "rel backend uses FORCE commits; no rollback");
   }
   util::Status CloseReopen() override;
+
+  // PipelinedCommitCapable: CommitBegin runs the FORCE flush (all
+  // dirty pages written) and enrolls for the shared fsync; CommitWait
+  // blocks on the coordinator. With group_commit_us == 0 CommitBegin
+  // syncs inline and CommitWait is a no-op.
+  util::Result<uint64_t> CommitBegin() override;
+  util::Status CommitWait(uint64_t ticket) override;
 
   util::Result<NodeRef> CreateNode(const NodeAttrs& attrs,
                                    NodeRef near) override;
@@ -107,6 +120,11 @@ class RelStore : public HyperStore {
 
   storage::FileManager file_;
   std::unique_ptr<storage::BufferPool> pool_;
+  /// Non-null iff group_commit_us > 0; batches the commit fsync.
+  std::unique_ptr<storage::GroupCommitCoordinator> group_commit_;
+  /// Serializes the SaveMeta+FlushAll phase of concurrent committers
+  /// (the rel backend has no finer-grained write lock of its own).
+  std::mutex commit_mu_;
 
   std::optional<relstore::Table> node_table_;
   std::optional<relstore::Table> text_table_;

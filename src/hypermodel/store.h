@@ -107,6 +107,29 @@ class HyperStore {
   virtual util::Result<uint64_t> StorageBytes() = 0;
 };
 
+/// Optional backend capability: split commit into a cheap logging phase
+/// and a (possibly group-amortised) durability wait. Discovered via
+/// dynamic_cast, like the other *Capable interfaces. Backends whose
+/// storage layer batches fsyncs across concurrent committers expose it
+/// so callers can release their own locks between the two phases —
+/// otherwise every committer serialises on one fsync and group commit
+/// never forms a group.
+///
+/// `CommitBegin()` logs the commit record and ends the transaction in
+/// the API sense (a new Begin() may start immediately); the returned
+/// ticket is not durable yet. `CommitWait(ticket)` blocks until the
+/// batch containing the ticket has been fsynced and returns the sync
+/// outcome. `Commit()` on such a backend is equivalent to the pair.
+class PipelinedCommitCapable {
+ public:
+  virtual ~PipelinedCommitCapable() = default;
+
+  /// Logs the commit and returns a durability ticket.
+  virtual util::Result<uint64_t> CommitBegin() = 0;
+  /// Blocks until `ticket` is durable; returns the fsync outcome.
+  virtual util::Status CommitWait(uint64_t ticket) = 0;
+};
+
 }  // namespace hm
 
 #endif  // HM_HYPERMODEL_STORE_H_

@@ -1,11 +1,22 @@
 #include "objstore/object_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <mutex>
+#include <unordered_set>
 
 #include "storage/slotted_page.h"
+#include "telemetry/metrics.h"
 #include "util/check.h"
 #include "util/coding.h"
+#include "util/failpoint.h"
 
 namespace hm::objstore {
 
@@ -54,7 +65,37 @@ std::string EncodeLogical(uint8_t op, Oid oid, Oid near,
   return payload;
 }
 
+/// Dirty frames flushed per write_mu_ hold during a fuzzy checkpoint;
+/// small enough that committers interleave with the sweep.
+constexpr size_t kCheckpointFlushBatch = 64;
+
+/// How long a fuzzy checkpoint waits for active transactions to drain
+/// before giving up until the next tick.
+constexpr auto kQuiesceTimeout = std::chrono::milliseconds(100);
+
+bool EnvU64(const char* name, uint64_t* out) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (errno != 0 || end == value || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
 }  // namespace
+
+void ApplyEnvOverrides(ObjectStoreOptions* options) {
+  uint64_t v = 0;
+  if (EnvU64("HM_GROUP_COMMIT_US", &v)) {
+    options->group_commit_us = static_cast<uint32_t>(v);
+  }
+  if (EnvU64("HM_WAL_SEGMENT_BYTES", &v)) options->wal_segment_bytes = v;
+  if (EnvU64("HM_CHECKPOINT_MS", &v)) {
+    options->checkpoint_interval_ms = static_cast<uint32_t>(v);
+  }
+}
 
 ObjectStore::ObjectStore(const ObjectStoreOptions& options)
     : options_(options) {}
@@ -69,12 +110,16 @@ util::Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(
     return util::Status::IoError("create_directories '" + dir +
                                  "': " + ec.message());
   }
-  std::unique_ptr<ObjectStore> store(new ObjectStore(options));
+  ObjectStoreOptions effective = options;
+  ApplyEnvOverrides(&effective);
+  std::unique_ptr<ObjectStore> store(new ObjectStore(effective));
   store->dir_ = dir;
   HM_RETURN_IF_ERROR(store->data_file_.Open(dir + "/objects.db"));
   store->pool_ = std::make_unique<storage::BufferPool>(&store->data_file_,
-                                                       options.cache_pages);
-  HM_RETURN_IF_ERROR(store->wal_.Open(dir + "/objects.wal"));
+                                                       effective.cache_pages);
+  storage::SegmentedWalOptions wal_options;
+  wal_options.segment_bytes = effective.wal_segment_bytes;
+  HM_RETURN_IF_ERROR(store->wal_.Open(dir + "/objects.wal", wal_options));
 
   if (store->data_file_.page_count() == 0) {
     HM_RETURN_IF_ERROR(store->InitFresh());
@@ -95,6 +140,27 @@ util::Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(
     }
   }
   store->open_ = true;
+  if (store->options_.sync_commits && store->options_.group_commit_us > 0) {
+    storage::GroupCommitCoordinator::Options gc;
+    gc.window_us = store->options_.group_commit_us;
+    ObjectStore* raw = store.get();
+    store->group_commit_ = std::make_unique<storage::GroupCommitCoordinator>(
+        [raw] { return raw->wal_.Sync(); }, gc);
+  }
+  // FuzzyCheckpoint() is public (callable without the background
+  // thread), so its dedicated data-sync fd always exists.
+  store->checkpoint_data_fd_ = ::open((dir + "/objects.db").c_str(), O_RDONLY);
+  if (store->checkpoint_data_fd_ < 0) {
+    return util::Status::IoError(
+        std::string("open objects.db for checkpoint sync: ") +
+        std::strerror(errno));
+  }
+  if (store->options_.checkpoint_interval_ms > 0) {
+    ObjectStore* raw = store.get();
+    storage::Checkpointer::Options cp;
+    cp.interval_ms = store->options_.checkpoint_interval_ms;
+    store->checkpointer_.Start([raw] { return raw->FuzzyCheckpoint(); }, cp);
+  }
   return store;
 }
 
@@ -168,95 +234,289 @@ util::Status ObjectStore::LoadMeta() {
 }
 
 util::Status ObjectStore::Recover() {
-  // Redo-only recovery: replay every update of a committed transaction
-  // over the checkpointed page image. Replay is self-healing (see
-  // ApplyLogical's `recovering` mode): a crash mid-checkpoint persists
-  // an arbitrary subset of dirty pages, so the directory and the data
-  // pages it points into may be from different moments — each record's
-  // target location is verified and the record relocated when the page
-  // image is older than the directory entry. Changes of
-  // uncommitted transactions never reach the data file between
-  // checkpoints except through buffer-pool steals, a window we accept
-  // in this reproduction (commits sync the full WAL buffer).
-  struct Pending {
-    uint64_t txn;
-    std::string payload;
-  };
-  std::vector<Pending> all;
+  // Redo/undo recovery across the segment chain. Pass A classifies:
+  // the last checkpoint's recovery-start LSN, plus the committed and
+  // aborted transaction sets. Pass B streams again, re-applying every
+  // committed update at or after the start LSN in log order; updates
+  // of *loser* transactions (neither committed nor aborted — in-flight
+  // at the crash) are retained and then undone in reverse using their
+  // logged pre-images, because a buffer-pool steal or a fuzzy
+  // checkpoint may have pushed their uncommitted page state to disk.
+  // Replay is self-healing (see ApplyLogical's `recovering` mode): a
+  // crash mid-checkpoint persists an arbitrary subset of dirty pages,
+  // so each record's target location is verified and the record
+  // relocated when the page image is older than the directory entry.
+  uint64_t start = 0;
+  std::unordered_set<uint64_t> committed;
+  std::unordered_set<uint64_t> aborted;
   HM_RETURN_IF_ERROR(
-      wal_.Recover([&](uint64_t txn, std::string_view payload) {
-        all.push_back({txn, std::string(payload)});
+      wal_.Scan([&](const storage::SegmentedWal::ScannedRecord& rec) {
+        switch (rec.type) {
+          case storage::WalRecordType::kCheckpoint:
+            start = rec.payload.size() >= 8
+                        ? util::DecodeFixed64(rec.payload.data())
+                        : rec.lsn;
+            break;
+          case storage::WalRecordType::kCommit:
+            committed.insert(rec.txn_id);
+            break;
+          case storage::WalRecordType::kAbort:
+            aborted.insert(rec.txn_id);
+            break;
+          default:
+            break;
+        }
         return util::Status::Ok();
       }));
-  for (const Pending& rec : all) {
-    HM_RETURN_IF_ERROR(ApplyLogical(rec.payload, /*recovering=*/true));
+
+  std::vector<std::string> losers;
+  uint64_t redone = 0;
+  HM_RETURN_IF_ERROR(
+      wal_.Scan([&](const storage::SegmentedWal::ScannedRecord& rec) {
+        if (rec.type != storage::WalRecordType::kUpdate || rec.lsn < start) {
+          return util::Status::Ok();
+        }
+        if (committed.contains(rec.txn_id)) {
+          ++redone;
+          return ApplyLogical(rec.payload, /*recovering=*/true);
+        }
+        if (!aborted.contains(rec.txn_id)) {
+          losers.emplace_back(rec.payload);
+        }
+        return util::Status::Ok();
+      }));
+  for (auto it = losers.rbegin(); it != losers.rend(); ++it) {
+    HM_RETURN_IF_ERROR(UndoLogical(*it));
   }
-  recovered_records_ = all.size();
+  recovered_records_ = redone + losers.size();
   // A full checkpoint makes the replayed state the new baseline.
   return Checkpoint();
 }
 
+util::Status ObjectStore::UndoLogical(std::string_view payload) {
+  util::Decoder dec(payload);
+  if (dec.Remaining() < 1) {
+    return util::Status::Corruption("empty logical record");
+  }
+  uint8_t op = static_cast<uint8_t>(payload[0]);
+  dec.Skip(1);
+  uint64_t oid = 0;
+  uint64_t near = 0;
+  std::string_view after;
+  std::string_view before;
+  if (!dec.GetFixed64(&oid) || !dec.GetFixed64(&near) ||
+      !dec.GetLengthPrefixed(&after) || !dec.GetLengthPrefixed(&before)) {
+    return util::Status::Corruption("truncated logical record");
+  }
+  switch (op) {
+    case kOpCreate:
+      return ApplyLogical(EncodeLogical(kOpDelete, oid, kInvalidOid, "", ""),
+                          /*recovering=*/true);
+    case kOpUpdate:
+      return ApplyLogical(
+          EncodeLogical(kOpUpdate, oid, kInvalidOid, before, ""),
+          /*recovering=*/true);
+    case kOpDelete:
+      return ApplyLogical(
+          EncodeLogical(kOpCreate, oid, kInvalidOid, before, ""),
+          /*recovering=*/true);
+    default:
+      return util::Status::Corruption("unknown logical op");
+  }
+}
+
 util::Status ObjectStore::Close() {
   if (!open_) return util::Status::Ok();
+  // Drain the pipeline front to back: no more background checkpoints,
+  // then every enrolled commit durable, then the final full
+  // checkpoint.
+  checkpointer_.Stop();
+  if (group_commit_) {
+    HM_RETURN_IF_ERROR(group_commit_->Drain());
+  }
   open_ = false;
-  HM_RETURN_IF_ERROR(Checkpoint());
+  if (checkpoint_data_fd_ >= 0) {
+    ::close(checkpoint_data_fd_);
+    checkpoint_data_fd_ = -1;
+  }
+  {
+    std::lock_guard lock(write_mu_);
+    HM_RETURN_IF_ERROR(CheckpointLocked());
+  }
   HM_RETURN_IF_ERROR(wal_.Close());
   pool_.reset();
   return data_file_.Close();
 }
 
 util::Status ObjectStore::Checkpoint() {
+  std::lock_guard lock(write_mu_);
+  return CheckpointLocked();
+}
+
+util::Status ObjectStore::CheckpointLocked() {
   HM_RETURN_IF_ERROR(SaveMeta());
   HM_RETURN_IF_ERROR(pool_->FlushAll());
   HM_RETURN_IF_ERROR(data_file_.Sync());
-  return wal_.Checkpoint();
+  // Roll the current segment off, checkpoint at the head of the fresh
+  // one, and prune the old chain. The recovery-start LSN is clamped to
+  // the oldest active transaction's kBegin so in-flight undo
+  // information survives the prune.
+  HM_RETURN_IF_ERROR(wal_.RollIfNonEmpty());
+  uint64_t start = wal_.NextLsn();
+  for (const auto& [id, begin_lsn] : active_txns_) {
+    start = std::min(start, begin_lsn);
+  }
+  HM_RETURN_IF_ERROR(wal_.Checkpoint(start));
+  last_checkpoint_records_ = wal_.records_appended();
+  return util::Status::Ok();
+}
+
+util::Status ObjectStore::FuzzyCheckpoint() {
+  uint64_t start = 0;
+  {
+    std::unique_lock lock(write_mu_);
+    if (!open_) return util::Status::Ok();
+    if (wal_.records_appended() == last_checkpoint_records_) {
+      return util::Status::Ok();  // nothing new to checkpoint
+    }
+    checkpoint_waiting_ = true;
+    // Begin() yields to the pending checkpoint, so under constant
+    // commit load this converges as soon as in-flight transactions
+    // finish; a transaction that never finishes only costs a bounded
+    // stall before we give up until the next tick.
+    bool quiet = quiesce_cv_.wait_for(lock, kQuiesceTimeout,
+                                      [this] { return active_txns_.empty(); });
+    util::Status sweep = util::Status::Ok();
+    if (quiet) {
+      sweep = [&]() -> util::Status {
+        HM_RETURN_IF_ERROR(wal_.RollIfNonEmpty());
+        start = wal_.NextLsn();
+        HM_RETURN_IF_ERROR(SaveMeta());
+        size_t cursor = 0;
+        bool done = false;
+        while (!done) {
+          HM_FAILPOINT("checkpoint/mid_flush/crash");
+          HM_RETURN_IF_ERROR(
+              pool_->FlushBatch(&cursor, kCheckpointFlushBatch, &done));
+        }
+        return util::Status::Ok();
+      }();
+    }
+    checkpoint_waiting_ = false;
+    begin_cv_.notify_all();
+    HM_RETURN_IF_ERROR(sweep);
+    if (!quiet) {
+      static telemetry::Counter* skipped =
+          telemetry::Registry::Global().GetCounter(
+              "storage.checkpoint.skipped");
+      skipped->Add();
+      return util::Status::Ok();
+    }
+  }
+  // Every page swept above carries only updates with LSN < start (the
+  // sweep ran at quiesce, and later dirtying appends at LSN >= start),
+  // so once the data file is durable the chain below start is dead.
+  // The fsync goes through a dedicated fd, off the write lock, so
+  // committers run concurrently with the expensive part.
+  if (::fdatasync(checkpoint_data_fd_) != 0) {
+    return util::Status::IoError(std::string("checkpoint fdatasync: ") +
+                                 std::strerror(errno));
+  }
+  HM_RETURN_IF_ERROR(wal_.Checkpoint(start));
+  std::lock_guard lock(write_mu_);
+  last_checkpoint_records_ = wal_.records_appended();
+  return util::Status::Ok();
+}
+
+void ObjectStore::MaybeNudgeCheckpointer() {
+  if (!checkpointer_.running()) return;
+  uint64_t threshold = options_.checkpoint_wal_bytes > 0
+                           ? options_.checkpoint_wal_bytes
+                           : 4 * options_.wal_segment_bytes;
+  if (wal_.SizeBytes() >= threshold) checkpointer_.Nudge();
 }
 
 util::Status ObjectStore::DropCaches() {
+  std::lock_guard lock(write_mu_);
   HM_RETURN_IF_ERROR(SaveMeta());
   return pool_->DropAll();
 }
 
 uint64_t ObjectStore::GetCatalog(size_t slot) const {
   HM_CHECK(slot < kCatalogSlots);
+  std::lock_guard lock(write_mu_);
   return catalog_[slot];
 }
 
 void ObjectStore::SetCatalog(size_t slot, uint64_t value) {
   HM_CHECK(slot < kCatalogSlots);
+  std::lock_guard lock(write_mu_);
   catalog_[slot] = value;
 }
 
 util::Result<Transaction> ObjectStore::Begin() {
+  std::unique_lock lock(write_mu_);
+  // Yield to a quiescing checkpointer (bounded on its side): letting
+  // new transactions slip in under constant load would starve it
+  // forever.
+  begin_cv_.wait(lock, [this] { return !checkpoint_waiting_; });
   Transaction txn;
   txn.id_ = next_txn_id_++;
   txn.active_ = true;
   HM_ASSIGN_OR_RETURN(uint64_t lsn,
                       wal_.Append(WalRecordType::kBegin, txn.id_, ""));
-  (void)lsn;
+  active_txns_[txn.id_] = lsn;
   return txn;
 }
 
 util::Status ObjectStore::Commit(Transaction* txn) {
+  HM_ASSIGN_OR_RETURN(uint64_t ticket, CommitAsync(txn));
+  return WaitCommitDurable(ticket);
+}
+
+util::Result<uint64_t> ObjectStore::CommitAsync(Transaction* txn) {
   if (!txn->active_) {
     return util::Status::InvalidArgument("transaction not active");
   }
-  HM_ASSIGN_OR_RETURN(uint64_t lsn,
-                      wal_.Append(WalRecordType::kCommit, txn->id_, ""));
-  (void)lsn;
-  if (options_.sync_commits) {
+  uint64_t ticket = 0;
+  {
+    std::lock_guard lock(write_mu_);
+    HM_ASSIGN_OR_RETURN(uint64_t lsn,
+                        wal_.Append(WalRecordType::kCommit, txn->id_, ""));
+    (void)lsn;
+    // Enrolling under write_mu_ keeps ticket order consistent with
+    // append order, so a ticket's sync always covers its records.
+    if (options_.sync_commits && group_commit_) {
+      ticket = group_commit_->Enroll();
+    }
+  }
+  if (options_.sync_commits && !group_commit_) {
+    // Classic path: a private fsync, off the write lock. On failure
+    // the transaction stays active (and registered), as before.
     HM_RETURN_IF_ERROR(wal_.Sync());
+  }
+  {
+    std::lock_guard lock(write_mu_);
+    active_txns_.erase(txn->id_);
+    if (active_txns_.empty()) quiesce_cv_.notify_all();
+    ++stats_.commits;
   }
   txn->active_ = false;
   txn->undo_.clear();
-  ++stats_.commits;
-  return util::Status::Ok();
+  MaybeNudgeCheckpointer();
+  return ticket;
+}
+
+util::Status ObjectStore::WaitCommitDurable(uint64_t ticket) {
+  if (ticket == 0 || !group_commit_) return util::Status::Ok();
+  return group_commit_->WaitDurable(ticket);
 }
 
 util::Status ObjectStore::Abort(Transaction* txn) {
   if (!txn->active_) {
     return util::Status::InvalidArgument("transaction not active");
   }
+  std::lock_guard lock(write_mu_);
   // Undo in reverse order using the retained pre-images.
   for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
     switch (it->kind) {
@@ -283,6 +543,8 @@ util::Status ObjectStore::Abort(Transaction* txn) {
   HM_ASSIGN_OR_RETURN(uint64_t lsn,
                       wal_.Append(WalRecordType::kAbort, txn->id_, ""));
   (void)lsn;
+  active_txns_.erase(txn->id_);
+  if (active_txns_.empty()) quiesce_cv_.notify_all();
   txn->active_ = false;
   txn->undo_.clear();
   ++stats_.aborts;
@@ -569,6 +831,12 @@ util::Status ObjectStore::LogAndApply(Transaction* txn,
 
 util::Result<Oid> ObjectStore::Create(Transaction* txn, std::string_view data,
                                       Oid near) {
+  std::lock_guard lock(write_mu_);
+  return CreateLocked(txn, data, near);
+}
+
+util::Result<Oid> ObjectStore::CreateLocked(Transaction* txn,
+                                            std::string_view data, Oid near) {
   if (!txn->active_) {
     return util::Status::InvalidArgument("transaction not active");
   }
@@ -594,6 +862,12 @@ util::Result<std::string> ObjectStore::Read(Oid oid) const {
 
 util::Status ObjectStore::Update(Transaction* txn, Oid oid,
                                  std::string_view data) {
+  std::lock_guard lock(write_mu_);
+  return UpdateLocked(txn, oid, data);
+}
+
+util::Status ObjectStore::UpdateLocked(Transaction* txn, Oid oid,
+                                       std::string_view data) {
   if (!txn->active_) {
     return util::Status::InvalidArgument("transaction not active");
   }
@@ -608,6 +882,11 @@ util::Status ObjectStore::Update(Transaction* txn, Oid oid,
 }
 
 util::Status ObjectStore::Delete(Transaction* txn, Oid oid) {
+  std::lock_guard lock(write_mu_);
+  return DeleteLocked(txn, oid);
+}
+
+util::Status ObjectStore::DeleteLocked(Transaction* txn, Oid oid) {
   if (!txn->active_) {
     return util::Status::InvalidArgument("transaction not active");
   }
@@ -622,19 +901,25 @@ util::Status ObjectStore::Delete(Transaction* txn, Oid oid) {
 }
 
 util::Status ObjectStore::BackupTo(const std::string& backup_dir) {
-  HM_RETURN_IF_ERROR(Checkpoint());
+  // Holding write_mu_ across the copies keeps the checkpointer (and
+  // any committer) from moving files or bytes underneath them.
+  std::lock_guard lock(write_mu_);
+  HM_RETURN_IF_ERROR(CheckpointLocked());
   std::error_code ec;
   std::filesystem::create_directories(backup_dir, ec);
   if (ec) {
     return util::Status::IoError("create_directories '" + backup_dir +
                                  "': " + ec.message());
   }
-  for (const char* file : {"objects.db", "objects.wal"}) {
+  std::vector<std::string> files = wal_.SegmentPaths();
+  files.push_back(dir_ + "/objects.db");
+  for (const std::string& file : files) {
+    std::string base = file.substr(file.find_last_of('/') + 1);
     std::filesystem::copy_file(
-        dir_ + "/" + file, backup_dir + "/" + file,
+        file, backup_dir + "/" + base,
         std::filesystem::copy_options::overwrite_existing, ec);
     if (ec) {
-      return util::Status::IoError("backup copy of '" + std::string(file) +
+      return util::Status::IoError("backup copy of '" + base +
                                    "': " + ec.message());
     }
   }
@@ -648,6 +933,7 @@ util::Result<uint64_t> ObjectStore::CollectGarbage(
   if (!txn->active_) {
     return util::Status::InvalidArgument("transaction not active");
   }
+  std::lock_guard lock(write_mu_);
   // Mark: breadth-first from the roots through the caller's tracer.
   std::vector<bool> marked(next_oid_, false);
   std::vector<Oid> frontier;
@@ -674,7 +960,7 @@ util::Result<uint64_t> ObjectStore::CollectGarbage(
   uint64_t collected = 0;
   for (Oid oid = 1; oid < next_oid_; ++oid) {
     if (marked[oid] || !Exists(oid)) continue;
-    HM_RETURN_IF_ERROR(Delete(txn, oid));
+    HM_RETURN_IF_ERROR(DeleteLocked(txn, oid));
     ++collected;
   }
   return collected;

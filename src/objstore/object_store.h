@@ -1,6 +1,7 @@
 #ifndef HM_OBJSTORE_OBJECT_STORE_H_
 #define HM_OBJSTORE_OBJECT_STORE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -10,8 +11,11 @@
 #include <vector>
 
 #include "storage/buffer_pool.h"
+#include "storage/commit_pipeline/checkpointer.h"
+#include "storage/commit_pipeline/group_commit.h"
+#include "storage/commit_pipeline/segmented_wal.h"
 #include "storage/file_manager.h"
-#include "storage/wal.h"
+#include "util/lock_rank.h"
 #include "util/status.h"
 
 namespace hm::objstore {
@@ -46,7 +50,27 @@ struct ObjectStoreOptions {
   /// fsync the WAL on every commit. Turning this off models a server
   /// with battery-backed log cache; kept on by default.
   bool sync_commits = true;
+  /// Group-commit window in microseconds: concurrent committers share
+  /// one WAL fsync, with a leader lingering up to this long for
+  /// stragglers. 0 = classic private fsync per commit (the coordinator
+  /// is bypassed entirely). Overridden by $HM_GROUP_COMMIT_US.
+  uint32_t group_commit_us = 0;
+  /// WAL segment rollover threshold. Overridden by
+  /// $HM_WAL_SEGMENT_BYTES.
+  uint64_t wal_segment_bytes = 16ull << 20;
+  /// Background fuzzy-checkpointer period in milliseconds; 0 disables
+  /// the thread (checkpoints still happen at open, close and backup).
+  /// Overridden by $HM_CHECKPOINT_MS.
+  uint32_t checkpoint_interval_ms = 0;
+  /// Nudge the checkpointer early once the WAL exceeds this many
+  /// bytes; 0 derives 4 * wal_segment_bytes.
+  uint64_t checkpoint_wal_bytes = 0;
 };
+
+/// Applies the HM_GROUP_COMMIT_US / HM_WAL_SEGMENT_BYTES /
+/// HM_CHECKPOINT_MS environment overrides (used by the CI matrix to
+/// re-run the whole suite under different pipeline geometry).
+void ApplyEnvOverrides(ObjectStoreOptions* options);
 
 class ObjectStore;
 
@@ -113,8 +137,22 @@ class ObjectStore {
   /// Starts a transaction.
   util::Result<Transaction> Begin();
 
-  /// Durably commits `txn` (WAL commit record + fsync).
+  /// Durably commits `txn` (WAL commit record + fsync, or one shared
+  /// group-commit fsync when a window is configured). Equivalent to
+  /// CommitAsync() + WaitCommitDurable().
   util::Status Commit(Transaction* txn);
+
+  /// Appends `txn`'s commit record and, under group commit, enrolls it
+  /// for the next batched fsync, returning a ticket to pass to
+  /// WaitCommitDurable(). Without a coordinator (group_commit_us == 0)
+  /// the commit is already durable on return and the ticket is 0. The
+  /// caller may release its own serialization before waiting — that
+  /// overlap is where fsync amortization comes from.
+  util::Result<uint64_t> CommitAsync(Transaction* txn);
+
+  /// Blocks until the batched fsync covering `ticket` completes;
+  /// returns its status. Ticket 0 (no coordinator) returns Ok.
+  util::Status WaitCommitDurable(uint64_t ticket);
 
   /// Rolls back `txn` using in-memory pre-images.
   util::Status Abort(Transaction* txn);
@@ -137,8 +175,19 @@ class ObjectStore {
   /// True if `oid` names a live object.
   bool Exists(Oid oid) const;
 
-  /// Flushes all pages, persists the catalog and truncates the WAL.
+  /// Flushes all pages, persists the catalog, and collapses the WAL
+  /// chain to a fresh segment holding one checkpoint record.
   util::Status Checkpoint();
+
+  /// One fuzzy-checkpoint round, normally driven by the background
+  /// checkpointer: waits (bounded) for a moment with no active
+  /// transaction, sweeps dirty pages in small batches under the write
+  /// lock, fsyncs the data file *outside* it, then appends a
+  /// kCheckpoint carrying the recovery-start LSN and prunes dead
+  /// segments. Readers are never blocked; committers only overlap the
+  /// page sweep. Skipped (Ok) when the store is quiescent or never
+  /// quiesces within the bound — the next tick retries.
+  util::Status FuzzyCheckpoint();
 
   /// Flushes and evicts the entire page cache — the protocol's
   /// "close the database" step (§6 step e) making the next run cold.
@@ -173,7 +222,7 @@ class ObjectStore {
   uint64_t recovered_records() const { return recovered_records_; }
 
   storage::BufferPool* buffer_pool() { return pool_.get(); }
-  storage::Wal* wal() { return &wal_; }
+  storage::SegmentedWal* wal() { return &wal_; }
   const ObjectStoreStats& stats() const { return stats_; }
   const ObjectStoreOptions& options() const { return options_; }
 
@@ -195,6 +244,19 @@ class ObjectStore {
   util::Status LoadMeta();
   util::Status SaveMeta();
   util::Status Recover();
+  util::Status CheckpointLocked();
+  /// Applies the inverse of one logical record (undoing an in-flight
+  /// loser transaction during recovery) using its stored pre-image.
+  util::Status UndoLogical(std::string_view payload);
+  /// Nudges the background checkpointer when the WAL has outgrown the
+  /// configured threshold.
+  void MaybeNudgeCheckpointer();
+
+  util::Result<Oid> CreateLocked(Transaction* txn, std::string_view data,
+                                 Oid near);
+  util::Status UpdateLocked(Transaction* txn, Oid oid,
+                            std::string_view data);
+  util::Status DeleteLocked(Transaction* txn, Oid oid);
 
   util::Result<DirEntry> DirGet(Oid oid) const;
   util::Status DirSet(Oid oid, DirEntry entry);
@@ -228,7 +290,31 @@ class ObjectStore {
   std::string dir_;
   storage::FileManager data_file_;
   std::unique_ptr<storage::BufferPool> pool_;
-  storage::Wal wal_;
+  storage::SegmentedWal wal_;
+
+  /// Serializes mutators (Begin/Commit/Abort/Create/Update/Delete,
+  /// catalog writes, checkpoints) against the fuzzy checkpointer's
+  /// page sweep. Readers never take it. Ranked above the group-commit
+  /// coordinator and the WAL, below server dispatch.
+  mutable util::RankedMutex<util::LockRank::kCommitPipeline> write_mu_;
+  /// Signaled when active_txns_ drains to empty (checkpoint quiesce).
+  std::condition_variable_any quiesce_cv_;
+  /// Signaled when a pending checkpoint finishes its sweep; Begin()
+  /// waits on it so a quiescing checkpointer isn't starved forever
+  /// under constant load (the wait is bounded on both sides).
+  std::condition_variable_any begin_cv_;
+  bool checkpoint_waiting_ = false;
+  /// Active transaction id -> its kBegin LSN; the minimum bounds the
+  /// recovery-start LSN so in-flight undo information is never pruned.
+  std::unordered_map<uint64_t, uint64_t> active_txns_;
+  uint64_t last_checkpoint_records_ = 0;
+
+  /// Non-null iff sync_commits && group_commit_us > 0.
+  std::unique_ptr<storage::GroupCommitCoordinator> group_commit_;
+  storage::Checkpointer checkpointer_;
+  /// Dedicated fd onto objects.db for the fuzzy checkpointer's data
+  /// fsync, so it never touches FileManager state outside write_mu_.
+  int checkpoint_data_fd_ = -1;
 
   Oid next_oid_ = 1;
   uint64_t next_txn_id_ = 1;

@@ -118,6 +118,22 @@ util::Status BufferPool::FlushAllLocked() {
   return util::Status::Ok();
 }
 
+util::Status BufferPool::FlushBatch(size_t* cursor, size_t max_frames,
+                                    bool* done) {
+  std::lock_guard lock(mu_);
+  size_t flushed = 0;
+  while (*cursor < frames_.size() && flushed < max_frames) {
+    Frame& frame = frames_[*cursor];
+    ++*cursor;
+    if (frame.id != kInvalidPageId && frame.dirty) {
+      HM_RETURN_IF_ERROR(FlushFrame(&frame));
+      ++flushed;
+    }
+  }
+  *done = *cursor >= frames_.size();
+  return util::Status::Ok();
+}
+
 util::Status BufferPool::DropAll() {
   std::lock_guard lock(mu_);
   HM_RETURN_IF_ERROR(FlushAllLocked());

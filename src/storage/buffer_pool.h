@@ -81,6 +81,15 @@ class BufferPool {
   /// Writes every dirty frame back to the file (pages stay cached).
   util::Status FlushAll();
 
+  /// Incremental FlushAll for the fuzzy checkpointer: flushes up to
+  /// `max_frames` dirty frames starting at frame `*cursor`, advances
+  /// the cursor past the frames visited, and sets `*done` once the
+  /// sweep has covered the whole table. Start a sweep with *cursor ==
+  /// 0; the lock may be dropped between batches (frames dirtied behind
+  /// the cursor belong to the next sweep, which is exactly the fuzzy
+  /// contract).
+  util::Status FlushBatch(size_t* cursor, size_t max_frames, bool* done);
+
   /// Flushes then evicts every unpinned frame — the "close the
   /// database" step (§6 protocol step e) that makes the next run cold.
   util::Status DropAll();

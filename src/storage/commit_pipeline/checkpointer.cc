@@ -1,0 +1,69 @@
+#include "storage/commit_pipeline/checkpointer.h"
+
+#include <chrono>
+#include <utility>
+
+#include "telemetry/metrics.h"
+#include "util/timer.h"
+
+namespace hm::storage {
+
+void Checkpointer::Start(CheckpointFn fn, const Options& options) {
+  std::lock_guard lock(mu_);
+  fn_ = std::move(fn);
+  options_ = options;
+  stop_ = false;
+  nudged_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Checkpointer::Nudge() {
+  std::lock_guard lock(mu_);
+  nudged_ = true;
+  cv_.notify_all();
+}
+
+void Checkpointer::Stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  thread_.join();
+}
+
+bool Checkpointer::running() const {
+  std::lock_guard lock(mu_);
+  return thread_.joinable() && !stop_;
+}
+
+void Checkpointer::Loop() {
+  static telemetry::Histogram* duration =
+      telemetry::Registry::Global().GetHistogram(
+          "storage.checkpoint.duration_us");
+  static telemetry::Counter* runs =
+      telemetry::Registry::Global().GetCounter("storage.checkpoint.runs");
+  static telemetry::Counter* failures =
+      telemetry::Registry::Global().GetCounter("storage.checkpoint.failures");
+  while (true) {
+    {
+      std::unique_lock lock(mu_);
+      if (options_.interval_ms > 0) {
+        cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                     [this] { return stop_ || nudged_; });
+      } else {
+        cv_.wait(lock, [this] { return stop_ || nudged_; });
+      }
+      if (stop_) return;
+      nudged_ = false;
+    }
+    util::Timer timer;
+    util::Status status = fn_();
+    duration->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+    runs->Add();
+    if (!status.ok()) failures->Add();
+  }
+}
+
+}  // namespace hm::storage

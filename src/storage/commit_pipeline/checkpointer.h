@@ -1,0 +1,67 @@
+#ifndef HM_STORAGE_COMMIT_PIPELINE_CHECKPOINTER_H_
+#define HM_STORAGE_COMMIT_PIPELINE_CHECKPOINTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "util/status.h"
+
+namespace hm::storage {
+
+/// Background fuzzy-checkpoint driver: a single thread that invokes
+/// the owner's checkpoint function every `interval_ms`, or sooner when
+/// Nudge()d (e.g. the WAL crossed a size threshold). The function runs
+/// with no Checkpointer lock held — all synchronization against
+/// readers and committers is the owner's business. Timing and outcome
+/// land in telemetry (`storage.checkpoint.duration_us` / `.runs` /
+/// `.failures`); a failed checkpoint is recorded and retried at the
+/// next tick, never fatal.
+class Checkpointer {
+ public:
+  struct Options {
+    /// Period between checkpoint attempts; 0 means only Nudge()
+    /// triggers one.
+    uint32_t interval_ms = 0;
+  };
+
+  using CheckpointFn = std::function<util::Status()>;
+
+  Checkpointer() = default;
+  ~Checkpointer() { Stop(); }
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  /// Launches the background thread. Must not already be running.
+  void Start(CheckpointFn fn, const Options& options);
+
+  /// Requests a checkpoint at the next wakeup (coalesced: many nudges
+  /// before the thread wakes run one checkpoint). No-op when stopped.
+  void Nudge();
+
+  /// Stops and joins the thread. Does not run a final checkpoint —
+  /// the owner's close path does that with the pipeline quiesced.
+  void Stop();
+
+  bool running() const;
+
+ private:
+  void Loop();
+
+  /// Plain mutex: never held across the checkpoint function, invisible
+  /// to the lock-rank checker by design.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool nudged_ = false;
+  CheckpointFn fn_;
+  Options options_;
+  std::thread thread_;
+};
+
+}  // namespace hm::storage
+
+#endif  // HM_STORAGE_COMMIT_PIPELINE_CHECKPOINTER_H_

@@ -1,0 +1,475 @@
+#include "storage/commit_pipeline/segmented_wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <unordered_set>
+
+#include "telemetry/metrics.h"
+#include "util/coding.h"
+#include "util/failpoint.h"
+
+namespace hm::storage {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+void SplitPath(const std::string& path, std::string* dir, std::string* name) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    *dir = ".";
+    *name = path;
+  } else {
+    *dir = slash == 0 ? "/" : path.substr(0, slash);
+    *name = path.substr(slash + 1);
+  }
+}
+
+/// Parses the numeric suffix of `<name>.<digits>`; 0 on no match
+/// (sequence numbers start at 1, so 0 doubles as "not a segment").
+uint64_t ParseSegmentSuffix(const std::string& entry,
+                            const std::string& name) {
+  if (entry.size() <= name.size() + 1) return 0;
+  if (entry.compare(0, name.size(), name) != 0) return 0;
+  if (entry[name.size()] != '.') return 0;
+  uint64_t seq = 0;
+  for (size_t i = name.size() + 1; i < entry.size(); ++i) {
+    char c = entry[i];
+    if (c < '0' || c > '9') return 0;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+    if (seq > 0xffffffffull) return 0;
+  }
+  return seq;
+}
+
+}  // namespace
+
+std::string SegmentedWal::SegmentPath(const std::string& base, uint64_t seq) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), ".%06llu",
+                static_cast<unsigned long long>(seq));
+  return base + suffix;
+}
+
+SegmentedWal::~SegmentedWal() { Close(); }
+
+void SegmentedWal::UpdateSegmentsGauge() const {
+  static telemetry::Gauge* segments =
+      telemetry::Registry::Global().GetGauge("storage.wal.segments");
+  segments->Set(static_cast<int64_t>(sealed_.size() + (fd_ >= 0 ? 1 : 0)));
+}
+
+util::Status SegmentedWal::SyncDir() {
+  std::string dir, name;
+  SplitPath(base_path_, &dir, &name);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return util::Status::IoError(ErrnoMessage("open dir", dir));
+  int rc = ::fsync(dfd);
+  int saved = errno;
+  ::close(dfd);
+  // Some filesystems refuse directory fsync; that is their durability
+  // promise to keep, not a WAL error.
+  if (rc != 0 && saved != EINVAL && saved != ENOTSUP) {
+    errno = saved;
+    return util::Status::IoError(ErrnoMessage("fsync dir", dir));
+  }
+  return util::Status::Ok();
+}
+
+util::Status SegmentedWal::Open(const std::string& base_path,
+                                const SegmentedWalOptions& options) {
+  std::lock_guard lock(mu_);
+  if (is_open()) return util::Status::InvalidArgument("WAL already open");
+  if (options.segment_bytes == 0 || options.segment_bytes >= (1ull << 32)) {
+    return util::Status::InvalidArgument(
+        "WAL segment size must be in (0, 4 GiB): LSN offsets are 32-bit");
+  }
+  options_ = options;
+  base_path_ = base_path;
+
+  std::string dir, name;
+  SplitPath(base_path_, &dir, &name);
+  std::vector<uint64_t> seqs;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return util::Status::IoError(ErrnoMessage("opendir", dir));
+  }
+  while (struct dirent* ent = ::readdir(d)) {
+    uint64_t seq = ParseSegmentSuffix(ent->d_name, name);
+    if (seq > 0) seqs.push_back(seq);
+  }
+  ::closedir(d);
+  std::sort(seqs.begin(), seqs.end());
+
+  if (seqs.empty() && ::access(base_path_.c_str(), F_OK) == 0) {
+    // Adopt a pre-segmentation single-file log as segment 000001.
+    std::string seg1 = SegmentPath(base_path_, 1);
+    if (::rename(base_path_.c_str(), seg1.c_str()) != 0) {
+      return util::Status::IoError(ErrnoMessage("rename legacy WAL", seg1));
+    }
+    HM_RETURN_IF_ERROR(SyncDir());
+    seqs.push_back(1);
+  }
+
+  if (seqs.empty()) {
+    std::string seg1 = SegmentPath(base_path_, 1);
+    int fd = ::open(seg1.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return util::Status::IoError(ErrnoMessage("open", seg1));
+    fd_ = fd;
+    seq_ = 1;
+    file_size_ = 0;
+    HM_RETURN_IF_ERROR(SyncDir());
+    UpdateSegmentsGauge();
+    return util::Status::Ok();
+  }
+
+  for (size_t i = 0; i + 1 < seqs.size(); ++i) {
+    if (seqs[i + 1] != seqs[i] + 1) {
+      return util::Status::Corruption(
+          "missing WAL segment: chain has " + SegmentPath(name, seqs[i]) +
+          " then " + SegmentPath(name, seqs[i + 1]));
+    }
+  }
+
+  sealed_.clear();
+  sealed_bytes_ = 0;
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    std::string path = SegmentPath(base_path_, seqs[i]);
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return util::Status::IoError(ErrnoMessage("stat", path));
+    }
+    uint64_t size = static_cast<uint64_t>(st.st_size);
+    if (i + 1 < seqs.size()) {
+      sealed_.emplace_back(seqs[i], size);
+      sealed_bytes_ += size;
+    } else {
+      int fd = ::open(path.c_str(), O_RDWR | O_APPEND);
+      if (fd < 0) return util::Status::IoError(ErrnoMessage("open", path));
+      fd_ = fd;
+      seq_ = seqs[i];
+      file_size_ = size;
+    }
+  }
+  UpdateSegmentsGauge();
+  return util::Status::Ok();
+}
+
+util::Status SegmentedWal::Close() {
+  std::lock_guard lock(mu_);
+  if (!is_open()) return util::Status::Ok();
+  util::Status s = SyncLocked();
+  ::close(fd_);
+  fd_ = -1;
+  sealed_.clear();
+  sealed_bytes_ = 0;
+  return s;
+}
+
+util::Result<uint64_t> SegmentedWal::Append(WalRecordType type,
+                                            uint64_t txn_id,
+                                            std::string_view payload) {
+  std::lock_guard lock(mu_);
+  return AppendLocked(type, txn_id, payload);
+}
+
+util::Result<uint64_t> SegmentedWal::AppendLocked(WalRecordType type,
+                                                  uint64_t txn_id,
+                                                  std::string_view payload) {
+  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  HM_FAILPOINT("wal/append/error");
+  if (CurrentSizeLocked() >= options_.segment_bytes) {
+    HM_RETURN_IF_ERROR(RollLocked());
+  }
+  uint64_t lsn = MakeLsn(seq_, CurrentSizeLocked());
+  AppendWalFrame(&buffer_, type, txn_id, payload);
+  ++records_appended_;
+  static telemetry::Counter* appends =
+      telemetry::Registry::Global().GetCounter("storage.wal.appends");
+  appends->Add();
+  return lsn;
+}
+
+util::Status SegmentedWal::RollLocked() {
+  // Seal the old segment durably before the new one exists: a crash
+  // between the two leaves a complete chain ending at the old tail.
+  HM_RETURN_IF_ERROR(FlushBuffer());
+  if (::fdatasync(fd_) != 0) {
+    return util::Status::IoError(
+        ErrnoMessage("fdatasync", SegmentPath(base_path_, seq_)));
+  }
+  HM_FAILPOINT("wal/rollover/error");
+  uint64_t next_seq = seq_ + 1;
+  std::string path = SegmentPath(base_path_, next_seq);
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL | O_APPEND, 0644);
+  if (fd < 0) return util::Status::IoError(ErrnoMessage("open", path));
+  util::Status dir_status = SyncDir();
+  if (!dir_status.ok()) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    return dir_status;
+  }
+  sealed_.emplace_back(seq_, file_size_);
+  sealed_bytes_ += file_size_;
+  ::close(fd_);
+  fd_ = fd;
+  seq_ = next_seq;
+  file_size_ = 0;
+  static telemetry::Counter* rollovers =
+      telemetry::Registry::Global().GetCounter("storage.wal.rollovers");
+  rollovers->Add();
+  UpdateSegmentsGauge();
+  return util::Status::Ok();
+}
+
+util::Status SegmentedWal::RollIfNonEmpty() {
+  std::lock_guard lock(mu_);
+  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  if (CurrentSizeLocked() == 0) return util::Status::Ok();
+  return RollLocked();
+}
+
+util::Status SegmentedWal::Sync() {
+  std::lock_guard lock(mu_);
+  return SyncLocked();
+}
+
+util::Status SegmentedWal::SyncLocked() {
+  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  HM_FAILPOINT("wal/sync/error");
+  HM_RETURN_IF_ERROR(FlushBuffer());
+  if (::fdatasync(fd_) != 0) {
+    return util::Status::IoError(
+        ErrnoMessage("fdatasync", SegmentPath(base_path_, seq_)));
+  }
+  ++syncs_;
+  static telemetry::Counter* syncs =
+      telemetry::Registry::Global().GetCounter("storage.wal.syncs");
+  syncs->Add();
+  return util::Status::Ok();
+}
+
+util::Status SegmentedWal::FlushBuffer() {
+  if (buffer_.empty()) return util::Status::Ok();
+  std::string path = SegmentPath(base_path_, seq_);
+  if (HM_FAILPOINT_FIRED("wal/append/short_write")) {
+    // Torn tail: persist all but the final bytes of the buffered
+    // frames, exactly the state a power cut mid-write() leaves on
+    // disk. Recovery must detect the truncated last record and stop
+    // there without losing anything before it.
+    size_t keep = buffer_.size() - std::min<size_t>(buffer_.size(), 5);
+    size_t torn_off = 0;
+    while (torn_off < keep) {
+      ssize_t n = ::write(fd_, buffer_.data() + torn_off, keep - torn_off);
+      if (n < 0) return util::Status::IoError(ErrnoMessage("write", path));
+      torn_off += static_cast<size_t>(n);
+    }
+    file_size_ += keep;
+    buffer_.clear();
+    return util::Status::IoError(
+        "injected torn tail at failpoint wal/append/short_write");
+  }
+  size_t off = 0;
+  while (off < buffer_.size()) {
+    ssize_t n = ::write(fd_, buffer_.data() + off, buffer_.size() - off);
+    if (n < 0) return util::Status::IoError(ErrnoMessage("write", path));
+    off += static_cast<size_t>(n);
+  }
+  file_size_ += buffer_.size();
+  buffer_.clear();
+  return util::Status::Ok();
+}
+
+uint64_t SegmentedWal::NextLsn() const {
+  std::lock_guard lock(mu_);
+  return MakeLsn(seq_, CurrentSizeLocked());
+}
+
+uint64_t SegmentedWal::SizeBytes() const {
+  std::lock_guard lock(mu_);
+  return sealed_bytes_ + CurrentSizeLocked();
+}
+
+std::vector<std::string> SegmentedWal::SegmentPaths() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> paths;
+  for (const auto& [seq, size] : sealed_) {
+    paths.push_back(SegmentPath(base_path_, seq));
+  }
+  if (is_open()) paths.push_back(SegmentPath(base_path_, seq_));
+  return paths;
+}
+
+uint64_t SegmentedWal::segment_count() const {
+  std::lock_guard lock(mu_);
+  return sealed_.size() + (is_open() ? 1 : 0);
+}
+
+uint64_t SegmentedWal::records_appended() const {
+  std::lock_guard lock(mu_);
+  return records_appended_;
+}
+
+uint64_t SegmentedWal::syncs() const {
+  std::lock_guard lock(mu_);
+  return syncs_;
+}
+
+util::Status SegmentedWal::Scan(
+    const std::function<util::Status(const ScannedRecord&)>& visit) {
+  std::lock_guard lock(mu_);
+  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  return ScanLocked(visit);
+}
+
+util::Status SegmentedWal::ScanLocked(
+    const std::function<util::Status(const ScannedRecord&)>& visit) {
+  HM_RETURN_IF_ERROR(FlushBuffer());
+
+  for (const auto& [seq, size] : sealed_) {
+    std::string path = SegmentPath(base_path_, seq);
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return util::Status::IoError(ErrnoMessage("open", path));
+    WalRecordReader reader(fd, size);
+    util::Status status = util::Status::Ok();
+    while (true) {
+      uint64_t record_off = reader.offset();
+      WalRecord rec;
+      util::Result<WalRecordReader::Outcome> outcome = reader.Next(&rec);
+      if (!outcome.ok()) {
+        status = outcome.status();
+        break;
+      }
+      if (*outcome == WalRecordReader::Outcome::kEnd) break;
+      if (*outcome == WalRecordReader::Outcome::kTorn) {
+        // Only the chain's very last segment may end mid-frame; a torn
+        // frame here means a whole suffix of the log vanished.
+        status = util::Status::Corruption(
+            "torn WAL frame in non-last segment '" + path + "' at offset " +
+            std::to_string(record_off));
+        break;
+      }
+      ScannedRecord scanned;
+      scanned.lsn = MakeLsn(seq, record_off);
+      scanned.type = rec.type;
+      scanned.txn_id = rec.txn_id;
+      scanned.payload = rec.payload;
+      status = visit(scanned);
+      if (!status.ok()) break;
+    }
+    ::close(fd);
+    HM_RETURN_IF_ERROR(status);
+  }
+
+  WalRecordReader reader(fd_, file_size_);
+  while (true) {
+    uint64_t record_off = reader.offset();
+    WalRecord rec;
+    HM_ASSIGN_OR_RETURN(WalRecordReader::Outcome outcome, reader.Next(&rec));
+    if (outcome == WalRecordReader::Outcome::kEnd) break;
+    if (outcome == WalRecordReader::Outcome::kTorn) {
+      // Torn or corrupt tail: drop it so subsequent O_APPEND writes
+      // land contiguously after the intact prefix. Without the
+      // truncate, new records would sit beyond the garbage and never
+      // replay.
+      if (::ftruncate(fd_, static_cast<off_t>(record_off)) != 0) {
+        return util::Status::IoError(
+            ErrnoMessage("ftruncate", SegmentPath(base_path_, seq_)));
+      }
+      file_size_ = record_off;
+      break;
+    }
+    ScannedRecord scanned;
+    scanned.lsn = MakeLsn(seq_, record_off);
+    scanned.type = rec.type;
+    scanned.txn_id = rec.txn_id;
+    scanned.payload = rec.payload;
+    HM_RETURN_IF_ERROR(visit(scanned));
+  }
+  return util::Status::Ok();
+}
+
+util::Status SegmentedWal::Recover(
+    const std::function<util::Status(uint64_t, std::string_view)>& redo) {
+  std::lock_guard lock(mu_);
+  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+
+  uint64_t start = 0;
+  std::unordered_set<uint64_t> committed;
+  HM_RETURN_IF_ERROR(ScanLocked([&](const ScannedRecord& rec) {
+    if (rec.type == WalRecordType::kCheckpoint) {
+      start = rec.payload.size() >= 8 ? util::DecodeFixed64(rec.payload.data())
+                                      : rec.lsn;
+    } else if (rec.type == WalRecordType::kCommit) {
+      committed.insert(rec.txn_id);
+    }
+    return util::Status::Ok();
+  }));
+
+  return ScanLocked([&](const ScannedRecord& rec) {
+    if (rec.type == WalRecordType::kUpdate && rec.lsn >= start &&
+        committed.contains(rec.txn_id)) {
+      return redo(rec.txn_id, rec.payload);
+    }
+    return util::Status::Ok();
+  });
+}
+
+util::Status SegmentedWal::PruneBelowLocked(uint64_t lsn) {
+  uint64_t min_seq = LsnSegment(lsn);
+  bool removed = false;
+  while (!sealed_.empty() && sealed_.front().first < min_seq) {
+    std::string path = SegmentPath(base_path_, sealed_.front().first);
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return util::Status::IoError(ErrnoMessage("unlink", path));
+    }
+    sealed_bytes_ -= sealed_.front().second;
+    sealed_.erase(sealed_.begin());
+    removed = true;
+  }
+  if (removed) {
+    HM_RETURN_IF_ERROR(SyncDir());
+    UpdateSegmentsGauge();
+  }
+  return util::Status::Ok();
+}
+
+util::Status SegmentedWal::Checkpoint(uint64_t recovery_start_lsn) {
+  std::lock_guard lock(mu_);
+  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  std::string payload;
+  util::PutFixed64(&payload, recovery_start_lsn);
+  HM_ASSIGN_OR_RETURN(
+      uint64_t lsn, AppendLocked(WalRecordType::kCheckpoint, 0, payload));
+  (void)lsn;
+  HM_RETURN_IF_ERROR(SyncLocked());
+  return PruneBelowLocked(recovery_start_lsn);
+}
+
+util::Status SegmentedWal::Checkpoint() {
+  std::lock_guard lock(mu_);
+  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  if (CurrentSizeLocked() > 0) {
+    HM_RETURN_IF_ERROR(RollLocked());
+  }
+  uint64_t start = MakeLsn(seq_, CurrentSizeLocked());
+  std::string payload;
+  util::PutFixed64(&payload, start);
+  HM_ASSIGN_OR_RETURN(
+      uint64_t lsn, AppendLocked(WalRecordType::kCheckpoint, 0, payload));
+  (void)lsn;
+  HM_RETURN_IF_ERROR(SyncLocked());
+  return PruneBelowLocked(start);
+}
+
+}  // namespace hm::storage

@@ -1,0 +1,148 @@
+#ifndef HM_STORAGE_COMMIT_PIPELINE_SEGMENTED_WAL_H_
+#define HM_STORAGE_COMMIT_PIPELINE_SEGMENTED_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/wal.h"
+#include "util/lock_rank.h"
+#include "util/status.h"
+
+namespace hm::storage {
+
+struct SegmentedWalOptions {
+  /// Roll to a new segment once the current one reaches this size. A
+  /// single oversized frame still lands whole — frames never span
+  /// segments — so a segment can exceed the threshold by one frame.
+  uint64_t segment_bytes = 16ull << 20;
+};
+
+/// Write-ahead redo log split across an ordered chain of segment files
+/// `<base>.<seq>` (six-digit decimal, starting at 000001). LSNs are
+/// global and monotonic: (segment seq << 32) | byte offset within the
+/// segment. Appends are buffered until Sync(); the buffer always
+/// belongs to the current segment, because rolling over flushes and
+/// fdatasync()s the old segment before the new one opens. Checkpoints
+/// delete segments wholly below the recovery-start LSN instead of
+/// truncating in place. A legacy single-file log at `<base>` is
+/// adopted as segment 000001 on open.
+class SegmentedWal {
+ public:
+  SegmentedWal() = default;
+  ~SegmentedWal();
+
+  SegmentedWal(const SegmentedWal&) = delete;
+  SegmentedWal& operator=(const SegmentedWal&) = delete;
+
+  static constexpr uint64_t MakeLsn(uint64_t seq, uint64_t offset) {
+    return (seq << 32) | offset;
+  }
+  static constexpr uint64_t LsnSegment(uint64_t lsn) { return lsn >> 32; }
+  static constexpr uint64_t LsnOffset(uint64_t lsn) {
+    return lsn & 0xffffffffull;
+  }
+  static std::string SegmentPath(const std::string& base, uint64_t seq);
+
+  util::Status Open(const std::string& base_path,
+                    const SegmentedWalOptions& options = {});
+  util::Status Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends one record (buffered), rolling to a fresh segment first
+  /// if the current one is at the size threshold. Returns the
+  /// record's LSN.
+  util::Result<uint64_t> Append(WalRecordType type, uint64_t txn_id,
+                                std::string_view payload);
+
+  /// Flushes buffered records and fdatasync()s the current segment.
+  util::Status Sync();
+
+  /// LSN the next Append() would return if no rollover intervenes — a
+  /// lower bound on every future LSN, and an exclusive upper bound on
+  /// every record already appended.
+  uint64_t NextLsn() const;
+
+  struct ScannedRecord {
+    uint64_t lsn = 0;
+    WalRecordType type = WalRecordType::kBegin;
+    uint64_t txn_id = 0;
+    std::string_view payload;  // valid only during the visit callback
+  };
+
+  /// Streams every record in the chain in LSN order. A torn tail on
+  /// the *last* segment is truncated (the log stays appendable); a bad
+  /// frame in any earlier segment, or a gap in the segment sequence,
+  /// is loud Corruption — never silently skipped.
+  util::Status Scan(
+      const std::function<util::Status(const ScannedRecord&)>& visit);
+
+  /// Classic committed-only replay: streams the chain twice, invoking
+  /// `redo(txn_id, payload)` for every kUpdate of a committed
+  /// transaction at or after the last checkpoint's recovery-start LSN,
+  /// in log order. Tolerates a torn tail like Scan().
+  util::Status Recover(
+      const std::function<util::Status(uint64_t txn_id,
+                                       std::string_view payload)>& redo);
+
+  /// Seals the current segment (flush + fdatasync) and opens the next
+  /// one, if the current segment has any content. No-op on an empty
+  /// segment.
+  util::Status RollIfNonEmpty();
+
+  /// Appends a kCheckpoint record carrying `recovery_start_lsn`,
+  /// syncs, then deletes every segment wholly below that LSN. Call
+  /// after flushing all data pages.
+  util::Status Checkpoint(uint64_t recovery_start_lsn);
+
+  /// Full checkpoint with nothing to carry over: rolls off the current
+  /// segment, checkpoints at the head of the new one, and prunes the
+  /// entire old chain — the post-state is one segment holding one
+  /// checkpoint record.
+  util::Status Checkpoint();
+
+  /// Total bytes across live segments (including unflushed buffer).
+  uint64_t SizeBytes() const;
+
+  /// Paths of the live segment files, oldest first (for backups).
+  std::vector<std::string> SegmentPaths() const;
+
+  uint64_t segment_count() const;
+  uint64_t records_appended() const;
+  uint64_t syncs() const;
+
+ private:
+  util::Result<uint64_t> AppendLocked(WalRecordType type, uint64_t txn_id,
+                                      std::string_view payload);
+  util::Status SyncLocked();
+  util::Status FlushBuffer();
+  util::Status RollLocked();
+  util::Status PruneBelowLocked(uint64_t lsn);
+  util::Status ScanLocked(
+      const std::function<util::Status(const ScannedRecord&)>& visit);
+  util::Status SyncDir();
+  uint64_t CurrentSizeLocked() const { return file_size_ + buffer_.size(); }
+  void UpdateSegmentsGauge() const;
+
+  /// Guards all mutable state. Ranked between the group-commit
+  /// coordinator (above) and the buffer pool / telemetry (below).
+  mutable util::RankedMutex<util::LockRank::kWal> mu_;
+
+  SegmentedWalOptions options_;
+  std::string base_path_;
+  int fd_ = -1;             // current (highest-seq) segment
+  uint64_t seq_ = 0;        // its sequence number
+  uint64_t file_size_ = 0;  // its on-disk size
+  std::string buffer_;      // unflushed frames for the current segment
+  /// Sealed (non-current) segments, oldest first: {seq, size}.
+  std::vector<std::pair<uint64_t, uint64_t>> sealed_;
+  uint64_t sealed_bytes_ = 0;
+  uint64_t records_appended_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+}  // namespace hm::storage
+
+#endif  // HM_STORAGE_COMMIT_PIPELINE_SEGMENTED_WAL_H_

@@ -1,243 +1,93 @@
 #include "storage/wal.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
-#include <mutex>
-#include <unordered_set>
-#include <vector>
 
-#include "telemetry/metrics.h"
 #include "util/coding.h"
-#include "util/failpoint.h"
 #include "util/crc32.h"
 
 namespace hm::storage {
 
 namespace {
-// [len:4][crc:4] then len bytes of [type:1][txn:8][payload].
-constexpr size_t kFrameHeaderSize = 8;
-constexpr size_t kRecordPrefixSize = 9;
-
-std::string ErrnoMessage(const std::string& what, const std::string& path) {
-  return what + " '" + path + "': " + std::strerror(errno);
-}
+/// Refill granularity. Large enough that a log of small records costs
+/// one pread per 64 KiB, small enough that recovery memory stays flat.
+constexpr size_t kReadChunk = 64 * 1024;
 }  // namespace
 
-Wal::~Wal() { Close(); }
-
-util::Status Wal::Open(const std::string& path) {
-  std::lock_guard lock(mu_);
-  if (is_open()) return util::Status::InvalidArgument("WAL already open");
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
-  if (fd < 0) return util::Status::IoError(ErrnoMessage("open", path));
-  struct stat st;
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
-    return util::Status::IoError(ErrnoMessage("fstat", path));
-  }
-  fd_ = fd;
-  path_ = path;
-  file_size_ = static_cast<uint64_t>(st.st_size);
-  return util::Status::Ok();
-}
-
-util::Status Wal::Close() {
-  std::lock_guard lock(mu_);
-  if (!is_open()) return util::Status::Ok();
-  util::Status s = SyncLocked();
-  ::close(fd_);
-  fd_ = -1;
-  return s;
-}
-
-util::Result<uint64_t> Wal::Append(WalRecordType type, uint64_t txn_id,
-                                   std::string_view payload) {
-  std::lock_guard lock(mu_);
-  return AppendLocked(type, txn_id, payload);
-}
-
-util::Result<uint64_t> Wal::AppendLocked(WalRecordType type, uint64_t txn_id,
-                                         std::string_view payload) {
-  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
-  HM_FAILPOINT("wal/append/error");
-  uint64_t lsn = SizeBytesLocked();
+void AppendWalFrame(std::string* out, WalRecordType type, uint64_t txn_id,
+                    std::string_view payload) {
   std::string body;
-  body.reserve(kRecordPrefixSize + payload.size());
+  body.reserve(kWalRecordPrefixSize + payload.size());
   body.push_back(static_cast<char>(type));
   util::PutFixed64(&body, txn_id);
   body.append(payload);
-
-  util::PutFixed32(&buffer_, static_cast<uint32_t>(body.size()));
-  util::PutFixed32(&buffer_, util::MaskCrc(util::Crc32(body)));
-  buffer_.append(body);
-  ++records_appended_;
-  static telemetry::Counter* appends =
-      telemetry::Registry::Global().GetCounter("storage.wal.appends");
-  appends->Add();
-  return lsn;
+  util::PutFixed32(out, static_cast<uint32_t>(body.size()));
+  util::PutFixed32(out, util::MaskCrc(util::Crc32(body)));
+  out->append(body);
 }
 
-util::Status Wal::Sync() {
-  std::lock_guard lock(mu_);
-  return SyncLocked();
-}
-
-util::Status Wal::SyncLocked() {
-  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
-  HM_FAILPOINT("wal/sync/error");
-  HM_RETURN_IF_ERROR(FlushBuffer());
-  if (::fdatasync(fd_) != 0) {
-    return util::Status::IoError(ErrnoMessage("fdatasync", path_));
+util::Status WalRecordReader::Refill(size_t need) {
+  if (Available() >= need) return util::Status::Ok();
+  // Drop the consumed prefix so the buffer tracks the live frame only.
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    buffer_start_ += pos_;
+    pos_ = 0;
   }
-  ++syncs_;
-  static telemetry::Counter* syncs =
-      telemetry::Registry::Global().GetCounter("storage.wal.syncs");
-  syncs->Add();
-  return util::Status::Ok();
-}
-
-util::Status Wal::FlushBuffer() {
-  if (buffer_.empty()) return util::Status::Ok();
-  if (HM_FAILPOINT_FIRED("wal/append/short_write")) {
-    // Torn tail: persist all but the final bytes of the buffered
-    // frames, exactly the state a power cut mid-write() leaves on
-    // disk. Recover() must detect the truncated last record and stop
-    // there without losing anything before it.
-    size_t keep = buffer_.size() - std::min<size_t>(buffer_.size(), 5);
-    size_t torn_off = 0;
-    while (torn_off < keep) {
-      ssize_t n =
-          ::write(fd_, buffer_.data() + torn_off, keep - torn_off);
-      if (n < 0) return util::Status::IoError(ErrnoMessage("write", path_));
-      torn_off += static_cast<size_t>(n);
+  uint64_t file_end = buffer_start_ + buffer_.size();
+  while (buffer_.size() < need && file_end < file_size_) {
+    size_t want = std::max(need - buffer_.size(), kReadChunk);
+    want = static_cast<size_t>(
+        std::min<uint64_t>(want, file_size_ - file_end));
+    size_t old_size = buffer_.size();
+    buffer_.resize(old_size + want);
+    ssize_t n = ::pread(fd_, buffer_.data() + old_size, want,
+                        static_cast<off_t>(file_end));
+    if (n < 0) {
+      buffer_.resize(old_size);
+      return util::Status::IoError(std::string("WAL pread: ") +
+                                   std::strerror(errno));
     }
-    file_size_ += keep;
-    buffer_.clear();
-    return util::Status::IoError(
-        "injected torn tail at failpoint wal/append/short_write");
-  }
-  size_t off = 0;
-  while (off < buffer_.size()) {
-    ssize_t n = ::write(fd_, buffer_.data() + off, buffer_.size() - off);
-    if (n < 0) return util::Status::IoError(ErrnoMessage("write", path_));
-    off += static_cast<size_t>(n);
-  }
-  file_size_ += buffer_.size();
-  buffer_.clear();
-  return util::Status::Ok();
-}
-
-util::Status Wal::ReadAll(std::string* contents) const {
-  contents->clear();
-  contents->resize(file_size_);
-  size_t off = 0;
-  while (off < file_size_) {
-    ssize_t n = ::pread(fd_, contents->data() + off, file_size_ - off,
-                        static_cast<off_t>(off));
-    if (n <= 0) return util::Status::IoError(ErrnoMessage("pread", path_));
-    off += static_cast<size_t>(n);
+    if (n == 0) {
+      // File shorter than the caller's size snapshot; treat the gap as
+      // a torn tail by reporting fewer bytes than asked.
+      buffer_.resize(old_size);
+      break;
+    }
+    buffer_.resize(old_size + static_cast<size_t>(n));
+    file_end += static_cast<uint64_t>(n);
   }
   return util::Status::Ok();
 }
 
-uint64_t Wal::SizeBytes() const {
-  std::lock_guard lock(mu_);
-  return SizeBytesLocked();
-}
-
-uint64_t Wal::records_appended() const {
-  std::lock_guard lock(mu_);
-  return records_appended_;
-}
-
-uint64_t Wal::syncs() const {
-  std::lock_guard lock(mu_);
-  return syncs_;
-}
-
-util::Status Wal::Recover(
-    const std::function<util::Status(uint64_t, std::string_view)>& redo) {
-  std::lock_guard lock(mu_);
-  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
-  HM_RETURN_IF_ERROR(FlushBuffer());
-  std::string log;
-  HM_RETURN_IF_ERROR(ReadAll(&log));
-
-  struct ParsedRecord {
-    WalRecordType type;
-    uint64_t txn_id;
-    std::string_view payload;
-  };
-  std::vector<ParsedRecord> records;
-  size_t pos = 0;
-  size_t checkpoint_index = 0;  // replay only records after the last one
-  while (pos + kFrameHeaderSize <= log.size()) {
-    uint32_t len = util::DecodeFixed32(log.data() + pos);
-    uint32_t masked = util::DecodeFixed32(log.data() + pos + 4);
-    if (pos + kFrameHeaderSize + len > log.size()) break;  // torn tail
-    std::string_view body(log.data() + pos + kFrameHeaderSize, len);
-    if (util::Crc32(body) != util::UnmaskCrc(masked)) break;  // torn tail
-    if (len < kRecordPrefixSize) {
-      return util::Status::Corruption("WAL record too short");
-    }
-    ParsedRecord rec;
-    rec.type = static_cast<WalRecordType>(body[0]);
-    rec.txn_id = util::DecodeFixed64(body.data() + 1);
-    rec.payload = body.substr(kRecordPrefixSize);
-    records.push_back(rec);
-    if (rec.type == WalRecordType::kCheckpoint) {
-      checkpoint_index = records.size();
-    }
-    pos += kFrameHeaderSize + len;
+util::Result<WalRecordReader::Outcome> WalRecordReader::Next(
+    WalRecord* record) {
+  if (next_offset_ >= file_size_) return Outcome::kEnd;
+  if (next_offset_ + kWalFrameHeaderSize > file_size_) {
+    return Outcome::kTorn;  // partial frame header at the tail
   }
-
-  if (pos < log.size()) {
-    // Torn or corrupt tail: drop it so subsequent O_APPEND writes land
-    // contiguously after the intact prefix. Without the truncate, new
-    // records would sit beyond the garbage and never replay.
-    if (::ftruncate(fd_, static_cast<off_t>(pos)) != 0) {
-      return util::Status::IoError(ErrnoMessage("ftruncate", path_));
-    }
-    file_size_ = pos;
+  HM_RETURN_IF_ERROR(Refill(kWalFrameHeaderSize));
+  if (Available() < kWalFrameHeaderSize) return Outcome::kTorn;
+  uint32_t len = util::DecodeFixed32(buffer_.data() + pos_);
+  uint32_t masked = util::DecodeFixed32(buffer_.data() + pos_ + 4);
+  uint64_t frame_size = kWalFrameHeaderSize + static_cast<uint64_t>(len);
+  if (next_offset_ + frame_size > file_size_) return Outcome::kTorn;
+  HM_RETURN_IF_ERROR(Refill(static_cast<size_t>(frame_size)));
+  if (Available() < frame_size) return Outcome::kTorn;
+  std::string_view body(buffer_.data() + pos_ + kWalFrameHeaderSize, len);
+  if (util::Crc32(body) != util::UnmaskCrc(masked)) return Outcome::kTorn;
+  if (len < kWalRecordPrefixSize) {
+    return util::Status::Corruption("WAL record too short");
   }
-
-  std::unordered_set<uint64_t> committed;
-  for (size_t i = checkpoint_index; i < records.size(); ++i) {
-    if (records[i].type == WalRecordType::kCommit) {
-      committed.insert(records[i].txn_id);
-    }
-  }
-  for (size_t i = checkpoint_index; i < records.size(); ++i) {
-    const ParsedRecord& rec = records[i];
-    if (rec.type == WalRecordType::kUpdate && committed.contains(rec.txn_id)) {
-      HM_RETURN_IF_ERROR(redo(rec.txn_id, rec.payload));
-    }
-  }
-  return util::Status::Ok();
-}
-
-util::Status Wal::Checkpoint() {
-  std::lock_guard lock(mu_);
-  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
-  HM_RETURN_IF_ERROR(FlushBuffer());
-  // Truncate, then write a fresh checkpoint record as the new head.
-  if (::ftruncate(fd_, 0) != 0) {
-    return util::Status::IoError(ErrnoMessage("ftruncate", path_));
-  }
-  // O_APPEND writes continue at the (new) end of file.
-  if (::lseek(fd_, 0, SEEK_SET) < 0) {
-    return util::Status::IoError(ErrnoMessage("lseek", path_));
-  }
-  file_size_ = 0;
-  HM_ASSIGN_OR_RETURN(uint64_t lsn,
-                      AppendLocked(WalRecordType::kCheckpoint, 0, ""));
-  (void)lsn;
-  return SyncLocked();
+  record->type = static_cast<WalRecordType>(body[0]);
+  record->txn_id = util::DecodeFixed64(body.data() + 1);
+  record->payload = body.substr(kWalRecordPrefixSize);
+  pos_ += static_cast<size_t>(frame_size);
+  next_offset_ += frame_size;
+  return Outcome::kRecord;
 }
 
 }  // namespace hm::storage

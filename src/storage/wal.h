@@ -1,18 +1,19 @@
 #ifndef HM_STORAGE_WAL_H_
 #define HM_STORAGE_WAL_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <string_view>
 
-#include "util/lock_rank.h"
 #include "util/status.h"
 
 namespace hm::storage {
 
 /// WAL record kinds. Update payloads are opaque to the log — the
 /// owning store defines their meaning and replays them on recovery.
+/// kCheckpoint carries a fixed64 recovery-start LSN (empty payload on
+/// logs written before segmented checkpoints: start at the record).
 enum class WalRecordType : uint8_t {
   kBegin = 1,
   kUpdate = 2,
@@ -21,74 +22,65 @@ enum class WalRecordType : uint8_t {
   kCheckpoint = 5,
 };
 
-/// Write-ahead redo log (R10: logging, backup and recovery). Records
-/// are framed `[len][masked-crc][type][txn-id][payload]` and buffered
-/// in memory until Sync(); Commit-type appends are expected to be
-/// followed by Sync() so commits are durable. Recovery tolerates a
-/// torn tail: scanning stops at the first frame that fails its CRC.
-class Wal {
+/// On-disk frame layout: [len:4][masked-crc:4] then `len` bytes of
+/// body [type:1][txn:8][payload]. The CRC covers the body only, masked
+/// so a frame of zero bytes never checks out.
+inline constexpr size_t kWalFrameHeaderSize = 8;
+inline constexpr size_t kWalRecordPrefixSize = 9;
+
+/// Appends the framed encoding of one record to `*out`.
+void AppendWalFrame(std::string* out, WalRecordType type, uint64_t txn_id,
+                    std::string_view payload);
+
+/// One decoded WAL record. `payload` aliases the reader's internal
+/// buffer and is invalidated by the next call to Next().
+struct WalRecord {
+  WalRecordType type = WalRecordType::kBegin;
+  uint64_t txn_id = 0;
+  std::string_view payload;
+};
+
+/// Streaming frame decoder over an open file descriptor. Reads through
+/// a bounded buffer that grows only to the largest single record, so
+/// recovering a multi-gigabyte log takes O(largest record) memory, not
+/// O(log size). The reader does not own the fd.
+class WalRecordReader {
  public:
-  Wal() = default;
-  ~Wal();
+  WalRecordReader(int fd, uint64_t file_size)
+      : fd_(fd), file_size_(file_size) {}
 
-  Wal(const Wal&) = delete;
-  Wal& operator=(const Wal&) = delete;
+  WalRecordReader(const WalRecordReader&) = delete;
+  WalRecordReader& operator=(const WalRecordReader&) = delete;
 
-  util::Status Open(const std::string& path);
-  util::Status Close();
-  bool is_open() const { return fd_ >= 0; }
+  enum class Outcome {
+    kRecord,  // *record holds the next record
+    kEnd,     // clean end of file, exactly at a frame boundary
+    kTorn,    // partial or CRC-failing frame: valid data ends at offset()
+  };
 
-  /// Appends one record (buffered). Returns the record's LSN — its
-  /// byte offset in the log.
-  util::Result<uint64_t> Append(WalRecordType type, uint64_t txn_id,
-                                std::string_view payload);
+  /// Decodes the next frame. On kTorn, offset() is the byte offset of
+  /// the first bad frame — everything before it parsed cleanly. A
+  /// structurally impossible frame (valid CRC but body shorter than
+  /// the record prefix) is Corruption, not a torn tail.
+  util::Result<Outcome> Next(WalRecord* record);
 
-  /// Flushes buffered records and fsync()s the log file.
-  util::Status Sync();
-
-  /// Replays the log: first pass collects committed transaction ids,
-  /// second pass invokes `redo(txn_id, payload)` for every kUpdate
-  /// record of a committed transaction, in log order. Records after
-  /// the last kCheckpoint are the only ones replayed. A torn or
-  /// corrupt tail (partial final write, CRC mismatch) is truncated so
-  /// the log is immediately appendable again.
-  util::Status Recover(
-      const std::function<util::Status(uint64_t txn_id,
-                                       std::string_view payload)>& redo);
-
-  /// Appends a checkpoint record, syncs, then truncates the file to
-  /// just the checkpoint. Call after flushing all data pages.
-  util::Status Checkpoint();
-
-  /// Current log size in bytes (including unflushed buffer).
-  uint64_t SizeBytes() const;
-
-  uint64_t records_appended() const;
-  uint64_t syncs() const;
+  /// File offset of the next frame Next() will attempt (equals the end
+  /// of the last good frame after kEnd/kTorn).
+  uint64_t offset() const { return next_offset_; }
 
  private:
-  // Lock-free internals for the public methods above; callers hold
-  // mu_. Checkpoint() and Close() compose appends and syncs, so the
-  // split keeps them from re-acquiring their own rank.
-  util::Result<uint64_t> AppendLocked(WalRecordType type, uint64_t txn_id,
-                                      std::string_view payload);
-  util::Status SyncLocked();
-  uint64_t SizeBytesLocked() const { return file_size_ + buffer_.size(); }
-  util::Status FlushBuffer();
-  /// Reads the whole log file into `*contents`.
-  util::Status ReadAll(std::string* contents) const;
+  /// Ensures at least `need` unconsumed bytes are buffered (or as many
+  /// as the file has). Discards consumed bytes first, so the buffer
+  /// never holds more than one chunk beyond the frame being decoded.
+  util::Status Refill(size_t need);
+  size_t Available() const { return buffer_.size() - pos_; }
 
-  /// Guards fd_/buffer_/file_size_ and the counters. Ranked between
-  /// the server dispatch lock (above) and the buffer pool / telemetry
-  /// registry (below).
-  mutable util::RankedMutex<util::LockRank::kWal> mu_;
-
-  int fd_ = -1;
-  std::string path_;
-  std::string buffer_;
-  uint64_t file_size_ = 0;
-  uint64_t records_appended_ = 0;
-  uint64_t syncs_ = 0;
+  int fd_;
+  uint64_t file_size_;
+  uint64_t next_offset_ = 0;  // file offset of the next frame
+  std::string buffer_;        // window starting at buffer_start_
+  uint64_t buffer_start_ = 0;
+  size_t pos_ = 0;  // consumed prefix of buffer_
 };
 
 }  // namespace hm::storage

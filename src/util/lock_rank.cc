@@ -15,6 +15,10 @@ const char* LockRankName(LockRank rank) {
       return "buffer_pool";
     case LockRank::kWal:
       return "wal";
+    case LockRank::kGroupCommit:
+      return "group_commit";
+    case LockRank::kCommitPipeline:
+      return "commit_pipeline";
     case LockRank::kServerDispatch:
       return "server_dispatch";
     case LockRank::kListener:
@@ -53,8 +57,9 @@ thread_local HeldStack tl_held;
   }
   std::fprintf(stderr,
                "]; acquisitions must strictly descend "
-               "(listener > server_dispatch > wal > buffer_pool > "
-               "failpoint > telemetry_registry)\n");
+               "(listener > server_dispatch > commit_pipeline > "
+               "group_commit > wal > buffer_pool > failpoint > "
+               "telemetry_registry)\n");
   std::abort();
 }
 

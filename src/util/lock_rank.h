@@ -18,12 +18,15 @@
 /// the inverted orders.
 ///
 /// The rank table mirrors the call graph, leaf-most lowest: server
-/// dispatch calls into the WAL, which sits above the buffer pool,
-/// which may consult the failpoint registry (fault-injection sites run
-/// under storage locks), which may intern telemetry metrics.
-/// Acquisitions therefore descend:
+/// dispatch calls into the commit pipeline (the store-level write
+/// lock), which enrolls committers with the group-commit coordinator,
+/// which drives the WAL, which sits above the buffer pool, which may
+/// consult the failpoint registry (fault-injection sites run under
+/// storage locks), which may intern telemetry metrics. Acquisitions
+/// therefore descend:
 ///
-///   kListener(5) > kServerDispatch(4) > kWal(3) > kBufferPool(2)
+///   kListener(7) > kServerDispatch(6) > kCommitPipeline(5)
+///                > kGroupCommit(4) > kWal(3) > kBufferPool(2)
 ///                > kFailpoint(1) > kTelemetryRegistry(0)
 ///
 /// Checking is compiled in when HM_LOCK_RANK_CHECKS is defined (the
@@ -42,9 +45,11 @@ enum class LockRank : int {
   kFailpoint = 1,          // util::Failpoint registry (sites fire under
                            // storage/server locks, and bump telemetry)
   kBufferPool = 2,         // storage::BufferPool frame table
-  kWal = 3,                // storage::Wal append buffer
-  kServerDispatch = 4,     // server backend shared_mutex
-  kListener = 5,           // server accept queue / fd set / stop latch
+  kWal = 3,                // storage::SegmentedWal append buffer
+  kGroupCommit = 4,        // storage::GroupCommitCoordinator batch state
+  kCommitPipeline = 5,     // objstore::ObjectStore write/checkpoint lock
+  kServerDispatch = 6,     // server backend shared_mutex
+  kListener = 7,           // server accept queue / fd set / stop latch
 };
 
 /// Stable lower-snake-case rank name for diagnostics.

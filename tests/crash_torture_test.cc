@@ -11,11 +11,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "analysis/fsck.h"
 #include "hypermodel/backends/oodb_store.h"
@@ -42,6 +45,12 @@ class CrashTortureTest : public ::testing::Test {
     if (!util::kFailpointsCompiled) {
       GTEST_SKIP() << "failpoints compiled out of this build";
     }
+    // These scenarios pin exact pipeline geometry (tiny segments so a
+    // countdown failpoint lands mid-rollover); the CI env matrix must
+    // not override it. The forked child inherits the cleaned env.
+    ::unsetenv("HM_WAL_SEGMENT_BYTES");
+    ::unsetenv("HM_GROUP_COMMIT_US");
+    ::unsetenv("HM_CHECKPOINT_MS");
     dir_ = ::testing::TempDir() + "/hm_crash_" +
            ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
@@ -56,19 +65,28 @@ class CrashTortureTest : public ::testing::Test {
   /// armed as `spec` AFTER the database build finished, so the crash
   /// lands deterministically inside the edit loop. Returns the child's
   /// wait status. Committed edits are recorded, fsync'd, in
-  /// `dir_/oracle.log` before/after each commit.
-  int RunWorkloadChild(const std::string& site, const std::string& spec) {
+  /// `dir_/oracle.log` before/after each commit. With a background
+  /// checkpointer enabled, the child settles before arming (so stale
+  /// build records do not trigger a pre-edit checkpoint) and lingers
+  /// after the loop (so an armed checkpoint site is guaranteed a tick
+  /// with fresh records).
+  int RunWorkloadChild(const std::string& site, const std::string& spec,
+                       const OodbOptions& options = OodbOptions{}) {
     pid_t pid = ::fork();
     if (pid < 0) return -1;
     if (pid == 0) {
       int oracle = ::open((dir_ + "/oracle.log").c_str(),
                           O_WRONLY | O_CREAT | O_APPEND, 0644);
       if (oracle < 0) ::_exit(2);
-      auto store = OodbStore::Open(OodbOptions{}, dir_);
+      auto store = OodbStore::Open(options, dir_);
       if (!store.ok()) ::_exit(3);
       auto db = Generator(SmallConfig()).Build(store->get(), nullptr);
       if (!db.ok()) ::_exit(4);
       if (!OracleAppend(oracle, "built")) ::_exit(2);
+      if (options.checkpoint_interval_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            5 * options.checkpoint_interval_ms + 20));
+      }
       // Arm the failpoint only now: the build is fault-free, the edit
       // loop is where the lightning strikes.
       if (!util::Failpoint::Enable(site, spec).ok()) ::_exit(2);
@@ -83,6 +101,10 @@ class CrashTortureTest : public ::testing::Test {
                                       std::to_string(ref))) {
           ::_exit(2);
         }
+      }
+      if (options.checkpoint_interval_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            5 * options.checkpoint_interval_ms + 100));
       }
       ::_exit(0);
     }
@@ -181,6 +203,51 @@ TEST_F(CrashTortureTest, TornWalTailDuringEditsRecovers) {
       RunWorkloadChild("wal/append/short_write", "error,after=4");
   ASSERT_TRUE(WIFEXITED(wait_status));
   ASSERT_EQ(WEXITSTATUS(wait_status), 43);
+  VerifyRecovered();
+}
+
+TEST_F(CrashTortureTest, CrashMidRolloverRecovers) {
+  // Tiny segments make nearly every edit commit roll the WAL; the
+  // crash lands between sealing the old segment and opening the new
+  // one — the window where a broken rollover could lose the tail of
+  // the chain. Recovery must come up on the sealed chain with every
+  // marked commit intact.
+  OodbOptions options;
+  options.wal_segment_bytes = 512;
+  int wait_status =
+      RunWorkloadChild("wal/rollover/error", "crash,after=6", options);
+  ASSERT_TRUE(WIFEXITED(wait_status));
+  ASSERT_EQ(WEXITSTATUS(wait_status), util::kFailpointCrashExit);
+  VerifyRecovered();
+}
+
+TEST_F(CrashTortureTest, RolloverErrorSurfacesAndChainStaysUsable) {
+  // Same window, `error` action: the roll fails, the commit surfaces
+  // the IoError, and the store must still be recoverable afterwards —
+  // the old segment stays current and consistent.
+  OodbOptions options;
+  options.wal_segment_bytes = 512;
+  int wait_status =
+      RunWorkloadChild("wal/rollover/error", "error,after=6,times=1", options);
+  ASSERT_TRUE(WIFEXITED(wait_status));
+  ASSERT_EQ(WEXITSTATUS(wait_status), 43);
+  VerifyRecovered();
+}
+
+TEST_F(CrashTortureTest, CrashMidFuzzyCheckpointRecovers) {
+  // The background checkpointer dies between dirty-page flush batches:
+  // a half-flushed data file plus an un-advanced recovery-start LSN.
+  // The fuzzy invariant (checkpoint record written only after the data
+  // sync) means recovery replays from the previous checkpoint and no
+  // committed edit is lost.
+  OodbOptions options;
+  options.wal_segment_bytes = 4096;
+  options.checkpoint_interval_ms = 10;
+  options.checkpoint_wal_bytes = 1024;
+  int wait_status =
+      RunWorkloadChild("checkpoint/mid_flush/crash", "crash,after=1", options);
+  ASSERT_TRUE(WIFEXITED(wait_status));
+  ASSERT_EQ(WEXITSTATUS(wait_status), util::kFailpointCrashExit);
   VerifyRecovered();
 }
 

@@ -18,7 +18,7 @@
 #include <thread>
 #include <vector>
 
-#include "storage/wal.h"
+#include "storage/commit_pipeline/segmented_wal.h"
 #include "telemetry/metrics.h"
 
 namespace hm {
@@ -212,7 +212,7 @@ class FailpointWalTest : public ::testing::Test {
 };
 
 TEST_F(FailpointWalTest, WalAppendErrorSurfacesAsStatus) {
-  storage::Wal wal;
+  storage::SegmentedWal wal;
   ASSERT_TRUE(wal.Open(dir_ + "/wal.log").ok());
   ASSERT_TRUE(Failpoint::Enable("wal/append/error", "error,times=1").ok());
   auto lsn = wal.Append(storage::WalRecordType::kUpdate, 1, "doomed");
@@ -224,7 +224,7 @@ TEST_F(FailpointWalTest, WalAppendErrorSurfacesAsStatus) {
 }
 
 TEST_F(FailpointWalTest, WalSyncErrorSurfacesAsStatus) {
-  storage::Wal wal;
+  storage::SegmentedWal wal;
   ASSERT_TRUE(wal.Open(dir_ + "/wal.log").ok());
   ASSERT_TRUE(wal.Append(storage::WalRecordType::kUpdate, 1, "x").ok());
   ASSERT_TRUE(Failpoint::Enable("wal/sync/error", "error,times=1").ok());
@@ -238,7 +238,7 @@ TEST_F(FailpointWalTest, WalSyncErrorSurfacesAsStatus) {
 TEST_F(FailpointWalTest, TornTailIsTruncatedAndLogStaysAppendable) {
   std::string path = dir_ + "/wal.log";
   {
-    storage::Wal wal;
+    storage::SegmentedWal wal;
     ASSERT_TRUE(wal.Open(path).ok());
     // Two durable committed transactions.
     ASSERT_TRUE(wal.Append(storage::WalRecordType::kUpdate, 1, "one").ok());
@@ -258,7 +258,7 @@ TEST_F(FailpointWalTest, TornTailIsTruncatedAndLogStaysAppendable) {
     // destructor's sync finds an empty buffer and writes nothing).
   }
 
-  storage::Wal wal;
+  storage::SegmentedWal wal;
   ASSERT_TRUE(wal.Open(path).ok());
   uint64_t torn_size = wal.SizeBytes();
   std::vector<std::string> replayed;

@@ -11,6 +11,7 @@
 #include "objstore/object_store.h"
 #include "storage/buffer_pool.h"
 #include "storage/file_manager.h"
+#include "storage/commit_pipeline/segmented_wal.h"
 #include "storage/wal.h"
 
 namespace hm {
@@ -45,7 +46,7 @@ TEST_F(FaultTest, WalMidLogCorruptionReplaysIntactPrefix) {
   std::string path = dir_ + "/wal.log";
   uint64_t second_record_offset = 0;
   {
-    storage::Wal wal;
+    storage::SegmentedWal wal;
     ASSERT_TRUE(wal.Open(path).ok());
     ASSERT_TRUE(wal.Append(storage::WalRecordType::kUpdate, 1, "first").ok());
     ASSERT_TRUE(wal.Append(storage::WalRecordType::kCommit, 1, "").ok());
@@ -56,10 +57,12 @@ TEST_F(FaultTest, WalMidLogCorruptionReplaysIntactPrefix) {
     ASSERT_TRUE(wal.Append(storage::WalRecordType::kCommit, 2, "").ok());
     ASSERT_TRUE(wal.Sync().ok());
   }
-  // Corrupt the payload of transaction 2's update record.
-  FlipByte(path, static_cast<std::streamoff>(second_record_offset) + 20);
+  // Corrupt the payload of transaction 2's update record (the
+  // chain is a single segment, so segment offset == log offset).
+  FlipByte(storage::SegmentedWal::SegmentPath(path, 1),
+           static_cast<std::streamoff>(second_record_offset) + 20);
 
-  storage::Wal wal;
+  storage::SegmentedWal wal;
   ASSERT_TRUE(wal.Open(path).ok());
   std::vector<std::string> replayed;
   ASSERT_TRUE(wal.Recover([&](uint64_t, std::string_view payload) {
@@ -75,7 +78,7 @@ TEST_F(FaultTest, WalMidLogCorruptionReplaysIntactPrefix) {
 TEST_F(FaultTest, WalLengthFieldCorruptionIsContained) {
   std::string path = dir_ + "/wal2.log";
   {
-    storage::Wal wal;
+    storage::SegmentedWal wal;
     ASSERT_TRUE(wal.Open(path).ok());
     ASSERT_TRUE(wal.Append(storage::WalRecordType::kUpdate, 1, "ok").ok());
     ASSERT_TRUE(wal.Append(storage::WalRecordType::kCommit, 1, "").ok());
@@ -83,8 +86,8 @@ TEST_F(FaultTest, WalLengthFieldCorruptionIsContained) {
   }
   // Corrupt the very first frame's length field: nothing replays, but
   // recovery itself must not fail or crash.
-  FlipByte(path, 0);
-  storage::Wal wal;
+  FlipByte(storage::SegmentedWal::SegmentPath(path, 1), 0);
+  storage::SegmentedWal wal;
   ASSERT_TRUE(wal.Open(path).ok());
   int replayed = 0;
   ASSERT_TRUE(wal.Recover([&](uint64_t, std::string_view) {
@@ -163,7 +166,7 @@ TEST_F(FaultTest, TruncatedWalTailIsIgnored) {
   std::string path = dir_ + "/wal3.log";
   uint64_t full_size = 0;
   {
-    storage::Wal wal;
+    storage::SegmentedWal wal;
     ASSERT_TRUE(wal.Open(path).ok());
     ASSERT_TRUE(wal.Append(storage::WalRecordType::kUpdate, 1, "keep").ok());
     ASSERT_TRUE(wal.Append(storage::WalRecordType::kCommit, 1, "").ok());
@@ -173,8 +176,9 @@ TEST_F(FaultTest, TruncatedWalTailIsIgnored) {
     full_size = wal.SizeBytes();
   }
   // Chop the file mid-way through the last record (torn write).
-  std::filesystem::resize_file(path, full_size - 5);
-  storage::Wal wal;
+  std::filesystem::resize_file(storage::SegmentedWal::SegmentPath(path, 1),
+                               full_size - 5);
+  storage::SegmentedWal wal;
   ASSERT_TRUE(wal.Open(path).ok());
   std::vector<std::string> replayed;
   ASSERT_TRUE(wal.Recover([&](uint64_t, std::string_view payload) {

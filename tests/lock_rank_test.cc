@@ -98,7 +98,7 @@ TEST(LockRankDeathTest, SharedSideParticipatesInRanking) {
   RankedSharedMutex<LockRank::kServerDispatch> dispatch;
   std::lock_guard held(pool);
   EXPECT_DEATH(dispatch.lock_shared(),
-               "lock-rank violation: acquiring rank 4 \\(server_dispatch\\)");
+               "lock-rank violation: acquiring rank 6 \\(server_dispatch\\)");
 }
 
 TEST(LockRankDeathTest, AscendingTryLockAborts) {

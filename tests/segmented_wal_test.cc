@@ -1,0 +1,311 @@
+// Tests for the segmented WAL (storage/commit_pipeline/segmented_wal):
+// LSN arithmetic, rollover at exact frame boundaries, recovery across
+// a segment chain with a torn tail on the last segment only, loud
+// failure on a missing middle segment, and checkpoint pruning leaving
+// the chain appendable.
+
+#include "storage/commit_pipeline/segmented_wal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hm::storage {
+namespace {
+
+class SegmentedWalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/hm_segwal_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    base_ = dir_ + "/wal.log";
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Segment(uint64_t seq) const {
+    return SegmentedWal::SegmentPath(base_, seq);
+  }
+
+  /// One frame's on-disk size for a payload of `n` bytes.
+  static uint64_t FrameBytes(size_t n) {
+    return kWalFrameHeaderSize + kWalRecordPrefixSize + n;
+  }
+
+  std::string dir_;
+  std::string base_;
+};
+
+TEST_F(SegmentedWalTest, LsnArithmetic) {
+  EXPECT_EQ(SegmentedWal::MakeLsn(1, 0), 1ull << 32);
+  EXPECT_EQ(SegmentedWal::MakeLsn(3, 17), (3ull << 32) | 17);
+  EXPECT_EQ(SegmentedWal::LsnSegment(SegmentedWal::MakeLsn(7, 123)), 7u);
+  EXPECT_EQ(SegmentedWal::LsnOffset(SegmentedWal::MakeLsn(7, 123)), 123u);
+  // LSNs order first by segment, then by offset.
+  EXPECT_LT(SegmentedWal::MakeLsn(2, 0xffffffffull),
+            SegmentedWal::MakeLsn(3, 0));
+  EXPECT_TRUE(Segment(1).ends_with(".000001"));
+  EXPECT_TRUE(Segment(42).ends_with(".000042"));
+}
+
+TEST_F(SegmentedWalTest, RollsAtExactFrameBoundary) {
+  // Threshold exactly two frames: the third append must open segment 2.
+  const size_t payload = 100;
+  SegmentedWalOptions options;
+  options.segment_bytes = 2 * FrameBytes(payload);
+  SegmentedWal wal;
+  ASSERT_TRUE(wal.Open(base_, options).ok());
+
+  std::string body(payload, 'r');
+  auto lsn1 = wal.Append(WalRecordType::kUpdate, 1, body);
+  auto lsn2 = wal.Append(WalRecordType::kUpdate, 1, body);
+  ASSERT_TRUE(lsn1.ok());
+  ASSERT_TRUE(lsn2.ok());
+  EXPECT_EQ(SegmentedWal::LsnSegment(*lsn1), 1u);
+  EXPECT_EQ(SegmentedWal::LsnSegment(*lsn2), 1u);
+  EXPECT_EQ(wal.segment_count(), 1u);
+
+  auto lsn3 = wal.Append(WalRecordType::kUpdate, 1, body);
+  ASSERT_TRUE(lsn3.ok());
+  EXPECT_EQ(SegmentedWal::LsnSegment(*lsn3), 2u);
+  EXPECT_EQ(SegmentedWal::LsnOffset(*lsn3), 0u);
+  EXPECT_EQ(wal.segment_count(), 2u);
+  ASSERT_TRUE(wal.Sync().ok());
+
+  // The sealed segment holds exactly two frames; the rollover synced
+  // it before the new segment opened.
+  EXPECT_EQ(std::filesystem::file_size(Segment(1)), options.segment_bytes);
+  EXPECT_TRUE(std::filesystem::exists(Segment(2)));
+
+  // Scan sees all three records in LSN order across the boundary.
+  std::vector<uint64_t> lsns;
+  ASSERT_TRUE(wal.Scan([&](const SegmentedWal::ScannedRecord& rec) {
+                   lsns.push_back(rec.lsn);
+                   return util::Status::Ok();
+                 })
+                  .ok());
+  EXPECT_EQ(lsns, (std::vector<uint64_t>{*lsn1, *lsn2, *lsn3}));
+}
+
+TEST_F(SegmentedWalTest, ReopenResumesAtHighestSegment) {
+  SegmentedWalOptions options;
+  options.segment_bytes = FrameBytes(10);  // roll after every frame
+  {
+    SegmentedWal wal;
+    ASSERT_TRUE(wal.Open(base_, options).ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          wal.Append(WalRecordType::kUpdate, 1, std::string(10, 'a')).ok());
+    }
+    ASSERT_TRUE(wal.Sync().ok());
+    EXPECT_EQ(wal.segment_count(), 3u);
+  }
+  SegmentedWal wal;
+  ASSERT_TRUE(wal.Open(base_, options).ok());
+  EXPECT_EQ(wal.segment_count(), 3u);
+  auto lsn = wal.Append(WalRecordType::kUpdate, 2, "x");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_GE(SegmentedWal::LsnSegment(*lsn), 3u);
+}
+
+TEST_F(SegmentedWalTest, TornTailOnLastSegmentKeepsEarlierSegments) {
+  SegmentedWalOptions options;
+  // Exactly txn 1's two frames: txn 2 starts segment 2.
+  options.segment_bytes = FrameBytes(20) + FrameBytes(0);
+  {
+    SegmentedWal wal;
+    ASSERT_TRUE(wal.Open(base_, options).ok());
+    // Fill segment 1 with a committed txn, start segment 2.
+    ASSERT_TRUE(
+        wal.Append(WalRecordType::kUpdate, 1, std::string(20, 'k')).ok());
+    ASSERT_TRUE(wal.Append(WalRecordType::kCommit, 1, "").ok());
+    ASSERT_TRUE(
+        wal.Append(WalRecordType::kUpdate, 2, std::string(20, 'l')).ok());
+    ASSERT_TRUE(wal.Append(WalRecordType::kCommit, 2, "").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+    ASSERT_EQ(wal.segment_count(), 2u);
+  }
+  // Tear the LAST segment mid-frame.
+  uint64_t size2 = std::filesystem::file_size(Segment(2));
+  std::filesystem::resize_file(Segment(2), size2 - 3);
+
+  SegmentedWal wal;
+  ASSERT_TRUE(wal.Open(base_, options).ok());
+  std::vector<std::string> redone;
+  ASSERT_TRUE(wal.Recover([&](uint64_t, std::string_view payload) {
+                   redone.emplace_back(payload);
+                   return util::Status::Ok();
+                 })
+                  .ok());
+  // txn 1 (segment 1, intact) replays; txn 2 lost its commit record to
+  // the torn tail so its update must not replay.
+  ASSERT_EQ(redone.size(), 1u);
+  EXPECT_EQ(redone[0], std::string(20, 'k'));
+  // The torn frame was truncated away and the log is appendable.
+  ASSERT_TRUE(wal.Append(WalRecordType::kUpdate, 3, "fresh").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+}
+
+TEST_F(SegmentedWalTest, CorruptFrameInEarlierSegmentIsLoud) {
+  SegmentedWalOptions options;
+  options.segment_bytes = FrameBytes(30);
+  {
+    SegmentedWal wal;
+    ASSERT_TRUE(wal.Open(base_, options).ok());
+    ASSERT_TRUE(
+        wal.Append(WalRecordType::kUpdate, 1, std::string(30, 'a')).ok());
+    ASSERT_TRUE(
+        wal.Append(WalRecordType::kUpdate, 1, std::string(30, 'b')).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+    ASSERT_EQ(wal.segment_count(), 2u);
+  }
+  // Flip a payload byte in the SEALED segment: that is real corruption,
+  // not a torn tail, and recovery must refuse to continue silently.
+  {
+    std::fstream f(Segment(1), std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(20);
+    f.put('!');
+  }
+  SegmentedWal wal;
+  ASSERT_TRUE(wal.Open(base_, options).ok());
+  util::Status s = wal.Scan(
+      [](const SegmentedWal::ScannedRecord&) { return util::Status::Ok(); });
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_NE(s.message().find("non-last segment"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(SegmentedWalTest, MissingMiddleSegmentFailsLoudly) {
+  SegmentedWalOptions options;
+  options.segment_bytes = FrameBytes(5);
+  {
+    SegmentedWal wal;
+    ASSERT_TRUE(wal.Open(base_, options).ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          wal.Append(WalRecordType::kUpdate, 1, std::string(5, 'x')).ok());
+    }
+    ASSERT_TRUE(wal.Sync().ok());
+    ASSERT_EQ(wal.segment_count(), 3u);
+  }
+  ASSERT_TRUE(std::filesystem::remove(Segment(2)));
+  SegmentedWal wal;
+  util::Status s = wal.Open(base_, options);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_NE(s.message().find("missing WAL segment"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(SegmentedWalTest, CheckpointPrunesDeadSegmentsAndChainStaysAppendable) {
+  SegmentedWalOptions options;
+  options.segment_bytes = 4 * FrameBytes(50);
+  SegmentedWal wal;
+  ASSERT_TRUE(wal.Open(base_, options).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        wal.Append(WalRecordType::kUpdate, 1, std::string(50, 'p')).ok());
+  }
+  ASSERT_TRUE(wal.Append(WalRecordType::kCommit, 1, "").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  uint64_t before_segments = wal.segment_count();
+  uint64_t before_bytes = wal.SizeBytes();
+  ASSERT_GT(before_segments, 2u);
+
+  // Full checkpoint: everything before it is dead.
+  ASSERT_TRUE(wal.Checkpoint().ok());
+  EXPECT_EQ(wal.segment_count(), 1u);
+  EXPECT_LT(wal.SizeBytes(), before_bytes);
+  // The dead files are really gone from the directory.
+  for (uint64_t seq = 1; seq < before_segments; ++seq) {
+    EXPECT_FALSE(std::filesystem::exists(Segment(seq))) << seq;
+  }
+
+  // Nothing replays, and the chain accepts (and replays) new commits.
+  int redone = 0;
+  ASSERT_TRUE(wal.Recover([&](uint64_t, std::string_view) {
+                   ++redone;
+                   return util::Status::Ok();
+                 })
+                  .ok());
+  EXPECT_EQ(redone, 0);
+  ASSERT_TRUE(wal.Append(WalRecordType::kUpdate, 9, "after").ok());
+  ASSERT_TRUE(wal.Append(WalRecordType::kCommit, 9, "").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  std::vector<std::string> replayed;
+  ASSERT_TRUE(wal.Recover([&](uint64_t, std::string_view payload) {
+                   replayed.emplace_back(payload);
+                   return util::Status::Ok();
+                 })
+                  .ok());
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0], "after");
+}
+
+TEST_F(SegmentedWalTest, PartialCheckpointKeepsSegmentsAtOrAboveStartLsn) {
+  SegmentedWalOptions options;
+  options.segment_bytes = FrameBytes(10);  // one frame per segment
+  SegmentedWal wal;
+  ASSERT_TRUE(wal.Open(base_, options).ok());
+  std::vector<uint64_t> lsns;
+  for (int i = 0; i < 4; ++i) {
+    auto lsn = wal.Append(WalRecordType::kUpdate, 1, std::string(10, 'q'));
+    ASSERT_TRUE(lsn.ok());
+    lsns.push_back(*lsn);
+  }
+  ASSERT_TRUE(wal.Sync().ok());
+  // Recovery start inside segment 3: segments 1 and 2 are wholly below
+  // it and die; 3 and 4 must survive.
+  ASSERT_TRUE(wal.Checkpoint(lsns[2]).ok());
+  EXPECT_FALSE(std::filesystem::exists(Segment(1)));
+  EXPECT_FALSE(std::filesystem::exists(Segment(2)));
+  EXPECT_TRUE(std::filesystem::exists(Segment(3)));
+  EXPECT_TRUE(std::filesystem::exists(Segment(4)));
+}
+
+TEST_F(SegmentedWalTest, AdoptsLegacySingleFileLog) {
+  // A pre-segmentation log written at the bare base path is adopted as
+  // segment 000001 and its records replay.
+  {
+    SegmentedWal writer;
+    ASSERT_TRUE(writer.Open(dir_ + "/tmp.log").ok());
+    ASSERT_TRUE(writer.Append(WalRecordType::kUpdate, 1, "legacy").ok());
+    ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 1, "").ok());
+    ASSERT_TRUE(writer.Sync().ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::filesystem::rename(SegmentedWal::SegmentPath(dir_ + "/tmp.log", 1),
+                          base_);
+  SegmentedWal wal;
+  ASSERT_TRUE(wal.Open(base_).ok());
+  EXPECT_FALSE(std::filesystem::exists(base_));  // renamed to .000001
+  EXPECT_TRUE(std::filesystem::exists(Segment(1)));
+  std::vector<std::string> replayed;
+  ASSERT_TRUE(wal.Recover([&](uint64_t, std::string_view payload) {
+                   replayed.emplace_back(payload);
+                   return util::Status::Ok();
+                 })
+                  .ok());
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0], "legacy");
+}
+
+TEST_F(SegmentedWalTest, NextLsnBoundsAppends) {
+  SegmentedWal wal;
+  ASSERT_TRUE(wal.Open(base_).ok());
+  for (int i = 0; i < 5; ++i) {
+    uint64_t bound = wal.NextLsn();
+    auto lsn = wal.Append(WalRecordType::kUpdate, 1, "z");
+    ASSERT_TRUE(lsn.ok());
+    EXPECT_GE(*lsn, bound);
+    EXPECT_LT(*lsn, wal.NextLsn());
+  }
+}
+
+}  // namespace
+}  // namespace hm::storage

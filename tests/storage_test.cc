@@ -9,6 +9,7 @@
 #include <string>
 
 #include "storage/buffer_pool.h"
+#include "storage/commit_pipeline/segmented_wal.h"
 #include "storage/file_manager.h"
 #include "storage/page.h"
 #include "storage/slotted_page.h"
@@ -413,7 +414,7 @@ using WalTest = TempDir;
 TEST_F(WalTest, RecoversCommittedOnly) {
   std::string path = Path("wal1.log");
   {
-    Wal wal;
+    SegmentedWal wal;
     ASSERT_TRUE(wal.Open(path).ok());
     ASSERT_TRUE(wal.Append(WalRecordType::kBegin, 1, "").ok());
     ASSERT_TRUE(wal.Append(WalRecordType::kUpdate, 1, "one").ok());
@@ -423,7 +424,7 @@ TEST_F(WalTest, RecoversCommittedOnly) {
     // txn 2 never commits.
     ASSERT_TRUE(wal.Sync().ok());
   }
-  Wal wal;
+  SegmentedWal wal;
   ASSERT_TRUE(wal.Open(path).ok());
   std::vector<std::pair<uint64_t, std::string>> redone;
   ASSERT_TRUE(wal.Recover([&](uint64_t txn, std::string_view payload) {
@@ -439,18 +440,19 @@ TEST_F(WalTest, RecoversCommittedOnly) {
 TEST_F(WalTest, ToleratesTornTail) {
   std::string path = Path("wal2.log");
   {
-    Wal wal;
+    SegmentedWal wal;
     ASSERT_TRUE(wal.Open(path).ok());
     ASSERT_TRUE(wal.Append(WalRecordType::kUpdate, 1, "good").ok());
     ASSERT_TRUE(wal.Append(WalRecordType::kCommit, 1, "").ok());
     ASSERT_TRUE(wal.Sync().ok());
   }
-  // Append garbage simulating a torn write.
+  // Append garbage to the live segment, simulating a torn write.
   {
-    std::ofstream f(path, std::ios::binary | std::ios::app);
+    std::ofstream f(SegmentedWal::SegmentPath(path, 1),
+                    std::ios::binary | std::ios::app);
     f << "\x50\x00\x00\x00garbage-without-valid-crc";
   }
-  Wal wal;
+  SegmentedWal wal;
   ASSERT_TRUE(wal.Open(path).ok());
   int redone = 0;
   ASSERT_TRUE(wal.Recover([&](uint64_t, std::string_view) {
@@ -463,7 +465,7 @@ TEST_F(WalTest, ToleratesTornTail) {
 
 TEST_F(WalTest, CheckpointTruncates) {
   std::string path = Path("wal3.log");
-  Wal wal;
+  SegmentedWal wal;
   ASSERT_TRUE(wal.Open(path).ok());
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(wal.Append(WalRecordType::kUpdate, 1,
@@ -486,7 +488,7 @@ TEST_F(WalTest, CheckpointTruncates) {
 
 TEST_F(WalTest, CommitAfterCheckpointIsReplayed) {
   std::string path = Path("wal4.log");
-  Wal wal;
+  SegmentedWal wal;
   ASSERT_TRUE(wal.Open(path).ok());
   ASSERT_TRUE(wal.Append(WalRecordType::kUpdate, 1, "old").ok());
   ASSERT_TRUE(wal.Append(WalRecordType::kCommit, 1, "").ok());
@@ -505,7 +507,7 @@ TEST_F(WalTest, CommitAfterCheckpointIsReplayed) {
 }
 
 TEST_F(WalTest, LsnsAreMonotonic) {
-  Wal wal;
+  SegmentedWal wal;
   ASSERT_TRUE(wal.Open(Path("wal5.log")).ok());
   uint64_t prev = 0;
   for (int i = 0; i < 10; ++i) {

@@ -61,14 +61,20 @@ using hm::backends::OodbStore;
 constexpr int kInjectedErrorExit = 43;
 
 /// One crash point the torture rotates through. `crash` kills the
-/// child inside the store; `error` (only) injects the fault and lets
-/// the child exit immediately after the first failed operation.
+/// child inside the store; `error` injects the fault and lets the
+/// child exit immediately after the first failed operation; `delay=MS`
+/// stretches a timing window (e.g. the group-commit leader's linger)
+/// without failing anything — those rounds must finish cleanly.
 struct CrashPoint {
   const char* site;
-  bool crash;  // false: "error" action
+  const char* action;  // "crash", "error" or "delay=MS"
   uint64_t min_after;
   uint64_t max_after;
 };
+
+bool IsError(const CrashPoint& point) {
+  return std::strcmp(point.action, "error") == 0;
+}
 
 // `after=K` ranges sized to the workload: a levels=3 build commits
 // once per generator phase (~5 WAL syncs, a few hundred appends) and
@@ -77,13 +83,21 @@ struct CrashPoint {
 // checking). wal/append/short_write runs in `error` mode so the torn
 // tail is actually written before the child dies — a `crash` there
 // would exit before tearing anything.
+// The commit-pipeline sites: rollovers happen every few KiB of WAL
+// (the child runs 4 KiB segments), the fuzzy checkpointer ticks every
+// 20 ms, and the group-commit leader lingers 100 us per batch — so
+// each site is hit many times per round.
 constexpr CrashPoint kCrashPoints[] = {
-    {"wal/sync/error", true, 1, 50},
-    {"wal/sync/error", false, 1, 50},
-    {"wal/append/error", true, 1, 300},
-    {"wal/append/short_write", false, 1, 50},
-    {"file/write/error", true, 1, 12},
-    {"buffer_pool/flush/error", true, 1, 12},
+    {"wal/sync/error", "crash", 1, 50},
+    {"wal/sync/error", "error", 1, 50},
+    {"wal/append/error", "crash", 1, 300},
+    {"wal/append/short_write", "error", 1, 50},
+    {"file/write/error", "crash", 1, 12},
+    {"buffer_pool/flush/error", "crash", 1, 12},
+    {"wal/rollover/error", "crash", 1, 40},
+    {"wal/rollover/error", "error", 1, 40},
+    {"checkpoint/mid_flush/crash", "crash", 1, 8},
+    {"group_commit/leader/delay", "delay=2", 1, 30},
 };
 
 struct Args {
@@ -142,8 +156,8 @@ std::string EditText(int i) { return "torture-edit-" + std::to_string(i); }
 ///   3..5 real bugs (open/build/edit failed without injection).
 [[noreturn]] void RunChild(const std::string& dir, const CrashPoint& point,
                            uint64_t after, const Args& args) {
-  std::string spec = std::string(point.crash ? "crash" : "error") +
-                     ",after=" + std::to_string(after);
+  std::string spec =
+      std::string(point.action) + ",after=" + std::to_string(after);
   hm::util::Status status = hm::util::Failpoint::Enable(point.site, spec);
   if (!status.ok()) {
     std::fprintf(stderr, "child: Enable(%s): %s\n", point.site,
@@ -156,9 +170,14 @@ std::string EditText(int i) { return "torture-edit-" + std::to_string(i); }
   if (oracle < 0) ::_exit(2);
 
   OodbOptions options;  // sync_commits=true: commits are durable
+  // Exercise the whole commit pipeline: segment rollover every 4 KiB,
+  // a 100 us group-commit window and a 20 ms fuzzy checkpointer.
+  options.wal_segment_bytes = 4096;
+  options.group_commit_us = 100;
+  options.checkpoint_interval_ms = 20;
   auto store = OodbStore::Open(options, dir);
   if (!store.ok()) {
-    if (!point.crash) ::_exit(kInjectedErrorExit);
+    if (IsError(point)) ::_exit(kInjectedErrorExit);
     std::fprintf(stderr, "child: Open: %s\n",
                  store.status().ToString().c_str());
     ::_exit(3);
@@ -168,7 +187,7 @@ std::string EditText(int i) { return "torture-edit-" + std::to_string(i); }
   config.levels = args.levels;
   auto db = hm::Generator(config).Build(store->get(), nullptr);
   if (!db.ok()) {
-    if (!point.crash) ::_exit(kInjectedErrorExit);
+    if (IsError(point)) ::_exit(kInjectedErrorExit);
     std::fprintf(stderr, "child: Build: %s\n",
                  db.status().ToString().c_str());
     ::_exit(4);
@@ -186,7 +205,7 @@ std::string EditText(int i) { return "torture-edit-" + std::to_string(i); }
     if (edit.ok()) edit = (*store)->SetText(ref, EditText(i));
     if (edit.ok()) edit = (*store)->Commit();
     if (!edit.ok()) {
-      if (!point.crash) ::_exit(kInjectedErrorExit);
+      if (IsError(point)) ::_exit(kInjectedErrorExit);
       std::fprintf(stderr, "child: edit %d: %s\n", i,
                    edit.ToString().c_str());
       ::_exit(5);
@@ -365,11 +384,10 @@ int main(int argc, char** argv) {
     if (failure.empty()) failure = VerifyRound(dir, args);
 
     Oracle oracle = ReadOracle(dir);
-    std::printf("round %2d  %-28s %-5s after=%-3" PRIu64
+    std::printf("round %2d  %-28s %-7s after=%-3" PRIu64
                 " exit=%-2d built=%s committed=%d  %s\n",
-                round, point.site, point.crash ? "crash" : "error", after,
-                exit_code, oracle.built ? "yes" : "no ",
-                oracle.committed_count,
+                round, point.site, point.action, after, exit_code,
+                oracle.built ? "yes" : "no ", oracle.committed_count,
                 failure.empty() ? "OK" : ("FAIL: " + failure).c_str());
 
     if (!failure.empty()) {

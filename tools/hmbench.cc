@@ -53,9 +53,13 @@
 //     --drain-ms=2000       Stop() grace for in-flight requests
 //     --cache-pages=2048    backend cache size
 //     --dir=PATH            backend directory (default /tmp/hmserve)
+//     --group-commit-us=0   group-commit window for oodb/rel commits
+//                           (0 = fsync per commit)
+//     --checkpoint-ms=0     oodb background fuzzy-checkpoint interval
+//                           (0 = checkpoint only at shutdown)
 //     On SIGINT/SIGTERM the server stops accepting, drains in-flight
-//     work, checkpoints persistent state, prints its telemetry, and
-//     exits 0.
+//     work (group-commit batches included), checkpoints persistent
+//     state, prints its telemetry, and exits 0.
 //
 // Examples:
 //   hmbench --levels=4 --ops=10,14,15          # closure traversals
@@ -144,6 +148,10 @@ struct Args {
       "  --queue=N           pending-connection bound (default 64)\n"
       "  --cache-pages=N     backend cache size\n"
       "  --dir=PATH          backend directory (default /tmp/hmserve)\n"
+      "  --group-commit-us=N group-commit window for oodb/rel commits\n"
+      "                      (default 0 = fsync per commit)\n"
+      "  --checkpoint-ms=N   oodb background fuzzy-checkpoint interval\n"
+      "                      (default 0 = checkpoint only at shutdown)\n"
       "\n"
       "hmbench fsck — generate a database, verify every §5.2 invariant\n\n"
       "  --backend=NAME      backend to verify: mem,oodb,rel,net,remote\n"
@@ -341,6 +349,8 @@ struct ServeArgs {
   std::string dir = "/tmp/hmserve";
   int max_inflight = 0;
   int drain_ms = 2000;
+  uint64_t group_commit_us = 0;
+  uint64_t checkpoint_ms = 0;
 };
 
 /// (Re)creates the served backend. Persistent backends start from an
@@ -359,6 +369,8 @@ hm::util::Result<std::unique_ptr<hm::HyperStore>> MakeServeBackend(
   if (args.backend == "oodb") {
     hm::backends::OodbOptions options;
     options.cache_pages = args.cache_pages;
+    options.group_commit_us = args.group_commit_us;
+    options.checkpoint_interval_ms = args.checkpoint_ms;
     auto store = hm::backends::OodbStore::Open(options, dir);
     HM_RETURN_IF_ERROR(store.status());
     return std::unique_ptr<hm::HyperStore>(std::move(*store));
@@ -373,6 +385,7 @@ hm::util::Result<std::unique_ptr<hm::HyperStore>> MakeServeBackend(
   if (args.backend == "rel") {
     hm::backends::RelOptions options;
     options.cache_pages = args.cache_pages;
+    options.group_commit_us = args.group_commit_us;
     auto store = hm::backends::RelStore::Open(options, dir);
     HM_RETURN_IF_ERROR(store.status());
     return std::unique_ptr<hm::HyperStore>(std::move(*store));
@@ -411,6 +424,12 @@ int ServeMain(int argc, char** argv) {
           static_cast<size_t>(std::atoll(value("--cache-pages=").c_str()));
     } else if (arg.starts_with("--dir=")) {
       args.dir = value("--dir=");
+    } else if (arg.starts_with("--group-commit-us=")) {
+      args.group_commit_us =
+          std::strtoull(value("--group-commit-us=").c_str(), nullptr, 10);
+    } else if (arg.starts_with("--checkpoint-ms=")) {
+      args.checkpoint_ms =
+          std::strtoull(value("--checkpoint-ms=").c_str(), nullptr, 10);
     } else {
       std::cerr << "unknown serve argument '" << arg << "'\n";
       Usage(1);
