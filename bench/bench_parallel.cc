@@ -7,11 +7,23 @@
 // with their own page cache (the R6 architecture — private
 // workstation caches over one shared server store) and run closure
 // traversals in parallel. Reports aggregate throughput scaling.
+//
+// Extra flags on top of the common bench set:
+//   --server-backend=mem,oodb  backend(s) of the self-hosted server in
+//                              --backend=remote mode; each entry gets
+//                              its own server + sweep (default mem)
+//   --readers=1,2,4,8          client counts to sweep (default that)
+// With --json=PATH the sweep is also written as JSON (BENCH_parallel).
 
+#include <algorithm>
 #include <atomic>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "hypermodel/backends/mem_store.h"
@@ -26,10 +38,48 @@ namespace {
 
 using hm::bench::CheckOk;
 
+struct SweepRow {
+  std::string server_backend;
+  int readers = 0;
+  double total_ops = 0;
+  double wall_ms = 0;
+  double ops_per_sec = 0;
+  double speedup = 0;
+};
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  hm::bench::BenchEnv env = hm::bench::ParseEnv(argc, argv, {4});
+  // Strip the flags only this binary knows before the common parser
+  // (which rejects unknown arguments) sees them.
+  std::vector<std::string> server_backends{"mem"};
+  std::vector<int> reader_counts{1, 2, 4, 8};
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.starts_with("--server-backend=")) {
+      server_backends = SplitCsv(arg.substr(std::strlen("--server-backend=")));
+    } else if (arg.starts_with("--readers=")) {
+      reader_counts.clear();
+      for (const std::string& n : SplitCsv(arg.substr(std::strlen("--readers=")))) {
+        reader_counts.push_back(std::atoi(n.c_str()));
+      }
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  hm::bench::BenchEnv env = hm::bench::ParseEnv(
+      static_cast<int>(passthrough.size()), passthrough.data(), {4});
   std::cout << "### E15: Parallel HyperModel applications (§7) — K readers, "
                "one shared database, private caches\n\n";
 
@@ -48,116 +98,194 @@ int main(int argc, char** argv) {
     CheckOk(parsed.status());
     remote_mode = *parsed;
   }
-  std::cout << "(backend: " << (remote ? env.backends[0] : "oodb")
-            << ")\n\n";
 
-  // Build the shared database once and close the builder cleanly.
-  std::string dir = env.workdir + "/shared";
-  std::unique_ptr<hm::server::Server> own_server;
-  hm::backends::RemoteOptions remote_options;
-  remote_options.mode = remote_mode;
-  hm::TestDatabase db;
-  if (remote) {
-    if (env.remote_addr.empty()) {
-      // Self-host one server; enough workers that every reader below
-      // gets a concurrent session.
-      hm::server::ServerOptions options;
-      options.host = "127.0.0.1";
-      options.port = 0;
-      options.workers = 9;  // 8 readers + the builder
-      auto srv = hm::server::Server::Start(
-          options, std::make_unique<hm::backends::MemStore>());
-      CheckOk(srv.status());
-      own_server = std::move(*srv);
-      remote_options.host = own_server->host();
-      remote_options.port = own_server->port();
-    } else {
-      auto parsed = hm::backends::ParseRemoteAddr(env.remote_addr);
-      CheckOk(parsed.status());
-      remote_options.host = parsed->host;
-      remote_options.port = parsed->port;
-    }
-    auto builder = hm::backends::RemoteStore::Connect(remote_options);
-    CheckOk(builder.status());
-    // A long-lived external server must start empty (uids from 1); on
-    // the fresh self-hosted one this is an idempotent no-op.
-    CheckOk((*builder)->ResetServer());
-    db = hm::bench::BuildDatabase(builder->get(), env.levels[0], nullptr);
-  } else {
-    std::unique_ptr<hm::HyperStore> store =
-        hm::bench::OpenBackend(env, "oodb", dir);
-    db = hm::bench::BuildDatabase(store.get(), env.levels[0], nullptr);
-  }
-
-  size_t closure_level = std::min<size_t>(3, db.nodes_by_level.size() - 2);
+  int max_readers = 1;
+  for (int k : reader_counts) max_readers = std::max(max_readers, k);
   const int ops_per_reader = 2000;
+  std::vector<SweepRow> rows;
 
-  std::cout << std::left << std::setw(9) << "readers" << std::right
-            << std::setw(12) << "total-ops" << std::setw(14) << "wall-ms"
-            << std::setw(14) << "ops/sec" << std::setw(12) << "speedup"
-            << "\n";
-  double baseline_ops_per_sec = 0;
-  for (int readers : {1, 2, 4, 8}) {
-    // Each "application" opens its own store handle (own buffer pool,
-    // or own connection) — sequentially, before the threads start.
-    std::vector<std::unique_ptr<hm::HyperStore>> apps;
-    for (int r = 0; r < readers; ++r) {
+  // One full sweep: build the shared database, then run every reader
+  // count against it. `server_backend` is the self-hosted server's
+  // store in remote mode ("external" when --remote points elsewhere,
+  // "in-process" for the direct oodb multi-handle shape).
+  auto run_sweep = [&](const std::string& server_backend) {
+    std::string dir = env.workdir + "/shared_" + server_backend;
+    std::unique_ptr<hm::server::Server> own_server;
+    hm::backends::RemoteOptions remote_options;
+    remote_options.mode = remote_mode;
+    hm::TestDatabase db;
+    if (remote) {
+      if (env.remote_addr.empty()) {
+        // Self-host one server; enough workers that every reader below
+        // gets a concurrent session.
+        hm::server::ServerOptions options;
+        options.host = "127.0.0.1";
+        options.port = 0;
+        options.workers = max_readers + 1;
+        std::unique_ptr<hm::HyperStore> backend;
+        if (server_backend == "oodb") {
+          hm::backends::OodbOptions oodb_options;
+          oodb_options.cache_pages = env.cache_pages;
+          auto store = hm::backends::OodbStore::Open(oodb_options, dir);
+          CheckOk(store.status());
+          backend = std::move(*store);
+        } else {
+          backend = std::make_unique<hm::backends::MemStore>();
+        }
+        auto srv = hm::server::Server::Start(options, std::move(backend));
+        CheckOk(srv.status());
+        own_server = std::move(*srv);
+        remote_options.host = own_server->host();
+        remote_options.port = own_server->port();
+        std::cout << "(backend: " << env.backends[0] << ", server backend: "
+                  << server_backend << ", read-parallel dispatch "
+                  << (own_server->read_parallel() ? "on" : "off") << ")\n\n";
+      } else {
+        auto parsed = hm::backends::ParseRemoteAddr(env.remote_addr);
+        CheckOk(parsed.status());
+        remote_options.host = parsed->host;
+        remote_options.port = parsed->port;
+        std::cout << "(backend: " << env.backends[0]
+                  << ", external server at " << env.remote_addr << ")\n\n";
+      }
+      auto builder = hm::backends::RemoteStore::Connect(remote_options);
+      CheckOk(builder.status());
+      // A long-lived external server must start empty (uids from 1); on
+      // a fresh self-hosted one this is an idempotent no-op.
+      CheckOk((*builder)->ResetServer());
+      db = hm::bench::BuildDatabase(builder->get(), env.levels[0], nullptr);
+    } else {
+      std::cout << "(backend: oodb)\n\n";
+      std::unique_ptr<hm::HyperStore> store =
+          hm::bench::OpenBackend(env, "oodb", dir);
+      db = hm::bench::BuildDatabase(store.get(), env.levels[0], nullptr);
+    }
+
+    size_t closure_level = std::min<size_t>(3, db.nodes_by_level.size() - 2);
+
+    {
+      // Untimed warmup so the first timed row isn't charged for the
+      // server's cold page cache (the builder handle is still open).
+      std::unique_ptr<hm::HyperStore> warm;
       if (remote) {
         auto store = hm::backends::RemoteStore::Connect(remote_options);
         CheckOk(store.status());
-        apps.push_back(std::move(*store));
+        warm = std::move(*store);
       } else {
         hm::backends::OodbOptions options;
         options.cache_pages = env.cache_pages;
         auto store = hm::backends::OodbStore::Open(options, dir);
         CheckOk(store.status());
-        apps.push_back(std::move(*store));
+        warm = std::move(*store);
+      }
+      for (hm::NodeRef start : db.level(closure_level)) {
+        std::vector<hm::NodeRef> out;
+        CheckOk(hm::ops::Closure1N(warm.get(), start, &out));
       }
     }
 
-    std::atomic<uint64_t> nodes_visited{0};
-    hm::util::Timer timer;
-    std::vector<std::thread> threads;
-    for (int r = 0; r < readers; ++r) {
-      threads.emplace_back([&, r] {
-        hm::HyperStore* store = apps[static_cast<size_t>(r)].get();
-        hm::util::Rng rng(static_cast<uint64_t>(r) * 131 + 7);
-        uint64_t local = 0;
-        for (int op = 0; op < ops_per_reader; ++op) {
-          const auto& pool = db.level(closure_level);
-          hm::NodeRef start = pool[static_cast<size_t>(
-              rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
-          std::vector<hm::NodeRef> out;
-          CheckOk(hm::ops::Closure1N(store, start, &out));
-          local += out.size();
+    std::cout << std::left << std::setw(9) << "readers" << std::right
+              << std::setw(12) << "total-ops" << std::setw(14) << "wall-ms"
+              << std::setw(14) << "ops/sec" << std::setw(12) << "speedup"
+              << "\n";
+    double baseline_ops_per_sec = 0;
+    for (int readers : reader_counts) {
+      // Each "application" opens its own store handle (own buffer pool,
+      // or own connection) — sequentially, before the threads start.
+      std::vector<std::unique_ptr<hm::HyperStore>> apps;
+      for (int r = 0; r < readers; ++r) {
+        if (remote) {
+          auto store = hm::backends::RemoteStore::Connect(remote_options);
+          CheckOk(store.status());
+          apps.push_back(std::move(*store));
+        } else {
+          hm::backends::OodbOptions options;
+          options.cache_pages = env.cache_pages;
+          auto store = hm::backends::OodbStore::Open(options, dir);
+          CheckOk(store.status());
+          apps.push_back(std::move(*store));
         }
-        nodes_visited += local;
-      });
+      }
+
+      std::atomic<uint64_t> nodes_visited{0};
+      hm::util::Timer timer;
+      std::vector<std::thread> threads;
+      for (int r = 0; r < readers; ++r) {
+        threads.emplace_back([&, r] {
+          hm::HyperStore* store = apps[static_cast<size_t>(r)].get();
+          hm::util::Rng rng(static_cast<uint64_t>(r) * 131 + 7);
+          uint64_t local = 0;
+          for (int op = 0; op < ops_per_reader; ++op) {
+            const auto& pool = db.level(closure_level);
+            hm::NodeRef start = pool[static_cast<size_t>(
+                rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+            std::vector<hm::NodeRef> out;
+            CheckOk(hm::ops::Closure1N(store, start, &out));
+            local += out.size();
+          }
+          nodes_visited += local;
+        });
+      }
+      for (std::thread& thread : threads) thread.join();
+      double wall_ms = timer.ElapsedMillis();
+      double total_ops = static_cast<double>(readers) * ops_per_reader;
+      double ops_per_sec = total_ops / (wall_ms / 1000.0);
+      if (baseline_ops_per_sec == 0) baseline_ops_per_sec = ops_per_sec;
+      double speedup = ops_per_sec / baseline_ops_per_sec;
+      std::cout << std::left << std::setw(9) << readers << std::right
+                << std::setw(12) << static_cast<long>(total_ops) << std::fixed
+                << std::setprecision(1) << std::setw(14) << wall_ms
+                << std::setprecision(0) << std::setw(14) << ops_per_sec
+                << std::setprecision(2) << std::setw(12) << speedup << "\n";
+      rows.push_back({server_backend, readers, total_ops, wall_ms,
+                      ops_per_sec, speedup});
+      (void)nodes_visited;
     }
-    for (std::thread& thread : threads) thread.join();
-    double wall_ms = timer.ElapsedMillis();
-    double total_ops = static_cast<double>(readers) * ops_per_reader;
-    double ops_per_sec = total_ops / (wall_ms / 1000.0);
-    if (readers == 1) baseline_ops_per_sec = ops_per_sec;
-    std::cout << std::left << std::setw(9) << readers << std::right
-              << std::setw(12) << static_cast<long>(total_ops) << std::fixed
-              << std::setprecision(1) << std::setw(14) << wall_ms
-              << std::setprecision(0) << std::setw(14) << ops_per_sec
-              << std::setprecision(2) << std::setw(12)
-              << ops_per_sec / baseline_ops_per_sec << "\n";
-    (void)nodes_visited;
+    if (own_server) {
+      std::cout << "\n(" << own_server->shared_reads_served()
+                << " dispatches ran under the server's shared lock)\n";
+      own_server->Stop();
+    }
+    std::cout << "\n";
+  };
+
+  if (remote && env.remote_addr.empty()) {
+    for (const std::string& server_backend : server_backends) {
+      run_sweep(server_backend);
+    }
+  } else {
+    run_sweep(remote ? "external" : "in-process");
   }
-  if (own_server) {
-    std::cout << "\n(" << own_server->shared_reads_served()
-              << " dispatches ran under the server's shared lock)\n";
-    own_server->Stop();
+
+  if (!env.json_path.empty()) {
+    std::ofstream out(env.json_path);
+    out << "{\n  \"bench\": \"parallel\",\n  \"level\": " << env.levels[0]
+        << ",\n  \"backend\": \"" << env.backends[0]
+        << "\",\n  \"ops_per_reader\": " << ops_per_reader
+        << ",\n  \"host_cores\": " << std::thread::hardware_concurrency()
+        << ",\n  \"results\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const SweepRow& row = rows[i];
+      out << "    {\"server_backend\": \"" << row.server_backend
+          << "\", \"readers\": " << row.readers << ", \"total_ops\": "
+          << static_cast<long>(row.total_ops) << ", \"wall_ms\": "
+          << std::fixed << std::setprecision(1) << row.wall_ms
+          << ", \"ops_per_sec\": " << std::setprecision(0)
+          << row.ops_per_sec << ", \"speedup\": " << std::setprecision(2)
+          << row.speedup << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "(JSON written to " << env.json_path << ")\n";
   }
+
   unsigned cores = std::thread::hardware_concurrency();
   std::cout << "\nHost has " << cores << " core(s). Expected shape: "
                "aggregate ops/sec grows toward ~min(K, cores)x the "
                "single-reader rate and never degrades below it — "
                "read-only applications with private workstation caches "
-               "do not interfere (no shared latches, no invalidations). "
+               "do not interfere, and a read-parallel server backend "
+               "(oodb/rel latch-crawling) serves its clients "
+               "concurrently instead of serializing them on one lock. "
                "On a single-core host that reads as flat aggregate "
                "throughput. The hard multi-user problem is updates "
                "(E13), exactly as the paper observes in §7.\n";

@@ -52,6 +52,11 @@ class OodbStore : public HyperStore, public PipelinedCommitCapable {
 
   std::string name() const override { return "oodb"; }
 
+  // Reads latch-crawl under shared per-frame latches (buffer pool
+  // shards + PinMode::kRead), so concurrent readers are safe as long
+  // as no mutation runs — exactly the contract this flag advertises.
+  bool SupportsConcurrentReads() const override { return true; }
+
   util::Status Begin() override;
   util::Status Commit() override;
   util::Status Abort() override;

@@ -53,6 +53,10 @@ class RelStore : public HyperStore, public PipelinedCommitCapable {
 
   std::string name() const override { return "rel"; }
 
+  // Table scans and index probes take shared per-frame latches only,
+  // so read-only operations may run concurrently between commits.
+  bool SupportsConcurrentReads() const override { return true; }
+
   util::Status Begin() override { return util::Status::Ok(); }
   util::Status Commit() override;
   util::Status Abort() override {

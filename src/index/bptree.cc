@@ -137,9 +137,13 @@ util::Result<BPlusTree> BPlusTree::Create(storage::BufferPool* pool) {
 }
 
 util::Result<PageId> BPlusTree::FindLeaf(Key128 key) const {
+  // Latch-crawl root to leaf under shared latches, one level at a
+  // time. Write paths (Update/Delete) re-fetch the returned leaf in
+  // write mode after the crawl's guards are gone.
   PageId current = root_id_;
   for (;;) {
-    HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(current));
+    HM_ASSIGN_OR_RETURN(PageGuard guard,
+                        pool_->Fetch(current, storage::PinMode::kRead));
     if (guard.page()->type() == PageType::kBTreeLeaf) return current;
     if (guard.page()->type() != PageType::kBTreeInternal) {
       return util::Status::Corruption("unexpected page type in btree");
@@ -151,7 +155,8 @@ util::Result<PageId> BPlusTree::FindLeaf(Key128 key) const {
 
 util::Result<uint64_t> BPlusTree::Get(Key128 key) const {
   HM_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key));
-  HM_ASSIGN_OR_RETURN(PageGuard leaf, pool_->Fetch(leaf_id));
+  HM_ASSIGN_OR_RETURN(PageGuard leaf,
+                      pool_->Fetch(leaf_id, storage::PinMode::kRead));
   uint16_t pos = LeafLowerBound(*leaf.page(), key);
   if (pos < GetCount(*leaf.page()) && LeafKey(*leaf.page(), pos) == key) {
     return LeafValue(*leaf.page(), pos);
@@ -323,7 +328,8 @@ util::Status BPlusTree::ScanRange(
     const std::function<bool(Key128, uint64_t)>& fn) const {
   HM_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(lo));
   while (leaf_id != kInvalidPageId) {
-    HM_ASSIGN_OR_RETURN(PageGuard leaf, pool_->Fetch(leaf_id));
+    HM_ASSIGN_OR_RETURN(PageGuard leaf,
+                        pool_->Fetch(leaf_id, storage::PinMode::kRead));
     uint16_t count = GetCount(*leaf.page());
     uint16_t pos = LeafLowerBound(*leaf.page(), lo);
     for (uint16_t i = pos; i < count; ++i) {
@@ -354,7 +360,8 @@ util::Status BPlusTree::CheckIntegrity() const {
 util::Status BPlusTree::CheckNode(PageId node, const Key128* lo,
                                   const Key128* hi, int depth,
                                   int* leaf_depth) const {
-  HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(node));
+  HM_ASSIGN_OR_RETURN(PageGuard guard,
+                      pool_->Fetch(node, storage::PinMode::kRead));
   const Page& page = *guard.page();
   uint16_t count = GetCount(page);
 

@@ -392,7 +392,7 @@ util::Status ObjectStore::FuzzyCheckpoint() {
         HM_RETURN_IF_ERROR(wal_.RollIfNonEmpty());
         start = wal_.NextLsn();
         HM_RETURN_IF_ERROR(SaveMeta());
-        size_t cursor = 0;
+        storage::BufferPool::FlushCursor cursor;
         bool done = false;
         while (!done) {
           HM_FAILPOINT("checkpoint/mid_flush/crash");
@@ -499,7 +499,7 @@ util::Result<uint64_t> ObjectStore::CommitAsync(Transaction* txn) {
     std::lock_guard lock(write_mu_);
     active_txns_.erase(txn->id_);
     if (active_txns_.empty()) quiesce_cv_.notify_all();
-    ++stats_.commits;
+    stats_.commits.fetch_add(1, std::memory_order_relaxed);
   }
   txn->active_ = false;
   txn->undo_.clear();
@@ -547,7 +547,7 @@ util::Status ObjectStore::Abort(Transaction* txn) {
   if (active_txns_.empty()) quiesce_cv_.notify_all();
   txn->active_ = false;
   txn->undo_.clear();
-  ++stats_.aborts;
+  stats_.aborts.fetch_add(1, std::memory_order_relaxed);
   return util::Status::Ok();
 }
 
@@ -560,7 +560,12 @@ util::Result<ObjectStore::DirEntry> ObjectStore::DirGet(Oid oid) const {
   if (dir_index >= dir_pages_.size()) {
     return util::Status::NotFound("oid has no directory page");
   }
-  HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(dir_pages_[dir_index]));
+  // Shared latch: DirGet is on the concurrent-reader path (Read,
+  // Exists); writer callers take their exclusive latches afterwards,
+  // never while this guard is live.
+  HM_ASSIGN_OR_RETURN(
+      PageGuard guard,
+      pool_->Fetch(dir_pages_[dir_index], storage::PinMode::kRead));
   const char* p = guard.page()->payload() +
                   (index % kDirEntriesPerPage) * kDirEntrySize;
   DirEntry entry;
@@ -638,7 +643,9 @@ util::Result<std::string> ObjectStore::ReadOverflow(PageId head) const {
   std::string out;
   PageId current = head;
   while (current != kInvalidPageId) {
-    HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(current));
+    // Latch-crawl: one shared latch at a time down the chain.
+    HM_ASSIGN_OR_RETURN(PageGuard guard,
+                        pool_->Fetch(current, storage::PinMode::kRead));
     const char* p = guard.page()->payload();
     PageId next = util::DecodeFixed32(p);
     uint32_t len = util::DecodeFixed32(p + 4);
@@ -844,17 +851,21 @@ util::Result<Oid> ObjectStore::CreateLocked(Transaction* txn,
   HM_RETURN_IF_ERROR(
       LogAndApply(txn, EncodeLogical(kOpCreate, oid, near, data, "")));
   txn->undo_.push_back({Transaction::Undo::Kind::kCreate, oid, ""});
-  ++stats_.objects_created;
+  stats_.objects_created.fetch_add(1, std::memory_order_relaxed);
   return oid;
 }
 
 util::Result<std::string> ObjectStore::Read(Oid oid) const {
+  // Latch-crawling read: directory page, then data/overflow pages,
+  // all under shared frame latches — never write_mu_ — so concurrent
+  // readers proceed in parallel across (and within) pool shards.
   HM_ASSIGN_OR_RETURN(DirEntry entry, DirGet(oid));
-  ++stats_.objects_read;
+  stats_.objects_read.fetch_add(1, std::memory_order_relaxed);
   if (entry.flags == kDirOverflow) {
     return ReadOverflow(entry.page);
   }
-  HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(entry.page));
+  HM_ASSIGN_OR_RETURN(PageGuard guard,
+                      pool_->Fetch(entry.page, storage::PinMode::kRead));
   HM_ASSIGN_OR_RETURN(std::string_view record,
                       SlottedPage::Read(*guard.page(), entry.slot));
   return std::string(record);
@@ -877,7 +888,7 @@ util::Status ObjectStore::UpdateLocked(Transaction* txn, Oid oid,
                                      before)));
   txn->undo_.push_back(
       {Transaction::Undo::Kind::kUpdate, oid, std::move(before)});
-  ++stats_.objects_updated;
+  stats_.objects_updated.fetch_add(1, std::memory_order_relaxed);
   return util::Status::Ok();
 }
 
@@ -896,7 +907,7 @@ util::Status ObjectStore::DeleteLocked(Transaction* txn, Oid oid) {
                                      before)));
   txn->undo_.push_back(
       {Transaction::Undo::Kind::kDelete, oid, std::move(before)});
-  ++stats_.objects_deleted;
+  stats_.objects_deleted.fetch_add(1, std::memory_order_relaxed);
   return util::Status::Ok();
 }
 

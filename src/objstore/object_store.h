@@ -1,6 +1,7 @@
 #ifndef HM_OBJSTORE_OBJECT_STORE_H_
 #define HM_OBJSTORE_OBJECT_STORE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -97,7 +98,9 @@ class Transaction {
   std::vector<Undo> undo_;
 };
 
-/// Aggregated store statistics for the benchmark report.
+/// Aggregated store statistics for the benchmark report. Returned by
+/// value from ObjectStore::stats() as a snapshot of relaxed atomics:
+/// `objects_read` is bumped from concurrent reader threads.
 struct ObjectStoreStats {
   uint64_t objects_created = 0;
   uint64_t objects_read = 0;
@@ -223,7 +226,19 @@ class ObjectStore {
 
   storage::BufferPool* buffer_pool() { return pool_.get(); }
   storage::SegmentedWal* wal() { return &wal_; }
-  const ObjectStoreStats& stats() const { return stats_; }
+  ObjectStoreStats stats() const {
+    ObjectStoreStats out;
+    out.objects_created =
+        stats_.objects_created.load(std::memory_order_relaxed);
+    out.objects_read = stats_.objects_read.load(std::memory_order_relaxed);
+    out.objects_updated =
+        stats_.objects_updated.load(std::memory_order_relaxed);
+    out.objects_deleted =
+        stats_.objects_deleted.load(std::memory_order_relaxed);
+    out.commits = stats_.commits.load(std::memory_order_relaxed);
+    out.aborts = stats_.aborts.load(std::memory_order_relaxed);
+    return out;
+  }
   const ObjectStoreOptions& options() const { return options_; }
 
   /// Total pages in the data file (for the §5.2 size report).
@@ -330,7 +345,18 @@ class ObjectStore {
   std::vector<storage::PageId> dir_pages_;
   uint64_t catalog_[kCatalogSlots] = {};
   uint64_t recovered_records_ = 0;
-  mutable ObjectStoreStats stats_;
+  /// Relaxed-atomic mirror of ObjectStoreStats; `objects_read` is the
+  /// only member touched outside write_mu_, but keeping them uniform
+  /// costs nothing on these cold counters.
+  struct AtomicStats {
+    std::atomic<uint64_t> objects_created{0};
+    std::atomic<uint64_t> objects_read{0};
+    std::atomic<uint64_t> objects_updated{0};
+    std::atomic<uint64_t> objects_deleted{0};
+    std::atomic<uint64_t> commits{0};
+    std::atomic<uint64_t> aborts{0};
+  };
+  mutable AtomicStats stats_;
   bool open_ = false;
 };
 

@@ -75,7 +75,9 @@ util::Result<Rid> Table::Insert(const Tuple& tuple) {
 }
 
 util::Result<Tuple> Table::Read(Rid rid) const {
-  HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(RidPage(rid)));
+  HM_ASSIGN_OR_RETURN(
+      PageGuard guard,
+      pool_->Fetch(RidPage(rid), storage::PinMode::kRead));
   HM_ASSIGN_OR_RETURN(std::string_view record,
                       SlottedPage::Read(*guard.page(), RidSlot(rid)));
   return Tuple::Deserialize(schema_, record);
@@ -112,7 +114,9 @@ util::Status Table::Scan(
     const std::function<bool(Rid, const Tuple&)>& fn) const {
   PageId current = first_page_;
   while (current != kInvalidPageId) {
-    HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(current));
+    // Latch-crawl: one shared latch at a time along the heap chain.
+    HM_ASSIGN_OR_RETURN(PageGuard guard,
+                        pool_->Fetch(current, storage::PinMode::kRead));
     uint16_t slots = SlottedPage::SlotCount(*guard.page());
     for (SlotId s = 0; s < slots; ++s) {
       auto record = SlottedPage::Read(*guard.page(), s);

@@ -120,6 +120,13 @@ class Server {
   /// Dispatches that ran under the shared (reader) side of the lock.
   uint64_t shared_reads_served() const { return shared_reads_.load(); }
 
+  /// Whether read-only opcodes currently dispatch under the shared
+  /// side of backend_mu_ (the backend advertises concurrent-read
+  /// safety). Re-cached whenever Reset swaps the backend.
+  bool read_parallel() const {
+    return concurrent_reads_ok_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// One accepted connection: the socket plus its peer label. Closing
   /// happens in the destructor so a session dropped anywhere (queue

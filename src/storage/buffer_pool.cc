@@ -1,6 +1,9 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <mutex>
+#include <string>
 
 #include "telemetry/metrics.h"
 #include "util/check.h"
@@ -8,17 +11,48 @@
 
 namespace hm::storage {
 
-PageGuard::PageGuard(BufferPool* pool, size_t frame_index, Page* page,
-                     PageId id)
-    : pool_(pool), frame_index_(frame_index), page_(page), id_(id) {}
+namespace {
+
+/// Shard-count policy: HM_POOL_SHARDS wins, then the explicit option,
+/// then auto-sizing (one shard per 64 frames, capped at 16). The
+/// result is floored to a power of two (for mask-based selection) and
+/// never exceeds the capacity, so every shard owns at least one frame.
+size_t ResolveShardCount(size_t capacity, size_t requested) {
+  size_t shards = requested;
+  if (const char* env = std::getenv("HM_POOL_SHARDS")) {
+    char* end = nullptr;
+    unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      shards = static_cast<size_t>(parsed);
+    }
+  }
+  if (shards == 0) shards = std::min<size_t>(16, capacity / 64);
+  if (shards == 0) shards = 1;
+  shards = std::min(shards, capacity);
+  while ((shards & (shards - 1)) != 0) shards &= shards - 1;
+  return shards;
+}
+
+}  // namespace
+
+PageGuard::PageGuard(BufferPool* pool, size_t shard_index, size_t frame_index,
+                     Page* page, PageId id, PinMode mode)
+    : pool_(pool),
+      shard_index_(shard_index),
+      frame_index_(frame_index),
+      page_(page),
+      id_(id),
+      mode_(mode) {}
 
 PageGuard::~PageGuard() { Release(); }
 
 PageGuard::PageGuard(PageGuard&& other) noexcept
     : pool_(other.pool_),
+      shard_index_(other.shard_index_),
       frame_index_(other.frame_index_),
       page_(other.page_),
-      id_(other.id_) {
+      id_(other.id_),
+      mode_(other.mode_) {
   other.page_ = nullptr;
   other.pool_ = nullptr;
 }
@@ -27,9 +61,11 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   if (this != &other) {
     Release();
     pool_ = other.pool_;
+    shard_index_ = other.shard_index_;
     frame_index_ = other.frame_index_;
     page_ = other.page_;
     id_ = other.id_;
+    mode_ = other.mode_;
     other.page_ = nullptr;
     other.pool_ = nullptr;
   }
@@ -38,20 +74,30 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
 
 void PageGuard::MarkDirty() {
   HM_CHECK(valid());
-  pool_->MarkDirty(frame_index_);
+  HM_CHECK(mode_ == PinMode::kWrite);
+  pool_->MarkDirty(shard_index_, frame_index_);
 }
 
 void PageGuard::Release() {
   if (page_ != nullptr) {
-    pool_->Unpin(frame_index_);
+    pool_->Unpin(shard_index_, frame_index_, mode_);
     page_ = nullptr;
     pool_ = nullptr;
   }
 }
 
-BufferPool::BufferPool(FileManager* file, size_t capacity) : file_(file) {
-  HM_CHECK_GT(capacity, 0u);
-  frames_.resize(capacity);
+BufferPool::BufferPool(FileManager* file, const BufferPoolOptions& options)
+    : file_(file), capacity_(options.capacity) {
+  HM_CHECK_GT(capacity_, 0u);
+  shard_count_ = ResolveShardCount(capacity_, options.shards);
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+  const size_t base = capacity_ / shard_count_;
+  const size_t extra = capacity_ % shard_count_;
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    shard.frame_count = base + (s < extra ? 1 : 0);
+    shard.frames = std::make_unique<Frame[]>(shard.frame_count);
+  }
   auto& registry = telemetry::Registry::Global();
   t_hits_ = registry.GetCounter("storage.buffer_pool.hits");
   t_misses_ = registry.GetCounter("storage.buffer_pool.misses");
@@ -59,132 +105,223 @@ BufferPool::BufferPool(FileManager* file, size_t capacity) : file_(file) {
   t_flushes_ = registry.GetCounter("storage.buffer_pool.flushes");
 }
 
+BufferPool::BufferPool(FileManager* file, size_t capacity)
+    : BufferPool(file, BufferPoolOptions{capacity, 0}) {}
+
 BufferPool::~BufferPool() {
   // Best effort; errors on teardown are not recoverable anyway.
   FlushAll();
 }
 
-util::Result<PageGuard> BufferPool::Fetch(PageId id) {
-  std::lock_guard lock(mu_);
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    ++stats_.hits;
-    t_hits_->Add();
-    Frame& frame = frames_[it->second];
-    ++frame.pin_count;
-    frame.referenced = true;
-    return PageGuard(this, it->second, frame.page.get(), id);
+size_t BufferPool::ShardOf(PageId id) const {
+  // Fibonacci hash so runs of consecutive page ids (sequential scans,
+  // clustered placement) spread across shards instead of marching
+  // through one.
+  const uint64_t h = static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull;
+  return static_cast<size_t>(h >> 32) & (shard_count_ - 1);
+}
+
+util::Result<size_t> BufferPool::InstallLocked(Shard* shard, PageId id,
+                                               bool read_file) {
+  HM_ASSIGN_OR_RETURN(size_t victim, EvictOne(shard));
+  Frame& frame = shard->frames[victim];
+  if (read_file) {
+    HM_RETURN_IF_ERROR(file_->ReadPage(id, frame.page.get()));
+  } else {
+    frame.page->Zero();
   }
-  ++stats_.misses;
-  t_misses_->Add();
-  HM_ASSIGN_OR_RETURN(size_t victim, EvictOne());
-  Frame& frame = frames_[victim];
-  HM_RETURN_IF_ERROR(file_->ReadPage(id, frame.page.get()));
   frame.id = id;
   frame.pin_count = 1;
-  frame.dirty = false;
+  frame.dirty = !read_file;
   frame.referenced = true;
-  page_table_[id] = victim;
-  return PageGuard(this, victim, frame.page.get(), id);
+  shard->page_table[id] = victim;
+  return victim;
+}
+
+util::Result<PageGuard> BufferPool::Fetch(PageId id, PinMode mode) {
+  const size_t s = ShardOf(id);
+  Shard& shard = shards_[s];
+  Frame* frame = nullptr;
+  size_t index = 0;
+  {
+    std::lock_guard lock(shard.mu);
+    auto it = shard.page_table.find(id);
+    if (it != shard.page_table.end()) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      t_hits_->Add();
+      index = it->second;
+      frame = &shard.frames[index];
+      ++frame->pin_count;
+      frame->referenced = true;
+    } else {
+      shard.misses.fetch_add(1, std::memory_order_relaxed);
+      t_misses_->Add();
+      HM_ASSIGN_OR_RETURN(index, InstallLocked(&shard, id, /*read_file=*/true));
+      frame = &shard.frames[index];
+    }
+  }
+  // Latch outside the shard mutex: the pin taken above keeps the frame
+  // resident, and a blocked latch acquisition must not stall fetches
+  // of other pages in the shard.
+  if (mode == PinMode::kRead) {
+    frame->latch.lock_shared();
+  } else {
+    frame->latch.lock();
+  }
+  return PageGuard(this, s, index, frame->page.get(), id, mode);
 }
 
 util::Result<PageGuard> BufferPool::New(PageType type) {
-  std::lock_guard lock(mu_);
   HM_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
-  HM_ASSIGN_OR_RETURN(size_t victim, EvictOne());
-  Frame& frame = frames_[victim];
-  frame.page->Zero();
-  frame.page->set_page_id(id);
-  frame.page->set_type(type);
-  frame.id = id;
-  frame.pin_count = 1;
-  frame.dirty = true;
-  frame.referenced = true;
-  page_table_[id] = victim;
-  return PageGuard(this, victim, frame.page.get(), id);
+  const size_t s = ShardOf(id);
+  Shard& shard = shards_[s];
+  Frame* frame = nullptr;
+  size_t index = 0;
+  {
+    std::lock_guard lock(shard.mu);
+    HM_ASSIGN_OR_RETURN(index, InstallLocked(&shard, id, /*read_file=*/false));
+    frame = &shard.frames[index];
+    frame->page->set_page_id(id);
+    frame->page->set_type(type);
+  }
+  frame->latch.lock();
+  return PageGuard(this, s, index, frame->page.get(), id, PinMode::kWrite);
 }
 
 util::Status BufferPool::FlushAll() {
-  std::lock_guard lock(mu_);
-  return FlushAllLocked();
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard lock(shard.mu);
+    HM_RETURN_IF_ERROR(FlushShardLocked(&shard));
+  }
+  return util::Status::Ok();
 }
 
-util::Status BufferPool::FlushAllLocked() {
-  for (Frame& frame : frames_) {
+util::Status BufferPool::FlushShardLocked(Shard* shard) {
+  for (size_t i = 0; i < shard->frame_count; ++i) {
+    Frame& frame = shard->frames[i];
     if (frame.id != kInvalidPageId && frame.dirty) {
-      HM_RETURN_IF_ERROR(FlushFrame(&frame));
+      HM_RETURN_IF_ERROR(FlushFrame(shard, &frame));
     }
   }
   return util::Status::Ok();
 }
 
-util::Status BufferPool::FlushBatch(size_t* cursor, size_t max_frames,
+util::Status BufferPool::FlushBatch(FlushCursor* cursor, size_t max_frames,
                                     bool* done) {
-  std::lock_guard lock(mu_);
   size_t flushed = 0;
-  while (*cursor < frames_.size() && flushed < max_frames) {
-    Frame& frame = frames_[*cursor];
-    ++*cursor;
-    if (frame.id != kInvalidPageId && frame.dirty) {
-      HM_RETURN_IF_ERROR(FlushFrame(&frame));
-      ++flushed;
+  while (cursor->shard < shard_count_ && flushed < max_frames) {
+    Shard& shard = shards_[cursor->shard];
+    std::lock_guard lock(shard.mu);
+    while (cursor->frame < shard.frame_count && flushed < max_frames) {
+      Frame& frame = shard.frames[cursor->frame];
+      ++cursor->frame;
+      if (frame.id != kInvalidPageId && frame.dirty) {
+        HM_RETURN_IF_ERROR(FlushFrame(&shard, &frame));
+        ++flushed;
+      }
+    }
+    if (cursor->frame >= shard.frame_count) {
+      ++cursor->shard;
+      cursor->frame = 0;
     }
   }
-  *done = *cursor >= frames_.size();
+  *done = cursor->shard >= shard_count_;
   return util::Status::Ok();
 }
 
 util::Status BufferPool::DropAll() {
-  std::lock_guard lock(mu_);
-  HM_RETURN_IF_ERROR(FlushAllLocked());
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    Frame& frame = frames_[i];
-    if (frame.id == kInvalidPageId) continue;
-    if (frame.pin_count > 0) {
-      return util::Status::Internal("DropAll with pinned page " +
-                                    std::to_string(frame.id));
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard lock(shard.mu);
+    HM_RETURN_IF_ERROR(FlushShardLocked(&shard));
+    for (size_t i = 0; i < shard.frame_count; ++i) {
+      Frame& frame = shard.frames[i];
+      if (frame.id == kInvalidPageId) continue;
+      if (frame.pin_count > 0) {
+        return util::Status::Internal("DropAll with pinned page " +
+                                      std::to_string(frame.id));
+      }
+      shard.page_table.erase(frame.id);
+      frame.id = kInvalidPageId;
+      frame.dirty = false;
+      frame.referenced = false;
     }
-    page_table_.erase(frame.id);
-    frame.id = kInvalidPageId;
-    frame.dirty = false;
-    frame.referenced = false;
   }
   return util::Status::Ok();
 }
 
-size_t BufferPool::ResidentCount() const {
-  std::lock_guard lock(mu_);
-  return page_table_.size();
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats out;
+  for (size_t s = 0; s < shard_count_; ++s) {
+    const Shard& shard = shards_[s];
+    out.hits += shard.hits.load(std::memory_order_relaxed);
+    out.misses += shard.misses.load(std::memory_order_relaxed);
+    out.evictions += shard.evictions.load(std::memory_order_relaxed);
+    out.flushes += shard.flushes.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
-void BufferPool::Unpin(size_t frame_index) {
-  std::lock_guard lock(mu_);
-  Frame& frame = frames_[frame_index];
+void BufferPool::ResetStats() {
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    shard.hits.store(0, std::memory_order_relaxed);
+    shard.misses.store(0, std::memory_order_relaxed);
+    shard.evictions.store(0, std::memory_order_relaxed);
+    shard.flushes.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t BufferPool::ResidentCount() const {
+  size_t resident = 0;
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard lock(shard.mu);
+    resident += shard.page_table.size();
+  }
+  return resident;
+}
+
+void BufferPool::Unpin(size_t shard_index, size_t frame_index, PinMode mode) {
+  Shard& shard = shards_[shard_index];
+  Frame& frame = shard.frames[frame_index];
+  // Unlatch before unpinning, so pin_count == 0 (observed under the
+  // shard mutex) implies the latch is free — eviction relies on that.
+  if (mode == PinMode::kRead) {
+    frame.latch.unlock_shared();
+  } else {
+    frame.latch.unlock();
+  }
+  std::lock_guard lock(shard.mu);
   HM_CHECK_GT(frame.pin_count, 0);
   --frame.pin_count;
 }
 
-void BufferPool::MarkDirty(size_t frame_index) {
-  std::lock_guard lock(mu_);
-  frames_[frame_index].dirty = true;
+void BufferPool::MarkDirty(size_t shard_index, size_t frame_index) {
+  Shard& shard = shards_[shard_index];
+  std::lock_guard lock(shard.mu);
+  shard.frames[frame_index].dirty = true;
 }
 
-util::Status BufferPool::FlushFrame(Frame* frame) {
+util::Status BufferPool::FlushFrame(Shard* shard, Frame* frame) {
   HM_FAILPOINT("buffer_pool/flush/error");
   HM_RETURN_IF_ERROR(file_->WritePage(frame->id, frame->page.get()));
   frame->dirty = false;
-  ++stats_.flushes;
+  shard->flushes.fetch_add(1, std::memory_order_relaxed);
   t_flushes_->Add();
   return util::Status::Ok();
 }
 
-util::Result<size_t> BufferPool::EvictOne() {
+util::Result<size_t> BufferPool::EvictOne(Shard* shard) {
   // CLOCK sweep: up to two full passes (first clears reference bits).
-  const size_t n = frames_.size();
+  // A victim with pin_count == 0 has no latch holders or waiters
+  // (pin-before-latch), so eviction never touches frame latches.
+  const size_t n = shard->frame_count;
   for (size_t step = 0; step < 2 * n; ++step) {
-    size_t i = clock_hand_;
-    clock_hand_ = (clock_hand_ + 1) % n;
-    Frame& frame = frames_[i];
+    size_t i = shard->clock_hand;
+    shard->clock_hand = (shard->clock_hand + 1) % n;
+    Frame& frame = shard->frames[i];
     if (frame.id == kInvalidPageId) return i;  // free frame
     if (frame.pin_count > 0) continue;
     if (frame.referenced) {
@@ -192,11 +329,11 @@ util::Result<size_t> BufferPool::EvictOne() {
       continue;
     }
     if (frame.dirty) {
-      HM_RETURN_IF_ERROR(FlushFrame(&frame));
+      HM_RETURN_IF_ERROR(FlushFrame(shard, &frame));
     }
-    page_table_.erase(frame.id);
+    shard->page_table.erase(frame.id);
     frame.id = kInvalidPageId;
-    ++stats_.evictions;
+    shard->evictions.fetch_add(1, std::memory_order_relaxed);
     t_evictions_->Add();
     return i;
   }

@@ -1,10 +1,12 @@
 #ifndef HM_STORAGE_BUFFER_POOL_H_
 #define HM_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "storage/file_manager.h"
 #include "storage/page.h"
@@ -16,13 +18,70 @@ namespace hm::storage {
 
 class BufferPool;
 
-/// RAII pin on a cached page. While a guard is alive the frame cannot
-/// be evicted; destruction (or Release) unpins. Call MarkDirty()
-/// after mutating the page so the pool writes it back.
+/// Pin mode for a fetched page. A read pin takes the frame's latch
+/// shared — any number of concurrent readers of the same page proceed
+/// together — and forbids MarkDirty(); a write pin takes it exclusive.
+enum class PinMode {
+  kRead,
+  kWrite,
+};
+
+/// Reader/writer latch for one buffer frame, built on mutex + condvar
+/// rather than std::shared_mutex on purpose: write paths legitimately
+/// hold several frame latches at once (a B+tree split pins the whole
+/// root-to-leaf path, Table::Insert links two heap pages), which is
+/// deadlock-free only because writers are externally serialized by
+/// the store-level write lock (DESIGN.md §13) — an invariant TSAN's
+/// lock-order heuristic can't see, so native rwlocks acquired in
+/// frame-reuse order trip false "lock-order-inversion" reports. Here
+/// the internal mutex is never held across another latch acquisition,
+/// so no lock-order cycle exists for TSAN to flag, while the mutex
+/// hand-off still gives race detection its happens-before edges.
+/// No writer preference: at most one writer exists at a time and
+/// readers hold latches briefly, so writers cannot starve for long.
+class FrameLatch {
+ public:
+  void lock() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return state_ == 0; });
+    state_ = -1;
+  }
+  void unlock() {
+    {
+      std::lock_guard lock(mu_);
+      state_ = 0;
+    }
+    cv_.notify_all();
+  }
+  void lock_shared() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return state_ >= 0; });
+    ++state_;
+  }
+  void unlock_shared() {
+    bool wake;
+    {
+      std::lock_guard lock(mu_);
+      wake = --state_ == 0;
+    }
+    if (wake) cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int state_ = 0;  // -1 = writer, 0 = free, > 0 = reader count
+};
+
+/// RAII pin + frame latch on a cached page. While a guard is alive the
+/// frame cannot be evicted; destruction (or Release) drops the latch
+/// and then unpins. Call MarkDirty() after mutating the page (write
+/// pins only) so the pool writes it back.
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferPool* pool, size_t frame_index, Page* page, PageId id);
+  PageGuard(BufferPool* pool, size_t shard_index, size_t frame_index,
+            Page* page, PageId id, PinMode mode);
   ~PageGuard();
 
   PageGuard(const PageGuard&) = delete;
@@ -34,23 +93,28 @@ class PageGuard {
   Page* page() { return page_; }
   const Page* page() const { return page_; }
   PageId id() const { return id_; }
+  PinMode mode() const { return mode_; }
 
   /// Marks the underlying frame dirty; it will be flushed before
-  /// eviction / on FlushAll.
+  /// eviction / on FlushAll. Aborts on a read pin.
   void MarkDirty();
 
-  /// Unpins early (the guard becomes invalid).
+  /// Unlatches and unpins early (the guard becomes invalid).
   void Release();
 
  private:
   BufferPool* pool_ = nullptr;
+  size_t shard_index_ = 0;
   size_t frame_index_ = 0;
   Page* page_ = nullptr;
   PageId id_ = kInvalidPageId;
+  PinMode mode_ = PinMode::kWrite;
 };
 
 /// Counters distinguishing cache behaviour; the HyperModel cold/warm
-/// distinction is visible directly in hits vs misses.
+/// distinction is visible directly in hits vs misses. Returned by
+/// value from BufferPool::stats() as an aggregated snapshot of the
+/// per-shard relaxed atomics, so reading it races with nothing.
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -58,45 +122,89 @@ struct BufferPoolStats {
   uint64_t flushes = 0;
 };
 
+/// Sizing knobs for the pool.
+struct BufferPoolOptions {
+  /// Number of 8 KiB page frames held in memory (total, across shards).
+  size_t capacity = 0;
+  /// Number of hash partitions; rounded down to a power of two and
+  /// capped at `capacity`. 0 means auto: min(16, capacity / 64), at
+  /// least 1 — small pools (unit tests) collapse to a single shard
+  /// and keep exact legacy CLOCK semantics. The HM_POOL_SHARDS
+  /// environment variable overrides either setting.
+  size_t shards = 0;
+};
+
 /// Fixed-capacity page cache over a FileManager, with CLOCK
 /// (second-chance) eviction and pin counting. This models the
 /// workstation-side object cache of the paper's client/server
 /// architecture (R6/R7): warm runs hit here, cold runs miss through to
 /// the "server" (the file).
+///
+/// The pool is hash-partitioned into shards, each with its own frame
+/// array, page table, CLOCK hand and kBufferPoolShard mutex, so
+/// fetches of pages in different shards never contend. Within a
+/// shard the mutex is held only for the table lookup / pin-count
+/// update (plus read I/O on a miss); the returned guard then holds a
+/// per-frame reader/writer latch outside any shard lock, so
+/// concurrent readers of the same hot page proceed in parallel too.
+///
+/// Latch protocol (pin-before-latch): Fetch pins under the shard
+/// mutex, releases it, then latches the frame; Release unlatches and
+/// only then unpins. A frame with pin_count == 0 therefore has no
+/// latch holders or waiters, so eviction and the flush sweeps never
+/// touch latches. Readers hold at most one latch at a time along
+/// every read path; writers may hold several (a B+tree split pins the
+/// whole root-to-leaf path) but are externally serialized by the
+/// store-level write lock. See DESIGN.md §13.
 class BufferPool {
  public:
-  /// `capacity` is the number of page frames held in memory.
+  BufferPool(FileManager* file, const BufferPoolOptions& options);
+  /// Legacy convenience: `capacity` frames, auto shard count.
   BufferPool(FileManager* file, size_t capacity);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins page `id`, reading it from the file on a miss.
-  util::Result<PageGuard> Fetch(PageId id);
+  /// Pins page `id`, reading it from the file on a miss. The default
+  /// write mode preserves the legacy exclusive behaviour; read paths
+  /// pass PinMode::kRead to share the frame.
+  util::Result<PageGuard> Fetch(PageId id, PinMode mode = PinMode::kWrite);
 
-  /// Allocates a fresh page in the file, pins it and tags its type.
+  /// Allocates a fresh page in the file, pins it (write mode) and tags
+  /// its type.
   util::Result<PageGuard> New(PageType type);
 
   /// Writes every dirty frame back to the file (pages stay cached).
+  /// Sweeps the shards one at a time in index order.
   util::Status FlushAll();
 
+  /// Position of an incremental flush sweep: the next (shard, frame)
+  /// pair to visit.
+  struct FlushCursor {
+    size_t shard = 0;
+    size_t frame = 0;
+  };
+
   /// Incremental FlushAll for the fuzzy checkpointer: flushes up to
-  /// `max_frames` dirty frames starting at frame `*cursor`, advances
-  /// the cursor past the frames visited, and sets `*done` once the
-  /// sweep has covered the whole table. Start a sweep with *cursor ==
-  /// 0; the lock may be dropped between batches (frames dirtied behind
+  /// `max_frames` dirty frames starting at `*cursor`, advances the
+  /// cursor past the frames visited, and sets `*done` once the sweep
+  /// has covered every shard. Start a sweep with a default-constructed
+  /// cursor; no lock is held between batches (frames dirtied behind
   /// the cursor belong to the next sweep, which is exactly the fuzzy
   /// contract).
-  util::Status FlushBatch(size_t* cursor, size_t max_frames, bool* done);
+  util::Status FlushBatch(FlushCursor* cursor, size_t max_frames, bool* done);
 
   /// Flushes then evicts every unpinned frame — the "close the
   /// database" step (§6 protocol step e) that makes the next run cold.
   util::Status DropAll();
 
-  size_t capacity() const { return frames_.size(); }
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  size_t capacity() const { return capacity_; }
+  size_t shard_count() const { return shard_count_; }
+
+  /// Aggregated snapshot of the per-shard counters.
+  BufferPoolStats stats() const;
+  void ResetStats();
 
   /// Number of frames currently holding a page (diagnostics).
   size_t ResidentCount() const;
@@ -110,29 +218,45 @@ class BufferPool {
     int pin_count = 0;
     bool dirty = false;
     bool referenced = false;
+    /// Reader/writer page latch, taken outside the shard mutex under
+    /// the pin (see the class comment). Deliberately unranked: B+tree
+    /// writers hold a root-to-leaf path of these at once.
+    FrameLatch latch;
   };
 
-  void Unpin(size_t frame_index);
-  void MarkDirty(size_t frame_index);
-  util::Status FlushAllLocked();
-  util::Status FlushFrame(Frame* frame);
-  /// Finds a victim frame via CLOCK; flushes it if dirty.
-  util::Result<size_t> EvictOne();
+  struct Shard {
+    /// Guards the frame metadata, page table and clock hand of this
+    /// shard only. Never held together with another shard's mutex
+    /// (same rank), nor while blocking on a frame latch.
+    mutable util::RankedMutex<util::LockRank::kBufferPoolShard> mu;
+    std::unique_ptr<Frame[]> frames;
+    size_t frame_count = 0;
+    std::unordered_map<PageId, size_t> page_table;
+    size_t clock_hand = 0;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> flushes{0};
+  };
 
-  /// Guards the frame table, page table, clock hand and stats. Public
-  /// entry points (and the PageGuard pin/dirty hooks) lock it; the
-  /// private helpers above assume it is held. Ranked below the WAL and
-  /// the server dispatch lock, above the telemetry registry.
-  mutable util::RankedMutex<util::LockRank::kBufferPool> mu_;
+  size_t ShardOf(PageId id) const;
+  void Unpin(size_t shard_index, size_t frame_index, PinMode mode);
+  void MarkDirty(size_t shard_index, size_t frame_index);
+  util::Status FlushShardLocked(Shard* shard);
+  util::Status FlushFrame(Shard* shard, Frame* frame);
+  /// Finds a victim frame in `shard` via CLOCK; flushes it if dirty.
+  util::Result<size_t> EvictOne(Shard* shard);
+  /// Installs page `id` into `shard` under its (held) mutex and
+  /// returns the pinned frame; shared by Fetch and New.
+  util::Result<size_t> InstallLocked(Shard* shard, PageId id, bool read_file);
 
   FileManager* file_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> page_table_;
-  size_t clock_hand_ = 0;
-  BufferPoolStats stats_;
-  // Process-wide mirrors of stats_ (`storage.buffer_pool.*`),
-  // interned once at construction so the hot path pays one extra
-  // relaxed atomic add.
+  size_t capacity_ = 0;
+  size_t shard_count_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+  // Process-wide mirrors of the shard counters
+  // (`storage.buffer_pool.*`), interned once at construction so the
+  // hot path pays one extra relaxed atomic add.
   telemetry::Counter* t_hits_;
   telemetry::Counter* t_misses_;
   telemetry::Counter* t_evictions_;

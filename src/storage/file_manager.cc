@@ -38,7 +38,8 @@ util::Status FileManager::Open(const std::string& path) {
   }
   fd_ = fd;
   path_ = path;
-  page_count_ = static_cast<PageId>(st.st_size / kPageSize);
+  page_count_.store(static_cast<PageId>(st.st_size / kPageSize),
+                    std::memory_order_relaxed);
   return util::Status::Ok();
 }
 
@@ -47,13 +48,13 @@ util::Status FileManager::Close() {
   util::Status s = Sync();
   ::close(fd_);
   fd_ = -1;
-  page_count_ = 0;
+  page_count_.store(0, std::memory_order_relaxed);
   return s;
 }
 
 util::Result<PageId> FileManager::AllocatePage() {
   if (!is_open()) return util::Status::InvalidArgument("file not open");
-  PageId id = page_count_;
+  PageId id = page_count_.load(std::memory_order_relaxed);
   Page zero;
   zero.set_page_id(id);
   HM_RETURN_IF_ERROR(WritePage(id, &zero));
@@ -62,7 +63,7 @@ util::Result<PageId> FileManager::AllocatePage() {
 
 util::Status FileManager::ReadPage(PageId id, Page* page) {
   if (!is_open()) return util::Status::InvalidArgument("file not open");
-  if (id >= page_count_) {
+  if (id >= page_count_.load(std::memory_order_relaxed)) {
     return util::Status::OutOfRange("read past end of file, page " +
                                     std::to_string(id));
   }
@@ -72,7 +73,7 @@ util::Status FileManager::ReadPage(PageId id, Page* page) {
   if (n != static_cast<ssize_t>(kPageSize)) {
     return util::Status::IoError(ErrnoMessage("pread", path_));
   }
-  ++stats_.reads;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   if (!page->ChecksumOk()) {
     return util::Status::Corruption("checksum mismatch on page " +
                                     std::to_string(id) + " of " + path_);
@@ -82,7 +83,7 @@ util::Status FileManager::ReadPage(PageId id, Page* page) {
 
 util::Status FileManager::WritePage(PageId id, Page* page) {
   if (!is_open()) return util::Status::InvalidArgument("file not open");
-  if (id > page_count_) {
+  if (id > page_count_.load(std::memory_order_relaxed)) {
     return util::Status::OutOfRange("write would leave a hole, page " +
                                     std::to_string(id));
   }
@@ -93,7 +94,9 @@ util::Status FileManager::WritePage(PageId id, Page* page) {
     // no longer matches and the next ReadPage must report Corruption.
     (void)!::pwrite(fd_, page->raw(), kPageSize / 2,
                     static_cast<off_t>(id) * kPageSize);
-    if (id == page_count_) ++page_count_;
+    if (id == page_count_.load(std::memory_order_relaxed)) {
+      page_count_.fetch_add(1, std::memory_order_relaxed);
+    }
     return util::Status::IoError(
         "injected short write at failpoint file/write/short");
   }
@@ -102,8 +105,10 @@ util::Status FileManager::WritePage(PageId id, Page* page) {
   if (n != static_cast<ssize_t>(kPageSize)) {
     return util::Status::IoError(ErrnoMessage("pwrite", path_));
   }
-  ++stats_.writes;
-  if (id == page_count_) ++page_count_;
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  if (id == page_count_.load(std::memory_order_relaxed)) {
+    page_count_.fetch_add(1, std::memory_order_relaxed);
+  }
   return util::Status::Ok();
 }
 
@@ -113,8 +118,22 @@ util::Status FileManager::Sync() {
   if (::fdatasync(fd_) != 0) {
     return util::Status::IoError(ErrnoMessage("fdatasync", path_));
   }
-  ++stats_.syncs;
+  syncs_.fetch_add(1, std::memory_order_relaxed);
   return util::Status::Ok();
+}
+
+IoStats FileManager::stats() const {
+  IoStats out;
+  out.reads = reads_.load(std::memory_order_relaxed);
+  out.writes = writes_.load(std::memory_order_relaxed);
+  out.syncs = syncs_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void FileManager::ResetStats() {
+  reads_.store(0, std::memory_order_relaxed);
+  writes_.store(0, std::memory_order_relaxed);
+  syncs_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hm::storage

@@ -1,6 +1,7 @@
 #ifndef HM_STORAGE_FILE_MANAGER_H_
 #define HM_STORAGE_FILE_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -10,7 +11,10 @@
 namespace hm::storage {
 
 /// Counters for physical I/O; exposed so the benchmark report can
-/// attribute cold-run cost to disk traffic.
+/// attribute cold-run cost to disk traffic. Returned by value from
+/// FileManager::stats() as a snapshot of relaxed atomics — concurrent
+/// readers of different buffer-pool shards evict and fault pages in
+/// parallel, so the counters must tolerate concurrent increments.
 struct IoStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
@@ -38,7 +42,9 @@ class FileManager {
   bool is_open() const { return fd_ >= 0; }
 
   /// Number of pages currently in the file.
-  PageId page_count() const { return page_count_; }
+  PageId page_count() const {
+    return page_count_.load(std::memory_order_relaxed);
+  }
 
   /// Extends the file by one zeroed page and returns its id.
   util::Result<PageId> AllocatePage();
@@ -52,14 +58,18 @@ class FileManager {
   /// fsync()s the file.
   util::Status Sync();
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  IoStats stats() const;
+  void ResetStats();
 
  private:
   int fd_ = -1;
   std::string path_;
-  PageId page_count_ = 0;
-  IoStats stats_;
+  /// Grows only under the (externally serialized) allocation path, but
+  /// is read from concurrent reader threads' bounds checks — atomic.
+  std::atomic<PageId> page_count_{0};
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> syncs_{0};
 };
 
 }  // namespace hm::storage

@@ -11,8 +11,8 @@ const char* LockRankName(LockRank rank) {
       return "telemetry_registry";
     case LockRank::kFailpoint:
       return "failpoint";
-    case LockRank::kBufferPool:
-      return "buffer_pool";
+    case LockRank::kBufferPoolShard:
+      return "buffer_pool_shard";
     case LockRank::kWal:
       return "wal";
     case LockRank::kGroupCommit:
@@ -58,7 +58,7 @@ thread_local HeldStack tl_held;
   std::fprintf(stderr,
                "]; acquisitions must strictly descend "
                "(listener > server_dispatch > commit_pipeline > "
-               "group_commit > wal > buffer_pool > failpoint > "
+               "group_commit > wal > buffer_pool_shard > failpoint > "
                "telemetry_registry)\n");
   std::abort();
 }

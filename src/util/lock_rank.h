@@ -20,14 +20,26 @@
 /// The rank table mirrors the call graph, leaf-most lowest: server
 /// dispatch calls into the commit pipeline (the store-level write
 /// lock), which enrolls committers with the group-commit coordinator,
-/// which drives the WAL, which sits above the buffer pool, which may
-/// consult the failpoint registry (fault-injection sites run under
-/// storage locks), which may intern telemetry metrics. Acquisitions
-/// therefore descend:
+/// which drives the WAL, which sits above the buffer-pool shards,
+/// which may consult the failpoint registry (fault-injection sites run
+/// under storage locks), which may intern telemetry metrics.
+/// Acquisitions therefore descend:
 ///
 ///   kListener(7) > kServerDispatch(6) > kCommitPipeline(5)
-///                > kGroupCommit(4) > kWal(3) > kBufferPool(2)
+///                > kGroupCommit(4) > kWal(3) > kBufferPoolShard(2)
 ///                > kFailpoint(1) > kTelemetryRegistry(0)
+///
+/// The buffer pool is hash-partitioned into shards, each with its own
+/// kBufferPoolShard mutex. The same-rank rule forbids holding two
+/// shard mutexes at once, so multi-shard sweeps (FlushAll, DropAll,
+/// stats) visit shards one at a time in ascending index order — the
+/// canonical ordering — releasing each before the next. Per-frame
+/// page latches (storage::FrameLatch), deliberately outside the
+/// rank checker: a B+tree writer legitimately holds the whole
+/// root-to-leaf path of exclusive latches, which the same-rank rule
+/// would reject; their deadlock-freedom argument (readers hold at
+/// most one, writers are externally serialized and descend the tree)
+/// lives in DESIGN.md §13.
 ///
 /// Checking is compiled in when HM_LOCK_RANK_CHECKS is defined (the
 /// default for every build type except Release — see the top-level
@@ -44,7 +56,7 @@ enum class LockRank : int {
   kTelemetryRegistry = 0,  // telemetry::Registry interning
   kFailpoint = 1,          // util::Failpoint registry (sites fire under
                            // storage/server locks, and bump telemetry)
-  kBufferPool = 2,         // storage::BufferPool frame table
+  kBufferPoolShard = 2,    // storage::BufferPool shard frame table
   kWal = 3,                // storage::SegmentedWal append buffer
   kGroupCommit = 4,        // storage::GroupCommitCoordinator batch state
   kCommitPipeline = 5,     // objstore::ObjectStore write/checkpoint lock

@@ -49,7 +49,7 @@ TEST(LockRankTest, DescendingChainIsLegal) {
   RankedMutex<LockRank::kListener> listener;
   RankedSharedMutex<LockRank::kServerDispatch> dispatch;
   RankedMutex<LockRank::kWal> wal;
-  RankedMutex<LockRank::kBufferPool> pool;
+  RankedMutex<LockRank::kBufferPoolShard> pool;
   RankedMutex<LockRank::kTelemetryRegistry> registry;
   {
     std::lock_guard l0(listener);
@@ -76,12 +76,12 @@ TEST(LockRankTest, FailedTryLockLeavesNothingHeld) {
 }
 
 TEST(LockRankDeathTest, AscendingAcquisitionAborts) {
-  RankedMutex<LockRank::kBufferPool> pool;
+  RankedMutex<LockRank::kBufferPoolShard> pool;
   RankedMutex<LockRank::kWal> wal;
   std::lock_guard held(pool);
   EXPECT_DEATH(wal.lock(),
                "lock-rank violation: acquiring rank 3 \\(wal\\) while "
-               "holding \\[2 \\(buffer_pool\\)\\]");
+               "holding \\[2 \\(buffer_pool_shard\\)\\]");
 }
 
 TEST(LockRankDeathTest, SameRankReacquisitionAborts) {
@@ -94,7 +94,7 @@ TEST(LockRankDeathTest, SameRankReacquisitionAborts) {
 TEST(LockRankDeathTest, SharedSideParticipatesInRanking) {
   // A reader is a deadlock participant like a writer: holding the
   // buffer pool, even a *shared* dispatch acquisition must abort.
-  RankedMutex<LockRank::kBufferPool> pool;
+  RankedMutex<LockRank::kBufferPoolShard> pool;
   RankedSharedMutex<LockRank::kServerDispatch> dispatch;
   std::lock_guard held(pool);
   EXPECT_DEATH(dispatch.lock_shared(),

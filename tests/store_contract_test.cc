@@ -8,8 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <memory>
+#include <random>
+#include <thread>
 
 #include "hypermodel/backends/mem_store.h"
 #include "hypermodel/backends/net_store.h"
@@ -458,6 +461,69 @@ TEST_P(StoreContractTest, CapabilityTraversalsMatchGenericKernels) {
       EXPECT_EQ(bulk[i], *one) << "node " << i;
     }
   }
+}
+
+TEST_P(StoreContractTest, ConcurrentReadersSeeConsistentData) {
+  // The persistent page-based backends latch-crawl their reads and
+  // advertise it alongside mem; net/remote stay read-serial (remote's
+  // server decides per its own backend, the client stub itself is one
+  // socket and stays conservative).
+  const bool expect_parallel = factory_.name == "mem" ||
+                               factory_.name == "oodb" ||
+                               factory_.name == "rel";
+  EXPECT_EQ(store_->SupportsConcurrentReads(), expect_parallel);
+
+  constexpr int64_t kNodes = 120;
+  ASSERT_TRUE(store_->Begin().ok());
+  NodeRef root = Create(1);
+  std::vector<NodeRef> nodes{root};
+  for (int64_t uid = 2; uid <= kNodes; ++uid) {
+    NodeRef node = Create(uid);
+    ASSERT_TRUE(
+        store_->AddChild(nodes[static_cast<size_t>(uid / 3)], node).ok());
+    nodes.push_back(node);
+  }
+  ASSERT_TRUE(store_->Commit().ok());
+
+  // Only backends that advertise the capability must survive races;
+  // running the readers unthreaded everywhere keeps the checks
+  // themselves covered for every backend.
+  const int threads = store_->SupportsConcurrentReads() ? 8 : 1;
+  constexpr int kItersPerThread = 100;
+  std::atomic<int> failures{0};
+  auto reader = [&](int seed) {
+    std::mt19937 rng(static_cast<unsigned>(seed));
+    std::uniform_int_distribution<int64_t> pick(1, kNodes);
+    for (int i = 0; i < kItersPerThread; ++i) {
+      const int64_t uid = pick(rng);
+      auto node = store_->LookupUnique(uid);
+      if (!node.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      auto unique = store_->GetAttr(*node, Attr::kUniqueId);
+      auto hundred = store_->GetAttr(*node, Attr::kHundred);
+      if (!unique.ok() || *unique != uid || !hundred.ok() ||
+          *hundred != uid % 100 + 1) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::vector<NodeRef> children;
+      if (!store_->Children(*node, &children).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::vector<NodeRef> band;
+      if (!store_->RangeHundred(10, 19, &band).ok() || band.empty()) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) pool.emplace_back(reader, 7 + t);
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, StoreContractTest,

@@ -452,7 +452,9 @@ int ServeMain(int argc, char** argv) {
 
   std::cout << "hmbench serve: " << args.backend << " backend on "
             << (*server)->host() << ":" << (*server)->port() << " ("
-            << args.workers << " workers); Ctrl-C to stop\n"
+            << args.workers << " workers); read-parallel dispatch "
+            << ((*server)->read_parallel() ? "on" : "off")
+            << "; Ctrl-C to stop\n"
             << std::flush;
 
   std::signal(SIGINT, HandleStopSignal);
