@@ -1,0 +1,67 @@
+#include "cluster/shard_map.h"
+
+#include <cstdlib>
+
+namespace hm::cluster {
+
+util::Result<ShardSpec> ParseShardSpec(const std::string& spec) {
+  size_t slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 ||
+      slash + 1 >= spec.size()) {
+    return util::Status::InvalidArgument("bad shard spec '" + spec +
+                                         "' (expected K/N)");
+  }
+  char* end = nullptr;
+  long id = std::strtol(spec.c_str(), &end, 10);
+  if (end != spec.c_str() + slash) {
+    return util::Status::InvalidArgument("bad shard id in '" + spec + "'");
+  }
+  long count = std::strtol(spec.c_str() + slash + 1, &end, 10);
+  if (*end != '\0') {
+    return util::Status::InvalidArgument("bad shard count in '" + spec +
+                                         "'");
+  }
+  if (count < 1 || count > static_cast<long>(kMaxShards) || id < 0 ||
+      id >= count) {
+    return util::Status::InvalidArgument(
+        "shard spec '" + spec + "' out of range (0 <= K < N <= " +
+        std::to_string(kMaxShards) + ")");
+  }
+  ShardSpec out;
+  out.id = static_cast<uint32_t>(id);
+  out.count = static_cast<uint32_t>(count);
+  return out;
+}
+
+util::Result<std::vector<std::string>> SplitShardAddrs(
+    const std::string& spec) {
+  std::string rest = spec;
+  constexpr std::string_view kScheme = "shard://";
+  if (rest.starts_with(kScheme)) rest = rest.substr(kScheme.size());
+  std::vector<std::string> addrs;
+  size_t begin = 0;
+  while (begin <= rest.size()) {
+    size_t comma = rest.find(',', begin);
+    std::string entry = rest.substr(
+        begin, comma == std::string::npos ? std::string::npos
+                                          : comma - begin);
+    if (entry.empty()) {
+      return util::Status::InvalidArgument(
+          "bad shard address list '" + spec + "' (empty entry)");
+    }
+    addrs.push_back(std::move(entry));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  if (addrs.empty()) {
+    return util::Status::InvalidArgument("empty shard address list");
+  }
+  if (addrs.size() > kMaxShards) {
+    return util::Status::InvalidArgument(
+        "shard address list exceeds " + std::to_string(kMaxShards) +
+        " shards");
+  }
+  return addrs;
+}
+
+}  // namespace hm::cluster

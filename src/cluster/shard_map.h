@@ -1,0 +1,63 @@
+#ifndef HM_CLUSTER_SHARD_MAP_H_
+#define HM_CLUSTER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hypermodel/types.h"
+#include "util/status.h"
+
+namespace hm::cluster {
+
+/// Shard-qualified NodeRef encoding (wire v5). A global ref packs the
+/// owning shard id into the high byte:
+///
+///   +--------+----------------------------------------------------+
+///   | shard  |                local ref (56 bits)                 |
+///   +--------+----------------------------------------------------+
+///
+/// Shard 0's global refs equal its local refs, so a 1-shard cluster is
+/// bit-for-bit the single-node protocol, and kInvalidNode (0) encodes
+/// itself. Cross-shard `parts`/`refTo` edges travel as these qualified
+/// refs inside the unchanged varint64 wire encoding — the (shard, uid)
+/// pair of DESIGN.md §14 is exactly (ShardOf(ref), uniqueId-on-owner).
+inline constexpr int kShardShift = 56;
+inline constexpr NodeRef kLocalRefMask = (NodeRef{1} << kShardShift) - 1;
+
+/// Fleet-size ceiling. 56 bits of local ref would allow 256 shards,
+/// but capping at 64 keeps every global ref below 2^62, so proxy
+/// uniqueIds (kProxyUidBase - global, see shard_local_store.h) never
+/// overflow int64 and never collide with the reserved sentinel range.
+inline constexpr uint32_t kMaxShards = 64;
+
+inline uint32_t ShardOf(NodeRef ref) {
+  return static_cast<uint32_t>(ref >> kShardShift);
+}
+
+inline NodeRef LocalRef(NodeRef ref) { return ref & kLocalRefMask; }
+
+inline NodeRef GlobalRef(uint32_t shard, NodeRef local) {
+  return (NodeRef{shard} << kShardShift) | local;
+}
+
+/// Identity of one server within a fleet, as parsed from
+/// `hmbench serve --shard=K/N` and reported via kShardInfo.
+struct ShardSpec {
+  uint32_t id = 0;
+  uint32_t count = 1;
+};
+
+/// Parses "K/N" (0 <= K < N <= kMaxShards).
+util::Result<ShardSpec> ParseShardSpec(const std::string& spec);
+
+/// Splits a "shard://host:port,host:port,..." spelling into its
+/// per-shard "host:port" entries (the scheme prefix is optional so
+/// launcher output can be passed back verbatim). Order is the shard
+/// order: entry k serves shard k.
+util::Result<std::vector<std::string>> SplitShardAddrs(
+    const std::string& spec);
+
+}  // namespace hm::cluster
+
+#endif  // HM_CLUSTER_SHARD_MAP_H_

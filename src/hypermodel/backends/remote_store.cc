@@ -930,6 +930,56 @@ util::Status RemoteStore::EdgeListCallMany(
   return util::Status::Ok();
 }
 
+util::Status RemoteStore::PartsMulti(
+    std::span<const NodeRef> nodes, std::vector<std::vector<NodeRef>>* out) {
+  return RefListCallMany(server::OpCode::kParts, nodes, out);
+}
+
+util::Status RemoteStore::RefsToMulti(
+    std::span<const NodeRef> nodes, std::vector<std::vector<RefEdge>>* out) {
+  return EdgeListCallMany(server::OpCode::kRefsTo, nodes, out);
+}
+
+util::Status RemoteStore::SetAttrsMulti(std::span<const NodeRef> nodes,
+                                        Attr attr,
+                                        std::span<const int64_t> values) {
+  if (nodes.size() != values.size()) {
+    return util::Status::InvalidArgument(
+        "SetAttrsMulti: nodes/values size mismatch");
+  }
+  std::vector<std::string> payloads;
+  payloads.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    std::string payload;
+    payload.push_back(static_cast<char>(server::OpCode::kSetAttr));
+    PutNode(&payload, nodes[i]);
+    util::PutVarint64(&payload, static_cast<uint64_t>(attr));
+    util::PutVarSigned64(&payload, values[i]);
+    payloads.push_back(std::move(payload));
+  }
+  std::vector<std::pair<util::Status, std::string>> results;
+  HM_RETURN_IF_ERROR(CallMany(payloads, &results));
+  for (auto& [status, body] : results) {
+    HM_RETURN_IF_ERROR(status);
+  }
+  return util::Status::Ok();
+}
+
+util::Status RemoteStore::ShardInfo(uint32_t* shard_id,
+                                    uint32_t* shard_count) {
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(server::OpCode::kShardInfo, "", &result));
+  util::Decoder decoder(result);
+  uint64_t id = 0;
+  uint64_t count = 0;
+  if (!decoder.GetVarint64(&id) || !decoder.GetVarint64(&count)) {
+    return util::Status::Corruption("remote: short ShardInfo response");
+  }
+  *shard_id = static_cast<uint32_t>(id);
+  *shard_count = static_cast<uint32_t>(count);
+  return util::Status::Ok();
+}
+
 util::Status RemoteStore::ChildrenMulti(
     std::span<const NodeRef> nodes, std::vector<std::vector<NodeRef>>* out) {
   out->clear();

@@ -189,6 +189,26 @@ class RemoteStore : public HyperStore, public TraversalCapable {
   /// One attribute over many nodes, positionally.
   util::Status GetAttrsMulti(std::span<const NodeRef> nodes, Attr attr,
                              std::vector<int64_t>* values);
+  /// parts list of every node, positionally (pipelined kParts frames —
+  /// there is no fused parts opcode). The sharded client's distributed
+  /// M-N closure kernels fan out through this.
+  util::Status PartsMulti(std::span<const NodeRef> nodes,
+                          std::vector<std::vector<NodeRef>>* out);
+  /// refTo edge list of every node, positionally (pipelined kRefsTo).
+  util::Status RefsToMulti(std::span<const NodeRef> nodes,
+                           std::vector<std::vector<RefEdge>>* out);
+  /// One attribute written over many nodes (values positionally,
+  /// pipelined kSetAttr frames). Mutations are not retry-safe: a
+  /// transport failure mid-pipeline surfaces kUnavailable without
+  /// re-sending, so some writes may have landed.
+  util::Status SetAttrsMulti(std::span<const NodeRef> nodes, Attr attr,
+                             std::span<const int64_t> values);
+
+  /// Fleet placement probe (wire opcode kShardInfo, v5): which shard
+  /// this server claims to be and how many the fleet has. A standalone
+  /// server answers (0, 1); a pre-v5 server answers NotSupported,
+  /// surfaced verbatim (the shard:// client rejects such a fleet).
+  util::Status ShardInfo(uint32_t* shard_id, uint32_t* shard_count);
 
   // --- TraversalCapable ----------------------------------------------
   util::Status BulkGetAttr(std::span<const NodeRef> nodes, Attr attr,

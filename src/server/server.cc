@@ -851,6 +851,23 @@ void Server::DispatchOneImpl(Session* session, std::string_view request,
       reply_status(util::Status::Ok());
       return;
     }
+
+    case OpCode::kShardInfo: {
+      if (options_.max_wire_version < 5) {
+        reply_status(util::Status::NotSupported(
+            "unknown opcode " + std::to_string(request[0])));
+        return;
+      }
+      if (!body.Empty()) {
+        bad_request();
+        return;
+      }
+      reply(util::Status::Ok(), [&] {
+        util::PutVarint64(response, options_.shard_id);
+        util::PutVarint64(response, options_.shard_count);
+      });
+      return;
+    }
   }
   reply_status(util::Status::NotSupported(
       "unknown opcode " + std::to_string(request[0])));

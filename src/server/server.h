@@ -57,6 +57,14 @@ struct ServerOptions {
   /// finish (their responses are still written) before severing the
   /// remaining connections. 0 reverts to immediate hard shutdown.
   int drain_ms = 2000;
+  /// Placement this server reports via kShardInfo (wire v5) when it is
+  /// one shard of a cluster fleet. A standalone server is shard 0 of
+  /// 1. The server does not interpret these itself — ref translation
+  /// happens in the cluster::ShardLocalStore wrapped around the
+  /// backend — it only vouches for them in the handshake so a
+  /// `shard://` client can catch a mis-wired fleet.
+  uint32_t shard_id = 0;
+  uint32_t shard_count = 1;
 };
 
 /// A TCP server exposing one HyperStore backend over the binary wire

@@ -68,6 +68,7 @@ bool IsReadOnlyOp(OpCode op) {
     case OpCode::kClosureMNAttLinkSum:
     case OpCode::kStats:
     case OpCode::kPing:
+    case OpCode::kShardInfo:
       return true;
     default:
       return false;
@@ -117,6 +118,7 @@ std::string_view OpCodeName(OpCode op) {
     case OpCode::kClosureMNAttLinkSum: return "closure_mn_att_link_sum";
     case OpCode::kStats: return "stats";
     case OpCode::kPing: return "ping";
+    case OpCode::kShardInfo: return "shard_info";
   }
   return "unknown";
 }

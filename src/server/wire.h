@@ -50,7 +50,17 @@ namespace hm::server {
 /// probe) and carries the new kUnavailable / kDeadlineExceeded /
 /// kOverloaded status codes; older peers that cannot name those codes
 /// fold them into kInternal, degrading safely.
-inline constexpr uint8_t kWireVersion = 4;
+///
+/// v5 adds kShardInfo for the cluster subsystem: a server started as
+/// shard k of N reports its placement so a `shard://` client can
+/// verify it dialed the fleet it thinks it dialed. NodeRefs stay
+/// varint64 but are now *shard-qualified* end to end: the high byte
+/// carries the owning shard id ((shard << 56) | local_ref, see
+/// cluster/shard_map.h), so cross-shard `parts`/`refTo` edges travel
+/// as (shard, uid)-qualified refs inside the existing encodings. A
+/// single-node server is shard 0 of 1, where the qualified and plain
+/// encodings coincide — which is why v4 frames stay byte-identical.
+inline constexpr uint8_t kWireVersion = 5;
 
 /// Oldest peer version this build still speaks. A negotiated version
 /// below this fails the handshake.
@@ -123,6 +133,12 @@ enum class OpCode : uint8_t {
 
   // ---- v4: fault tolerance ----
   kPing = 41,  // empty body -> empty OK (liveness / reconnect probe)
+
+  // ---- v5: cluster ----
+  // Empty body -> varint shard id + varint shard count. A server that
+  // is not part of a fleet answers (0, 1); a pre-v5 server answers
+  // NotSupported, which the sharded client rejects at connect time.
+  kShardInfo = 42,
 };
 
 /// Stable lower-snake-case opcode name ("get_attr", "closure_1n");

@@ -1,9 +1,11 @@
 // Backend contract suite: every HyperStore implementation must satisfy
 // the same observable semantics. Parameterized over {mem, oodb, rel,
-// net, remote} so a behaviour divergence between backends fails here,
-// not in a benchmark number. The `remote` entry runs the whole suite
-// through the wire protocol against an in-process loopback server, so
-// every contract guarantee is also a guarantee of the serving path.
+// net, remote, shard} so a behaviour divergence between backends fails
+// here, not in a benchmark number. The `remote` entry runs the whole
+// suite through the wire protocol against an in-process loopback
+// server, so every contract guarantee is also a guarantee of the
+// serving path; `shard` runs it against a two-shard loopback fleet,
+// making every guarantee hold across shard boundaries too.
 
 #include <gtest/gtest.h>
 
@@ -19,6 +21,7 @@
 #include "hypermodel/backends/oodb_store.h"
 #include "hypermodel/backends/rel_store.h"
 #include "hypermodel/backends/remote_store.h"
+#include "hypermodel/backends/sharded_store.h"
 #include "hypermodel/operations.h"
 #include "hypermodel/store.h"
 #include "hypermodel/traversal.h"
@@ -64,6 +67,14 @@ std::vector<BackendFactory> Factories() {
          // the contract then exercises the wire path end-to-end.
          auto store =
              backends::RemoteStore::Loopback(std::make_unique<backends::MemStore>());
+         EXPECT_TRUE(store.ok()) << store.status().ToString();
+         return std::move(*store);
+       }},
+      {"shard",
+       [](const std::string&) -> std::unique_ptr<HyperStore> {
+         // Two-shard fleet; `near` hints spread nodes across both, so
+         // the contract exercises cross-shard edges and proxy refs.
+         auto store = backends::ShardedStore::Loopback(2);
          EXPECT_TRUE(store.ok()) << store.status().ToString();
          return std::move(*store);
        }},
@@ -527,7 +538,7 @@ TEST_P(StoreContractTest, ConcurrentReadersSeeConsistentData) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, StoreContractTest,
-                         ::testing::Range<size_t>(0, 5),
+                         ::testing::Range<size_t>(0, 6),
                          [](const ::testing::TestParamInfo<size_t>& info) {
                            return Factories()[info.param].name;
                          });

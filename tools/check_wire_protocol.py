@@ -11,7 +11,12 @@ evolves under three rules this check enforces mechanically:
      opcodes under a `---- vN:` comment inside the enum, the markers
      appear in ascending order, and kWireVersion equals the highest
      marker — adding opcodes without bumping the version (or bumping
-     without documenting what changed) both fail.
+     without documenting what changed) both fail. (v5 is the cluster
+     revision: kShardInfo lives under the `---- v5:` gate, and the
+     shard:// client refuses fleets whose servers predate it.)
+  2b. Compatibility floor: kMinWireVersion exists and satisfies
+     1 <= kMinWireVersion <= kWireVersion — a protocol bump must not
+     silently strand the handshake's negotiation window.
   3. Telemetry surface: every opcode has a `case OpCode::kFoo: return
      "snake_name";` entry in OpCodeName() with a unique
      lower_snake_case name — these spell the per-opcode metric names,
@@ -74,6 +79,16 @@ def parse_wire_version(header_text):
     )
     if not match:
         fail(["wire.h: cannot find kWireVersion"])
+    return int(match.group(1))
+
+
+def parse_min_wire_version(header_text):
+    match = re.search(
+        r"inline\s+constexpr\s+uint8_t\s+kMinWireVersion\s*=\s*(\d+)\s*;",
+        header_text,
+    )
+    if not match:
+        fail(["wire.h: cannot find kMinWireVersion"])
     return int(match.group(1))
 
 
@@ -175,8 +190,17 @@ def main():
 
     opcodes, markers = parse_enum(header_text)
     wire_version = parse_wire_version(header_text)
+    min_wire_version = parse_min_wire_version(header_text)
     names = parse_opcode_names(source_text)
     errors = []
+
+    # Rule 2b: the negotiation window [kMinWireVersion, kWireVersion]
+    # must be well-formed.
+    if not 1 <= min_wire_version <= wire_version:
+        errors.append(
+            f"wire.h: kMinWireVersion = {min_wire_version} outside "
+            f"[1, kWireVersion = {wire_version}]"
+        )
 
     if not opcodes:
         fail(["wire.h: OpCode enum has no entries"])

@@ -18,7 +18,11 @@
 //     --dir=PATH            working directory (default /tmp/hmbench)
 //     --remote=HOST:PORT    server for the `remote` backend; without
 //                           it, `remote` spawns an in-process loopback
-//                           server over a mem backend
+//                           server over a mem backend. For the `shard`
+//                           backend, pass the fleet address list
+//                           (shard://host:port,host:port,...) here
+//     --shards=N            fleet size for a self-hosted `shard`
+//                           backend (in-process loopback fleet)
 //     --remote-mode=MODE    percall | batched | pushdown (default) —
 //                           or pin per run via remote[MODE] backends
 //     --json=PATH           also write the report as JSON
@@ -32,11 +36,14 @@
 //                           (wire opcode kStats) and pretty-prints it
 //
 //   hmbench fsck [options]
-//     --backend=mem         backend to verify (mem,oodb,rel,net,remote)
+//     --backend=mem         backend to verify (mem,oodb,rel,net,remote,
+//                           shard, or shard://host:port,... to verify
+//                           a running fleet end to end)
 //     --level=4             leaf level of the generated database
 //     --cache-pages=2048    backend cache size
 //     --dir=PATH            scratch directory (default /tmp/hmfsck)
 //     --remote=HOST:PORT    server for the remote backend
+//     --shards=N            fleet size for a self-hosted shard backend
 //     Generates a fresh §5.2 database into the backend, then walks it
 //     through the public store API checking every schema invariant
 //     (src/analysis/fsck.h). Exits 0 on a clean report, 2 on
@@ -45,7 +52,15 @@
 //   hmbench serve [options]
 //     --backend=mem         backend to serve (mem,oodb,rel,net)
 //     --host=127.0.0.1      bind address
-//     --port=7433           TCP port (0 = ephemeral)
+//     --port=7433           TCP port (0 = ephemeral). The resolved
+//                           host:port is printed, alone and flushed,
+//                           as the first stdout line before serving —
+//                           launchers read it to learn an ephemeral
+//                           port
+//     --shard=K/N           serve as shard K of an N-shard fleet:
+//                           wraps the backend in the cluster ref
+//                           translation layer and reports (K, N) via
+//                           the kShardInfo handshake
 //     --workers=4           worker-pool size
 //     --queue=64            pending-connection queue bound
 //     --max-inflight=0      in-flight request ceiling; beyond it the
@@ -61,6 +76,17 @@
 //     work (group-commit batches included), checkpoints persistent
 //     state, prints its telemetry, and exits 0.
 //
+//   hmbench cluster [options]
+//     --shards=4            fleet size
+//     --backend=mem         backend each shard serves
+//     --dir=PATH            root directory (shard k uses PATH/shardK)
+//     --cache-pages=2048    per-shard backend cache size
+//     --workers=4           per-shard worker-pool size
+//     Launches N `hmbench serve --port=0 --shard=k/N` child processes,
+//     reads each one's announced address, prints the fleet's
+//     `shard://host:port,...` spelling (alone, flushed) on stdout, and
+//     supervises until SIGINT/SIGTERM, which it forwards to the fleet.
+//
 // Examples:
 //   hmbench --levels=4 --ops=10,14,15          # closure traversals
 //   hmbench --levels=4,5,6 --creation          # the full paper matrix
@@ -68,6 +94,9 @@
 //   hmbench serve --backend=mem &              # then, in another shell:
 //   hmbench --backends=remote --remote=127.0.0.1:7433
 //   hmbench stats --remote=127.0.0.1:7433      # live server telemetry
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <csignal>
 #include <cstdlib>
@@ -80,11 +109,14 @@
 #include <thread>
 
 #include "analysis/fsck.h"
+#include "cluster/shard_local_store.h"
+#include "cluster/shard_map.h"
 #include "hypermodel/backends/mem_store.h"
 #include "hypermodel/backends/net_store.h"
 #include "hypermodel/backends/oodb_store.h"
 #include "hypermodel/backends/rel_store.h"
 #include "hypermodel/backends/remote_store.h"
+#include "hypermodel/backends/sharded_store.h"
 #include "hypermodel/driver.h"
 #include "hypermodel/generator.h"
 #include "hypermodel/report.h"
@@ -102,6 +134,7 @@ struct Args {
   uint64_t seed = 7;
   std::string dir = "/tmp/hmbench";
   std::string remote;  // host:port of an external server, or empty
+  uint32_t shards = 4;  // fleet size for a self-hosted shard backend
   hm::backends::RemoteMode remote_mode =
       hm::backends::RemoteMode::kPushdown;
   std::string json;  // path for JSON output, or empty
@@ -115,11 +148,12 @@ struct Args {
       "TR CS/E-88-031)\n\n"
       "usage: hmbench [options]           run the benchmark\n"
       "       hmbench serve [options]     expose a backend over TCP\n"
+      "       hmbench cluster [options]   launch an N-shard serve fleet\n"
       "       hmbench stats [options]     print a live server's telemetry\n"
       "       hmbench fsck [options]      verify a generated database\n"
       "\n"
       "  --levels=4,5,6      leaf levels to run (paper sizes: 4, 5, 6)\n"
-      "  --backends=...      subset of mem,oodb,rel,net,remote\n"
+      "  --backends=...      subset of mem,oodb,rel,net,remote,shard\n"
       "  --ops=01,05A,10     operation numbers (default: all 20)\n"
       "  --iters=N           runs per cold/warm phase (default 50)\n"
       "  --cache-pages=N     workstation cache size in 8 KiB pages\n"
@@ -127,7 +161,12 @@ struct Args {
       "  --dir=PATH          scratch directory\n"
       "  --remote=HOST:PORT  server address for the remote backend\n"
       "                      (default: spawn an in-process loopback\n"
-      "                      server over a mem backend)\n"
+      "                      server over a mem backend); the shard\n"
+      "                      backend takes its fleet address list\n"
+      "                      (shard://host:port,host:port,...) here\n"
+      "  --shards=N          fleet size when the shard backend\n"
+      "                      self-hosts an in-process loopback fleet\n"
+      "                      (default 4)\n"
       "  --remote-mode=MODE  wire-latency rung for the remote backend:\n"
       "                      percall, batched or pushdown (default);\n"
       "                      or spell a backend remote[MODE] to pin one\n"
@@ -140,10 +179,12 @@ struct Args {
       "hmbench stats — fetch and print a live server's telemetry\n\n"
       "  --remote=HOST:PORT  server to query (default 127.0.0.1:7433)\n"
       "\n"
-      "hmbench serve — expose one backend over the wire protocol\n\n"
+      "hmbench serve — expose one backend over the wire protocol\n"
+      "(announces its resolved host:port as the first stdout line)\n\n"
       "  --backend=NAME      backend to serve: mem,oodb,rel,net\n"
       "  --host=ADDR         bind address (default 127.0.0.1)\n"
       "  --port=N            TCP port (default 7433; 0 = ephemeral)\n"
+      "  --shard=K/N         serve as shard K of an N-shard fleet\n"
       "  --workers=N         worker-pool size (default 4)\n"
       "  --queue=N           pending-connection bound (default 64)\n"
       "  --cache-pages=N     backend cache size\n"
@@ -153,13 +194,23 @@ struct Args {
       "  --checkpoint-ms=N   oodb background fuzzy-checkpoint interval\n"
       "                      (default 0 = checkpoint only at shutdown)\n"
       "\n"
+      "hmbench cluster — launch and supervise an N-shard serve fleet\n\n"
+      "  --shards=N          fleet size (default 4)\n"
+      "  --backend=NAME      backend each shard serves (default mem)\n"
+      "  --dir=PATH          root directory (shard k uses PATH/shardK)\n"
+      "  --cache-pages=N     per-shard backend cache size\n"
+      "  --workers=N         per-shard worker-pool size\n"
+      "\n"
       "hmbench fsck — generate a database, verify every §5.2 invariant\n\n"
-      "  --backend=NAME      backend to verify: mem,oodb,rel,net,remote\n"
+      "  --backend=NAME      backend to verify: mem,oodb,rel,net,remote,\n"
+      "                      shard, or shard://host:port,... to verify\n"
+      "                      a running fleet end to end\n"
       "  --level=N           leaf level of the generated tree (default 4)\n"
       "  --cache-pages=N     backend cache size\n"
       "  --dir=PATH          scratch directory (default /tmp/hmfsck)\n"
       "  --remote=HOST:PORT  server for the remote backend (default:\n"
-      "                      in-process loopback over a mem backend)\n";
+      "                      in-process loopback over a mem backend)\n"
+      "  --shards=N          fleet size for a self-hosted shard backend\n";
   std::exit(code);
 }
 
@@ -244,6 +295,9 @@ Args Parse(int argc, char** argv) {
       args.dir = value("--dir=");
     } else if (arg.starts_with("--remote=")) {
       args.remote = value("--remote=");
+    } else if (arg.starts_with("--shards=")) {
+      args.shards =
+          static_cast<uint32_t>(std::atoi(value("--shards=").c_str()));
     } else if (arg.starts_with("--remote-mode=")) {
       auto parsed = hm::backends::ParseRemoteMode(value("--remote-mode="));
       CheckOk(parsed.status());
@@ -329,6 +383,29 @@ std::unique_ptr<hm::HyperStore> OpenBackend(const Args& args,
     CheckOk((*store)->ResetServer());
     return std::move(*store);
   }
+  if (name == "shard" || name.starts_with("shard://")) {
+    // Fleet address: an explicit shard://... spelling wins, then
+    // --remote (so `--backends=shard --remote=shard://...` works
+    // without commas breaking the --backends CSV), else a self-hosted
+    // in-process loopback fleet of --shards servers.
+    std::string addrs;
+    if (name.starts_with("shard://")) {
+      addrs = name;
+    } else if (args.remote.starts_with("shard://") ||
+               args.remote.find(',') != std::string::npos) {
+      addrs = args.remote;
+    }
+    hm::backends::RemoteOptions client_options;
+    client_options.mode = args.remote_mode;
+    auto store = addrs.empty()
+                     ? hm::backends::ShardedStore::Loopback(
+                           args.shards, args.remote_mode)
+                     : hm::backends::ShardedStore::Connect(addrs,
+                                                           client_options);
+    CheckOk(store.status());
+    CheckOk((*store)->ResetServer());
+    return std::move(*store);
+  }
   std::cerr << "unknown backend '" << name << "'\n";
   Usage(1);
 }
@@ -351,6 +428,8 @@ struct ServeArgs {
   int drain_ms = 2000;
   uint64_t group_commit_us = 0;
   uint64_t checkpoint_ms = 0;
+  /// Fleet placement from --shard=K/N; (0, 1) = standalone.
+  hm::cluster::ShardSpec shard;
 };
 
 /// (Re)creates the served backend. Persistent backends start from an
@@ -395,6 +474,19 @@ hm::util::Result<std::unique_ptr<hm::HyperStore>> MakeServeBackend(
       "' (serve supports mem,oodb,rel,net)");
 }
 
+/// MakeServeBackend plus the cluster translation wrapper when this
+/// server is one shard of a fleet (--shard=K/N).
+hm::util::Result<std::unique_ptr<hm::HyperStore>> MakeShardBackend(
+    const ServeArgs& args) {
+  auto backend = MakeServeBackend(args);
+  HM_RETURN_IF_ERROR(backend.status());
+  if (args.shard.count <= 1) return std::move(*backend);
+  auto wrapped =
+      hm::cluster::ShardLocalStore::Wrap(args.shard, std::move(*backend));
+  HM_RETURN_IF_ERROR(wrapped.status());
+  return std::unique_ptr<hm::HyperStore>(std::move(*wrapped));
+}
+
 int ServeMain(int argc, char** argv) {
   ServeArgs args;
   for (int i = 2; i < argc; ++i) {
@@ -430,13 +522,17 @@ int ServeMain(int argc, char** argv) {
     } else if (arg.starts_with("--checkpoint-ms=")) {
       args.checkpoint_ms =
           std::strtoull(value("--checkpoint-ms=").c_str(), nullptr, 10);
+    } else if (arg.starts_with("--shard=")) {
+      auto spec = hm::cluster::ParseShardSpec(value("--shard="));
+      CheckOk(spec.status());
+      args.shard = *spec;
     } else {
       std::cerr << "unknown serve argument '" << arg << "'\n";
       Usage(1);
     }
   }
 
-  auto backend = MakeServeBackend(args);
+  auto backend = MakeShardBackend(args);
   CheckOk(backend.status());
 
   hm::server::ServerOptions options;
@@ -446,16 +542,25 @@ int ServeMain(int argc, char** argv) {
   options.queue_capacity = args.queue;
   options.max_inflight = args.max_inflight;
   options.drain_ms = args.drain_ms;
-  options.reset_factory = [args] { return MakeServeBackend(args); };
+  options.shard_id = args.shard.id;
+  options.shard_count = args.shard.count;
+  options.reset_factory = [args] { return MakeShardBackend(args); };
   auto server = hm::server::Server::Start(options, std::move(*backend));
   CheckOk(server.status());
 
+  // The resolved address goes first, alone and flushed, so a launcher
+  // reading our stdout learns an ephemeral port without parsing the
+  // human banner (the cluster subcommand depends on this line).
+  std::cout << (*server)->host() << ":" << (*server)->port() << "\n"
+            << std::flush;
   std::cout << "hmbench serve: " << args.backend << " backend on "
             << (*server)->host() << ":" << (*server)->port() << " ("
             << args.workers << " workers); read-parallel dispatch "
-            << ((*server)->read_parallel() ? "on" : "off")
-            << "; Ctrl-C to stop\n"
-            << std::flush;
+            << ((*server)->read_parallel() ? "on" : "off");
+  if (args.shard.count > 1) {
+    std::cout << "; shard " << args.shard.id << "/" << args.shard.count;
+  }
+  std::cout << "; Ctrl-C to stop\n" << std::flush;
 
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
@@ -476,6 +581,156 @@ int ServeMain(int argc, char** argv) {
   hm::telemetry::Registry::Global().TakeSnapshot().PrintTo(std::cout);
   std::cout << std::flush;
   return 0;
+}
+
+// --- `hmbench cluster`: launch and supervise a serve fleet -----------
+
+/// One fleet member: the child pid and the read end of its stdout
+/// pipe (kept open so late child output has somewhere to go).
+struct ShardProc {
+  pid_t pid = -1;
+  int out_fd = -1;
+};
+
+/// Reads one '\n'-terminated line from fd (the serve announce line).
+bool ReadLine(int fd, std::string* line) {
+  line->clear();
+  char c = 0;
+  while (true) {
+    ssize_t n = read(fd, &c, 1);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    if (c == '\n') return true;
+    line->push_back(c);
+  }
+}
+
+int ClusterMain(int argc, char** argv) {
+  uint32_t shards = 4;
+  std::string backend = "mem";
+  std::string dir = "/tmp/hmcluster";
+  std::string cache_pages;
+  std::string workers;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg == "--help" || arg == "-h") {
+      Usage(0);
+    } else if (arg.starts_with("--shards=")) {
+      shards = static_cast<uint32_t>(std::atoi(value("--shards=").c_str()));
+    } else if (arg.starts_with("--backend=")) {
+      backend = value("--backend=");
+    } else if (arg.starts_with("--dir=")) {
+      dir = value("--dir=");
+    } else if (arg.starts_with("--cache-pages=")) {
+      cache_pages = value("--cache-pages=");
+    } else if (arg.starts_with("--workers=")) {
+      workers = value("--workers=");
+    } else {
+      std::cerr << "unknown cluster argument '" << arg << "'\n";
+      Usage(1);
+    }
+  }
+  if (shards < 1 || shards > hm::cluster::kMaxShards) {
+    std::cerr << "hmbench cluster: --shards must be in [1, "
+              << hm::cluster::kMaxShards << "]\n";
+    return 1;
+  }
+
+  std::vector<ShardProc> fleet;
+  std::vector<std::string> addrs;
+  for (uint32_t k = 0; k < shards; ++k) {
+    int pipe_fds[2];
+    if (pipe(pipe_fds) != 0) {
+      std::cerr << "hmbench cluster: pipe: " << std::strerror(errno)
+                << "\n";
+      return 1;
+    }
+    pid_t pid = fork();
+    if (pid < 0) {
+      std::cerr << "hmbench cluster: fork: " << std::strerror(errno)
+                << "\n";
+      return 1;
+    }
+    if (pid == 0) {
+      // Child: stdout -> pipe, then become `hmbench serve` for shard k.
+      dup2(pipe_fds[1], STDOUT_FILENO);
+      close(pipe_fds[0]);
+      close(pipe_fds[1]);
+      std::vector<std::string> child_args = {
+          "hmbench",
+          "serve",
+          "--backend=" + backend,
+          "--port=0",
+          "--shard=" + std::to_string(k) + "/" + std::to_string(shards),
+          "--dir=" + dir + "/shard" + std::to_string(k),
+      };
+      if (!cache_pages.empty()) {
+        child_args.push_back("--cache-pages=" + cache_pages);
+      }
+      if (!workers.empty()) child_args.push_back("--workers=" + workers);
+      std::vector<char*> child_argv;
+      child_argv.reserve(child_args.size() + 1);
+      for (std::string& a : child_args) child_argv.push_back(a.data());
+      child_argv.push_back(nullptr);
+      execv("/proc/self/exe", child_argv.data());
+      std::cerr << "hmbench cluster: execv: " << std::strerror(errno)
+                << "\n";
+      _exit(127);
+    }
+    close(pipe_fds[1]);
+    std::string addr;
+    if (!ReadLine(pipe_fds[0], &addr) || addr.find(':') == std::string::npos) {
+      std::cerr << "hmbench cluster: shard " << k
+                << " exited before announcing its address\n";
+      for (const ShardProc& proc : fleet) kill(proc.pid, SIGTERM);
+      return 1;
+    }
+    fleet.push_back({pid, pipe_fds[0]});
+    addrs.push_back(addr);
+  }
+
+  // The fleet spelling goes first, alone and flushed — scripts read it
+  // the way the serve announce line is read.
+  std::string spec = "shard://";
+  for (size_t k = 0; k < addrs.size(); ++k) {
+    if (k > 0) spec += ",";
+    spec += addrs[k];
+  }
+  std::cout << spec << "\n" << std::flush;
+  std::cout << "hmbench cluster: " << shards << "-shard " << backend
+            << " fleet up; Ctrl-C to stop\n"
+            << std::flush;
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    // A shard dying takes the whole fleet down — better a clean exit
+    // than a half-alive cluster answering kUnavailable forever.
+    pid_t done = waitpid(-1, nullptr, WNOHANG);
+    if (done > 0) {
+      std::cerr << "hmbench cluster: shard process " << done
+                << " exited; stopping the fleet\n";
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  for (const ShardProc& proc : fleet) kill(proc.pid, SIGTERM);
+  int failures = 0;
+  for (const ShardProc& proc : fleet) {
+    int wstatus = 0;
+    if (waitpid(proc.pid, &wstatus, 0) == proc.pid &&
+        (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0)) {
+      ++failures;
+    }
+    close(proc.out_fd);
+  }
+  std::cout << "hmbench cluster: fleet stopped\n";
+  return failures == 0 ? 0 : 1;
 }
 
 // --- `hmbench stats`: live telemetry from a running server -----------
@@ -541,6 +796,9 @@ int FsckMain(int argc, char** argv) {
       shim.dir = value("--dir=");
     } else if (arg.starts_with("--remote=")) {
       shim.remote = value("--remote=");
+    } else if (arg.starts_with("--shards=")) {
+      shim.shards =
+          static_cast<uint32_t>(std::atoi(value("--shards=").c_str()));
     } else {
       std::cerr << "unknown fsck argument '" << arg << "'\n";
       Usage(1);
@@ -577,6 +835,9 @@ int FsckMain(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
     return ServeMain(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "cluster") == 0) {
+    return ClusterMain(argc, argv);
   }
   if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
     return StatsMain(argc, argv);
