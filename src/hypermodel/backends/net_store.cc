@@ -168,8 +168,9 @@ util::Result<std::unique_ptr<NetStore>> NetStore::Open(
 
 NetStore::~NetStore() {
   if (pool_ != nullptr) {
-    SaveMeta();
-    pool_->FlushAll();
+    // Best-effort teardown: a destructor has no caller to report to.
+    (void)SaveMeta();
+    (void)pool_->FlushAll();
   }
 }
 

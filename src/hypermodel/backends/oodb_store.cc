@@ -197,8 +197,9 @@ util::Result<std::unique_ptr<OodbStore>> OodbStore::Open(
 
 OodbStore::~OodbStore() {
   if (store_ != nullptr) {
-    PersistIndexRoots();
-    store_->Close();
+    // Best-effort teardown: a destructor has no caller to report to.
+    (void)PersistIndexRoots();
+    (void)store_->Close();
   }
 }
 

@@ -101,10 +101,11 @@ util::Result<std::unique_ptr<RelStore>> RelStore::Open(
 }
 
 RelStore::~RelStore() {
-  if (group_commit_ != nullptr) group_commit_->Drain();
+  // Best-effort teardown: a destructor has no caller to report to.
+  if (group_commit_ != nullptr) (void)group_commit_->Drain();
   if (pool_ != nullptr) {
-    SaveMeta();
-    pool_->FlushAll();
+    (void)SaveMeta();
+    (void)pool_->FlushAll();
   }
 }
 
@@ -199,7 +200,7 @@ util::Result<uint64_t> RelStore::CommitBegin() {
   // The flush runs under commit_mu_ so concurrent committers do not
   // interleave SaveMeta; the fsync is either inline (no coordinator)
   // or batched with other committers' by the coordinator.
-  std::unique_lock lock(commit_mu_);
+  util::MutexLock lock(commit_mu_);
   HM_RETURN_IF_ERROR(SaveMeta());
   HM_RETURN_IF_ERROR(pool_->FlushAll());
   if (group_commit_ == nullptr) {

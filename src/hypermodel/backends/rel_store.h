@@ -2,7 +2,6 @@
 #define HM_HYPERMODEL_BACKENDS_REL_STORE_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,6 +12,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/commit_pipeline/group_commit.h"
 #include "storage/file_manager.h"
+#include "util/thread_annotations.h"
 
 namespace hm::backends {
 
@@ -127,8 +127,10 @@ class RelStore : public HyperStore, public PipelinedCommitCapable {
   /// Non-null iff group_commit_us > 0; batches the commit fsync.
   std::unique_ptr<storage::GroupCommitCoordinator> group_commit_;
   /// Serializes the SaveMeta+FlushAll phase of concurrent committers
-  /// (the rel backend has no finer-grained write lock of its own).
-  std::mutex commit_mu_;
+  /// (the rel backend has no finer-grained write lock of its own). A
+  /// pure phase lock: it guards a critical *section*, not any member,
+  /// so nothing carries HM_GUARDED_BY on it.
+  util::Mutex commit_mu_;
 
   std::optional<relstore::Table> node_table_;
   std::optional<relstore::Table> text_table_;

@@ -3,7 +3,7 @@
 namespace hm::ext {
 
 WorkspaceId OccManager::OpenWorkspace(uint64_t user) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   WorkspaceId id = next_ws_++;
   Workspace& ws = workspaces_[id];
   ws.user = user;
@@ -31,7 +31,7 @@ void OccManager::Observe(Workspace* workspace, NodeRef node) {
 
 util::Result<int64_t> OccManager::GetAttr(WorkspaceId ws, NodeRef node,
                                           Attr attr) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   HM_ASSIGN_OR_RETURN(Workspace * workspace, Find(ws));
   Observe(workspace, node);
   auto written = workspace->attr_writes.find({node, attr});
@@ -40,7 +40,7 @@ util::Result<int64_t> OccManager::GetAttr(WorkspaceId ws, NodeRef node,
 }
 
 util::Result<std::string> OccManager::GetText(WorkspaceId ws, NodeRef node) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   HM_ASSIGN_OR_RETURN(Workspace * workspace, Find(ws));
   Observe(workspace, node);
   auto written = workspace->text_writes.find(node);
@@ -50,7 +50,7 @@ util::Result<std::string> OccManager::GetText(WorkspaceId ws, NodeRef node) {
 
 util::Status OccManager::SetAttr(WorkspaceId ws, NodeRef node, Attr attr,
                                  int64_t value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   HM_ASSIGN_OR_RETURN(Workspace * workspace, Find(ws));
   Observe(workspace, node);
   workspace->attr_writes[{node, attr}] = value;
@@ -59,7 +59,7 @@ util::Status OccManager::SetAttr(WorkspaceId ws, NodeRef node, Attr attr,
 
 util::Status OccManager::SetText(WorkspaceId ws, NodeRef node,
                                  std::string text) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   HM_ASSIGN_OR_RETURN(Workspace * workspace, Find(ws));
   Observe(workspace, node);
   workspace->text_writes[node] = std::move(text);
@@ -67,7 +67,7 @@ util::Status OccManager::SetText(WorkspaceId ws, NodeRef node,
 }
 
 util::Status OccManager::CommitWorkspace(WorkspaceId ws) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   HM_ASSIGN_OR_RETURN(Workspace * workspace, Find(ws));
   workspace->active = false;
 
@@ -104,7 +104,7 @@ util::Status OccManager::CommitWorkspace(WorkspaceId ws) {
 }
 
 util::Status OccManager::AbandonWorkspace(WorkspaceId ws) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   HM_ASSIGN_OR_RETURN(Workspace * workspace, Find(ws));
   (void)workspace;
   workspaces_.erase(ws);

@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "hypermodel/store.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hm::ext {
 
@@ -56,8 +56,16 @@ class OccManager {
   /// Discards the workspace without publishing.
   util::Status AbandonWorkspace(WorkspaceId ws);
 
-  uint64_t commits() const { return commits_; }
-  uint64_t conflicts() const { return conflicts_; }
+  /// Counter reads take the commit mutex: committers bump these while
+  /// holding it, so a bare read from a monitoring thread would race.
+  uint64_t commits() const {
+    util::MutexLock lock(mutex_);
+    return commits_;
+  }
+  uint64_t conflicts() const {
+    util::MutexLock lock(mutex_);
+    return conflicts_;
+  }
 
  private:
   struct Workspace {
@@ -70,18 +78,20 @@ class OccManager {
   };
 
   /// Current committed version of a node (0 if never written).
-  uint64_t NodeVersionLocked(NodeRef node) const;
-  util::Result<Workspace*> Find(WorkspaceId ws);
+  uint64_t NodeVersionLocked(NodeRef node) const HM_REQUIRES(mutex_);
+  util::Result<Workspace*> Find(WorkspaceId ws) HM_REQUIRES(mutex_);
   /// Records the observed version on first contact with `node`.
-  void Observe(Workspace* workspace, NodeRef node);
+  void Observe(Workspace* workspace, NodeRef node) HM_REQUIRES(mutex_);
 
   HyperStore* store_;
-  std::mutex mutex_;
-  std::unordered_map<WorkspaceId, Workspace> workspaces_;
-  std::unordered_map<NodeRef, uint64_t> node_versions_;
-  WorkspaceId next_ws_ = 1;
-  uint64_t commits_ = 0;
-  uint64_t conflicts_ = 0;
+  mutable util::Mutex mutex_;
+  std::unordered_map<WorkspaceId, Workspace> workspaces_
+      HM_GUARDED_BY(mutex_);
+  std::unordered_map<NodeRef, uint64_t> node_versions_
+      HM_GUARDED_BY(mutex_);
+  WorkspaceId next_ws_ HM_GUARDED_BY(mutex_) = 1;
+  uint64_t commits_ HM_GUARDED_BY(mutex_) = 0;
+  uint64_t conflicts_ HM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace hm::ext

@@ -9,7 +9,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
-#include <mutex>
 #include <unordered_set>
 
 #include "storage/slotted_page.h"
@@ -100,7 +99,11 @@ void ApplyEnvOverrides(ObjectStoreOptions* options) {
 ObjectStore::ObjectStore(const ObjectStoreOptions& options)
     : options_(options) {}
 
-ObjectStore::~ObjectStore() { Close(); }
+ObjectStore::~ObjectStore() {
+  // Best-effort close; a failed final checkpoint has nowhere to
+  // report from a destructor. Callers who care call Close() directly.
+  (void)Close();
+}
 
 util::Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(
     const ObjectStoreOptions& options, const std::string& dir) {
@@ -139,7 +142,10 @@ util::Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(
       HM_RETURN_IF_ERROR(store->Recover());
     }
   }
-  store->open_ = true;
+  {
+    util::MutexLock lock(store->write_mu_);
+    store->open_ = true;
+  }
   if (store->options_.sync_commits && store->options_.group_commit_us > 0) {
     storage::GroupCommitCoordinator::Options gc;
     gc.window_us = store->options_.group_commit_us;
@@ -278,7 +284,7 @@ util::Status ObjectStore::Recover() {
         }
         if (committed.contains(rec.txn_id)) {
           ++redone;
-          return ApplyLogical(rec.payload, /*recovering=*/true);
+          return ApplyRecoveredRecord(rec.payload);
         }
         if (!aborted.contains(rec.txn_id)) {
           losers.emplace_back(rec.payload);
@@ -326,7 +332,10 @@ util::Status ObjectStore::UndoLogical(std::string_view payload) {
 }
 
 util::Status ObjectStore::Close() {
-  if (!open_) return util::Status::Ok();
+  {
+    util::MutexLock lock(write_mu_);
+    if (!open_) return util::Status::Ok();
+  }
   // Drain the pipeline front to back: no more background checkpoints,
   // then every enrolled commit durable, then the final full
   // checkpoint.
@@ -334,13 +343,13 @@ util::Status ObjectStore::Close() {
   if (group_commit_) {
     HM_RETURN_IF_ERROR(group_commit_->Drain());
   }
-  open_ = false;
   if (checkpoint_data_fd_ >= 0) {
     ::close(checkpoint_data_fd_);
     checkpoint_data_fd_ = -1;
   }
   {
-    std::lock_guard lock(write_mu_);
+    util::MutexLock lock(write_mu_);
+    open_ = false;
     HM_RETURN_IF_ERROR(CheckpointLocked());
   }
   HM_RETURN_IF_ERROR(wal_.Close());
@@ -349,7 +358,7 @@ util::Status ObjectStore::Close() {
 }
 
 util::Status ObjectStore::Checkpoint() {
-  std::lock_guard lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   return CheckpointLocked();
 }
 
@@ -371,10 +380,24 @@ util::Status ObjectStore::CheckpointLocked() {
   return util::Status::Ok();
 }
 
+util::Status ObjectStore::FuzzySweepLocked(uint64_t* start) {
+  HM_RETURN_IF_ERROR(wal_.RollIfNonEmpty());
+  *start = wal_.NextLsn();
+  HM_RETURN_IF_ERROR(SaveMeta());
+  storage::BufferPool::FlushCursor cursor;
+  bool done = false;
+  while (!done) {
+    HM_FAILPOINT("checkpoint/mid_flush/crash");
+    HM_RETURN_IF_ERROR(
+        pool_->FlushBatch(&cursor, kCheckpointFlushBatch, &done));
+  }
+  return util::Status::Ok();
+}
+
 util::Status ObjectStore::FuzzyCheckpoint() {
   uint64_t start = 0;
   {
-    std::unique_lock lock(write_mu_);
+    util::MutexLock lock(write_mu_);
     if (!open_) return util::Status::Ok();
     if (wal_.records_appended() == last_checkpoint_records_) {
       return util::Status::Ok();  // nothing new to checkpoint
@@ -384,24 +407,16 @@ util::Status ObjectStore::FuzzyCheckpoint() {
     // commit load this converges as soon as in-flight transactions
     // finish; a transaction that never finishes only costs a bounded
     // stall before we give up until the next tick.
-    bool quiet = quiesce_cv_.wait_for(lock, kQuiesceTimeout,
-                                      [this] { return active_txns_.empty(); });
-    util::Status sweep = util::Status::Ok();
-    if (quiet) {
-      sweep = [&]() -> util::Status {
-        HM_RETURN_IF_ERROR(wal_.RollIfNonEmpty());
-        start = wal_.NextLsn();
-        HM_RETURN_IF_ERROR(SaveMeta());
-        storage::BufferPool::FlushCursor cursor;
-        bool done = false;
-        while (!done) {
-          HM_FAILPOINT("checkpoint/mid_flush/crash");
-          HM_RETURN_IF_ERROR(
-              pool_->FlushBatch(&cursor, kCheckpointFlushBatch, &done));
-        }
-        return util::Status::Ok();
-      }();
+    const auto deadline = std::chrono::steady_clock::now() + kQuiesceTimeout;
+    while (!active_txns_.empty()) {
+      if (quiesce_cv_.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
     }
+    const bool quiet = active_txns_.empty();
+    util::Status sweep =
+        quiet ? FuzzySweepLocked(&start) : util::Status::Ok();
     checkpoint_waiting_ = false;
     begin_cv_.notify_all();
     HM_RETURN_IF_ERROR(sweep);
@@ -423,7 +438,7 @@ util::Status ObjectStore::FuzzyCheckpoint() {
                                  std::strerror(errno));
   }
   HM_RETURN_IF_ERROR(wal_.Checkpoint(start));
-  std::lock_guard lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   last_checkpoint_records_ = wal_.records_appended();
   return util::Status::Ok();
 }
@@ -437,29 +452,29 @@ void ObjectStore::MaybeNudgeCheckpointer() {
 }
 
 util::Status ObjectStore::DropCaches() {
-  std::lock_guard lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   HM_RETURN_IF_ERROR(SaveMeta());
   return pool_->DropAll();
 }
 
 uint64_t ObjectStore::GetCatalog(size_t slot) const {
   HM_CHECK(slot < kCatalogSlots);
-  std::lock_guard lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   return catalog_[slot];
 }
 
 void ObjectStore::SetCatalog(size_t slot, uint64_t value) {
   HM_CHECK(slot < kCatalogSlots);
-  std::lock_guard lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   catalog_[slot] = value;
 }
 
 util::Result<Transaction> ObjectStore::Begin() {
-  std::unique_lock lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   // Yield to a quiescing checkpointer (bounded on its side): letting
   // new transactions slip in under constant load would starve it
   // forever.
-  begin_cv_.wait(lock, [this] { return !checkpoint_waiting_; });
+  while (checkpoint_waiting_) begin_cv_.wait(lock);
   Transaction txn;
   txn.id_ = next_txn_id_++;
   txn.active_ = true;
@@ -480,7 +495,7 @@ util::Result<uint64_t> ObjectStore::CommitAsync(Transaction* txn) {
   }
   uint64_t ticket = 0;
   {
-    std::lock_guard lock(write_mu_);
+    util::MutexLock lock(write_mu_);
     HM_ASSIGN_OR_RETURN(uint64_t lsn,
                         wal_.Append(WalRecordType::kCommit, txn->id_, ""));
     (void)lsn;
@@ -496,7 +511,7 @@ util::Result<uint64_t> ObjectStore::CommitAsync(Transaction* txn) {
     HM_RETURN_IF_ERROR(wal_.Sync());
   }
   {
-    std::lock_guard lock(write_mu_);
+    util::MutexLock lock(write_mu_);
     active_txns_.erase(txn->id_);
     if (active_txns_.empty()) quiesce_cv_.notify_all();
     stats_.commits.fetch_add(1, std::memory_order_relaxed);
@@ -516,7 +531,7 @@ util::Status ObjectStore::Abort(Transaction* txn) {
   if (!txn->active_) {
     return util::Status::InvalidArgument("transaction not active");
   }
-  std::lock_guard lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   // Undo in reverse order using the retained pre-images.
   for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
     switch (it->kind) {
@@ -684,15 +699,6 @@ util::Result<ObjectStore::DirEntry> ObjectStore::Place(std::string_view data,
   // records (fill-factor style), capped to stay usable on big records.
   const uint32_t cluster_reserve =
       std::min<uint32_t>(2 * size, kPagePayloadSize / 4);
-  // Allocates a fresh slotted page and inserts there.
-  auto new_page = [&]() -> util::Result<DirEntry> {
-    HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->New(PageType::kSlotted));
-    SlottedPage::Init(guard.page());
-    HM_ASSIGN_OR_RETURN(SlotId slot, SlottedPage::Insert(guard.page(), data));
-    guard.MarkDirty();
-    slotted_pages_.push_back(guard.id());
-    return DirEntry{guard.id(), slot, kDirSlotted};
-  };
 
   switch (options_.placement) {
     case PlacementPolicy::kClustered: {
@@ -711,7 +717,7 @@ util::Result<ObjectStore::DirEntry> ObjectStore::Place(std::string_view data,
             placed = try_page(tail_it->second, cluster_reserve);
             if (placed.ok()) return placed;
           }
-          HM_ASSIGN_OR_RETURN(DirEntry entry, new_page());
+          HM_ASSIGN_OR_RETURN(DirEntry entry, NewSlottedPage(data));
           cluster_tails_[anchor] = entry.page;
           return entry;
         }
@@ -728,7 +734,7 @@ util::Result<ObjectStore::DirEntry> ObjectStore::Place(std::string_view data,
         auto placed = try_page(slotted_pages_[index], 0);
         if (placed.ok()) return placed;
       }
-      return new_page();
+      return NewSlottedPage(data);
     }
     case PlacementPolicy::kSequential:
       break;
@@ -739,9 +745,19 @@ util::Result<ObjectStore::DirEntry> ObjectStore::Place(std::string_view data,
     auto placed = try_page(active_fill_page_, 0);
     if (placed.ok()) return placed;
   }
-  HM_ASSIGN_OR_RETURN(DirEntry entry, new_page());
+  HM_ASSIGN_OR_RETURN(DirEntry entry, NewSlottedPage(data));
   active_fill_page_ = entry.page;
   return entry;
+}
+
+util::Result<ObjectStore::DirEntry> ObjectStore::NewSlottedPage(
+    std::string_view data) {
+  HM_ASSIGN_OR_RETURN(PageGuard guard, pool_->New(PageType::kSlotted));
+  SlottedPage::Init(guard.page());
+  HM_ASSIGN_OR_RETURN(SlotId slot, SlottedPage::Insert(guard.page(), data));
+  guard.MarkDirty();
+  slotted_pages_.push_back(guard.id());
+  return DirEntry{guard.id(), slot, kDirSlotted};
 }
 
 util::Status ObjectStore::Remove(const DirEntry& entry) {
@@ -838,7 +854,7 @@ util::Status ObjectStore::LogAndApply(Transaction* txn,
 
 util::Result<Oid> ObjectStore::Create(Transaction* txn, std::string_view data,
                                       Oid near) {
-  std::lock_guard lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   return CreateLocked(txn, data, near);
 }
 
@@ -873,7 +889,7 @@ util::Result<std::string> ObjectStore::Read(Oid oid) const {
 
 util::Status ObjectStore::Update(Transaction* txn, Oid oid,
                                  std::string_view data) {
-  std::lock_guard lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   return UpdateLocked(txn, oid, data);
 }
 
@@ -893,7 +909,7 @@ util::Status ObjectStore::UpdateLocked(Transaction* txn, Oid oid,
 }
 
 util::Status ObjectStore::Delete(Transaction* txn, Oid oid) {
-  std::lock_guard lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   return DeleteLocked(txn, oid);
 }
 
@@ -914,7 +930,7 @@ util::Status ObjectStore::DeleteLocked(Transaction* txn, Oid oid) {
 util::Status ObjectStore::BackupTo(const std::string& backup_dir) {
   // Holding write_mu_ across the copies keeps the checkpointer (and
   // any committer) from moving files or bytes underneath them.
-  std::lock_guard lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   HM_RETURN_IF_ERROR(CheckpointLocked());
   std::error_code ec;
   std::filesystem::create_directories(backup_dir, ec);
@@ -944,7 +960,7 @@ util::Result<uint64_t> ObjectStore::CollectGarbage(
   if (!txn->active_) {
     return util::Status::InvalidArgument("transaction not active");
   }
-  std::lock_guard lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   // Mark: breadth-first from the roots through the caller's tracer.
   std::vector<bool> marked(next_oid_, false);
   std::vector<Oid> frontier;

@@ -18,6 +18,7 @@
 #include "storage/file_manager.h"
 #include "util/lock_rank.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hm::objstore {
 
@@ -256,31 +257,56 @@ class ObjectStore {
   };
 
   util::Status InitFresh();
-  util::Status LoadMeta();
-  util::Status SaveMeta();
-  util::Status Recover();
-  util::Status CheckpointLocked();
+  /// Open-time only, before the store is published to any other
+  /// thread; the thread-safety analysis is off because it writes
+  /// write_mu_-guarded state (catalog_) without the lock.
+  util::Status LoadMeta() HM_NO_THREAD_SAFETY_ANALYSIS;
+  util::Status SaveMeta() HM_REQUIRES(write_mu_);
+  /// Open-time only (see LoadMeta): replays the log single-threaded,
+  /// calling the *Locked apply helpers without write_mu_.
+  util::Status Recover() HM_NO_THREAD_SAFETY_ANALYSIS;
+  util::Status CheckpointLocked() HM_REQUIRES(write_mu_);
+  /// One write_mu_-held fuzzy-sweep round: roll the WAL, record the
+  /// recovery-start LSN into `*start`, persist the meta page and flush
+  /// dirty pages in small batches.
+  util::Status FuzzySweepLocked(uint64_t* start) HM_REQUIRES(write_mu_);
   /// Applies the inverse of one logical record (undoing an in-flight
   /// loser transaction during recovery) using its stored pre-image.
-  util::Status UndoLogical(std::string_view payload);
+  util::Status UndoLogical(std::string_view payload)
+      HM_REQUIRES(write_mu_);
   /// Nudges the background checkpointer when the WAL has outgrown the
   /// configured threshold.
   void MaybeNudgeCheckpointer();
 
   util::Result<Oid> CreateLocked(Transaction* txn, std::string_view data,
-                                 Oid near);
+                                 Oid near) HM_REQUIRES(write_mu_);
   util::Status UpdateLocked(Transaction* txn, Oid oid,
-                            std::string_view data);
-  util::Status DeleteLocked(Transaction* txn, Oid oid);
+                            std::string_view data) HM_REQUIRES(write_mu_);
+  util::Status DeleteLocked(Transaction* txn, Oid oid)
+      HM_REQUIRES(write_mu_);
 
   util::Result<DirEntry> DirGet(Oid oid) const;
-  util::Status DirSet(Oid oid, DirEntry entry);
+  util::Status DirSet(Oid oid, DirEntry entry) HM_REQUIRES(write_mu_);
   /// Ensures a directory page exists for `oid`, allocating on demand.
-  util::Result<storage::PageId> DirPageFor(Oid oid, bool create);
+  util::Result<storage::PageId> DirPageFor(Oid oid, bool create)
+      HM_REQUIRES(write_mu_);
 
   /// Physical insert of `data`, honoring the `near` hint; returns the
   /// directory entry describing where it landed.
-  util::Result<DirEntry> Place(std::string_view data, Oid near);
+  util::Result<DirEntry> Place(std::string_view data, Oid near)
+      HM_REQUIRES(write_mu_);
+  /// Allocates a fresh slotted page, inserts `data`, and registers the
+  /// page for random placement.
+  util::Result<DirEntry> NewSlottedPage(std::string_view data)
+      HM_REQUIRES(write_mu_);
+  /// Recovery-time trampoline around ApplyLogical: the WAL scan
+  /// callback is a lambda, which the thread-safety analysis treats as
+  /// a separate function, so it cannot call an HM_REQUIRES method even
+  /// from the (single-threaded, pre-publication) open path.
+  util::Status ApplyRecoveredRecord(std::string_view payload)
+      HM_NO_THREAD_SAFETY_ANALYSIS {
+    return ApplyLogical(payload, /*recovering=*/true);
+  }
   /// Writes `data` as an overflow chain; returns the head page.
   util::Result<storage::PageId> WriteOverflow(std::string_view data);
   util::Status FreeOverflow(storage::PageId head);
@@ -296,10 +322,12 @@ class ObjectStore {
   /// page image is older than the directory entry. The forward path
   /// stays strict — there a dangling entry is a bug, not a crash scar.
   util::Status ApplyLogical(std::string_view payload,
-                            bool recovering = false);
+                            bool recovering = false)
+      HM_REQUIRES(write_mu_);
 
   /// Logs then applies a logical mutation.
-  util::Status LogAndApply(Transaction* txn, std::string_view payload);
+  util::Status LogAndApply(Transaction* txn, std::string_view payload)
+      HM_REQUIRES(write_mu_);
 
   ObjectStoreOptions options_;
   std::string dir_;
@@ -318,32 +346,43 @@ class ObjectStore {
   /// waits on it so a quiescing checkpointer isn't starved forever
   /// under constant load (the wait is bounded on both sides).
   std::condition_variable_any begin_cv_;
-  bool checkpoint_waiting_ = false;
+  bool checkpoint_waiting_ HM_GUARDED_BY(write_mu_) = false;
   /// Active transaction id -> its kBegin LSN; the minimum bounds the
   /// recovery-start LSN so in-flight undo information is never pruned.
-  std::unordered_map<uint64_t, uint64_t> active_txns_;
-  uint64_t last_checkpoint_records_ = 0;
+  std::unordered_map<uint64_t, uint64_t> active_txns_
+      HM_GUARDED_BY(write_mu_);
+  uint64_t last_checkpoint_records_ HM_GUARDED_BY(write_mu_) = 0;
 
   /// Non-null iff sync_commits && group_commit_us > 0.
   std::unique_ptr<storage::GroupCommitCoordinator> group_commit_;
   storage::Checkpointer checkpointer_;
   /// Dedicated fd onto objects.db for the fuzzy checkpointer's data
   /// fsync, so it never touches FileManager state outside write_mu_.
+  /// Set once at open (pre-publication), closed after the checkpointer
+  /// thread has stopped — deliberately not HM_GUARDED_BY.
   int checkpoint_data_fd_ = -1;
 
+  /// next_oid_ and dir_pages_ are written only under write_mu_ but
+  /// *read* by the lock-free latch-crawling reader paths (DirGet /
+  /// Read / Exists) under the documented readers-vs-one-writer
+  /// contract, so they cannot carry HM_GUARDED_BY(write_mu_).
   Oid next_oid_ = 1;
-  uint64_t next_txn_id_ = 1;
-  storage::PageId active_fill_page_ = storage::kInvalidPageId;
+  std::vector<storage::PageId> dir_pages_;
+  uint64_t next_txn_id_ HM_GUARDED_BY(write_mu_) = 1;
+  storage::PageId active_fill_page_ HM_GUARDED_BY(write_mu_) =
+      storage::kInvalidPageId;
   /// Clustered placement: current overflow-chain tail per anchor page
   /// (in-memory placement state; placement after reopen restarts
   /// fresh chains, which only affects locality, never correctness).
-  std::unordered_map<storage::PageId, storage::PageId> cluster_tails_;
+  std::unordered_map<storage::PageId, storage::PageId> cluster_tails_
+      HM_GUARDED_BY(write_mu_);
   /// All slotted data pages, for random placement.
-  std::vector<storage::PageId> slotted_pages_;
+  std::vector<storage::PageId> slotted_pages_ HM_GUARDED_BY(write_mu_);
   /// Deterministic scatter for PlacementPolicy::kRandom.
-  uint64_t placement_rng_state_ = 0x9E3779B97F4A7C15ULL;
-  std::vector<storage::PageId> dir_pages_;
-  uint64_t catalog_[kCatalogSlots] = {};
+  uint64_t placement_rng_state_ HM_GUARDED_BY(write_mu_) =
+      0x9E3779B97F4A7C15ULL;
+  uint64_t catalog_[kCatalogSlots] HM_GUARDED_BY(write_mu_) = {};
+  /// Written once during Open (single-threaded), read-only after.
   uint64_t recovered_records_ = 0;
   /// Relaxed-atomic mirror of ObjectStoreStats; `objects_read` is the
   /// only member touched outside write_mu_, but keeping them uniform
@@ -357,7 +396,7 @@ class ObjectStore {
     std::atomic<uint64_t> aborts{0};
   };
   mutable AtomicStats stats_;
-  bool open_ = false;
+  bool open_ HM_GUARDED_BY(write_mu_) = false;
 };
 
 }  // namespace hm::objstore

@@ -90,7 +90,7 @@ Server::Session::~Session() {
 }
 
 bool Server::SessionQueue::Push(std::unique_ptr<Session>& session) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   if (closed_ || sessions_.size() >= capacity_) return false;
   sessions_.push_back(std::move(session));
   cv_.notify_one();
@@ -98,8 +98,8 @@ bool Server::SessionQueue::Push(std::unique_ptr<Session>& session) {
 }
 
 std::unique_ptr<Server::Session> Server::SessionQueue::Pop() {
-  std::unique_lock lock(mu_);
-  cv_.wait(lock, [&] { return closed_ || !sessions_.empty(); });
+  util::MutexLock lock(mu_);
+  while (!closed_ && sessions_.empty()) cv_.wait(lock);
   if (sessions_.empty()) return nullptr;  // closed and drained
   std::unique_ptr<Session> session = std::move(sessions_.front());
   sessions_.pop_front();
@@ -107,7 +107,7 @@ std::unique_ptr<Server::Session> Server::SessionQueue::Pop() {
 }
 
 void Server::SessionQueue::Close() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   closed_ = true;
   sessions_.clear();  // unserved connections are simply closed
   cv_.notify_all();
@@ -167,7 +167,7 @@ Server::~Server() { Stop(); }
 
 void Server::Stop() {
   {
-    std::lock_guard lock(stop_mu_);
+    util::MutexLock lock(stop_mu_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -185,14 +185,14 @@ void Server::Stop() {
     // requests) but the write side stays open, so responses to
     // requests already received are still delivered. See TrackFd()
     // for why this cannot hit a recycled descriptor.
-    std::lock_guard lock(fds_mu_);
+    util::MutexLock lock(fds_mu_);
     for (int fd : active_fds_) ::shutdown(fd, SHUT_RD);
   }
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(options_.drain_ms);
   for (;;) {
     {
-      std::lock_guard lock(fds_mu_);
+      util::MutexLock lock(fds_mu_);
       if (active_fds_.empty()) break;
       if (std::chrono::steady_clock::now() >= deadline) {
         // Grace period exhausted: sever both directions so workers
@@ -209,12 +209,12 @@ void Server::Stop() {
 }
 
 void Server::TrackFd(int fd) {
-  std::lock_guard lock(fds_mu_);
+  util::MutexLock lock(fds_mu_);
   active_fds_.insert(fd);
 }
 
 void Server::UntrackFd(int fd) {
-  std::lock_guard lock(fds_mu_);
+  util::MutexLock lock(fds_mu_);
   active_fds_.erase(fd);
 }
 
@@ -277,14 +277,20 @@ void Server::Dispatch(Session* session, std::string_view request,
   const bool use_shared =
       read_only && concurrent_reads_ok_.load(std::memory_order_relaxed);
 
-  std::shared_lock read_lock(backend_mu_, std::defer_lock);
-  std::unique_lock write_lock(backend_mu_, std::defer_lock);
   if (use_shared) {
-    read_lock.lock();
     shared_reads_.fetch_add(1);
+    util::SharedMutexLock lock(backend_mu_);
+    DispatchLocked(session, op, is_batch, subs, request, response);
   } else {
-    write_lock.lock();
+    util::MutexLock lock(backend_mu_);
+    DispatchLocked(session, op, is_batch, subs, request, response);
   }
+}
+
+void Server::DispatchLocked(Session* session, OpCode op, bool is_batch,
+                            const std::vector<std::string_view>& subs,
+                            std::string_view request,
+                            std::string* response) {
   requests_.fetch_add(is_batch ? subs.size() : 1);
   if (is_batch) {
     static telemetry::Histogram* batch_size =
@@ -422,11 +428,7 @@ void Server::DispatchOneImpl(Session* session, std::string_view request,
         reply_status(fresh.status());
         return;
       }
-      backend_ = std::move(*fresh);
-      ++reset_epoch_;
-      dirty_ = false;
-      concurrent_reads_ok_.store(backend_->SupportsConcurrentReads(),
-                                 std::memory_order_relaxed);
+      ResetBackendExclusive(std::move(*fresh));
       session->epoch = reset_epoch_;
       reply_status(util::Status::Ok());
       return;
@@ -458,7 +460,7 @@ void Server::DispatchOneImpl(Session* session, std::string_view request,
         return;
       }
       attrs.kind = static_cast<NodeKind>(kind);
-      dirty_ = true;
+      MarkDirty();
       auto ref = backend_->CreateNode(attrs, near);
       reply(ref.status(), [&] { util::PutVarint64(response, *ref); });
       return;
@@ -470,7 +472,7 @@ void Server::DispatchOneImpl(Session* session, std::string_view request,
         bad_request();
         return;
       }
-      dirty_ = true;
+      MarkDirty();
       reply_status(backend_->SetText(node, text));
       return;
     }
@@ -487,7 +489,7 @@ void Server::DispatchOneImpl(Session* session, std::string_view request,
         reply_status(form.status());
         return;
       }
-      dirty_ = true;
+      MarkDirty();
       reply_status(backend_->SetForm(node, *form));
       return;
     }
@@ -497,7 +499,7 @@ void Server::DispatchOneImpl(Session* session, std::string_view request,
         bad_request();
         return;
       }
-      dirty_ = true;
+      MarkDirty();
       reply_status(backend_->AddChild(parent, child));
       return;
     }
@@ -507,7 +509,7 @@ void Server::DispatchOneImpl(Session* session, std::string_view request,
         bad_request();
         return;
       }
-      dirty_ = true;
+      MarkDirty();
       reply_status(backend_->AddPart(owner, part));
       return;
     }
@@ -520,7 +522,7 @@ void Server::DispatchOneImpl(Session* session, std::string_view request,
         bad_request();
         return;
       }
-      dirty_ = true;
+      MarkDirty();
       reply_status(backend_->AddRef(from, to, offset_from, offset_to));
       return;
     }
@@ -543,7 +545,7 @@ void Server::DispatchOneImpl(Session* session, std::string_view request,
           bad_request();
           return;
         }
-        dirty_ = true;
+        MarkDirty();
         reply_status(
             backend_->SetAttr(node, static_cast<Attr>(attr), value));
       }
@@ -593,7 +595,7 @@ void Server::DispatchOneImpl(Session* session, std::string_view request,
         bad_request();
         return;
       }
-      dirty_ = true;
+      MarkDirty();
       reply_status(backend_->SetContents(node, data));
       return;
     }
@@ -778,7 +780,7 @@ void Server::DispatchOneImpl(Session* session, std::string_view request,
         bad_request();
         return;
       }
-      dirty_ = true;
+      MarkDirty();
       auto count = traversal::Closure1NAttSet(backend_.get(), start);
       reply(count.status(),
             [&] { util::PutVarint64(response, *count); });

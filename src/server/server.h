@@ -18,6 +18,7 @@
 #include "server/wire.h"
 #include "util/lock_rank.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hm::server {
 
@@ -168,9 +169,9 @@ class Server {
    private:
     util::RankedMutex<util::LockRank::kListener> mu_;
     std::condition_variable_any cv_;
-    std::deque<std::unique_ptr<Session>> sessions_;
-    size_t capacity_;
-    bool closed_ = false;
+    std::deque<std::unique_ptr<Session>> sessions_ HM_GUARDED_BY(mu_);
+    const size_t capacity_;
+    bool closed_ HM_GUARDED_BY(mu_) = false;
   };
 
   explicit Server(const ServerOptions& options,
@@ -193,13 +194,40 @@ class Server {
   // calls under a single lock acquisition.
   void Dispatch(Session* session, std::string_view request,
                 std::string* response);
+  /// The locked half of Dispatch: epoch bookkeeping plus the batch
+  /// loop. Declared with the *shared* requirement — the weakest side
+  /// it ever runs under; mutating opcodes additionally hold the
+  /// exclusive side (see MarkDirty / ResetBackendExclusive).
+  void DispatchLocked(Session* session, OpCode op, bool is_batch,
+                      const std::vector<std::string_view>& subs,
+                      std::string_view request, std::string* response)
+      HM_REQUIRES_SHARED(backend_mu_);
   /// One non-batch request; the caller holds backend_mu_. Wraps
   /// DispatchOneImpl with the per-opcode telemetry (request count,
   /// error count, latency histogram).
   void DispatchOne(Session* session, std::string_view request,
-                   std::string* response);
+                   std::string* response) HM_REQUIRES_SHARED(backend_mu_);
   void DispatchOneImpl(Session* session, std::string_view request,
-                       std::string* response);
+                       std::string* response)
+      HM_REQUIRES_SHARED(backend_mu_);
+
+  /// Marks the store mutated. Every caller holds backend_mu_
+  /// *exclusively* — mutating opcodes are never read-only, so Dispatch
+  /// routes them to the exclusive side — but the analysis only sees
+  /// DispatchOneImpl's shared requirement, so this write is exempted
+  /// per-site here instead of weakening the annotations.
+  void MarkDirty() HM_NO_THREAD_SAFETY_ANALYSIS { dirty_ = true; }
+  /// Installs a freshly rebuilt backend and bumps the reset epoch.
+  /// Same per-site exemption as MarkDirty(): kReset always dispatches
+  /// on the exclusive side.
+  void ResetBackendExclusive(std::unique_ptr<HyperStore> fresh)
+      HM_NO_THREAD_SAFETY_ANALYSIS {
+    backend_ = std::move(fresh);
+    ++reset_epoch_;
+    dirty_ = false;
+    concurrent_reads_ok_.store(backend_->SupportsConcurrentReads(),
+                               std::memory_order_relaxed);
+  }
 
   /// Tracks sockets currently being served so Stop() can shut them
   /// down to unblock workers. Membership implies the fd is open:
@@ -210,6 +238,9 @@ class Server {
   void UntrackFd(int fd);
 
   ServerOptions options_;
+  /// Swapped only by ResetBackendExclusive (exclusive side held);
+  /// dereferenced under either side of backend_mu_ and by the public
+  /// backend() accessor, so it carries no HM_GUARDED_BY.
   std::unique_ptr<HyperStore> backend_;
   /// Shared for read-only opcodes (when the backend allows concurrent
   /// reads), exclusive for everything else. reset_epoch_ and dirty_
@@ -217,10 +248,10 @@ class Server {
   /// under either side. Rank-checked: dispatch calls down into the
   /// WAL / buffer pool / telemetry registry, never the reverse.
   util::RankedSharedMutex<util::LockRank::kServerDispatch> backend_mu_;
-  uint64_t reset_epoch_ = 0;
+  uint64_t reset_epoch_ HM_GUARDED_BY(backend_mu_) = 0;
   /// True once any mutating opcode ran; cleared by a rebuilding Reset.
   /// A Reset while clean is an idempotent no-op.
-  bool dirty_ = false;
+  bool dirty_ HM_GUARDED_BY(backend_mu_) = false;
   /// Cached backend_->SupportsConcurrentReads(), refreshed when Reset
   /// swaps the backend. Atomic because Dispatch reads it before
   /// deciding which side of backend_mu_ to take.
@@ -234,11 +265,11 @@ class Server {
   std::vector<std::thread> workers_;
 
   util::RankedMutex<util::LockRank::kListener> fds_mu_;
-  std::unordered_set<int> active_fds_;
+  std::unordered_set<int> active_fds_ HM_GUARDED_BY(fds_mu_);
 
   std::atomic<bool> stopping_{false};
   util::RankedMutex<util::LockRank::kListener> stop_mu_;
-  bool stopped_ = false;
+  bool stopped_ HM_GUARDED_BY(stop_mu_) = false;
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> accepted_{0};

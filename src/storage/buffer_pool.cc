@@ -33,6 +33,32 @@ size_t ResolveShardCount(size_t capacity, size_t requested) {
   return shards;
 }
 
+/// Latch hand-off (the one deliberate gap in the static analysis,
+/// DESIGN.md §15): Fetch/New acquire the frame latch here and transfer
+/// ownership to the returned PageGuard, which releases it — possibly
+/// from another function, possibly on another thread — via Unpin. A
+/// cross-function ownership transfer is outside the per-function
+/// capability model, so these two helpers are exempted; the protocol
+/// itself (pin-before-latch, unlatch-before-unpin) runs under TSAN in
+/// CI and is argued deadlock-free in DESIGN.md §13.
+void LatchFrame(FrameLatch& latch, PinMode mode)
+    HM_NO_THREAD_SAFETY_ANALYSIS {
+  if (mode == PinMode::kRead) {
+    latch.lock_shared();
+  } else {
+    latch.lock();
+  }
+}
+
+void UnlatchFrame(FrameLatch& latch, PinMode mode)
+    HM_NO_THREAD_SAFETY_ANALYSIS {
+  if (mode == PinMode::kRead) {
+    latch.unlock_shared();
+  } else {
+    latch.unlock();
+  }
+}
+
 }  // namespace
 
 PageGuard::PageGuard(BufferPool* pool, size_t shard_index, size_t frame_index,
@@ -109,8 +135,9 @@ BufferPool::BufferPool(FileManager* file, size_t capacity)
     : BufferPool(file, BufferPoolOptions{capacity, 0}) {}
 
 BufferPool::~BufferPool() {
-  // Best effort; errors on teardown are not recoverable anyway.
-  FlushAll();
+  // Best effort; errors on teardown are not recoverable anyway — the
+  // explicit discard is the only place a Status may be dropped.
+  (void)FlushAll();
 }
 
 size_t BufferPool::ShardOf(PageId id) const {
@@ -144,7 +171,7 @@ util::Result<PageGuard> BufferPool::Fetch(PageId id, PinMode mode) {
   Frame* frame = nullptr;
   size_t index = 0;
   {
-    std::lock_guard lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     auto it = shard.page_table.find(id);
     if (it != shard.page_table.end()) {
       shard.hits.fetch_add(1, std::memory_order_relaxed);
@@ -163,11 +190,7 @@ util::Result<PageGuard> BufferPool::Fetch(PageId id, PinMode mode) {
   // Latch outside the shard mutex: the pin taken above keeps the frame
   // resident, and a blocked latch acquisition must not stall fetches
   // of other pages in the shard.
-  if (mode == PinMode::kRead) {
-    frame->latch.lock_shared();
-  } else {
-    frame->latch.lock();
-  }
+  LatchFrame(frame->latch, mode);
   return PageGuard(this, s, index, frame->page.get(), id, mode);
 }
 
@@ -178,20 +201,20 @@ util::Result<PageGuard> BufferPool::New(PageType type) {
   Frame* frame = nullptr;
   size_t index = 0;
   {
-    std::lock_guard lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     HM_ASSIGN_OR_RETURN(index, InstallLocked(&shard, id, /*read_file=*/false));
     frame = &shard.frames[index];
     frame->page->set_page_id(id);
     frame->page->set_type(type);
   }
-  frame->latch.lock();
+  LatchFrame(frame->latch, PinMode::kWrite);
   return PageGuard(this, s, index, frame->page.get(), id, PinMode::kWrite);
 }
 
 util::Status BufferPool::FlushAll() {
   for (size_t s = 0; s < shard_count_; ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     HM_RETURN_IF_ERROR(FlushShardLocked(&shard));
   }
   return util::Status::Ok();
@@ -212,7 +235,7 @@ util::Status BufferPool::FlushBatch(FlushCursor* cursor, size_t max_frames,
   size_t flushed = 0;
   while (cursor->shard < shard_count_ && flushed < max_frames) {
     Shard& shard = shards_[cursor->shard];
-    std::lock_guard lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     while (cursor->frame < shard.frame_count && flushed < max_frames) {
       Frame& frame = shard.frames[cursor->frame];
       ++cursor->frame;
@@ -233,7 +256,7 @@ util::Status BufferPool::FlushBatch(FlushCursor* cursor, size_t max_frames,
 util::Status BufferPool::DropAll() {
   for (size_t s = 0; s < shard_count_; ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     HM_RETURN_IF_ERROR(FlushShardLocked(&shard));
     for (size_t i = 0; i < shard.frame_count; ++i) {
       Frame& frame = shard.frames[i];
@@ -277,7 +300,7 @@ size_t BufferPool::ResidentCount() const {
   size_t resident = 0;
   for (size_t s = 0; s < shard_count_; ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     resident += shard.page_table.size();
   }
   return resident;
@@ -288,19 +311,15 @@ void BufferPool::Unpin(size_t shard_index, size_t frame_index, PinMode mode) {
   Frame& frame = shard.frames[frame_index];
   // Unlatch before unpinning, so pin_count == 0 (observed under the
   // shard mutex) implies the latch is free — eviction relies on that.
-  if (mode == PinMode::kRead) {
-    frame.latch.unlock_shared();
-  } else {
-    frame.latch.unlock();
-  }
-  std::lock_guard lock(shard.mu);
+  UnlatchFrame(frame.latch, mode);
+  util::MutexLock lock(shard.mu);
   HM_CHECK_GT(frame.pin_count, 0);
   --frame.pin_count;
 }
 
 void BufferPool::MarkDirty(size_t shard_index, size_t frame_index) {
   Shard& shard = shards_[shard_index];
-  std::lock_guard lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   shard.frames[frame_index].dirty = true;
 }
 

@@ -13,6 +13,7 @@
 #include "telemetry/metrics.h"
 #include "util/lock_rank.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hm::storage {
 
@@ -39,38 +40,48 @@ enum class PinMode {
 /// hand-off still gives race detection its happens-before edges.
 /// No writer preference: at most one writer exists at a time and
 /// readers hold latches briefly, so writers cannot starve for long.
-class FrameLatch {
+///
+/// The latch is an annotated capability like the mutexes, but most of
+/// its acquisitions live outside the analysis: Fetch latches, hands
+/// ownership to a PageGuard, and Unpin unlatches — a cross-function
+/// (and potentially cross-thread) hand-off the per-function analysis
+/// cannot model, exempted at exactly those two sites in
+/// buffer_pool.cc (DESIGN.md §15). The annotations still pay off for
+/// any in-scope use and make the latch's reader/writer contract
+/// machine-readable.
+class HM_CAPABILITY("latch") FrameLatch {
  public:
-  void lock() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return state_ == 0; });
+  void lock() HM_ACQUIRE() {
+    util::MutexLock lock(mu_);
+    while (state_ != 0) cv_.wait(lock);
     state_ = -1;
   }
-  void unlock() {
+  void unlock() HM_RELEASE() {
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       state_ = 0;
     }
     cv_.notify_all();
   }
-  void lock_shared() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return state_ >= 0; });
+  void lock_shared() HM_ACQUIRE_SHARED() {
+    util::MutexLock lock(mu_);
+    while (state_ < 0) cv_.wait(lock);
     ++state_;
   }
-  void unlock_shared() {
+  void unlock_shared() HM_RELEASE_SHARED() {
     bool wake;
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       wake = --state_ == 0;
     }
     if (wake) cv_.notify_all();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int state_ = 0;  // -1 = writer, 0 = free, > 0 = reader count
+  util::Mutex mu_;
+  std::condition_variable_any cv_;
+  /// -1 = writer, 0 = free, > 0 = reader count.
+  int state_ HM_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII pin + frame latch on a cached page. While a guard is alive the
@@ -229,10 +240,16 @@ class BufferPool {
     /// shard only. Never held together with another shard's mutex
     /// (same rank), nor while blocking on a frame latch.
     mutable util::RankedMutex<util::LockRank::kBufferPoolShard> mu;
+    /// Frame array (fixed at construction). The array pointer and
+    /// frame_count are immutable; per-frame *metadata* (id, pin_count,
+    /// dirty, referenced) is guarded by `mu`, while page *content* is
+    /// protected by the frame latch — Frame members carry no
+    /// HM_GUARDED_BY because one field set answers to two capabilities
+    /// depending on the field (see the latch protocol above).
     std::unique_ptr<Frame[]> frames;
     size_t frame_count = 0;
-    std::unordered_map<PageId, size_t> page_table;
-    size_t clock_hand = 0;
+    std::unordered_map<PageId, size_t> page_table HM_GUARDED_BY(mu);
+    size_t clock_hand HM_GUARDED_BY(mu) = 0;
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> misses{0};
     std::atomic<uint64_t> evictions{0};
@@ -242,13 +259,15 @@ class BufferPool {
   size_t ShardOf(PageId id) const;
   void Unpin(size_t shard_index, size_t frame_index, PinMode mode);
   void MarkDirty(size_t shard_index, size_t frame_index);
-  util::Status FlushShardLocked(Shard* shard);
-  util::Status FlushFrame(Shard* shard, Frame* frame);
+  util::Status FlushShardLocked(Shard* shard) HM_REQUIRES(shard->mu);
+  util::Status FlushFrame(Shard* shard, Frame* frame)
+      HM_REQUIRES(shard->mu);
   /// Finds a victim frame in `shard` via CLOCK; flushes it if dirty.
-  util::Result<size_t> EvictOne(Shard* shard);
+  util::Result<size_t> EvictOne(Shard* shard) HM_REQUIRES(shard->mu);
   /// Installs page `id` into `shard` under its (held) mutex and
   /// returns the pinned frame; shared by Fetch and New.
-  util::Result<size_t> InstallLocked(Shard* shard, PageId id, bool read_file);
+  util::Result<size_t> InstallLocked(Shard* shard, PageId id, bool read_file)
+      HM_REQUIRES(shard->mu);
 
   FileManager* file_;
   size_t capacity_ = 0;

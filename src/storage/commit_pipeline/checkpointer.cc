@@ -9,7 +9,7 @@
 namespace hm::storage {
 
 void Checkpointer::Start(CheckpointFn fn, const Options& options) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   fn_ = std::move(fn);
   options_ = options;
   stop_ = false;
@@ -18,14 +18,14 @@ void Checkpointer::Start(CheckpointFn fn, const Options& options) {
 }
 
 void Checkpointer::Nudge() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   nudged_ = true;
   cv_.notify_all();
 }
 
 void Checkpointer::Stop() {
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (!thread_.joinable()) return;
     stop_ = true;
     cv_.notify_all();
@@ -34,7 +34,7 @@ void Checkpointer::Stop() {
 }
 
 bool Checkpointer::running() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return thread_.joinable() && !stop_;
 }
 
@@ -48,12 +48,17 @@ void Checkpointer::Loop() {
       telemetry::Registry::Global().GetCounter("storage.checkpoint.failures");
   while (true) {
     {
-      std::unique_lock lock(mu_);
+      util::MutexLock lock(mu_);
       if (options_.interval_ms > 0) {
-        cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
-                     [this] { return stop_ || nudged_; });
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.interval_ms);
+        // Timeout falls through to a checkpoint attempt even without a
+        // nudge — that is the periodic tick.
+        while (!stop_ && !nudged_) {
+          if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+        }
       } else {
-        cv_.wait(lock, [this] { return stop_ || nudged_; });
+        while (!stop_ && !nudged_) cv_.wait(lock);
       }
       if (stop_) return;
       nudged_ = false;

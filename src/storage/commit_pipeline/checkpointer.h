@@ -4,10 +4,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hm::storage {
 
@@ -51,14 +51,21 @@ class Checkpointer {
  private:
   void Loop();
 
-  /// Plain mutex: never held across the checkpoint function, invisible
-  /// to the lock-rank checker by design.
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  bool nudged_ = false;
+  /// Plain (unranked) mutex: never held across the checkpoint
+  /// function, invisible to the lock-rank checker by design.
+  mutable util::Mutex mu_;
+  std::condition_variable_any cv_;
+  bool stop_ HM_GUARDED_BY(mu_) = false;
+  bool nudged_ HM_GUARDED_BY(mu_) = false;
+  /// Set by Start() before the thread exists, then read by Loop() with
+  /// the lock dropped (the checkpoint function runs unlocked by
+  /// contract) — effectively immutable while the thread runs, so
+  /// deliberately not HM_GUARDED_BY.
   CheckpointFn fn_;
-  Options options_;
+  Options options_ HM_GUARDED_BY(mu_);
+  /// Written by Start() and joined by Stop(); the join happens outside
+  /// mu_ (the loop thread takes mu_ on its way out). Start/Stop races
+  /// are the owner's bug, not a guarded-data race.
   std::thread thread_;
 };
 

@@ -13,7 +13,7 @@ GroupCommitCoordinator::GroupCommitCoordinator(SyncFn sync,
     : sync_(std::move(sync)), options_(options) {}
 
 uint64_t GroupCommitCoordinator::Enroll() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   uint64_t ticket = ++enrolled_;
   enrolled_cv_.notify_all();
   return ticket;
@@ -21,7 +21,7 @@ uint64_t GroupCommitCoordinator::Enroll() {
 
 util::Status GroupCommitCoordinator::WaitDurable(uint64_t ticket) {
   using Clock = std::chrono::steady_clock;
-  std::unique_lock lock(mu_);
+  util::MutexLock lock(mu_);
   while (durable_ < ticket) {
     if (leader_active_) {
       durable_cv_.wait(lock);
@@ -74,7 +74,7 @@ util::Status GroupCommitCoordinator::WaitDurable(uint64_t ticket) {
 util::Status GroupCommitCoordinator::Drain() {
   uint64_t ticket;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     ticket = enrolled_;
   }
   if (ticket == 0) return util::Status::Ok();
@@ -82,7 +82,7 @@ util::Status GroupCommitCoordinator::Drain() {
 }
 
 uint64_t GroupCommitCoordinator::batches() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return batches_;
 }
 

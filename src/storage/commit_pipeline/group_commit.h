@@ -8,6 +8,7 @@
 
 #include "util/lock_rank.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hm::storage {
 
@@ -65,17 +66,19 @@ class GroupCommitCoordinator {
   std::condition_variable_any enrolled_cv_;  // leader <- new enrollments
   std::condition_variable_any durable_cv_;   // followers <- batch done
 
+  /// Immutable after construction (called with mu_ *released*).
   SyncFn sync_;
   Options options_;
-  uint64_t enrolled_ = 0;  // tickets handed out
-  uint64_t durable_ = 0;   // highest ticket covered by a finished sync
-  bool leader_active_ = false;
-  uint64_t batches_ = 0;
+  uint64_t enrolled_ HM_GUARDED_BY(mu_) = 0;  // tickets handed out
+  /// Highest ticket covered by a finished sync.
+  uint64_t durable_ HM_GUARDED_BY(mu_) = 0;
+  bool leader_active_ HM_GUARDED_BY(mu_) = false;
+  uint64_t batches_ HM_GUARDED_BY(mu_) = 0;
   /// A failed sync poisons every ticket it covered: tickets in
   /// (durable_before, error_until_] observe error_.
-  uint64_t error_until_ = 0;
-  uint64_t error_from_ = 0;
-  util::Status error_;
+  uint64_t error_until_ HM_GUARDED_BY(mu_) = 0;
+  uint64_t error_from_ HM_GUARDED_BY(mu_) = 0;
+  util::Status error_ HM_GUARDED_BY(mu_);
 };
 
 }  // namespace hm::storage

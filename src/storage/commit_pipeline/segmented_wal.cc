@@ -61,7 +61,11 @@ std::string SegmentedWal::SegmentPath(const std::string& base, uint64_t seq) {
   return base + suffix;
 }
 
-SegmentedWal::~SegmentedWal() { Close(); }
+SegmentedWal::~SegmentedWal() {
+  // Best effort: a failed final sync has nowhere to report from a
+  // destructor; callers that care close explicitly and check.
+  (void)Close();
+}
 
 void SegmentedWal::UpdateSegmentsGauge() const {
   static telemetry::Gauge* segments =
@@ -88,8 +92,8 @@ util::Status SegmentedWal::SyncDir() {
 
 util::Status SegmentedWal::Open(const std::string& base_path,
                                 const SegmentedWalOptions& options) {
-  std::lock_guard lock(mu_);
-  if (is_open()) return util::Status::InvalidArgument("WAL already open");
+  util::MutexLock lock(mu_);
+  if (IsOpenLocked()) return util::Status::InvalidArgument("WAL already open");
   if (options.segment_bytes == 0 || options.segment_bytes >= (1ull << 32)) {
     return util::Status::InvalidArgument(
         "WAL segment size must be in (0, 4 GiB): LSN offsets are 32-bit");
@@ -166,8 +170,8 @@ util::Status SegmentedWal::Open(const std::string& base_path,
 }
 
 util::Status SegmentedWal::Close() {
-  std::lock_guard lock(mu_);
-  if (!is_open()) return util::Status::Ok();
+  util::MutexLock lock(mu_);
+  if (!IsOpenLocked()) return util::Status::Ok();
   util::Status s = SyncLocked();
   ::close(fd_);
   fd_ = -1;
@@ -179,14 +183,14 @@ util::Status SegmentedWal::Close() {
 util::Result<uint64_t> SegmentedWal::Append(WalRecordType type,
                                             uint64_t txn_id,
                                             std::string_view payload) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return AppendLocked(type, txn_id, payload);
 }
 
 util::Result<uint64_t> SegmentedWal::AppendLocked(WalRecordType type,
                                                   uint64_t txn_id,
                                                   std::string_view payload) {
-  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  if (!IsOpenLocked()) return util::Status::InvalidArgument("WAL not open");
   HM_FAILPOINT("wal/append/error");
   if (CurrentSizeLocked() >= options_.segment_bytes) {
     HM_RETURN_IF_ERROR(RollLocked());
@@ -233,19 +237,19 @@ util::Status SegmentedWal::RollLocked() {
 }
 
 util::Status SegmentedWal::RollIfNonEmpty() {
-  std::lock_guard lock(mu_);
-  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  util::MutexLock lock(mu_);
+  if (!IsOpenLocked()) return util::Status::InvalidArgument("WAL not open");
   if (CurrentSizeLocked() == 0) return util::Status::Ok();
   return RollLocked();
 }
 
 util::Status SegmentedWal::Sync() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return SyncLocked();
 }
 
 util::Status SegmentedWal::SyncLocked() {
-  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  if (!IsOpenLocked()) return util::Status::InvalidArgument("WAL not open");
   HM_FAILPOINT("wal/sync/error");
   HM_RETURN_IF_ERROR(FlushBuffer());
   if (::fdatasync(fd_) != 0) {
@@ -291,44 +295,44 @@ util::Status SegmentedWal::FlushBuffer() {
 }
 
 uint64_t SegmentedWal::NextLsn() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return MakeLsn(seq_, CurrentSizeLocked());
 }
 
 uint64_t SegmentedWal::SizeBytes() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return sealed_bytes_ + CurrentSizeLocked();
 }
 
 std::vector<std::string> SegmentedWal::SegmentPaths() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> paths;
   for (const auto& [seq, size] : sealed_) {
     paths.push_back(SegmentPath(base_path_, seq));
   }
-  if (is_open()) paths.push_back(SegmentPath(base_path_, seq_));
+  if (IsOpenLocked()) paths.push_back(SegmentPath(base_path_, seq_));
   return paths;
 }
 
 uint64_t SegmentedWal::segment_count() const {
-  std::lock_guard lock(mu_);
-  return sealed_.size() + (is_open() ? 1 : 0);
+  util::MutexLock lock(mu_);
+  return sealed_.size() + (IsOpenLocked() ? 1 : 0);
 }
 
 uint64_t SegmentedWal::records_appended() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return records_appended_;
 }
 
 uint64_t SegmentedWal::syncs() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return syncs_;
 }
 
 util::Status SegmentedWal::Scan(
     const std::function<util::Status(const ScannedRecord&)>& visit) {
-  std::lock_guard lock(mu_);
-  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  util::MutexLock lock(mu_);
+  if (!IsOpenLocked()) return util::Status::InvalidArgument("WAL not open");
   return ScanLocked(visit);
 }
 
@@ -401,8 +405,8 @@ util::Status SegmentedWal::ScanLocked(
 
 util::Status SegmentedWal::Recover(
     const std::function<util::Status(uint64_t, std::string_view)>& redo) {
-  std::lock_guard lock(mu_);
-  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  util::MutexLock lock(mu_);
+  if (!IsOpenLocked()) return util::Status::InvalidArgument("WAL not open");
 
   uint64_t start = 0;
   std::unordered_set<uint64_t> committed;
@@ -445,8 +449,8 @@ util::Status SegmentedWal::PruneBelowLocked(uint64_t lsn) {
 }
 
 util::Status SegmentedWal::Checkpoint(uint64_t recovery_start_lsn) {
-  std::lock_guard lock(mu_);
-  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  util::MutexLock lock(mu_);
+  if (!IsOpenLocked()) return util::Status::InvalidArgument("WAL not open");
   std::string payload;
   util::PutFixed64(&payload, recovery_start_lsn);
   HM_ASSIGN_OR_RETURN(
@@ -457,8 +461,8 @@ util::Status SegmentedWal::Checkpoint(uint64_t recovery_start_lsn) {
 }
 
 util::Status SegmentedWal::Checkpoint() {
-  std::lock_guard lock(mu_);
-  if (!is_open()) return util::Status::InvalidArgument("WAL not open");
+  util::MutexLock lock(mu_);
+  if (!IsOpenLocked()) return util::Status::InvalidArgument("WAL not open");
   if (CurrentSizeLocked() > 0) {
     HM_RETURN_IF_ERROR(RollLocked());
   }

@@ -10,6 +10,7 @@
 #include "storage/wal.h"
 #include "util/lock_rank.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hm::storage {
 
@@ -49,7 +50,10 @@ class SegmentedWal {
   util::Status Open(const std::string& base_path,
                     const SegmentedWalOptions& options = {});
   util::Status Close();
-  bool is_open() const { return fd_ >= 0; }
+  bool is_open() const {
+    util::MutexLock lock(mu_);
+    return IsOpenLocked();
+  }
 
   /// Appends one record (buffered), rolling to a fresh segment first
   /// if the current one is at the size threshold. Returns the
@@ -115,32 +119,38 @@ class SegmentedWal {
 
  private:
   util::Result<uint64_t> AppendLocked(WalRecordType type, uint64_t txn_id,
-                                      std::string_view payload);
-  util::Status SyncLocked();
-  util::Status FlushBuffer();
-  util::Status RollLocked();
-  util::Status PruneBelowLocked(uint64_t lsn);
+                                      std::string_view payload)
+      HM_REQUIRES(mu_);
+  util::Status SyncLocked() HM_REQUIRES(mu_);
+  util::Status FlushBuffer() HM_REQUIRES(mu_);
+  util::Status RollLocked() HM_REQUIRES(mu_);
+  util::Status PruneBelowLocked(uint64_t lsn) HM_REQUIRES(mu_);
   util::Status ScanLocked(
-      const std::function<util::Status(const ScannedRecord&)>& visit);
-  util::Status SyncDir();
-  uint64_t CurrentSizeLocked() const { return file_size_ + buffer_.size(); }
-  void UpdateSegmentsGauge() const;
+      const std::function<util::Status(const ScannedRecord&)>& visit)
+      HM_REQUIRES(mu_);
+  util::Status SyncDir() HM_REQUIRES(mu_);
+  bool IsOpenLocked() const HM_REQUIRES(mu_) { return fd_ >= 0; }
+  uint64_t CurrentSizeLocked() const HM_REQUIRES(mu_) {
+    return file_size_ + buffer_.size();
+  }
+  void UpdateSegmentsGauge() const HM_REQUIRES(mu_);
 
   /// Guards all mutable state. Ranked between the group-commit
   /// coordinator (above) and the buffer pool / telemetry (below).
   mutable util::RankedMutex<util::LockRank::kWal> mu_;
 
-  SegmentedWalOptions options_;
-  std::string base_path_;
-  int fd_ = -1;             // current (highest-seq) segment
-  uint64_t seq_ = 0;        // its sequence number
-  uint64_t file_size_ = 0;  // its on-disk size
-  std::string buffer_;      // unflushed frames for the current segment
+  SegmentedWalOptions options_ HM_GUARDED_BY(mu_);
+  std::string base_path_ HM_GUARDED_BY(mu_);
+  int fd_ HM_GUARDED_BY(mu_) = -1;         // current (highest-seq) segment
+  uint64_t seq_ HM_GUARDED_BY(mu_) = 0;    // its sequence number
+  uint64_t file_size_ HM_GUARDED_BY(mu_) = 0;  // its on-disk size
+  /// Unflushed frames for the current segment.
+  std::string buffer_ HM_GUARDED_BY(mu_);
   /// Sealed (non-current) segments, oldest first: {seq, size}.
-  std::vector<std::pair<uint64_t, uint64_t>> sealed_;
-  uint64_t sealed_bytes_ = 0;
-  uint64_t records_appended_ = 0;
-  uint64_t syncs_ = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> sealed_ HM_GUARDED_BY(mu_);
+  uint64_t sealed_bytes_ HM_GUARDED_BY(mu_) = 0;
+  uint64_t records_appended_ HM_GUARDED_BY(mu_) = 0;
+  uint64_t syncs_ HM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hm::storage

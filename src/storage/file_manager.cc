@@ -17,7 +17,8 @@ std::string ErrnoMessage(const std::string& what, const std::string& path) {
 }
 }  // namespace
 
-FileManager::~FileManager() { Close(); }
+// Best-effort: a failed close in a destructor has no caller to tell.
+FileManager::~FileManager() { (void)Close(); }
 
 util::Status FileManager::Open(const std::string& path) {
   if (is_open()) {

@@ -1,7 +1,6 @@
 #include "telemetry/metrics.h"
 
 #include <iomanip>
-#include <mutex>
 #include <ostream>
 
 #include "util/coding.h"
@@ -221,11 +220,11 @@ T* Registry::Intern(
     std::map<std::string, std::unique_ptr<T>, std::less<>>* map,
     std::string_view name) {
   {
-    std::shared_lock lock(mu_);
+    util::SharedMutexLock lock(mu_);
     auto it = map->find(name);
     if (it != map->end()) return it->second.get();
   }
-  std::unique_lock lock(mu_);
+  util::MutexLock lock(mu_);
   auto [it, _] = map->try_emplace(std::string(name), std::make_unique<T>());
   return it->second.get();
 }
@@ -243,7 +242,7 @@ Histogram* Registry::GetHistogram(std::string_view name) {
 }
 
 Snapshot Registry::TakeSnapshot() const {
-  std::shared_lock lock(mu_);
+  util::SharedMutexLock lock(mu_);
   Snapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters[name] = counter->value();

@@ -14,6 +14,7 @@
 
 #include "telemetry/metrics.h"
 #include "util/lock_rank.h"
+#include "util/thread_annotations.h"
 
 namespace hm::util {
 
@@ -44,14 +45,18 @@ struct Outcome {
 /// common) all-inactive case is this single relaxed load.
 std::atomic<int> g_active{0};
 
-RankedMutex<LockRank::kFailpoint>& Mutex() {
-  static RankedMutex<LockRank::kFailpoint> mu;
-  return mu;
-}
+/// The armed-site registry: the (rank-checked) mutex and the map it
+/// guards live in one singleton so the capability annotation can name
+/// its guard. Callers bind `FailpointRegistry& reg = Reg();` and lock
+/// `reg.mu` — the analysis then checks every `reg.sites` access.
+struct FailpointRegistry {
+  RankedMutex<LockRank::kFailpoint> mu;
+  std::map<std::string, SiteState, std::less<>> sites HM_GUARDED_BY(mu);
+};
 
-std::map<std::string, SiteState, std::less<>>& Sites() {
-  static std::map<std::string, SiteState, std::less<>> sites;
-  return sites;
+FailpointRegistry& Reg() {
+  static FailpointRegistry registry;
+  return registry;
 }
 
 bool ParseU64(std::string_view text, uint64_t* out) {
@@ -157,9 +162,10 @@ Outcome EvaluateSite(const char* name) {
   if (g_active.load(std::memory_order_relaxed) == 0) return outcome;
   telemetry::Counter* fires_counter = nullptr;
   {
-    std::lock_guard<RankedMutex<LockRank::kFailpoint>> lock(Mutex());
-    auto it = Sites().find(std::string_view(name));
-    if (it == Sites().end()) return outcome;
+    FailpointRegistry& reg = Reg();
+    MutexLock lock(reg.mu);
+    auto it = reg.sites.find(std::string_view(name));
+    if (it == reg.sites.end()) return outcome;
     SiteState& state = it->second;
     ++state.evaluations;
     if (state.evaluations <= state.after) return outcome;
@@ -194,35 +200,39 @@ Status Failpoint::Enable(std::string_view name, std::string_view spec) {
   HM_RETURN_IF_ERROR(ParseSpec(name, spec, &state));
   state.fires_counter = telemetry::Registry::Global().GetCounter(
       "failpoint.fires." + std::string(name));
-  std::lock_guard<RankedMutex<LockRank::kFailpoint>> lock(Mutex());
-  Sites()[std::string(name)] = state;
-  g_active.store(static_cast<int>(Sites().size()),
+  FailpointRegistry& reg = Reg();
+  MutexLock lock(reg.mu);
+  reg.sites[std::string(name)] = state;
+  g_active.store(static_cast<int>(reg.sites.size()),
                  std::memory_order_relaxed);
   return Status::Ok();
 }
 
 void Failpoint::Disable(std::string_view name) {
   EnsureEnvLoaded();
-  std::lock_guard<RankedMutex<LockRank::kFailpoint>> lock(Mutex());
-  auto it = Sites().find(name);
-  if (it == Sites().end()) return;
-  Sites().erase(it);
-  g_active.store(static_cast<int>(Sites().size()),
+  FailpointRegistry& reg = Reg();
+  MutexLock lock(reg.mu);
+  auto it = reg.sites.find(name);
+  if (it == reg.sites.end()) return;
+  reg.sites.erase(it);
+  g_active.store(static_cast<int>(reg.sites.size()),
                  std::memory_order_relaxed);
 }
 
 void Failpoint::DisableAll() {
   EnsureEnvLoaded();
-  std::lock_guard<RankedMutex<LockRank::kFailpoint>> lock(Mutex());
-  Sites().clear();
+  FailpointRegistry& reg = Reg();
+  MutexLock lock(reg.mu);
+  reg.sites.clear();
   g_active.store(0, std::memory_order_relaxed);
 }
 
 uint64_t Failpoint::FireCount(std::string_view name) {
   EnsureEnvLoaded();
-  std::lock_guard<RankedMutex<LockRank::kFailpoint>> lock(Mutex());
-  auto it = Sites().find(name);
-  return it == Sites().end() ? 0 : it->second.fires;
+  FailpointRegistry& reg = Reg();
+  MutexLock lock(reg.mu);
+  auto it = reg.sites.find(name);
+  return it == reg.sites.end() ? 0 : it->second.fires;
 }
 
 Status Failpoint::EnableFromSpecList(std::string_view list) {

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "util/thread_annotations.h"
+
 /// Debug lock-rank deadlock detector.
 ///
 /// The process holds a handful of long-lived mutexes (telemetry
@@ -43,9 +45,15 @@
 ///
 /// Checking is compiled in when HM_LOCK_RANK_CHECKS is defined (the
 /// default for every build type except Release — see the top-level
-/// CMakeLists). Without it the wrappers are empty derivations of
-/// `std::mutex`/`std::shared_mutex`: no extra state, no extra code,
-/// zero cost.
+/// CMakeLists). Without it the wrappers are thin forwarding shells
+/// around `std::mutex`/`std::shared_mutex`: no extra state, no extra
+/// code, zero cost.
+///
+/// Both variants are annotated capabilities for Clang's thread-safety
+/// analysis (util/thread_annotations.h): ranks prove acquisition
+/// *order* at runtime, capabilities prove acquisition *at all* at
+/// compile time. Take them through `util::MutexLock` /
+/// `util::SharedMutexLock` so the analysis sees the acquisition.
 namespace hm::util {
 
 /// Static acquisition ranks, leaf-most lowest. A thread holding rank R
@@ -89,18 +97,18 @@ int HeldDepth();
 /// Lockable, so `std::lock_guard`, `std::unique_lock` and
 /// `std::condition_variable_any` all work unchanged.
 template <LockRank Rank>
-class RankedMutex {
+class HM_CAPABILITY("mutex") RankedMutex {
  public:
   RankedMutex() = default;
   RankedMutex(const RankedMutex&) = delete;
   RankedMutex& operator=(const RankedMutex&) = delete;
 
-  void lock() {
+  void lock() HM_ACQUIRE() {
     lock_rank_internal::PushRank(Rank);
     mu_.lock();
   }
 
-  bool try_lock() {
+  bool try_lock() HM_TRY_ACQUIRE(true) {
     // A failed try_lock blocks nobody, so only a successful
     // acquisition joins the held stack — but the attempt itself must
     // still be rank-legal, or the success path deadlocks.
@@ -110,7 +118,7 @@ class RankedMutex {
     return false;
   }
 
-  void unlock() {
+  void unlock() HM_RELEASE() {
     mu_.unlock();
     lock_rank_internal::PopRank(Rank);
   }
@@ -123,42 +131,42 @@ class RankedMutex {
 /// the shared side: a reader participates in deadlock cycles exactly
 /// like a writer, so both acquisitions must descend.
 template <LockRank Rank>
-class RankedSharedMutex {
+class HM_CAPABILITY("shared_mutex") RankedSharedMutex {
  public:
   RankedSharedMutex() = default;
   RankedSharedMutex(const RankedSharedMutex&) = delete;
   RankedSharedMutex& operator=(const RankedSharedMutex&) = delete;
 
-  void lock() {
+  void lock() HM_ACQUIRE() {
     lock_rank_internal::PushRank(Rank);
     mu_.lock();
   }
 
-  bool try_lock() {
+  bool try_lock() HM_TRY_ACQUIRE(true) {
     lock_rank_internal::PushRank(Rank);
     if (mu_.try_lock()) return true;
     lock_rank_internal::PopRank(Rank);
     return false;
   }
 
-  void unlock() {
+  void unlock() HM_RELEASE() {
     mu_.unlock();
     lock_rank_internal::PopRank(Rank);
   }
 
-  void lock_shared() {
+  void lock_shared() HM_ACQUIRE_SHARED() {
     lock_rank_internal::PushRank(Rank);
     mu_.lock_shared();
   }
 
-  bool try_lock_shared() {
+  bool try_lock_shared() HM_TRY_ACQUIRE_SHARED(true) {
     lock_rank_internal::PushRank(Rank);
     if (mu_.try_lock_shared()) return true;
     lock_rank_internal::PopRank(Rank);
     return false;
   }
 
-  void unlock_shared() {
+  void unlock_shared() HM_RELEASE_SHARED() {
     mu_.unlock_shared();
     lock_rank_internal::PopRank(Rank);
   }
@@ -169,13 +177,44 @@ class RankedSharedMutex {
 
 #else  // !HM_LOCK_RANK_CHECKS
 
-/// Release builds: the wrappers *are* the standard mutexes (empty
-/// public derivations — no data, no overrides, no overhead).
+/// Release builds: thin forwarding shells around the standard mutexes
+/// (no rank state, no extra code after inlining) that are still
+/// annotated capabilities — the CI thread-safety job analyzes Release
+/// too, so the guard-to-data mapping holds in both configurations.
 template <LockRank Rank>
-class RankedMutex : public std::mutex {};
+class HM_CAPABILITY("mutex") RankedMutex {
+ public:
+  RankedMutex() = default;
+  RankedMutex(const RankedMutex&) = delete;
+  RankedMutex& operator=(const RankedMutex&) = delete;
+
+  void lock() HM_ACQUIRE() { mu_.lock(); }
+  bool try_lock() HM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void unlock() HM_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
 
 template <LockRank Rank>
-class RankedSharedMutex : public std::shared_mutex {};
+class HM_CAPABILITY("shared_mutex") RankedSharedMutex {
+ public:
+  RankedSharedMutex() = default;
+  RankedSharedMutex(const RankedSharedMutex&) = delete;
+  RankedSharedMutex& operator=(const RankedSharedMutex&) = delete;
+
+  void lock() HM_ACQUIRE() { mu_.lock(); }
+  bool try_lock() HM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void unlock() HM_RELEASE() { mu_.unlock(); }
+  void lock_shared() HM_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  bool try_lock_shared() HM_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+  void unlock_shared() HM_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
 
 #endif  // HM_LOCK_RANK_CHECKS
 

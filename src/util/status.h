@@ -33,7 +33,12 @@ std::string_view StatusCodeName(StatusCode code);
 /// Lightweight success-or-error result, modeled after the RocksDB /
 /// Arrow style: fallible operations return `Status` (or `Result<T>`)
 /// instead of throwing. Successful statuses carry no allocation.
-class Status {
+///
+/// `[[nodiscard]]`: silently dropping a Status hides I/O and recovery
+/// errors until a torture run trips over the corruption. Call sites
+/// that genuinely cannot act on a failure (best-effort destructor
+/// flushes) discard explicitly with a commented `(void)` cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -113,7 +118,7 @@ class Status {
 /// A value-or-Status union: either holds a `T` (status is OK) or an
 /// error `Status`. Accessing `value()` on an error aborts.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: success.
   Result(T value) : value_(std::move(value)) {}  // NOLINT

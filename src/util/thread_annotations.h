@@ -1,0 +1,169 @@
+#ifndef HM_UTIL_THREAD_ANNOTATIONS_H_
+#define HM_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+/// Clang thread-safety (capability) analysis, wired through every
+/// locked subsystem so that guard violations fail the build instead of
+/// the lucky interleaving. The macros expand to Clang's capability
+/// attributes and to nothing on other compilers, so GCC builds are
+/// unaffected; CI compiles the tree with clang and
+/// `-Werror=thread-safety -Wthread-safety-beta` in both Debug and
+/// Release configurations (see .github/workflows/ci.yml).
+///
+/// Division of labor with util/lock_rank.h: the *runtime* rank checker
+/// proves acquisition *order* (no ABBA deadlocks); the *compile-time*
+/// capability analysis proves acquisition *at all* (no unguarded reads
+/// or writes of `HM_GUARDED_BY` members, no `*Locked()` helper called
+/// without its `HM_REQUIRES` capability). The two are complementary
+/// and both wrap the same mutexes.
+///
+/// Conventions (DESIGN.md §15):
+///  - every mutex-protected member is `HM_GUARDED_BY(mu_)`;
+///  - every private `*Locked()` helper is `HM_REQUIRES(mu_)` (or
+///    `HM_REQUIRES_SHARED` for read-side helpers);
+///  - locks are taken through `util::MutexLock` / `util::SharedMutexLock`
+///    below — `std::lock_guard` et al. are not annotated in libstdc++,
+///    so the analysis cannot see through them;
+///  - `HM_NO_THREAD_SAFETY_ANALYSIS` appears only on per-site
+///    exemptions, each with a comment naming the protocol the analysis
+///    cannot model (e.g. the buffer pool's cross-function frame-latch
+///    hand-off, or open-time initialization before `this` is
+///    published). Blanket suppressions are banned; the negative-compile
+///    harness in tests/compile_fail/ keeps the annotations honest.
+#if defined(__clang__)
+#define HM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HM_THREAD_ANNOTATION(x)  // not Clang: no-op
+#endif
+
+/// Marks a class as a capability (a lockable resource the analysis
+/// tracks). `x` is the diagnostic noun, e.g. "mutex" or "latch".
+#define HM_CAPABILITY(x) HM_THREAD_ANNOTATION(capability(x))
+
+/// Marks a RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define HM_SCOPED_CAPABILITY HM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable only with the capability held (shared or
+/// exclusive) and writable only with it held exclusively.
+#define HM_GUARDED_BY(x) HM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the capability.
+#define HM_PT_GUARDED_BY(x) HM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called with the capability held
+/// exclusively (it neither acquires nor releases it).
+#define HM_REQUIRES(...) \
+  HM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// As HM_REQUIRES, but shared (reader) ownership suffices.
+#define HM_REQUIRES_SHARED(...) \
+  HM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (exclusively / shared) and
+/// holds it on return.
+#define HM_ACQUIRE(...) \
+  HM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HM_ACQUIRE_SHARED(...) \
+  HM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (any mode for the bare form).
+#define HM_RELEASE(...) \
+  HM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define HM_RELEASE_SHARED(...) \
+  HM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `true`.
+#define HM_TRY_ACQUIRE(...) \
+  HM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define HM_TRY_ACQUIRE_SHARED(...) \
+  HM_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (documents non-reentrancy;
+/// catches self-deadlock at compile time).
+#define HM_EXCLUDES(...) HM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define HM_RETURN_CAPABILITY(x) HM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Per-site escape hatch. Every use carries a comment explaining why
+/// the protocol is out of the analysis's reach.
+#define HM_NO_THREAD_SAFETY_ANALYSIS \
+  HM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace hm::util {
+
+/// `std::mutex` as an annotated capability, for classes whose lock
+/// carries no rank (leaf locks never nested with the ranked set, e.g.
+/// the OCC commit mutex or a frame latch's internal mutex).
+class HM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HM_ACQUIRE() { mu_.lock(); }
+  void unlock() HM_RELEASE() { mu_.unlock(); }
+  bool try_lock() HM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII exclusive lock over any annotated mutex-like capability
+/// (util::Mutex, RankedMutex, RankedSharedMutex's exclusive side,
+/// storage::FrameLatch). Replaces `std::lock_guard`/`std::unique_lock`,
+/// which libstdc++ does not annotate. Satisfies BasicLockable, so
+/// `std::condition_variable_any::wait(lock)` works directly — the wait
+/// releases and reacquires internally, invisibly to the analysis,
+/// which matches the invariant that the capability is held whenever
+/// the waiting code runs. `unlock()`/`lock()` support the
+/// unlock-around-slow-work pattern (group commit syncs outside the
+/// coordinator lock); the destructor releases only if still held.
+template <typename M>
+class HM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(M& mu) HM_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() HM_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() HM_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+  void lock() HM_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  M& mu_;
+  bool held_;
+};
+
+/// RAII shared (reader) lock over an annotated shared capability.
+template <typename M>
+class HM_SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(M& mu) HM_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedMutexLock() HM_RELEASE() { mu_.unlock_shared(); }
+
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  M& mu_;
+};
+
+}  // namespace hm::util
+
+#endif  // HM_UTIL_THREAD_ANNOTATIONS_H_

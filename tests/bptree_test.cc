@@ -27,7 +27,7 @@ class BPlusTreeTest : public ::testing::Test {
   }
   void TearDown() override {
     pool_.reset();
-    fm_.Close();
+    EXPECT_TRUE(fm_.Close().ok());
     std::filesystem::remove_all(dir_);
   }
 
@@ -294,7 +294,7 @@ TEST_P(BPlusTreeChurnTest, MatchesModel) {
                   .ok());
   EXPECT_EQ(it, model.end());
   pool.reset();
-  fm.Close();
+  EXPECT_TRUE(fm.Close().ok());
   std::filesystem::remove_all(dir);
 }
 

@@ -33,7 +33,7 @@ class BufferPoolTest : public ::testing::Test {
     ASSERT_TRUE(fm_.Open(dir_ + "/pool.db").ok());
   }
   void TearDown() override {
-    fm_.Close();
+    EXPECT_TRUE(fm_.Close().ok());
     std::filesystem::remove_all(dir_);
   }
 

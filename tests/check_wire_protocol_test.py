@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Tests for tools/check_wire_protocol.py.
+
+The checker is itself a guard rail — a regression in it silently stops
+enforcing the wire-evolution rules — so each rule gets a fixture pair:
+a conforming header/source that must pass and a violating variant that
+must fail with a diagnostic naming the violation. Fixtures are minimal
+synthetic wire.h / wire.cc / status.h texts, not the real files (the
+real ones are linted by the wire_protocol_lint ctest already).
+"""
+
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+CHECKER = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "tools"
+    / "check_wire_protocol.py"
+)
+
+GOOD_WIRE_H = """\
+#include <cstdint>
+
+inline constexpr uint8_t kWireVersion = 2;
+inline constexpr uint8_t kMinWireVersion = 1;
+
+enum class OpCode : uint8_t {
+  kPing = 1,
+  kGetAttr = 2,
+  // ---- v2: batching revision
+  kBatch = 3,
+};
+"""
+
+GOOD_WIRE_CC = """\
+const char* OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kPing: return "ping";
+    case OpCode::kGetAttr: return "get_attr";
+    case OpCode::kBatch: return "batch";
+  }
+  return "unknown";
+}
+
+util::Status StatusFromCode(util::StatusCode code, std::string msg) {
+  switch (code) {
+    case util::StatusCode::kOk: return util::Status::Ok();
+    case util::StatusCode::kIoError: return util::Status::IoError(msg);
+  }
+  return util::Status::Internal(msg);
+}
+"""
+
+GOOD_STATUS_H = """\
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kIoError = 1,
+};
+"""
+
+
+def run_checker(wire_h, wire_cc, status_h=None):
+    """Writes the fixture texts to a temp dir and runs the checker."""
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = pathlib.Path(tmp)
+        (tmp_path / "wire.h").write_text(wire_h, encoding="utf-8")
+        (tmp_path / "wire.cc").write_text(wire_cc, encoding="utf-8")
+        argv = [
+            sys.executable,
+            str(CHECKER),
+            str(tmp_path / "wire.h"),
+            str(tmp_path / "wire.cc"),
+        ]
+        if status_h is not None:
+            (tmp_path / "status.h").write_text(status_h, encoding="utf-8")
+            argv.append(str(tmp_path / "status.h"))
+        return subprocess.run(argv, capture_output=True, text=True)
+
+
+class CheckWireProtocolTest(unittest.TestCase):
+    def assert_rejects(self, result, needle):
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn(needle, result.stderr)
+
+    # ---- baseline ----
+
+    def test_conforming_fixture_passes(self):
+        result = run_checker(GOOD_WIRE_H, GOOD_WIRE_CC, GOOD_STATUS_H)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("OK", result.stdout)
+        self.assertIn("2 status codes", result.stdout)
+
+    def test_status_header_is_optional(self):
+        result = run_checker(GOOD_WIRE_H, GOOD_WIRE_CC)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    # ---- rule 1: append-only opcode numbering ----
+
+    def test_opcode_gap_rejected(self):
+        wire_h = GOOD_WIRE_H.replace("kGetAttr = 2,", "kGetAttr = 4,")
+        result = run_checker(wire_h, GOOD_WIRE_CC)
+        self.assert_rejects(result, "append-only")
+
+    def test_first_opcode_must_be_one(self):
+        wire_h = GOOD_WIRE_H.replace("kPing = 1,", "kPing = 0,")
+        result = run_checker(wire_h, GOOD_WIRE_CC)
+        self.assert_rejects(result, "expected 1")
+
+    # ---- rule 2: version gating ----
+
+    def test_opcodes_beyond_declared_version_rejected(self):
+        wire_h = GOOD_WIRE_H.replace(
+            "kBatch = 3,",
+            "kBatch = 3,\n  // ---- v3: premature revision\n  kNew = 4,",
+        )
+        wire_cc = GOOD_WIRE_CC.replace(
+            'case OpCode::kBatch: return "batch";',
+            'case OpCode::kBatch: return "batch";\n'
+            '    case OpCode::kNew: return "new";',
+        )
+        result = run_checker(wire_h, wire_cc)
+        self.assert_rejects(result, "bump kWireVersion")
+
+    def test_version_bump_without_gate_comment_rejected(self):
+        wire_h = GOOD_WIRE_H.replace("kWireVersion = 2", "kWireVersion = 3")
+        result = run_checker(wire_h, GOOD_WIRE_CC)
+        self.assert_rejects(result, "---- v3:")
+
+    def test_gate_markers_out_of_order_rejected(self):
+        wire_h = GOOD_WIRE_H.replace(
+            "kWireVersion = 2", "kWireVersion = 3"
+        ).replace(
+            "// ---- v2: batching revision",
+            "// ---- v3: later revision first",
+        ).replace(
+            "kBatch = 3,",
+            "kBatch = 3,\n  // ---- v2: earlier revision second\n  kNew = 4,",
+        )
+        wire_cc = GOOD_WIRE_CC.replace(
+            'case OpCode::kBatch: return "batch";',
+            'case OpCode::kBatch: return "batch";\n'
+            '    case OpCode::kNew: return "new";',
+        )
+        result = run_checker(wire_h, wire_cc)
+        self.assert_rejects(result, "out of order")
+
+    # ---- rule 2b: negotiation window ----
+
+    def test_missing_min_wire_version_rejected(self):
+        wire_h = GOOD_WIRE_H.replace(
+            "inline constexpr uint8_t kMinWireVersion = 1;\n", ""
+        )
+        result = run_checker(wire_h, GOOD_WIRE_CC)
+        self.assert_rejects(result, "kMinWireVersion")
+
+    def test_min_wire_version_of_zero_rejected(self):
+        wire_h = GOOD_WIRE_H.replace(
+            "kMinWireVersion = 1", "kMinWireVersion = 0"
+        )
+        result = run_checker(wire_h, GOOD_WIRE_CC)
+        self.assert_rejects(result, "outside")
+
+    def test_min_wire_version_above_wire_version_rejected(self):
+        wire_h = GOOD_WIRE_H.replace(
+            "kMinWireVersion = 1", "kMinWireVersion = 3"
+        )
+        result = run_checker(wire_h, GOOD_WIRE_CC)
+        self.assert_rejects(result, "outside")
+
+    # ---- rule 3: OpCodeName coverage ----
+
+    def test_missing_opcode_name_rejected(self):
+        wire_cc = GOOD_WIRE_CC.replace(
+            '    case OpCode::kBatch: return "batch";\n', ""
+        )
+        result = run_checker(GOOD_WIRE_H, wire_cc)
+        self.assert_rejects(result, "no entry for kBatch")
+
+    def test_duplicate_opcode_name_rejected(self):
+        wire_cc = GOOD_WIRE_CC.replace(
+            'case OpCode::kBatch: return "batch";',
+            'case OpCode::kBatch: return "ping";',
+        )
+        result = run_checker(GOOD_WIRE_H, wire_cc)
+        self.assert_rejects(result, "duplicates")
+
+    def test_non_snake_case_name_rejected(self):
+        wire_cc = GOOD_WIRE_CC.replace(
+            'case OpCode::kGetAttr: return "get_attr";',
+            'case OpCode::kGetAttr: return "GetAttr";',
+        )
+        result = run_checker(GOOD_WIRE_H, wire_cc)
+        self.assert_rejects(result, "lower_snake_case")
+
+    def test_stale_opcode_name_rejected(self):
+        wire_cc = GOOD_WIRE_CC.replace(
+            'case OpCode::kBatch: return "batch";',
+            'case OpCode::kBatch: return "batch";\n'
+            '    case OpCode::kGone: return "gone";',
+        )
+        result = run_checker(GOOD_WIRE_H, wire_cc)
+        self.assert_rejects(result, "stale entry kGone")
+
+    # ---- rule 4: status code numbering ----
+
+    def test_status_gap_rejected(self):
+        status_h = GOOD_STATUS_H.replace("kIoError = 1,", "kIoError = 2,")
+        result = run_checker(GOOD_WIRE_H, GOOD_WIRE_CC, status_h)
+        self.assert_rejects(result, "append-only")
+
+    def test_first_status_code_must_be_zero(self):
+        status_h = GOOD_STATUS_H.replace("kOk = 0,", "kOk = 1,").replace(
+            "kIoError = 1,", "kIoError = 2,"
+        )
+        result = run_checker(GOOD_WIRE_H, GOOD_WIRE_CC, status_h)
+        self.assert_rejects(result, "expected 0")
+
+    # ---- rule 5: StatusFromCode coverage ----
+
+    def test_undecoded_status_code_rejected(self):
+        wire_cc = GOOD_WIRE_CC.replace(
+            "    case util::StatusCode::kIoError: "
+            "return util::Status::IoError(msg);\n",
+            "",
+        )
+        result = run_checker(GOOD_WIRE_H, wire_cc, GOOD_STATUS_H)
+        self.assert_rejects(result, "no case for kIoError")
+
+    def test_stale_status_decode_case_rejected(self):
+        wire_cc = GOOD_WIRE_CC.replace(
+            "case util::StatusCode::kIoError: "
+            "return util::Status::IoError(msg);",
+            "case util::StatusCode::kIoError: "
+            "return util::Status::IoError(msg);\n"
+            "    case util::StatusCode::kBogus: "
+            "return util::Status::Internal(msg);",
+        )
+        result = run_checker(GOOD_WIRE_H, wire_cc, GOOD_STATUS_H)
+        self.assert_rejects(result, "stale case kBogus")
+
+
+if __name__ == "__main__":
+    unittest.main()

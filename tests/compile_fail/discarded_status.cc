@@ -1,0 +1,23 @@
+// Negative-compile fixture: silently dropping a util::Status must not
+// compile. util::Status and util::Result<T> are [[nodiscard]], and
+// both the regular build and CI compile with -Werror=unused-result,
+// so an ignored error return is a build break, not a latent bug.
+// Driven by compile_fail.cmake: red with -DHM_EXPECT_VIOLATION, green
+// without.
+
+#include "util/status.h"
+
+namespace {
+
+hm::util::Status Flush() { return hm::util::Status::Ok(); }
+
+}  // namespace
+
+int main() {
+#ifdef HM_EXPECT_VIOLATION
+  Flush();  // dropped Status: -Werror=unused-result rejects this
+#else
+  if (!Flush().ok()) return 1;
+#endif
+  return 0;
+}

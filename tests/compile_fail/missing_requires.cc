@@ -1,0 +1,35 @@
+// Negative-compile fixture: calling an HM_REQUIRES(mu_) `*Locked()`
+// helper without holding the capability must not compile under clang's
+// -Werror=thread-safety. Driven by compile_fail.cmake: red with
+// -DHM_EXPECT_VIOLATION, green without. Registered only for clang
+// builds — the annotations expand to nothing elsewhere.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Ledger {
+ public:
+  void Post() {
+#ifdef HM_EXPECT_VIOLATION
+    PostLocked();  // requires mu_, not held
+#else
+    hm::util::MutexLock lock(mu_);
+    PostLocked();
+#endif
+  }
+
+ private:
+  void PostLocked() HM_REQUIRES(mu_) { ++entries_; }
+
+  hm::util::Mutex mu_;
+  int entries_ HM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger ledger;
+  ledger.Post();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Negative-compile fixture: touching an HM_GUARDED_BY member without
+// holding its mutex must not compile under clang's
+// -Werror=thread-safety. Driven by compile_fail.cmake: red with
+// -DHM_EXPECT_VIOLATION, green without. Registered only for clang
+// builds — the annotations expand to nothing elsewhere.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+#ifdef HM_EXPECT_VIOLATION
+    ++value_;  // guarded member, no capability held
+#else
+    hm::util::MutexLock lock(mu_);
+    ++value_;
+#endif
+  }
+
+ private:
+  hm::util::Mutex mu_;
+  int value_ HM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Bump();
+  return 0;
+}

@@ -140,7 +140,7 @@ TEST_F(DriverTest, ColdRunSeesBufferPoolMisses) {
   // CloseReopen between runs forced at least one miss in cold.
   EXPECT_GT(result->cold_total_ms, 0.0);
   EXPECT_GT(result->warm_total_ms, 0.0);
-  (*oodb)->object_store()->Close();
+  EXPECT_TRUE((*oodb)->object_store()->Close().ok());
   std::filesystem::remove_all(dir);
 }
 

@@ -454,6 +454,42 @@ TEST_F(OccTest, ManyThreadsSameNodeExactlyOneWins) {
   EXPECT_EQ(committed.load() + conflicted.load(), kThreads);
 }
 
+// Regression: commits()/conflicts() used to read their counters
+// without the commit mutex, racing with committers that bump them
+// under it. Hammer commits on worker threads while a monitor thread
+// polls the counters; under TSAN the unlocked reads were reported.
+TEST_F(OccTest, CounterReadsRaceFreeWithCommits) {
+  OccManager occ(&store_);
+  constexpr int kThreads = 4;
+  constexpr int kCommitsPerThread = 50;
+  std::atomic<bool> done{false};
+  std::thread monitor([&] {
+    uint64_t last = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      uint64_t seen = occ.commits() + occ.conflicts();
+      EXPECT_GE(seen, last);  // outcomes only accumulate
+      last = seen;
+    }
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCommitsPerThread; ++i) {
+        WorkspaceId ws = occ.OpenWorkspace(static_cast<uint64_t>(t));
+        if (occ.SetText(ws, nodes_[static_cast<size_t>(t)], "spin").ok()) {
+          (void)occ.CommitWorkspace(ws);  // conflicts count too
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  done.store(true, std::memory_order_relaxed);
+  monitor.join();
+  // Every commit attempt resolved to exactly one outcome.
+  EXPECT_EQ(occ.commits() + occ.conflicts(),
+            static_cast<uint64_t>(kThreads * kCommitsPerThread));
+}
+
 // ---------- Query (R12) ----------
 
 class QueryTest : public ::testing::Test {

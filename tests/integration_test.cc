@@ -207,7 +207,7 @@ TEST_F(IntegrationTest, BackupRequiresNoActiveTransactionSemantics) {
   auto backup = objstore::ObjectStore::Open({}, dir_ + "/raw_backup");
   ASSERT_TRUE(backup.ok());
   EXPECT_EQ(*(*backup)->Read(*oid), "committed before backup");
-  (*backup)->Close();
+  EXPECT_TRUE((*backup)->Close().ok());
 }
 
 }  // namespace

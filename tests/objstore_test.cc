@@ -241,7 +241,7 @@ TEST_F(ObjectStoreTest, RecoversCommittedAfterCrash) {
   EXPECT_EQ(*(*crashed)->Read(committed_oid), "survives crash");
   // The uncommitted create was never committed: replay skips it.
   EXPECT_FALSE((*crashed)->Exists(uncommitted_oid));
-  (*crashed)->Close();
+  EXPECT_TRUE((*crashed)->Close().ok());
   std::filesystem::remove_all(dir_ + "_crash");
 }
 
@@ -270,7 +270,7 @@ TEST_F(ObjectStoreTest, RecoveryReplaysUpdatesAndDeletes) {
   EXPECT_GT((*crashed)->recovered_records(), 0u);
   EXPECT_EQ(*(*crashed)->Read(a), "v2");
   EXPECT_FALSE((*crashed)->Exists(b));
-  (*crashed)->Close();
+  EXPECT_TRUE((*crashed)->Close().ok());
   std::filesystem::remove_all(dir_ + "_crash2");
 }
 

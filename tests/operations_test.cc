@@ -351,7 +351,7 @@ class CrossBackendTest : public ::testing::Test {
     }
   }
   void TearDown() override {
-    for (HyperStore* store : Stores()) store->Commit();
+    for (HyperStore* store : Stores()) EXPECT_TRUE(store->Commit().ok());
     oodb_.reset();
     rel_.reset();
     net_.reset();

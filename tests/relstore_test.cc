@@ -93,7 +93,7 @@ class TableTest : public ::testing::Test {
   }
   void TearDown() override {
     pool_.reset();
-    fm_.Close();
+    EXPECT_TRUE(fm_.Close().ok());
     std::filesystem::remove_all(dir_);
   }
 
@@ -293,7 +293,7 @@ TEST_P(TableChurnTest, MatchesModel) {
   }
   EXPECT_EQ(*table.RowCount(), model.size());
   pool.reset();
-  fm.Close();
+  EXPECT_TRUE(fm.Close().ok());
   std::filesystem::remove_all(dir);
 }
 
