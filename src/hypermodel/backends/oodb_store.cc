@@ -236,6 +236,20 @@ util::Status OodbStore::RebuildIndexes() {
   return PersistIndexRoots();
 }
 
+util::Status OodbStore::ApplyReplicated(
+    const std::vector<std::string>& payloads) {
+  if (txn_.has_value() && txn_->active()) {
+    return util::Status::InvalidArgument(
+        "cannot apply replicated records with a local transaction open");
+  }
+  for (const std::string& payload : payloads) {
+    HM_RETURN_IF_ERROR(store_->ApplyReplicatedRecord(payload));
+  }
+  // One index re-derivation per batch: the shipped logical records
+  // carry no index maintenance, exactly like crash-recovery redo.
+  return RebuildIndexes();
+}
+
 util::Status OodbStore::RequireActiveTxn() {
   if (!txn_.has_value() || !txn_->active()) {
     return util::Status::InvalidArgument(

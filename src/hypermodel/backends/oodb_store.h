@@ -103,6 +103,13 @@ class OodbStore : public HyperStore, public PipelinedCommitCapable {
   /// Underlying object store (stats, tests).
   objstore::ObjectStore* object_store() { return store_.get(); }
 
+  /// Applies a batch of logical WAL records shipped from a replication
+  /// primary, then re-derives the secondary indexes once for the whole
+  /// batch. Used by the follower replayer (DESIGN.md §16) — never
+  /// concurrently with local transactions; the server's exclusive
+  /// dispatch lock provides that.
+  util::Status ApplyReplicated(const std::vector<std::string>& payloads);
+
   /// Garbage-collects nodes unreachable from `roots` through any
   /// relationship (children, parts, refs — forward and inverse — and
   /// content objects), then rebuilds the secondary indexes (R10:

@@ -48,6 +48,12 @@ bool RetrySafeOp(server::OpCode op) {
     case server::OpCode::kPing:
     case server::OpCode::kReset:
     case server::OpCode::kCloseReopen:
+    // Promote and Fence are epoch-idempotent by construction: the
+    // handler answers Ok when the requested epoch is already in
+    // force, so re-sending after a lost response converges instead
+    // of erroring — exactly what a failover client needs.
+    case server::OpCode::kReplPromote:
+    case server::OpCode::kReplFence:
       return true;
     default:
       return server::IsReadOnlyOp(op);
@@ -241,7 +247,7 @@ util::Status RemoteStore::EnsureConnected() {
   }
   in_recovery_ = false;
   return util::Status::Unavailable(
-      "remote: reconnect failed after " +
+      PeerTag() + ": reconnect failed after " +
       std::to_string(options_.max_retries) + " attempts: " +
       last.message());
 }
@@ -289,7 +295,7 @@ util::Status RemoteStore::RetryTransport(
   }
   in_recovery_ = false;
   return util::Status::Unavailable(
-      "remote: " + std::string(what) + " still failing after " +
+      PeerTag() + ": " + std::string(what) + " still failing after " +
       std::to_string(options_.max_retries) + " reconnect attempts: " +
       last.message());
 }
@@ -484,7 +490,7 @@ util::Status RemoteStore::Call(server::OpCode op, std::string_view body,
   }
   if (!RetrySafeOp(op)) {
     return util::Status::Unavailable(
-        "remote: " + std::string(server::OpCodeName(op)) +
+        PeerTag() + ": " + std::string(server::OpCodeName(op)) +
         " failed in transit and is not safe to re-send: " +
         status.message());
   }
@@ -505,8 +511,8 @@ util::Status RemoteStore::CallMany(
     if (payload.empty() ||
         !RetrySafeOp(static_cast<server::OpCode>(payload[0]))) {
       return util::Status::Unavailable(
-          "remote: pipelined request failed in transit and contains "
-          "ops that are not safe to re-send: " +
+          PeerTag() + ": pipelined request failed in transit and "
+          "contains ops that are not safe to re-send: " +
           status.message());
     }
   }
@@ -977,6 +983,92 @@ util::Status RemoteStore::ShardInfo(uint32_t* shard_id,
   }
   *shard_id = static_cast<uint32_t>(id);
   *shard_count = static_cast<uint32_t>(count);
+  return util::Status::Ok();
+}
+
+util::Status RemoteStore::ReplSubscribe(uint64_t follower_id,
+                                        uint64_t resume_seq,
+                                        ReplChain* out) {
+  std::string body;
+  util::PutVarint64(&body, server::kWireVersion);
+  util::PutVarint64(&body, follower_id);
+  util::PutVarint64(&body, resume_seq);
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(server::OpCode::kReplSubscribe, body, &result));
+  util::Decoder decoder(result);
+  if (!decoder.GetVarint64(&out->epoch) ||
+      !decoder.GetVarint64(&out->next_lsn) ||
+      !decoder.GetVarint64(&out->oldest_seq)) {
+    return util::Status::Corruption("remote: short ReplSubscribe response");
+  }
+  return util::Status::Ok();
+}
+
+util::Status RemoteStore::ReplFetch(uint64_t seq, uint64_t offset,
+                                    uint64_t max_bytes, std::string* chunk,
+                                    bool* sealed, uint64_t* flushed_size) {
+  std::string body;
+  util::PutVarint64(&body, seq);
+  util::PutVarint64(&body, offset);
+  util::PutVarint64(&body, max_bytes);
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(server::OpCode::kReplSegment, body, &result));
+  if (result.empty()) {
+    return util::Status::Corruption("remote: short ReplSegment response");
+  }
+  *sealed = (static_cast<uint8_t>(result[0]) & 1) != 0;
+  util::Decoder decoder(std::string_view(result).substr(1));
+  std::string_view bytes;
+  if (!decoder.GetVarint64(flushed_size) ||
+      !decoder.GetLengthPrefixed(&bytes)) {
+    return util::Status::Corruption("remote: short ReplSegment response");
+  }
+  chunk->assign(bytes);
+  return util::Status::Ok();
+}
+
+util::Status RemoteStore::ReplReport(uint64_t follower_id,
+                                     uint64_t replayed_lsn, ReplPeer* out) {
+  std::string body;
+  util::PutVarint64(&body, follower_id);
+  util::PutVarint64(&body, replayed_lsn);
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(server::OpCode::kReplStatus, body, &result));
+  if (result.empty()) {
+    return util::Status::Corruption("remote: short ReplStatus response");
+  }
+  out->role = static_cast<uint8_t>(result[0]);
+  util::Decoder decoder(std::string_view(result).substr(1));
+  if (!decoder.GetVarint64(&out->epoch) ||
+      !decoder.GetVarint64(&out->durable_lsn)) {
+    return util::Status::Corruption("remote: short ReplStatus response");
+  }
+  return util::Status::Ok();
+}
+
+util::Status RemoteStore::ReplPromote(uint64_t proposed_epoch,
+                                      uint64_t* epoch) {
+  std::string body;
+  util::PutVarint64(&body, proposed_epoch);
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(server::OpCode::kReplPromote, body, &result));
+  util::Decoder decoder(result);
+  if (!decoder.GetVarint64(epoch)) {
+    return util::Status::Corruption("remote: short ReplPromote response");
+  }
+  return util::Status::Ok();
+}
+
+util::Status RemoteStore::ReplFence(uint64_t fencing_epoch,
+                                    uint64_t* epoch) {
+  std::string body;
+  util::PutVarint64(&body, fencing_epoch);
+  std::string result;
+  HM_RETURN_IF_ERROR(Call(server::OpCode::kReplFence, body, &result));
+  util::Decoder decoder(result);
+  if (!decoder.GetVarint64(epoch)) {
+    return util::Status::Corruption("remote: short ReplFence response");
+  }
   return util::Status::Ok();
 }
 

@@ -60,6 +60,11 @@ struct RemoteOptions {
   /// jitter: attempt k sleeps uniform[0, min(cap, base << k)] ms.
   int backoff_base_ms = 5;
   int backoff_cap_ms = 200;
+  /// Label naming this peer in transport-failure messages, e.g.
+  /// "shard 2 at 127.0.0.1:7435" — so a kUnavailable from a fleet
+  /// names the member that failed instead of a bare "remote". Empty
+  /// keeps the plain "remote" prefix.
+  std::string peer_label;
 };
 
 /// Parses "host:port" (or just "port") into RemoteOptions.
@@ -204,6 +209,46 @@ class RemoteStore : public HyperStore, public TraversalCapable {
   util::Status SetAttrsMulti(std::span<const NodeRef> nodes, Attr attr,
                              std::span<const int64_t> values);
 
+  // --- Replication (wire v6) -----------------------------------------
+  /// kReplSubscribe handshake result.
+  struct ReplChain {
+    uint64_t epoch = 0;       // primary's current epoch
+    uint64_t next_lsn = 0;    // primary's next WAL LSN
+    uint64_t oldest_seq = 0;  // oldest retained segment
+  };
+  /// Opens (or resumes, when `resume_seq` > 0) a WAL subscription as
+  /// follower `follower_id` (nonzero, stable across reconnects — it
+  /// keys the primary's retention floor).
+  util::Status ReplSubscribe(uint64_t follower_id, uint64_t resume_seq,
+                             ReplChain* out);
+  /// Fetches up to `max_bytes` of segment `seq` starting at `offset`.
+  /// `*sealed` reports whether the segment is closed; `*flushed_size`
+  /// its currently durable size. An empty chunk at the flushed size
+  /// of an unsealed segment means "caught up, poll again".
+  util::Status ReplFetch(uint64_t seq, uint64_t offset, uint64_t max_bytes,
+                         std::string* chunk, bool* sealed,
+                         uint64_t* flushed_size);
+  /// One peer's replication standing, per kReplStatus.
+  struct ReplPeer {
+    uint8_t role = 0;          // replication::Role byte
+    uint64_t epoch = 0;
+    uint64_t durable_lsn = 0;  // primary: next WAL LSN; replica:
+                               // replayed LSN
+  };
+  /// Reports this follower's replay progress (and id) to a primary —
+  /// or, with both zero, just queries the peer's role/epoch/LSN (the
+  /// failover client's probe).
+  util::Status ReplReport(uint64_t follower_id, uint64_t replayed_lsn,
+                          ReplPeer* out);
+  /// Asks a replica to promote itself under `proposed_epoch`;
+  /// `*epoch` receives the epoch now in force. Idempotent: a repeat
+  /// with the epoch already in force succeeds.
+  util::Status ReplPromote(uint64_t proposed_epoch, uint64_t* epoch);
+  /// Fences the peer at `fencing_epoch` (it demotes itself and
+  /// persists the fence if the epoch is newer); `*epoch` receives the
+  /// epoch now in force. Idempotent the same way.
+  util::Status ReplFence(uint64_t fencing_epoch, uint64_t* epoch);
+
   /// Fleet placement probe (wire opcode kShardInfo, v5): which shard
   /// this server claims to be and how many the fleet has. A standalone
   /// server answers (0, 1); a pre-v5 server answers NotSupported,
@@ -229,6 +274,12 @@ class RemoteStore : public HyperStore, public TraversalCapable {
 
  private:
   RemoteStore() = default;
+
+  /// Prefix for transport-failure messages: the peer label when the
+  /// caller set one (fleet members), else the plain "remote".
+  std::string PeerTag() const {
+    return options_.peer_label.empty() ? "remote" : options_.peer_label;
+  }
 
   /// Opens and configures the socket to options_.host:port (TCP_NODELAY,
   /// SO_SNDTIMEO from the deadline), storing it in fd_.

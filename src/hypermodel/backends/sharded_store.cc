@@ -48,6 +48,10 @@ util::Result<std::unique_ptr<ShardedStore>> ShardedStore::Connect(
     RemoteOptions options = base_options;
     options.host = parsed.host;
     options.port = parsed.port;
+    // Name the member in every transport error this client surfaces,
+    // so losing one shard reads "shard 2 at host:port ..." instead of
+    // an anonymous "remote ...".
+    options.peer_label = "shard " + std::to_string(k) + " at " + addrs[k];
     HM_ASSIGN_OR_RETURN(std::unique_ptr<RemoteStore> client,
                         RemoteStore::Connect(options));
     uint32_t id = 0;
@@ -90,10 +94,12 @@ util::Result<std::unique_ptr<ShardedStore>> ShardedStore::Loopback(
     server_options.reset_factory = [k, shard_count] {
       return MakeLoopbackShard(k, shard_count);
     };
+    RemoteOptions labeled = client_options;
+    labeled.peer_label = "shard " + std::to_string(k) + " (loopback)";
     HM_ASSIGN_OR_RETURN(
         std::unique_ptr<RemoteStore> client,
         RemoteStore::Loopback(std::move(backend), server_options, mode,
-                              client_options));
+                              labeled));
     shards.push_back(std::move(client));
   }
   return std::unique_ptr<ShardedStore>(

@@ -844,6 +844,12 @@ util::Status ObjectStore::ApplyLogical(std::string_view payload,
   }
 }
 
+util::Status ObjectStore::ApplyReplicatedRecord(std::string_view payload) {
+  util::MutexLock lock(write_mu_);
+  if (!open_) return util::Status::InvalidArgument("store not open");
+  return ApplyLogical(payload, /*recovering=*/true);
+}
+
 util::Status ObjectStore::LogAndApply(Transaction* txn,
                                       std::string_view payload) {
   HM_ASSIGN_OR_RETURN(uint64_t lsn,

@@ -217,6 +217,14 @@ class ObjectStore {
       const std::function<util::Result<std::vector<Oid>>(
           Oid, const std::string&)>& trace);
 
+  /// Applies one logical WAL record shipped from a replication
+  /// primary, outside any local transaction and without local WAL
+  /// logging — the follower's mirror of the primary's segment chain is
+  /// its durable history (DESIGN.md §16). Uses the same self-healing
+  /// `recovering` apply as crash recovery, so replaying a prefix twice
+  /// after a follower restart is idempotent.
+  util::Status ApplyReplicatedRecord(std::string_view payload);
+
   /// OIDs are allocated sequentially; [1, next_oid) have been used.
   Oid next_oid() const { return next_oid_; }
 

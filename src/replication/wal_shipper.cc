@@ -1,0 +1,136 @@
+#include "replication/wal_shipper.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace hm::replication {
+
+namespace {
+/// Ceiling on one kReplSegment chunk regardless of what the follower
+/// asks for: keeps a single response frame well under the wire-frame
+/// limit and bounds the memory a slow follower can pin per request.
+constexpr uint64_t kMaxChunkBytes = 4ull << 20;
+}  // namespace
+
+WalShipper::WalShipper(storage::SegmentedWal* wal, bool chain_complete)
+    : wal_(wal), chain_complete_(chain_complete) {
+  auto& reg = telemetry::Registry::Global();
+  followers_gauge_ = reg.GetGauge("replication.followers");
+  acked_gauge_ = reg.GetGauge("replication.max_acked_lsn");
+  shipped_bytes_ = reg.GetCounter("replication.shipped_bytes");
+  // Retain everything from the moment a primary starts shipping: a
+  // follower subscribing later must still find the full chain. The
+  // floor rises to min(follower acks) as followers report progress.
+  wal_->SetRetainLsn(0);
+}
+
+WalShipper::~WalShipper() { followers_gauge_->Set(0); }
+
+util::Status WalShipper::Subscribe(uint64_t follower_id, uint64_t resume_seq,
+                                   uint64_t* next_lsn, uint64_t* oldest_seq) {
+  if (follower_id == 0) {
+    return util::Status::InvalidArgument(
+        "replication: follower id must be nonzero");
+  }
+  if (resume_seq == 0 && !chain_complete_) {
+    // This WAL chain starts mid-history (the node was promoted; its
+    // prefix exists only in its own replication mirror), so replaying
+    // it from empty would silently drop every pre-promotion edit.
+    return util::Status::InvalidArgument(
+        "replication: this primary's WAL chain is not replayable from "
+        "empty (promoted node); re-seed the follower from a snapshot");
+  }
+  const uint64_t oldest = wal_->OldestSeq();
+  if (resume_seq != 0 && resume_seq < oldest) {
+    return util::Status::NotFound(
+        "replication: resume segment " + std::to_string(resume_seq) +
+        " already pruned (oldest retained is " + std::to_string(oldest) +
+        "); re-seed the follower");
+  }
+  const uint64_t start_seq = resume_seq == 0 ? oldest : resume_seq;
+  {
+    util::MutexLock lock(mu_);
+    // Pin conservatively at the segment start. A real ack (monotonic
+    // max) replaces this as soon as the follower reports progress, so
+    // a resubscribe can only lower the pin back to where the follower
+    // actually is — never strand the floor above it.
+    auto [it, inserted] = acked_.try_emplace(
+        follower_id, storage::SegmentedWal::MakeLsn(start_seq, 0));
+    if (!inserted) {
+      it->second = std::min<uint64_t>(
+          it->second, storage::SegmentedWal::MakeLsn(start_seq, 0));
+    }
+    UpdateRetentionLocked();
+    followers_gauge_->Set(static_cast<int64_t>(acked_.size()));
+  }
+  *next_lsn = wal_->NextLsn();
+  *oldest_seq = oldest;
+  return util::Status::Ok();
+}
+
+util::Status WalShipper::Serve(uint64_t seq, uint64_t offset,
+                               uint64_t max_bytes, std::string* chunk,
+                               bool* sealed, uint64_t* flushed_size) {
+  max_bytes = std::min(max_bytes, kMaxChunkBytes);
+  util::Status status =
+      wal_->ReadSegment(seq, offset, max_bytes, chunk, sealed, flushed_size);
+  if (status.ok()) shipped_bytes_->Add(chunk->size());
+  return status;
+}
+
+void WalShipper::Ack(uint64_t follower_id, uint64_t replayed_lsn) {
+  util::MutexLock lock(mu_);
+  uint64_t& acked = acked_[follower_id];
+  acked = std::max(acked, replayed_lsn);
+  UpdateRetentionLocked();
+  followers_gauge_->Set(static_cast<int64_t>(acked_.size()));
+  uint64_t max_acked = 0;
+  for (const auto& [id, lsn] : acked_) max_acked = std::max(max_acked, lsn);
+  acked_gauge_->Set(static_cast<int64_t>(max_acked));
+  acked_cv_.notify_all();
+}
+
+bool WalShipper::WaitAcked(uint64_t lsn, int64_t timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  util::MutexLock lock(mu_);
+  while (true) {
+    for (const auto& [id, acked] : acked_) {
+      if (acked >= lsn) return true;
+    }
+    if (acked_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      for (const auto& [id, acked] : acked_) {
+        if (acked >= lsn) return true;
+      }
+      return false;
+    }
+  }
+}
+
+uint64_t WalShipper::follower_count() const {
+  util::MutexLock lock(mu_);
+  return acked_.size();
+}
+
+uint64_t WalShipper::max_acked_lsn() const {
+  util::MutexLock lock(mu_);
+  uint64_t max_acked = 0;
+  for (const auto& [id, lsn] : acked_) max_acked = std::max(max_acked, lsn);
+  return max_acked;
+}
+
+void WalShipper::UpdateRetentionLocked() {
+  // Retention floor = the least-advanced follower. With no followers
+  // the floor stays parked at 0 (retain all): a primary configured to
+  // replicate but not yet joined must keep its chain for the first
+  // subscriber.
+  uint64_t floor = 0;
+  bool first = true;
+  for (const auto& [id, lsn] : acked_) {
+    floor = first ? lsn : std::min(floor, lsn);
+    first = false;
+  }
+  wal_->SetRetainLsn(first ? 0 : floor);
+}
+
+}  // namespace hm::replication

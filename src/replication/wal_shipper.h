@@ -1,0 +1,106 @@
+#ifndef HM_REPLICATION_WAL_SHIPPER_H_
+#define HM_REPLICATION_WAL_SHIPPER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "storage/commit_pipeline/segmented_wal.h"
+#include "telemetry/metrics.h"
+#include "util/lock_rank.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace hm::replication {
+
+/// Primary-side half of WAL shipping (DESIGN.md §16). The shipper owns
+/// no thread and no socket: followers pull through the server's
+/// kReplSubscribe / kReplSegment / kReplStatus opcodes, and the
+/// coordinator forwards those here. What the shipper does own is the
+/// bookkeeping that makes pulling safe and commits promotable:
+///
+///   - the *retention floor*: every subscribed follower pins the WAL at
+///     the oldest LSN it still needs (SegmentedWal::SetRetainLsn), so a
+///     checkpoint can never prune a segment out from under a reader;
+///   - the *ack table*: followers report their replayed LSN through
+///     kReplStatus, and WaitAcked() lets a semi-synchronous commit
+///     block until any follower has replayed past it. Replay is a
+///     strict log prefix, so "the most-replayed follower" at promotion
+///     time has every commit any follower ever acked.
+///
+/// Thread safety: fully internal (mu_, rank kGroupCommit — callable
+/// both under the server's dispatch lock and from the lock-bypassed
+/// kReplStatus path, and itself allowed to call down into the WAL).
+class WalShipper {
+ public:
+  /// `wal` must outlive the shipper. `chain_complete` records whether
+  /// this WAL chain is replayable from empty (a server started on a
+  /// fresh directory): a promoted follower's chain is NOT — its prefix
+  /// lives only in its pre-promotion mirror — so fresh subscribers are
+  /// refused until the operator re-seeds them (see Subscribe()).
+  WalShipper(storage::SegmentedWal* wal, bool chain_complete);
+
+  WalShipper(const WalShipper&) = delete;
+  WalShipper& operator=(const WalShipper&) = delete;
+
+  ~WalShipper();
+
+  /// Registers (or re-registers) follower `follower_id`, resuming at
+  /// segment `resume_seq` (0 = from the beginning). Pins the retention
+  /// floor at the resume point *before* replying, so a checkpoint
+  /// racing the handshake cannot prune the follower's next read; the
+  /// pin is conservative (segment start) until the first ack arrives.
+  /// Fails InvalidArgument for a fresh subscriber on an incomplete
+  /// chain, and NotFound when `resume_seq` predates the oldest
+  /// retained segment (the follower must re-seed).
+  util::Status Subscribe(uint64_t follower_id, uint64_t resume_seq,
+                         uint64_t* next_lsn, uint64_t* oldest_seq);
+
+  /// One kReplSegment read: up to `max_bytes` (capped at 4 MiB) of
+  /// flushed bytes from segment `seq` at `offset`.
+  util::Status Serve(uint64_t seq, uint64_t offset, uint64_t max_bytes,
+                     std::string* chunk, bool* sealed,
+                     uint64_t* flushed_size);
+
+  /// Records follower `follower_id`'s replayed LSN, recomputes the
+  /// retention floor (min over followers) and wakes WaitAcked()
+  /// blockers. Acks are monotonic per follower; stale ones are kept
+  /// at the high-water mark.
+  void Ack(uint64_t follower_id, uint64_t replayed_lsn);
+
+  /// Blocks until some follower has acked a replayed LSN >= `lsn`, or
+  /// `timeout_ms` elapses. Returns true on ack, false on timeout.
+  bool WaitAcked(uint64_t lsn, int64_t timeout_ms);
+
+  /// Number of followers that have ever subscribed.
+  uint64_t follower_count() const;
+
+  /// Highest replayed LSN any follower has acked (0 before any ack).
+  uint64_t max_acked_lsn() const;
+
+  bool chain_complete() const { return chain_complete_; }
+
+ private:
+  void UpdateRetentionLocked() HM_REQUIRES(mu_);
+
+  storage::SegmentedWal* const wal_;
+  const bool chain_complete_;
+
+  /// Rank kGroupCommit: held under kServerDispatch (opcode forwarding)
+  /// or with nothing held (the kReplStatus lock bypass), and allowed
+  /// to descend into the WAL's kWal mutex for SetRetainLsn.
+  mutable util::RankedMutex<util::LockRank::kGroupCommit> mu_;
+  std::condition_variable_any acked_cv_;
+  /// follower id -> highest LSN it has either acked (replayed) or, at
+  /// subscribe time, is pinned to resume from.
+  std::map<uint64_t, uint64_t> acked_ HM_GUARDED_BY(mu_);
+
+  telemetry::Gauge* followers_gauge_;
+  telemetry::Gauge* acked_gauge_;
+  telemetry::Counter* shipped_bytes_;
+};
+
+}  // namespace hm::replication
+
+#endif  // HM_REPLICATION_WAL_SHIPPER_H_

@@ -1,0 +1,85 @@
+#ifndef HM_SERVER_REPLICATION_HANDLER_H_
+#define HM_SERVER_REPLICATION_HANDLER_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace hm::server {
+
+/// Pluggable replication role for a Server (wire v6, DESIGN.md §16).
+///
+/// The server itself knows nothing about WAL shipping or epochs; it
+/// only enforces two contracts when a handler is installed:
+///
+///   1. every mutating opcode is first gated through CheckMutation(),
+///      so a replica answers writes with a typed kReadOnly and a
+///      fenced old primary with kFencedOff instead of diverging, and
+///   2. the five kRepl* opcodes are forwarded here, body in / result
+///      body out. Subscribe/Segment/Status never touch the backend
+///      (the WAL, the shipper and the role word are all internally
+///      synchronized), so the server dispatches them without taking
+///      the dispatch lock at all — a commit blocking on the semi-sync
+///      barrier can still receive the follower ack that releases it.
+///      Promote/Fence take the exclusive side, so a promotion is
+///      mutually exclusive with every in-flight request.
+///
+/// The concrete implementation lives in src/replication — above the
+/// server in the link order — which keeps hm_server free of any
+/// dependency on the storage engine.
+class ReplicationHandler {
+ public:
+  virtual ~ReplicationHandler() = default;
+
+  /// Gate for every mutating opcode (including kReset and
+  /// transactions). Ok on a writable primary; ReadOnly on a replica;
+  /// FencedOff on a primary that a newer epoch has fenced.
+  virtual util::Status CheckMutation() = 0;
+
+  /// Semi-synchronous commit barrier: called after a successful
+  /// kCommit, while the exclusive dispatch lock is still held. The
+  /// primary blocks (bounded) until at least one follower has acked a
+  /// replayed LSN covering the commit — replay is a strict log
+  /// prefix, so promoting the most-replayed follower then preserves
+  /// every commit acknowledged through this barrier. The ack arrives
+  /// as a kReplStatus, which the server dispatches WITHOUT taking the
+  /// dispatch lock (see Server::Dispatch) — that bypass is what keeps
+  /// this wait from deadlocking against itself.
+  virtual util::Status WaitCommitReplicated() = 0;
+
+  /// kReplSubscribe: follower handshake. Body: varint max wire
+  /// version + varint follower id + varint resume seq (0 = fresh).
+  /// Result: varint epoch + varint next LSN + varint oldest retained
+  /// segment seq.
+  virtual util::Status HandleSubscribe(std::string_view body,
+                                       std::string* result) = 0;
+
+  /// kReplSegment: one chunk of one WAL segment. Body: varint seq +
+  /// varint offset + varint max_bytes. Result: flags byte (bit0
+  /// sealed) + varint flushed segment size + length-prefixed chunk.
+  virtual util::Status HandleSegment(std::string_view body,
+                                     std::string* result) = 0;
+
+  /// kReplStatus: follower progress report and/or liveness probe.
+  /// Body: varint follower id + varint replayed LSN (both 0 = pure
+  /// query). Result: role byte + varint epoch + varint durable LSN.
+  virtual util::Status HandleStatus(std::string_view body,
+                                    std::string* result) = 0;
+
+  /// kReplPromote: replica-only; replay the received backlog, persist
+  /// the new epoch and start taking writes. Body: varint proposed
+  /// epoch. Result: varint epoch now in force.
+  virtual util::Status HandlePromote(std::string_view body,
+                                     std::string* result) = 0;
+
+  /// kReplFence: demote this node if the caller's epoch is newer,
+  /// persisting the fence so it survives restarts. Body: varint
+  /// fencing epoch. Result: varint epoch now in force.
+  virtual util::Status HandleFence(std::string_view body,
+                                   std::string* result) = 0;
+};
+
+}  // namespace hm::server
+
+#endif  // HM_SERVER_REPLICATION_HANDLER_H_

@@ -208,6 +208,17 @@ void Server::Stop() {
   }
 }
 
+void Server::WithExclusiveBackend(
+    const std::function<void(HyperStore*)>& fn) {
+  util::MutexLock lock(backend_mu_);
+  // The only caller is the replication replay path, which mutates the
+  // store outside the dispatch loop — so the reset-idempotence word
+  // must flip here, or a replica promoted after replaying history
+  // would answer kReset with a clean-database no-op.
+  MarkDirty();
+  fn(backend_.get());
+}
+
 void Server::TrackFd(int fd) {
   util::MutexLock lock(fds_mu_);
   active_fds_.insert(fd);
@@ -257,6 +268,20 @@ void Server::Dispatch(Session* session, std::string_view request,
   // in-flight slot so a delayed request occupies capacity like a
   // genuinely slow one.
   HM_FAILPOINT_HIT("server/dispatch/delay");
+
+  // Replication data-plane ops (subscribe / segment fetch / status
+  // ack) never touch the backend — the WAL, the shipper and the role
+  // word are all internally synchronized — so they bypass backend_mu_
+  // entirely. This is load-bearing, not an optimization: a semi-sync
+  // kCommit blocks holding the exclusive side until a follower acks,
+  // and that ack arrives as a kReplStatus which must not queue behind
+  // the very lock the commit is holding.
+  if (op == OpCode::kReplSubscribe || op == OpCode::kReplSegment ||
+      op == OpCode::kReplStatus) {
+    requests_.fetch_add(1);
+    DispatchReplUnlocked(session, request, response);
+    return;
+  }
 
   // Batch contents are decoded before taking the lock so an all-read
   // batch can still ride the shared side.
@@ -339,6 +364,12 @@ void Server::DispatchLocked(Session* session, OpCode op, bool is_batch,
   DispatchOne(session, request, response);
 }
 
+void Server::DispatchReplUnlocked(Session* session,
+                                  std::string_view request,
+                                  std::string* response) {
+  DispatchOne(session, request, response);
+}
+
 void Server::DispatchOne(Session* session, std::string_view request,
                          std::string* response) {
   // `response` arrives empty (fresh sub_response for batch entries, an
@@ -382,6 +413,20 @@ void Server::DispatchOneImpl(Session* session, std::string_view request,
   auto reply_status = [&](const util::Status& status) {
     PutStatus(response, status);
   };
+
+  // Replication gate: with a role installed, every mutating opcode is
+  // refused with a typed error before it can touch the backend — a
+  // replica answers kReadOnly, a fenced old primary kFencedOff. The
+  // kRepl* opcodes themselves are exempt: Promote and Fence ARE the
+  // role transitions this gate exists to enforce.
+  if (options_.replication != nullptr && !IsReadOnlyOp(op) &&
+      op != OpCode::kReplPromote && op != OpCode::kReplFence) {
+    util::Status gate = options_.replication->CheckMutation();
+    if (!gate.ok()) {
+      reply_status(gate);
+      return;
+    }
+  }
 
   switch (op) {
     case OpCode::kHello: {
@@ -436,9 +481,17 @@ void Server::DispatchOneImpl(Session* session, std::string_view request,
     case OpCode::kBegin:
       reply_status(backend_->Begin());
       return;
-    case OpCode::kCommit:
-      reply_status(backend_->Commit());
+    case OpCode::kCommit: {
+      util::Status committed = backend_->Commit();
+      if (committed.ok() && options_.replication != nullptr) {
+        // Semi-sync barrier: the commit is locally durable; hold the
+        // acknowledgement until a follower has replayed it (bounded —
+        // the handler degrades to async on timeout and counts it).
+        committed = options_.replication->WaitCommitReplicated();
+      }
+      reply_status(committed);
       return;
+    }
     case OpCode::kAbort:
       reply_status(backend_->Abort());
       return;
@@ -868,6 +921,46 @@ void Server::DispatchOneImpl(Session* session, std::string_view request,
         util::PutVarint64(response, options_.shard_id);
         util::PutVarint64(response, options_.shard_count);
       });
+      return;
+    }
+
+    case OpCode::kReplSubscribe:
+    case OpCode::kReplSegment:
+    case OpCode::kReplStatus:
+    case OpCode::kReplPromote:
+    case OpCode::kReplFence: {
+      if (options_.max_wire_version < 6) {
+        reply_status(util::Status::NotSupported(
+            "unknown opcode " + std::to_string(request[0])));
+        return;
+      }
+      ReplicationHandler* repl = options_.replication;
+      if (repl == nullptr) {
+        reply_status(util::Status::NotSupported(
+            "server has no replication role configured"));
+        return;
+      }
+      const std::string_view repl_body = request.substr(1);
+      std::string result;
+      util::Status status;
+      switch (op) {
+        case OpCode::kReplSubscribe:
+          status = repl->HandleSubscribe(repl_body, &result);
+          break;
+        case OpCode::kReplSegment:
+          status = repl->HandleSegment(repl_body, &result);
+          break;
+        case OpCode::kReplStatus:
+          status = repl->HandleStatus(repl_body, &result);
+          break;
+        case OpCode::kReplPromote:
+          status = repl->HandlePromote(repl_body, &result);
+          break;
+        default:
+          status = repl->HandleFence(repl_body, &result);
+          break;
+      }
+      reply(status, [&] { response->append(result); });
       return;
     }
   }

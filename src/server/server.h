@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hypermodel/store.h"
+#include "server/replication_handler.h"
 #include "server/wire.h"
 #include "util/lock_rank.h"
 #include "util/status.h"
@@ -66,6 +67,13 @@ struct ServerOptions {
   /// `shard://` client can catch a mis-wired fleet.
   uint32_t shard_id = 0;
   uint32_t shard_count = 1;
+  /// Replication role hook (wire v6). When set, every mutating opcode
+  /// is gated through it — a replica answers kReadOnly, a fenced old
+  /// primary kFencedOff — and the five kRepl* opcodes are forwarded
+  /// to it. Unset => this server has no replication role: mutations
+  /// pass and kRepl* answer NotSupported. Not owned; must outlive the
+  /// server.
+  ReplicationHandler* replication = nullptr;
 };
 
 /// A TCP server exposing one HyperStore backend over the binary wire
@@ -116,6 +124,14 @@ class Server {
   uint16_t port() const { return port_; }
 
   HyperStore* backend() { return backend_.get(); }
+
+  /// Runs `fn` on the backend under the exclusive side of the
+  /// dispatch lock, mutually excluding every in-flight request. The
+  /// follower replayer applies shipped WAL batches through this hook,
+  /// so replica reads (which ride the shared side) never observe a
+  /// half-applied transaction. Do not call from inside a dispatch
+  /// handler — the lock is not reentrant.
+  void WithExclusiveBackend(const std::function<void(HyperStore*)>& fn);
 
   // --- Counters (diagnostics; monotone over the server's life) -------
   /// Batch frames count each sub-request individually.
@@ -210,6 +226,16 @@ class Server {
   void DispatchOneImpl(Session* session, std::string_view request,
                        std::string* response)
       HM_REQUIRES_SHARED(backend_mu_);
+  /// Dispatches a replication data-plane op (kReplSubscribe /
+  /// kReplSegment / kReplStatus) without backend_mu_. Sound because
+  /// those handlers never touch backend_ or the epoch/dirty words —
+  /// only the internally-synchronized ReplicationHandler — and
+  /// necessary so follower acks can land while a semi-sync kCommit
+  /// holds the exclusive side (see Dispatch). The analysis exemption
+  /// mirrors MarkDirty(): a per-site argument the checker can't see.
+  void DispatchReplUnlocked(Session* session, std::string_view request,
+                            std::string* response)
+      HM_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Marks the store mutated. Every caller holds backend_mu_
   /// *exclusively* — mutating opcodes are never read-only, so Dispatch

@@ -69,6 +69,9 @@ bool IsReadOnlyOp(OpCode op) {
     case OpCode::kStats:
     case OpCode::kPing:
     case OpCode::kShardInfo:
+    case OpCode::kReplSubscribe:
+    case OpCode::kReplSegment:
+    case OpCode::kReplStatus:
       return true;
     default:
       return false;
@@ -119,6 +122,11 @@ std::string_view OpCodeName(OpCode op) {
     case OpCode::kStats: return "stats";
     case OpCode::kPing: return "ping";
     case OpCode::kShardInfo: return "shard_info";
+    case OpCode::kReplSubscribe: return "repl_subscribe";
+    case OpCode::kReplSegment: return "repl_segment";
+    case OpCode::kReplStatus: return "repl_status";
+    case OpCode::kReplPromote: return "repl_promote";
+    case OpCode::kReplFence: return "repl_fence";
   }
   return "unknown";
 }
@@ -176,6 +184,10 @@ util::Status StatusFromCode(util::StatusCode code, std::string msg) {
       return util::Status::DeadlineExceeded(std::move(msg));
     case util::StatusCode::kOverloaded:
       return util::Status::Overloaded(std::move(msg));
+    case util::StatusCode::kReadOnly:
+      return util::Status::ReadOnly(std::move(msg));
+    case util::StatusCode::kFencedOff:
+      return util::Status::FencedOff(std::move(msg));
   }
   return util::Status::Internal("unknown wire status code: " +
                                 std::move(msg));

@@ -60,7 +60,14 @@ namespace hm::server {
 /// as (shard, uid)-qualified refs inside the existing encodings. A
 /// single-node server is shard 0 of 1, where the qualified and plain
 /// encodings coincide — which is why v4 frames stay byte-identical.
-inline constexpr uint8_t kWireVersion = 5;
+///
+/// v6 adds the replication opcodes: kReplSubscribe / kReplSegment /
+/// kReplStatus let a follower pull WAL segments from its primary over
+/// the ordinary request/response frames, and kReplPromote / kReplFence
+/// carry the epoch-fenced failover protocol (DESIGN.md §16). v6 also
+/// carries the new kReadOnly / kFencedOff status codes; older peers
+/// fold them into kInternal, degrading safely.
+inline constexpr uint8_t kWireVersion = 6;
 
 /// Oldest peer version this build still speaks. A negotiated version
 /// below this fails the handshake.
@@ -139,6 +146,25 @@ enum class OpCode : uint8_t {
   // is not part of a fleet answers (0, 1); a pre-v5 server answers
   // NotSupported, which the sharded client rejects at connect time.
   kShardInfo = 42,
+
+  // ---- v6: replication ----
+  // WAL shipping is pull-based: the follower drives, the primary only
+  // answers — so replication rides the existing one-request-one-
+  // response framing with no new stream machinery. A server with no
+  // replication role configured answers all five with NotSupported.
+  kReplSubscribe = 43,  // varint max_version + varint follower id +
+                        // varint resume seq (0 = fresh) -> varint epoch
+                        // + varint next LSN + varint oldest segment seq
+  kReplSegment = 44,    // varint seq + varint offset + varint max_bytes
+                        // -> flags byte (bit0 sealed) + varint flushed
+                        // segment size + length-prefixed chunk
+  kReplStatus = 45,     // varint follower id + varint replayed LSN
+                        // (both 0 = pure query) -> role byte +
+                        // varint epoch + varint durable LSN
+  kReplPromote = 46,    // varint proposed epoch -> varint epoch; the
+                        // follower replays its backlog and takes writes
+  kReplFence = 47,      // varint fencing epoch -> varint epoch; an old
+                        // primary demotes itself and persists the fence
 };
 
 /// Stable lower-snake-case opcode name ("get_attr", "closure_1n");

@@ -429,8 +429,79 @@ util::Status SegmentedWal::Recover(
   });
 }
 
+void SegmentedWal::SetRetainLsn(uint64_t lsn) {
+  util::MutexLock lock(mu_);
+  retain_lsn_ = lsn;
+}
+
+uint64_t SegmentedWal::OldestSeq() const {
+  util::MutexLock lock(mu_);
+  if (!sealed_.empty()) return sealed_.front().first;
+  return seq_;
+}
+
+util::Status SegmentedWal::ReadSegment(uint64_t seq, uint64_t offset,
+                                       uint64_t max_bytes, std::string* chunk,
+                                       bool* sealed,
+                                       uint64_t* flushed_size) const {
+  util::MutexLock lock(mu_);
+  if (!IsOpenLocked()) return util::Status::InvalidArgument("WAL not open");
+  chunk->clear();
+  int fd = -1;
+  bool close_fd = false;
+  if (seq == seq_) {
+    *sealed = false;
+    *flushed_size = file_size_;
+    fd = fd_;
+  } else {
+    auto it = std::find_if(sealed_.begin(), sealed_.end(),
+                           [seq](const auto& entry) {
+                             return entry.first == seq;
+                           });
+    if (it == sealed_.end()) {
+      return util::Status::NotFound(
+          seq > seq_ ? "WAL segment " + std::to_string(seq) +
+                           " does not exist yet (current is " +
+                           std::to_string(seq_) + ")"
+                     : "WAL segment " + std::to_string(seq) +
+                           " was pruned by a checkpoint; the follower "
+                           "must re-bootstrap from segment " +
+                           std::to_string(sealed_.empty()
+                                              ? seq_
+                                              : sealed_.front().first));
+    }
+    *sealed = true;
+    *flushed_size = it->second;
+    std::string path = SegmentPath(base_path_, seq);
+    fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return util::Status::IoError(ErrnoMessage("open", path));
+    close_fd = true;
+  }
+  if (offset < *flushed_size && max_bytes > 0) {
+    uint64_t want = std::min(max_bytes, *flushed_size - offset);
+    chunk->resize(want);
+    size_t got = 0;
+    while (got < want) {
+      ssize_t n = ::pread(fd, chunk->data() + got, want - got,
+                          static_cast<off_t>(offset + got));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        util::Status err = util::Status::IoError(
+            ErrnoMessage("pread", SegmentPath(base_path_, seq)));
+        if (close_fd) ::close(fd);
+        return err;
+      }
+      if (n == 0) break;  // raced a concurrent size change; serve less
+      got += static_cast<size_t>(n);
+    }
+    chunk->resize(got);
+  }
+  if (close_fd) ::close(fd);
+  return util::Status::Ok();
+}
+
 util::Status SegmentedWal::PruneBelowLocked(uint64_t lsn) {
-  uint64_t min_seq = LsnSegment(lsn);
+  uint64_t min_seq = std::min(LsnSegment(lsn), LsnSegment(retain_lsn_));
   bool removed = false;
   while (!sealed_.empty() && sealed_.front().first < min_seq) {
     std::string path = SegmentPath(base_path_, sealed_.front().first);

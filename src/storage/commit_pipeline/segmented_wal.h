@@ -113,6 +113,31 @@ class SegmentedWal {
   /// Paths of the live segment files, oldest first (for backups).
   std::vector<std::string> SegmentPaths() const;
 
+  /// Retention floor for checkpoint pruning: segments at or above
+  /// LsnSegment(lsn) survive every Checkpoint() even when the recovery
+  /// start has moved past them. A WAL shipper parks the floor at the
+  /// minimum LSN its followers still need (0 = retain everything);
+  /// kNoRetainLsn (the default) disables the floor entirely.
+  void SetRetainLsn(uint64_t lsn);
+  static constexpr uint64_t kNoRetainLsn = ~0ull;
+
+  /// Sequence number of the oldest live segment (the current one when
+  /// nothing is sealed). A follower asking below this has been pruned
+  /// away and must re-bootstrap.
+  uint64_t OldestSeq() const;
+
+  /// Reads up to `max_bytes` of *flushed* bytes from segment `seq`
+  /// starting at `offset`, for the replication shipper. `*sealed`
+  /// reports whether the segment is complete (a follower at
+  /// offset == *flushed_size of a sealed segment advances to seq + 1);
+  /// `*flushed_size` is the segment's current flushed size. Buffered
+  /// (unsynced) bytes are never served: every acknowledged commit has
+  /// been synced, so followers can always reach acknowledged data.
+  /// NotFound once `seq` has been pruned from the chain.
+  util::Status ReadSegment(uint64_t seq, uint64_t offset, uint64_t max_bytes,
+                           std::string* chunk, bool* sealed,
+                           uint64_t* flushed_size) const;
+
   uint64_t segment_count() const;
   uint64_t records_appended() const;
   uint64_t syncs() const;
@@ -151,6 +176,8 @@ class SegmentedWal {
   uint64_t sealed_bytes_ HM_GUARDED_BY(mu_) = 0;
   uint64_t records_appended_ HM_GUARDED_BY(mu_) = 0;
   uint64_t syncs_ HM_GUARDED_BY(mu_) = 0;
+  /// Pruning floor; see SetRetainLsn().
+  uint64_t retain_lsn_ HM_GUARDED_BY(mu_) = kNoRetainLsn;
 };
 
 }  // namespace hm::storage

@@ -150,15 +150,18 @@ uint64_t Snapshot::counter(std::string_view name) const {
 }
 
 void Snapshot::PrintTo(std::ostream& os) const {
-  // Zero-valued metrics are elided: the server pre-interns all three
-  // metrics for every known opcode, and the never-hit ones are noise
-  // in a live `hmbench stats` view.
+  // Zero-valued counters and histograms are elided: the server
+  // pre-interns all three metrics for every known opcode, and the
+  // never-hit ones are noise in a live `hmbench stats` view. Gauges
+  // always print — a gauge's zero is a reading, not an absence
+  // (replication.lag_bytes 0 means "caught up", and hiding it would
+  // make a healthy follower look like one with no replication at all).
   size_t width = 0;
   for (const auto& [name, value] : counters) {
     if (value != 0) width = std::max(width, name.size());
   }
   for (const auto& [name, value] : gauges) {
-    if (value != 0) width = std::max(width, name.size());
+    width = std::max(width, name.size());
   }
   for (const auto& [name, data] : histograms) {
     if (data.count != 0) width = std::max(width, name.size());
@@ -169,7 +172,6 @@ void Snapshot::PrintTo(std::ostream& os) const {
        << name << value << "\n";
   }
   for (const auto& [name, value] : gauges) {
-    if (value == 0) continue;
     os << "gauge    " << std::left << std::setw(static_cast<int>(width) + 2)
        << name << value << "\n";
   }

@@ -32,6 +32,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kReadOnly:
+      return "ReadOnly";
+    case StatusCode::kFencedOff:
+      return "FencedOff";
   }
   return "Unknown";
 }

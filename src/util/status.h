@@ -25,6 +25,8 @@ enum class StatusCode : uint8_t {
   kUnavailable = 11,       // transient transport failure; a retry may succeed
   kDeadlineExceeded = 12,  // per-call deadline elapsed before completion
   kOverloaded = 13,        // server shed the request under load
+  kReadOnly = 14,          // replica refused a mutation; write to the primary
+  kFencedOff = 15,         // a newer epoch fenced this primary; do not retry
 };
 
 /// Human-readable name for a status code ("NotFound", ...).
@@ -83,6 +85,12 @@ class [[nodiscard]] Status {
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
   }
+  static Status ReadOnly(std::string msg) {
+    return Status(StatusCode::kReadOnly, std::move(msg));
+  }
+  static Status FencedOff(std::string msg) {
+    return Status(StatusCode::kFencedOff, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -96,6 +104,8 @@ class [[nodiscard]] Status {
   bool IsPermissionDenied() const {
     return code_ == StatusCode::kPermissionDenied;
   }
+  bool IsReadOnly() const { return code_ == StatusCode::kReadOnly; }
+  bool IsFencedOff() const { return code_ == StatusCode::kFencedOff; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -62,6 +62,65 @@ enum class StatusCode : uint8_t {
 """
 
 
+# A v6-level fixture for the replication lock-discipline rule: the
+# pull-path opcodes sit in IsReadOnlyOp(), promote/fence do not.
+V6_WIRE_H = """\
+#include <cstdint>
+
+inline constexpr uint8_t kWireVersion = 6;
+inline constexpr uint8_t kMinWireVersion = 1;
+
+enum class OpCode : uint8_t {
+  kPing = 1,
+  // ---- v2: batching revision
+  kBatch = 2,
+  // ---- v3: deadline revision
+  kCancel = 3,
+  // ---- v4: reconnect revision
+  kReset = 4,
+  // ---- v5: cluster revision
+  kShardInfo = 5,
+  // ---- v6: replication
+  kReplSubscribe = 6,
+  kReplSegment = 7,
+  kReplStatus = 8,
+  kReplPromote = 9,
+  kReplFence = 10,
+};
+"""
+
+V6_WIRE_CC = """\
+const char* OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kPing: return "ping";
+    case OpCode::kBatch: return "batch";
+    case OpCode::kCancel: return "cancel";
+    case OpCode::kReset: return "reset";
+    case OpCode::kShardInfo: return "shard_info";
+    case OpCode::kReplSubscribe: return "repl_subscribe";
+    case OpCode::kReplSegment: return "repl_segment";
+    case OpCode::kReplStatus: return "repl_status";
+    case OpCode::kReplPromote: return "repl_promote";
+    case OpCode::kReplFence: return "repl_fence";
+  }
+  return "unknown";
+}
+
+bool IsReadOnlyOp(OpCode op) {
+  switch (op) {
+    case OpCode::kPing:
+    case OpCode::kShardInfo:
+    case OpCode::kReplSubscribe:
+    case OpCode::kReplSegment:
+    case OpCode::kReplStatus:
+      return true;
+    default:
+      return false;
+  }
+}
+"""
+
+
 def run_checker(wire_h, wire_cc, status_h=None):
     """Writes the fixture texts to a temp dir and runs the checker."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -203,6 +262,45 @@ class CheckWireProtocolTest(unittest.TestCase):
         )
         result = run_checker(GOOD_WIRE_H, wire_cc)
         self.assert_rejects(result, "stale entry kGone")
+
+    # ---- rule 6: v6 replication lock discipline ----
+
+    def test_v6_conforming_fixture_passes(self):
+        result = run_checker(V6_WIRE_H, V6_WIRE_CC)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_missing_replication_opcode_rejected(self):
+        wire_h = V6_WIRE_H.replace(
+            "kReplFence = 10,", "kReplFence2 = 10,"
+        )
+        wire_cc = V6_WIRE_CC.replace("kReplFence:", "kReplFence2:")
+        result = run_checker(wire_h, wire_cc)
+        self.assert_rejects(result, "kReplFence is missing")
+
+    def test_pull_opcode_outside_read_only_set_rejected(self):
+        wire_cc = V6_WIRE_CC.replace(
+            "    case OpCode::kReplSegment:\n", "", 1
+        )
+        # Only strip the IsReadOnlyOp case, not the OpCodeName entry.
+        self.assertIn('case OpCode::kReplSegment: return "repl_segment";',
+                      wire_cc)
+        result = run_checker(V6_WIRE_H, wire_cc)
+        self.assert_rejects(result, "kReplSegment is missing from IsReadOnlyOp")
+
+    def test_promote_inside_read_only_set_rejected(self):
+        wire_cc = V6_WIRE_CC.replace(
+            "    case OpCode::kReplStatus:\n",
+            "    case OpCode::kReplStatus:\n"
+            "    case OpCode::kReplPromote:\n",
+        )
+        result = run_checker(V6_WIRE_H, wire_cc)
+        self.assert_rejects(result, "kReplPromote must not be in IsReadOnlyOp")
+
+    def test_pre_v6_protocol_skips_replication_rule(self):
+        # A v2 protocol has no replication opcodes and no IsReadOnlyOp;
+        # the rule must not fire retroactively.
+        result = run_checker(GOOD_WIRE_H, GOOD_WIRE_CC)
+        self.assertEqual(result.returncode, 0, result.stderr)
 
     # ---- rule 4: status code numbering ----
 

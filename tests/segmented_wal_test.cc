@@ -10,6 +10,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <string>
 #include <vector>
 
@@ -305,6 +306,148 @@ TEST_F(SegmentedWalTest, NextLsnBoundsAppends) {
     EXPECT_GE(*lsn, bound);
     EXPECT_LT(*lsn, wal.NextLsn());
   }
+}
+
+TEST_F(SegmentedWalTest, RetainFloorOutlivesCheckpointPruning) {
+  SegmentedWalOptions options;
+  options.segment_bytes = FrameBytes(32);  // one frame per segment
+  SegmentedWal wal;
+  ASSERT_TRUE(wal.Open(base_, options).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        wal.Append(WalRecordType::kUpdate, 1, std::string(32, 'p')).ok());
+  }
+  ASSERT_TRUE(wal.Sync().ok());
+  ASSERT_EQ(wal.segment_count(), 4u);
+
+  // A subscriber still needs segment 2 onward. A full checkpoint would
+  // otherwise collapse the chain to the tail; the retain floor must
+  // cap the pruning.
+  wal.SetRetainLsn(SegmentedWal::MakeLsn(2, 0));
+  ASSERT_TRUE(wal.Checkpoint().ok());
+  EXPECT_EQ(wal.OldestSeq(), 2u);
+  EXPECT_FALSE(std::filesystem::exists(Segment(1)));
+  EXPECT_TRUE(std::filesystem::exists(Segment(2)));
+  EXPECT_TRUE(std::filesystem::exists(Segment(3)));
+
+  // Below the floor: a typed NotFound telling the follower to re-seed,
+  // not an IO error from a vanished file.
+  std::string chunk;
+  bool sealed = false;
+  uint64_t flushed = 0;
+  util::Status gone = wal.ReadSegment(1, 0, 1 << 16, &chunk, &sealed,
+                                      &flushed);
+  EXPECT_TRUE(gone.IsNotFound()) << gone.ToString();
+  // At the floor: readable in full.
+  ASSERT_TRUE(
+      wal.ReadSegment(2, 0, 1 << 16, &chunk, &sealed, &flushed).ok());
+  EXPECT_TRUE(sealed);
+  EXPECT_EQ(chunk.size(), FrameBytes(32));
+
+  // Raising the floor re-arms pruning.
+  wal.SetRetainLsn(SegmentedWal::kNoRetainLsn);
+  ASSERT_TRUE(wal.Checkpoint().ok());
+  EXPECT_FALSE(std::filesystem::exists(Segment(2)));
+}
+
+TEST_F(SegmentedWalTest, ReadSegmentServesFlushedBytesOnly) {
+  SegmentedWal wal;
+  ASSERT_TRUE(wal.Open(base_).ok());
+  ASSERT_TRUE(wal.Append(WalRecordType::kUpdate, 1, "durable").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  ASSERT_TRUE(wal.Append(WalRecordType::kUpdate, 1, "buffered").ok());
+
+  std::string chunk;
+  bool sealed = true;
+  uint64_t flushed = 0;
+  ASSERT_TRUE(
+      wal.ReadSegment(1, 0, 1 << 16, &chunk, &sealed, &flushed).ok());
+  EXPECT_FALSE(sealed);
+  // Only the synced frame is visible; the buffered one is not yet
+  // durable and must not be shipped (an acked LSN is a durable LSN).
+  EXPECT_EQ(flushed, FrameBytes(7));
+  EXPECT_EQ(chunk.size(), FrameBytes(7));
+
+  ASSERT_TRUE(wal.Sync().ok());
+  ASSERT_TRUE(
+      wal.ReadSegment(1, flushed, 1 << 16, &chunk, &sealed, &flushed).ok());
+  EXPECT_EQ(flushed, FrameBytes(7) + FrameBytes(8));
+  EXPECT_EQ(chunk.size(), FrameBytes(8));
+}
+
+TEST_F(SegmentedWalTest, PruningRacingRolloverNeverDropsRetainedSegment) {
+  // A shipper thread walks the chain under the retain-floor protocol
+  // (floor at its cursor segment, advance on sealed-and-drained) while
+  // the writer appends through rollovers and checkpoints aggressively.
+  // The invariant under test: a checkpoint racing an in-flight
+  // rollover never unlinks a segment the reader's floor still pins —
+  // the reader must never see NotFound at or above its floor.
+  SegmentedWalOptions options;
+  options.segment_bytes = 2 * FrameBytes(64);
+  SegmentedWal wal;
+  ASSERT_TRUE(wal.Open(base_, options).ok());
+  wal.SetRetainLsn(SegmentedWal::MakeLsn(1, 0));
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<uint64_t> reader_bytes{0};
+  std::atomic<bool> reader_failed{false};
+  std::string reader_error;
+
+  std::thread reader([&] {
+    uint64_t seq = 1;
+    uint64_t offset = 0;
+    std::string chunk;
+    bool sealed = false;
+    uint64_t flushed = 0;
+    // Keep draining until the writer is done AND the tail is drained.
+    while (true) {
+      util::Status status =
+          wal.ReadSegment(seq, offset, 4096, &chunk, &sealed, &flushed);
+      if (!status.ok()) {
+        reader_error = status.ToString();
+        reader_failed.store(true);
+        return;
+      }
+      if (!chunk.empty()) {
+        offset += chunk.size();
+        reader_bytes.fetch_add(chunk.size());
+        continue;
+      }
+      if (sealed && offset == flushed) {
+        ++seq;
+        offset = 0;
+        // Floor moves forward *before* the old segment is released —
+        // the pruning window this test exists to exercise.
+        wal.SetRetainLsn(SegmentedWal::MakeLsn(seq, 0));
+        continue;
+      }
+      if (writer_done.load()) return;
+      std::this_thread::yield();
+    }
+  });
+
+  uint64_t written = 0;
+  for (int i = 0; i < 400; ++i) {
+    auto lsn = wal.Append(WalRecordType::kUpdate, 1, std::string(64, 'w'));
+    ASSERT_TRUE(lsn.ok());
+    written += FrameBytes(64);
+    if (i % 8 == 7) {
+      ASSERT_TRUE(wal.Sync().ok());
+      // Full checkpoint: prunes everything the reader's floor allows.
+      ASSERT_TRUE(wal.Checkpoint().ok());
+      written += FrameBytes(8);  // the checkpoint record itself
+    }
+  }
+  ASSERT_TRUE(wal.Sync().ok());
+  writer_done.store(true);
+  reader.join();
+
+  ASSERT_FALSE(reader_failed.load()) << reader_error;
+  // The reader saw every flushed byte up to where it stopped; nothing
+  // it still needed was pruned under it. (It may stop mid-tail if the
+  // writer finished first — but it must have crossed every sealed
+  // segment, whose bytes dominate the total.)
+  EXPECT_GT(reader_bytes.load(), written / 2);
 }
 
 }  // namespace

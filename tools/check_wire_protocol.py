@@ -22,6 +22,16 @@ evolves under three rules this check enforces mechanically:
      lower_snake_case name — these spell the per-opcode metric names,
      so a missing or duplicated entry silently merges metrics.
 
+From v6 on (the replication revision) one more rule applies:
+
+  6. Replication lock discipline: the follower pull path
+     (kReplSubscribe / kReplSegment / kReplStatus) must be listed in
+     IsReadOnlyOp() — those opcodes run lock-bypassed, or every
+     follower fetch would stall behind writers and a semi-sync commit
+     could deadlock waiting for the ack it is blocking. Conversely
+     kReplPromote / kReplFence must NOT be read-only: the promotion
+     and fencing transitions rely on the exclusive dispatch section.
+
 With a third argument (src/util/status.h) the same discipline is
 applied to StatusCode, which rides the wire in every response frame:
 
@@ -107,6 +117,49 @@ def parse_opcode_names(source_text):
             match.group(1),
         )
     )
+
+
+REPL_PULL_OPS = ("kReplSubscribe", "kReplSegment", "kReplStatus")
+REPL_EXCLUSIVE_OPS = ("kReplPromote", "kReplFence")
+
+
+def check_replication_gate(source_text, opcodes, wire_version, errors):
+    """Rule 6: v6 replication opcodes exist and obey the lock split."""
+    if wire_version < 6:
+        return
+    enum_names = {name for name, _, _ in opcodes}
+    for op in REPL_PULL_OPS + REPL_EXCLUSIVE_OPS:
+        if op not in enum_names:
+            errors.append(
+                f"wire.h: kWireVersion is {wire_version} but the v6 "
+                f"replication opcode {op} is missing from the enum"
+            )
+    match = re.search(
+        r"IsReadOnlyOp\s*\(OpCode\s+op\)\s*\{(.*?)\n\}",
+        source_text,
+        re.DOTALL,
+    )
+    if not match:
+        errors.append("wire.cc: cannot find IsReadOnlyOp(OpCode op)")
+        return
+    read_only = set(
+        re.findall(r"case\s+OpCode::(k\w+)\s*:", match.group(1))
+    )
+    for op in REPL_PULL_OPS:
+        if op in enum_names and op not in read_only:
+            errors.append(
+                f"wire.cc: {op} is missing from IsReadOnlyOp(); the "
+                f"replication pull path must bypass the dispatch lock "
+                f"(a semi-sync commit holds it while waiting for the "
+                f"very ack this opcode carries)"
+            )
+    for op in REPL_EXCLUSIVE_OPS:
+        if op in enum_names and op in read_only:
+            errors.append(
+                f"wire.cc: {op} must not be in IsReadOnlyOp(); "
+                f"promotion and fencing rely on the exclusive "
+                f"dispatch section"
+            )
 
 
 def parse_status_enum(status_text):
@@ -277,6 +330,9 @@ def main():
                 f"wire.cc: OpCodeName() has stale entry {enum_name} not "
                 f"present in the OpCode enum"
             )
+
+    # Rule 6: v6 replication opcodes and their lock discipline.
+    check_replication_gate(source_text, opcodes, wire_version, errors)
 
     # Rules 4–5: status code numbering and decode coverage.
     status_count = 0

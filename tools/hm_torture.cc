@@ -27,23 +27,56 @@
 // rounds keep their directory for inspection). Requires a build with
 // failpoints compiled in (-DHM_FAILPOINTS=on, or any non-Release
 // 'auto' build).
+//
+// Replication drills (--drill=..., DESIGN.md §16) run a different
+// torture: each round spawns a real replicated fleet — one `hmbench
+// serve --replicate` primary plus two `--replica-of` followers, as
+// separate processes — builds a database and runs an edit workload
+// through the replica-aware client while injecting one seeded fault:
+//
+//   kill-primary   SIGKILL the primary mid-workload; the client must
+//                  fail over (promote the most-replayed follower) and
+//                  finish every edit. Afterwards a resurrected old
+//                  primary must end up fenced (kFencedOff on writes).
+//   kill-follower  SIGKILL one follower; writes continue undisturbed,
+//                  and the restarted follower must catch back up from
+//                  its mirror and serve every acked edit.
+//   partition      SIGSTOP the primary (alive but unreachable) —
+//                  same obligations as kill-primary, plus the
+//                  un-stopped primary must be fenced on first contact.
+//
+// The drill oracle: every edit the client saw Commit() succeed for is
+// readable with exactly its committed text after the fault, and fsck
+// is clean on the node serving as primary at the end. Drills need
+// --hmbench=PATH to the serve binary and no failpoint support.
+//
+//   hm_torture --drill=kill-primary --hmbench=./hmbench [--rounds=25]
+//              [--seed=ci] [--dir=/tmp/hm_drill] [--levels=2]
+//              [--edits=30]
 
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/fsck.h"
 #include "hypermodel/backends/oodb_store.h"
+#include "hypermodel/backends/remote_store.h"
+#include "hypermodel/backends/replicated_store.h"
 #include "hypermodel/generator.h"
 #include "util/failpoint.h"
 #include "util/random.h"
@@ -107,6 +140,8 @@ struct Args {
   int levels = 3;
   int edits = 40;
   bool keep = false;
+  std::string drill;    // empty = crash torture; else a drill name
+  std::string hmbench;  // path to the hmbench binary (drills only)
 };
 
 /// FNV-1a so `--seed=ci` and friends map to a stable uint64.
@@ -130,7 +165,11 @@ bool ParseFlag(const std::string& arg, const std::string& name,
 void Usage() {
   std::fprintf(stderr,
                "usage: hm_torture [--rounds=N] [--seed=STR] [--dir=PATH]\n"
-               "                  [--levels=N] [--edits=N] [--keep]\n");
+               "                  [--levels=N] [--edits=N] [--keep]\n"
+               "       hm_torture --drill=kill-primary|kill-follower|"
+               "partition\n"
+               "                  --hmbench=PATH [--rounds=N] [--seed=STR]\n"
+               "                  [--dir=PATH] [--levels=N] [--edits=N]\n");
 }
 
 /// Appends one line to the oracle log and fsyncs it. The oracle is the
@@ -148,6 +187,343 @@ bool OracleWrite(int fd, const std::string& line) {
 }
 
 std::string EditText(int i) { return "torture-edit-" + std::to_string(i); }
+
+// --- Replication drills ----------------------------------------------
+
+/// One `hmbench serve` child process.
+struct ServeProc {
+  pid_t pid = 0;
+  int out_fd = -1;  // its stdout; the announce line is read from here
+  std::string addr;
+  uint16_t port = 0;
+  std::string dir;
+};
+
+/// Reads one '\n'-terminated line (the announce line) from fd.
+bool ReadAnnounceLine(int fd, std::string* line) {
+  line->clear();
+  char c = 0;
+  while (true) {
+    ssize_t n = ::read(fd, &c, 1);
+    if (n <= 0) return false;
+    if (c == '\n') return true;
+    line->push_back(c);
+    if (line->size() > 256) return false;
+  }
+}
+
+/// Forks one serve process. `port` is "0" for ephemeral or a specific
+/// port (a restarted node must come back on its published address).
+/// `role_flag` is "--replicate" or "--replica-of=host:port".
+bool SpawnServe(const Args& args, const std::string& dir,
+                const std::string& port, const std::string& role_flag,
+                ServeProc* out) {
+  int fds[2];
+  if (::pipe(fds) != 0) return false;
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[1]);
+    std::string dir_flag = "--dir=" + dir;
+    std::string port_flag = "--port=" + port;
+    ::execl(args.hmbench.c_str(), args.hmbench.c_str(), "serve",
+            "--backend=oodb", "--host=127.0.0.1", dir_flag.c_str(),
+            port_flag.c_str(), "--workers=8", "--semisync-ms=2000",
+            role_flag.c_str(), static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+  std::string line;
+  if (!ReadAnnounceLine(fds[0], &line) ||
+      line.rfind("127.0.0.1:", 0) != 0) {
+    ::close(fds[0]);
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return false;
+  }
+  out->pid = pid;
+  out->out_fd = fds[0];
+  out->addr = line;
+  out->port = static_cast<uint16_t>(
+      std::atoi(line.substr(line.rfind(':') + 1).c_str()));
+  out->dir = dir;
+  return true;
+}
+
+void KillServe(ServeProc* proc, int sig) {
+  if (proc->pid <= 0) return;
+  ::kill(proc->pid, sig);
+  if (sig == SIGKILL || sig == SIGTERM) {
+    ::waitpid(proc->pid, nullptr, 0);
+    if (proc->out_fd >= 0) ::close(proc->out_fd);
+    proc->out_fd = -1;
+    proc->pid = 0;
+  }
+}
+
+/// Polls `pred` until it holds or `timeout_ms` elapses.
+bool DrillWaitFor(const std::function<bool()>& pred, int64_t timeout_ms) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return pred();
+}
+
+std::unique_ptr<hm::backends::RemoteStore> DirectClient(uint16_t port) {
+  hm::backends::RemoteOptions options;
+  options.host = "127.0.0.1";
+  options.port = port;
+  options.deadline_ms = 2000;
+  options.max_retries = 1;
+  auto store = hm::backends::RemoteStore::Connect(options);
+  return store.ok() ? std::move(*store) : nullptr;
+}
+
+/// One drill round. Returns "" on success, else the failure text.
+std::string RunDrillRound(const Args& args, hm::util::Rng& rng,
+                          const std::string& dir) {
+  using hm::backends::RemoteStore;
+  using hm::backends::ReplicatedStore;
+
+  ServeProc primary, f1, f2;
+  std::vector<ServeProc*> fleet = {&primary, &f1, &f2};
+  auto cleanup = [&] {
+    for (ServeProc* proc : fleet) {
+      if (proc->pid > 0) ::kill(proc->pid, SIGCONT);  // undo SIGSTOP
+      KillServe(proc, SIGKILL);
+    }
+  };
+
+  if (!SpawnServe(args, dir + "/p", "0", "--replicate", &primary)) {
+    return "failed to spawn primary";
+  }
+  std::string replica_flag = "--replica-of=" + primary.addr;
+  if (!SpawnServe(args, dir + "/f1", "0", replica_flag, &f1) ||
+      !SpawnServe(args, dir + "/f2", "0", replica_flag, &f2)) {
+    cleanup();
+    return "failed to spawn followers";
+  }
+
+  hm::backends::ReplicatedOptions options;
+  for (ServeProc* proc : fleet) {
+    hm::backends::RemoteOptions peer;
+    peer.host = "127.0.0.1";
+    peer.port = proc->port;
+    peer.deadline_ms = 2000;  // a SIGSTOPped primary must fail fast
+    peer.max_retries = 1;
+    options.peers.push_back(peer);
+  }
+  auto client = ReplicatedStore::Connect(options);
+  if (!client.ok()) {
+    cleanup();
+    return "client connect: " + client.status().ToString();
+  }
+
+  GeneratorConfig config;
+  config.levels = args.levels;
+  auto db = hm::Generator(config).Build(client->get(), nullptr);
+  if (!db.ok()) {
+    cleanup();
+    return "build: " + db.status().ToString();
+  }
+  const std::vector<NodeRef>& texts = db->text_nodes;
+
+  // The fault moment is seeded into the middle half of the workload so
+  // every round exercises both a running fleet and a post-fault one.
+  const int kill_at = static_cast<int>(
+      rng.UniformInt(args.edits / 4, 3 * args.edits / 4));
+
+  // The acked-edit ledger: ref -> last edit index whose Commit()
+  // returned Ok to the client. That return is the durability promise
+  // the drill holds the fleet to across the fault.
+  std::map<NodeRef, int> ledger;
+  for (int i = 0; i < args.edits; ++i) {
+    if (i == kill_at) {
+      if (args.drill == "kill-primary") {
+        KillServe(&primary, SIGKILL);
+      } else if (args.drill == "kill-follower") {
+        KillServe(&f1, SIGKILL);
+      } else {  // partition: alive but unreachable
+        ::kill(primary.pid, SIGSTOP);
+      }
+    }
+    NodeRef ref = texts[static_cast<size_t>(i) % texts.size()];
+    // Retry until the edit commits: after a primary loss the first
+    // attempt surfaces kUnavailable (its fate is unknown) and the next
+    // one runs the client's failover sweep. Re-sending is safe — the
+    // edit sets an absolute text, so a double apply is idempotent.
+    bool committed = DrillWaitFor(
+        [&] {
+          hm::util::Status status = (*client)->Begin();
+          if (status.ok()) status = (*client)->SetText(ref, EditText(i));
+          if (status.ok()) status = (*client)->Commit();
+          if (!status.ok()) (void)(*client)->Abort();
+          return status.ok();
+        },
+        30000);
+    if (!committed) {
+      cleanup();
+      return "edit " + std::to_string(i) + " never committed after fault";
+    }
+    ledger[ref] = i;
+  }
+
+  // Oracle part 1: every acked edit reads back with its committed text
+  // through the (possibly failed-over) client.
+  for (const auto& [ref, index] : ledger) {
+    auto text = (*client)->GetText(ref);
+    if (!text.ok()) {
+      cleanup();
+      return "acked edit " + std::to_string(index) +
+             " unreadable: " + text.status().ToString();
+    }
+    if (*text != EditText(index)) {
+      cleanup();
+      return "acked edit lost on node " + std::to_string(ref) +
+             ": expected \"" + EditText(index) + "\", got \"" + *text + "\"";
+    }
+  }
+
+  // Oracle part 2: fsck is clean on whichever node serves as primary
+  // now (the promoted follower for kill-primary/partition).
+  {
+    uint16_t port = options.peers[(*client)->primary_index()].port;
+    auto direct = DirectClient(port);
+    if (direct == nullptr) {
+      cleanup();
+      return "cannot reach acting primary for fsck";
+    }
+    hm::analysis::FsckOptions fsck_options;
+    fsck_options.config = config;
+    auto report = hm::analysis::RunFsck(direct.get(), fsck_options);
+    if (!report.ok()) {
+      cleanup();
+      return "fsck did not run: " + report.status().ToString();
+    }
+    if (!report->ok()) {
+      cleanup();
+      return "fsck found " + std::to_string(report->violations.size()) +
+             " violations on acting primary; first: " +
+             report->violations.front().ToString();
+    }
+  }
+
+  std::string failure;
+  if (args.drill == "kill-follower") {
+    // The restarted follower (same directory, same published port)
+    // must rebuild from its mirror, catch up, and serve every acked
+    // edit itself.
+    if (!SpawnServe(args, f1.dir, std::to_string(f1.port), replica_flag,
+                    &f1)) {
+      cleanup();
+      return "failed to restart follower";
+    }
+    auto on_follower = DirectClient(f1.port);
+    if (on_follower == nullptr) {
+      cleanup();
+      return "cannot reach restarted follower";
+    }
+    // Catch-up is judged by content, not by LSN: the follower's
+    // replayed LSN stops at the last applied *commit*, while the
+    // primary's head keeps advancing over non-commit records
+    // (checkpoint barriers, rollovers), so LSN equality is
+    // unreachable once the workload stops.
+    if (!DrillWaitFor(
+            [&] {
+              for (const auto& [ref, index] : ledger) {
+                auto text = on_follower->GetText(ref);
+                if (!text.ok() || *text != EditText(index)) return false;
+              }
+              return true;
+            },
+            30000)) {
+      failure = "restarted follower never caught up to the acked edits";
+    }
+  } else {
+    // kill-primary / partition: the old primary comes back (restart in
+    // its directory on its published port, or SIGCONT) still believing
+    // it is a primary at the old epoch. The client knows the newer
+    // epoch and must fence it on contact; from then on the node
+    // answers writes kFencedOff — no split brain for any client that
+    // has seen the new epoch.
+    if (args.drill == "kill-primary") {
+      if (!SpawnServe(args, primary.dir, std::to_string(primary.port),
+                      "--replicate", &primary)) {
+        cleanup();
+        return "failed to resurrect old primary";
+      }
+    } else {
+      ::kill(primary.pid, SIGCONT);
+    }
+    bool fenced = DrillWaitFor(
+        [&] {
+          // Client reads revive downed peers periodically; each
+          // revival probe carries the fence.
+          for (int i = 0; i < 40; ++i) {
+            (void)(*client)->LookupUnique(1);
+          }
+          auto zombie = DirectClient(primary.port);
+          if (zombie == nullptr) return false;
+          hm::util::Status denied = zombie->Begin();
+          if (denied.ok()) (void)zombie->Abort();
+          return denied.IsFencedOff();
+        },
+        20000);
+    if (!fenced) failure = "resurrected old primary was never fenced";
+  }
+
+  cleanup();
+  return failure;
+}
+
+int RunDrills(const Args& args) {
+  if (args.drill != "kill-primary" && args.drill != "kill-follower" &&
+      args.drill != "partition") {
+    std::fprintf(stderr,
+                 "hm_torture: unknown drill '%s' (kill-primary, "
+                 "kill-follower, partition)\n",
+                 args.drill.c_str());
+    return 2;
+  }
+  if (args.hmbench.empty()) {
+    std::fprintf(stderr, "hm_torture: --drill needs --hmbench=PATH\n");
+    return 2;
+  }
+  // A dead serve child must never take the drill down with SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  hm::util::Rng rng(HashSeed(args.seed));
+  std::filesystem::create_directories(args.dir);
+
+  int failures = 0;
+  for (int round = 0; round < args.rounds; ++round) {
+    std::string dir = args.dir + "/round-" + std::to_string(round);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    std::string failure = RunDrillRound(args, rng, dir);
+    std::printf("round %2d  drill=%-13s %s\n", round, args.drill.c_str(),
+                failure.empty() ? "OK" : ("FAIL: " + failure).c_str());
+    std::fflush(stdout);
+    if (!failure.empty()) {
+      ++failures;
+      std::printf("         kept %s for inspection\n", dir.c_str());
+    } else if (!args.keep) {
+      std::filesystem::remove_all(dir);
+    }
+  }
+  std::printf("hm_torture: %d/%d %s drills green\n",
+              args.rounds - failures, args.rounds, args.drill.c_str());
+  return failures == 0 ? 0 : 1;
+}
 
 /// The child's whole life. Never returns; exit codes:
 ///   0  workload finished (the failpoint never fired),
@@ -302,7 +678,15 @@ std::string VerifyRound(const std::string& dir, const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (!hm::util::kFailpointsCompiled) {
+  bool drill_requested = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--drill=", 0) == 0) {
+      drill_requested = true;
+    }
+  }
+  // Replication drills fault real processes with signals, so they run
+  // fine in builds without failpoint support.
+  if (!drill_requested && !hm::util::kFailpointsCompiled) {
     std::fprintf(stderr,
                  "hm_torture: failpoints are compiled out of this build; "
                  "configure with -DHM_FAILPOINTS=on\n");
@@ -323,6 +707,10 @@ int main(int argc, char** argv) {
       args.levels = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "edits", &value)) {
       args.edits = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "drill", &value)) {
+      args.drill = value;
+    } else if (ParseFlag(arg, "hmbench", &value)) {
+      args.hmbench = value;
     } else if (arg == "--keep") {
       args.keep = true;
     } else if (arg == "--help") {
@@ -339,6 +727,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "hm_torture: rounds/levels/edits out of range\n");
     return 2;
   }
+  if (!args.drill.empty()) return RunDrills(args);
 
   hm::util::Rng rng(HashSeed(args.seed));
   std::filesystem::create_directories(args.dir);

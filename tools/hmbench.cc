@@ -116,10 +116,12 @@
 #include "hypermodel/backends/oodb_store.h"
 #include "hypermodel/backends/rel_store.h"
 #include "hypermodel/backends/remote_store.h"
+#include "hypermodel/backends/replicated_store.h"
 #include "hypermodel/backends/sharded_store.h"
 #include "hypermodel/driver.h"
 #include "hypermodel/generator.h"
 #include "hypermodel/report.h"
+#include "replication/coordinator.h"
 #include "server/server.h"
 #include "telemetry/metrics.h"
 
@@ -163,7 +165,11 @@ struct Args {
       "                      (default: spawn an in-process loopback\n"
       "                      server over a mem backend); the shard\n"
       "                      backend takes its fleet address list\n"
-      "                      (shard://host:port,host:port,...) here\n"
+      "                      (shard://host:port,host:port,...) here;\n"
+      "                      a semicolon list (primary;replica;...)\n"
+      "                      selects the replica-aware client, which\n"
+      "                      fans reads over the replicas and fails\n"
+      "                      over when the primary dies\n"
       "  --shards=N          fleet size when the shard backend\n"
       "                      self-hosts an in-process loopback fleet\n"
       "                      (default 4)\n"
@@ -192,9 +198,19 @@ struct Args {
       "  --group-commit-us=N group-commit window for oodb/rel commits\n"
       "                      (default 0 = fsync per commit)\n"
       "  --checkpoint-ms=N   oodb background fuzzy-checkpoint interval\n"
-      "                      (default 0 = checkpoint only at shutdown)\n"
+      "                      (default 0 = checkpoint only at shutdown;\n"
+      "                      forced to 0 on replicas — see DESIGN.md §16)\n"
+      "  --replicate         serve as a replication primary: ship the\n"
+      "                      WAL to subscribing replicas (oodb only)\n"
+      "  --replica-of=H:P    serve as a read-only replica of the\n"
+      "                      primary at H:P (oodb only); writes answer\n"
+      "                      kReadOnly, reads serve the replayed state\n"
+      "  --semisync-ms=N     how long a primary commit waits for a\n"
+      "                      replica ack before degrading to async\n"
+      "                      (default 5000)\n"
       "\n"
-      "hmbench cluster — launch and supervise an N-shard serve fleet\n\n"
+      "hmbench cluster — launch and supervise an N-shard serve fleet\n"
+      "(a crashed shard is restarted in its slot on the same port)\n\n"
       "  --shards=N          fleet size (default 4)\n"
       "  --backend=NAME      backend each shard serves (default mem)\n"
       "  --dir=PATH          root directory (shard k uses PATH/shardK)\n"
@@ -345,6 +361,21 @@ std::unique_ptr<hm::HyperStore> OpenBackend(const Args& args,
     CheckOk(store.status());
     return std::move(*store);
   }
+  if (name.starts_with("remote://") ||
+      ((name == "remote" || name.starts_with("remote[")) &&
+       args.remote.find(';') != std::string::npos)) {
+    // Semicolon-separated peers select the replica-aware client:
+    // remote://primary;replica1;replica2 (commas belong to shard://).
+    std::string spec = name.starts_with("remote://")
+                           ? name.substr(std::strlen("remote://"))
+                           : args.remote;
+    auto options = hm::backends::ParseReplicatedAddrs(spec);
+    CheckOk(options.status());
+    auto store = hm::backends::ReplicatedStore::Connect(*options);
+    CheckOk(store.status());
+    CheckOk((*store)->ResetServer());
+    return std::move(*store);
+  }
   if (name == "remote" || name.starts_with("remote[")) {
     hm::backends::RemoteMode mode = args.remote_mode;
     if (name.starts_with("remote[")) {
@@ -430,6 +461,11 @@ struct ServeArgs {
   uint64_t checkpoint_ms = 0;
   /// Fleet placement from --shard=K/N; (0, 1) = standalone.
   hm::cluster::ShardSpec shard;
+  /// Replication role (DESIGN.md §16): --replicate ships this node's
+  /// WAL; --replica-of=HOST:PORT replays a primary's.
+  bool replicate = false;
+  std::string replica_of;
+  uint64_t semisync_ms = 5000;
 };
 
 /// (Re)creates the served backend. Persistent backends start from an
@@ -526,15 +562,53 @@ int ServeMain(int argc, char** argv) {
       auto spec = hm::cluster::ParseShardSpec(value("--shard="));
       CheckOk(spec.status());
       args.shard = *spec;
+    } else if (arg == "--replicate") {
+      args.replicate = true;
+    } else if (arg.starts_with("--replica-of=")) {
+      args.replica_of = value("--replica-of=");
+    } else if (arg.starts_with("--semisync-ms=")) {
+      args.semisync_ms =
+          std::strtoull(value("--semisync-ms=").c_str(), nullptr, 10);
     } else {
       std::cerr << "unknown serve argument '" << arg << "'\n";
       Usage(1);
     }
   }
 
+  const bool is_replica = !args.replica_of.empty();
+  const bool replicated = args.replicate || is_replica;
+  if (args.replicate && is_replica) {
+    std::cerr << "hmbench serve: --replicate and --replica-of are "
+                 "mutually exclusive\n";
+    return 1;
+  }
+  if (replicated && args.backend != "oodb") {
+    std::cerr << "hmbench serve: replication needs --backend=oodb "
+                 "(the WAL is what gets shipped)\n";
+    return 1;
+  }
+  if (replicated && args.shard.count > 1) {
+    std::cerr << "hmbench serve: --shard and replication cannot be "
+                 "combined yet\n";
+    return 1;
+  }
+  if (is_replica && args.checkpoint_ms != 0) {
+    // A fuzzy checkpoint would advance recovery past replicated applies
+    // that exist in no local WAL (DESIGN.md §16) — never on a replica.
+    std::cerr << "hmbench serve: ignoring --checkpoint-ms on a replica\n";
+    args.checkpoint_ms = 0;
+  }
+
   auto backend = MakeShardBackend(args);
   CheckOk(backend.status());
+  // Replication needs the concrete store under the HyperStore surface:
+  // the shipper reads its WAL, the replicator applies into it. Safe:
+  // the backend is an unwrapped oodb (checked above).
+  auto* oodb = replicated
+                   ? static_cast<hm::backends::OodbStore*>(backend->get())
+                   : nullptr;
 
+  std::unique_ptr<hm::replication::Coordinator> coordinator;
   hm::server::ServerOptions options;
   options.host = args.host;
   options.port = args.port;
@@ -544,9 +618,44 @@ int ServeMain(int argc, char** argv) {
   options.drain_ms = args.drain_ms;
   options.shard_id = args.shard.id;
   options.shard_count = args.shard.count;
-  options.reset_factory = [args] { return MakeShardBackend(args); };
+  if (replicated) {
+    // Role/epoch state lives in args.dir itself — outside the wiped
+    // per-backend subdirectory — so a restarted node keeps its fence.
+    hm::replication::CoordinatorOptions copts;
+    copts.state_dir = args.dir;
+    copts.semisync_timeout_ms = static_cast<int64_t>(args.semisync_ms);
+    auto coord = hm::replication::Coordinator::Open(copts, is_replica);
+    CheckOk(coord.status());
+    coordinator = std::move(*coord);
+    options.replication = coordinator.get();
+    // No reset_factory: a reset would fork the shipped WAL chain under
+    // the followers. Reset stays an idempotent no-op while untouched.
+  } else {
+    options.reset_factory = [args] { return MakeShardBackend(args); };
+  }
+  if (coordinator != nullptr && !is_replica) {
+    // Fresh data directory (wiped above), so the WAL chain is
+    // replayable from empty for any follower that subscribes.
+    CheckOk(coordinator->ServePrimary(oodb, /*chain_complete=*/true));
+  }
   auto server = hm::server::Server::Start(options, std::move(*backend));
   CheckOk(server.status());
+  if (coordinator != nullptr && is_replica) {
+    hm::replication::ReplicatorOptions ropts;
+    auto primary_addr = hm::backends::ParseRemoteAddr(args.replica_of);
+    CheckOk(primary_addr.status());
+    ropts.primary = *primary_addr;
+    ropts.mirror_dir = args.dir + "/repl_mirror";
+    std::error_code mirror_ec;
+    std::filesystem::create_directories(ropts.mirror_dir, mirror_ec);
+    ropts.follower_id = (*server)->port();
+    hm::server::Server* raw_server = server->get();
+    CheckOk(coordinator->ServeReplica(
+        ropts, oodb, [raw_server](const std::function<void()>& fn) {
+          raw_server->WithExclusiveBackend(
+              [&fn](hm::HyperStore*) { fn(); });
+        }));
+  }
 
   // The resolved address goes first, alone and flushed, so a launcher
   // reading our stdout learns an ephemeral port without parsing the
@@ -560,6 +669,12 @@ int ServeMain(int argc, char** argv) {
   if (args.shard.count > 1) {
     std::cout << "; shard " << args.shard.id << "/" << args.shard.count;
   }
+  if (coordinator != nullptr) {
+    std::cout << "; replication "
+              << hm::replication::RoleName(coordinator->role()) << " epoch "
+              << coordinator->epoch();
+    if (is_replica) std::cout << " of " << args.replica_of;
+  }
   std::cout << "; Ctrl-C to stop\n" << std::flush;
 
   std::signal(SIGINT, HandleStopSignal);
@@ -567,6 +682,9 @@ int ServeMain(int argc, char** argv) {
   while (g_stop_requested == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
+  // The replicator (if any) must stop before the server: its exclusive
+  // hook dispatches through it.
+  if (coordinator != nullptr) coordinator->Shutdown();
   // Stop() drains: the listener closes first, in-flight requests get
   // up to --drain-ms to finish with their responses delivered.
   (*server)->Stop();
@@ -607,6 +725,74 @@ bool ReadLine(int fd, std::string* line) {
   }
 }
 
+/// Fixed per-fleet spawn parameters (so a restart re-creates a child
+/// exactly, modulo the pinned port).
+struct ClusterSpawnConfig {
+  uint32_t shards = 4;
+  std::string backend;
+  std::string dir;
+  std::string cache_pages;
+  std::string workers;
+};
+
+/// Forks one `hmbench serve` child for shard `k` listening on `port`
+/// ("0" = ephemeral) and reads its announce line. On success fills
+/// `*out` / `*addr_out`; on failure the child (if any) is reaped.
+bool SpawnShard(const ClusterSpawnConfig& config, uint32_t k,
+                const std::string& port, ShardProc* out,
+                std::string* addr_out) {
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    std::cerr << "hmbench cluster: pipe: " << std::strerror(errno) << "\n";
+    return false;
+  }
+  pid_t pid = fork();
+  if (pid < 0) {
+    std::cerr << "hmbench cluster: fork: " << std::strerror(errno) << "\n";
+    close(pipe_fds[0]);
+    close(pipe_fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    // Child: stdout -> pipe, then become `hmbench serve` for shard k.
+    dup2(pipe_fds[1], STDOUT_FILENO);
+    close(pipe_fds[0]);
+    close(pipe_fds[1]);
+    std::vector<std::string> child_args = {
+        "hmbench",
+        "serve",
+        "--backend=" + config.backend,
+        "--port=" + port,
+        "--shard=" + std::to_string(k) + "/" + std::to_string(config.shards),
+        "--dir=" + config.dir + "/shard" + std::to_string(k),
+    };
+    if (!config.cache_pages.empty()) {
+      child_args.push_back("--cache-pages=" + config.cache_pages);
+    }
+    if (!config.workers.empty()) {
+      child_args.push_back("--workers=" + config.workers);
+    }
+    std::vector<char*> child_argv;
+    child_argv.reserve(child_args.size() + 1);
+    for (std::string& a : child_args) child_argv.push_back(a.data());
+    child_argv.push_back(nullptr);
+    execv("/proc/self/exe", child_argv.data());
+    std::cerr << "hmbench cluster: execv: " << std::strerror(errno) << "\n";
+    _exit(127);
+  }
+  close(pipe_fds[1]);
+  std::string addr;
+  if (!ReadLine(pipe_fds[0], &addr) || addr.find(':') == std::string::npos) {
+    close(pipe_fds[0]);
+    waitpid(pid, nullptr, 0);
+    return false;
+  }
+  out->pid = pid;
+  out->out_fd = pipe_fds[0];
+  *addr_out = addr;
+  return true;
+}
+
 int ClusterMain(int argc, char** argv) {
   uint32_t shards = 4;
   std::string backend = "mem";
@@ -641,57 +827,16 @@ int ClusterMain(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<ShardProc> fleet;
-  std::vector<std::string> addrs;
+  ClusterSpawnConfig config{shards, backend, dir, cache_pages, workers};
+  std::vector<ShardProc> fleet(shards);
+  std::vector<std::string> addrs(shards);
   for (uint32_t k = 0; k < shards; ++k) {
-    int pipe_fds[2];
-    if (pipe(pipe_fds) != 0) {
-      std::cerr << "hmbench cluster: pipe: " << std::strerror(errno)
-                << "\n";
-      return 1;
-    }
-    pid_t pid = fork();
-    if (pid < 0) {
-      std::cerr << "hmbench cluster: fork: " << std::strerror(errno)
-                << "\n";
-      return 1;
-    }
-    if (pid == 0) {
-      // Child: stdout -> pipe, then become `hmbench serve` for shard k.
-      dup2(pipe_fds[1], STDOUT_FILENO);
-      close(pipe_fds[0]);
-      close(pipe_fds[1]);
-      std::vector<std::string> child_args = {
-          "hmbench",
-          "serve",
-          "--backend=" + backend,
-          "--port=0",
-          "--shard=" + std::to_string(k) + "/" + std::to_string(shards),
-          "--dir=" + dir + "/shard" + std::to_string(k),
-      };
-      if (!cache_pages.empty()) {
-        child_args.push_back("--cache-pages=" + cache_pages);
-      }
-      if (!workers.empty()) child_args.push_back("--workers=" + workers);
-      std::vector<char*> child_argv;
-      child_argv.reserve(child_args.size() + 1);
-      for (std::string& a : child_args) child_argv.push_back(a.data());
-      child_argv.push_back(nullptr);
-      execv("/proc/self/exe", child_argv.data());
-      std::cerr << "hmbench cluster: execv: " << std::strerror(errno)
-                << "\n";
-      _exit(127);
-    }
-    close(pipe_fds[1]);
-    std::string addr;
-    if (!ReadLine(pipe_fds[0], &addr) || addr.find(':') == std::string::npos) {
+    if (!SpawnShard(config, k, "0", &fleet[k], &addrs[k])) {
       std::cerr << "hmbench cluster: shard " << k
                 << " exited before announcing its address\n";
-      for (const ShardProc& proc : fleet) kill(proc.pid, SIGTERM);
+      for (uint32_t j = 0; j < k; ++j) kill(fleet[j].pid, SIGTERM);
       return 1;
     }
-    fleet.push_back({pid, pipe_fds[0]});
-    addrs.push_back(addr);
   }
 
   // The fleet spelling goes first, alone and flushed — scripts read it
@@ -708,20 +853,67 @@ int ClusterMain(int argc, char** argv) {
 
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
-  while (g_stop_requested == 0) {
-    // A shard dying takes the whole fleet down — better a clean exit
-    // than a half-alive cluster answering kUnavailable forever.
+  // Supervision: a crashed shard is restarted into its slot on the
+  // port it announced, so the published shard:// spelling stays valid
+  // and clients reconnect transparently. A slot that keeps dying
+  // (kMaxSlotRestarts times without surviving kStableMs) takes the
+  // fleet down — better a clean exit than a restart loop answering
+  // kUnavailable forever.
+  constexpr int kMaxSlotRestarts = 5;
+  constexpr auto kStableMs = std::chrono::milliseconds(5000);
+  hm::telemetry::Counter* restarts_counter =
+      hm::telemetry::Registry::Global().GetCounter("cluster.restarts");
+  std::vector<int> slot_restarts(shards, 0);
+  std::vector<std::chrono::steady_clock::time_point> slot_started(
+      shards, std::chrono::steady_clock::now());
+  bool fleet_failed = false;
+  while (g_stop_requested == 0 && !fleet_failed) {
     pid_t done = waitpid(-1, nullptr, WNOHANG);
-    if (done > 0) {
-      std::cerr << "hmbench cluster: shard process " << done
-                << " exited; stopping the fleet\n";
+    if (done <= 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      continue;
+    }
+    size_t slot = fleet.size();
+    for (size_t k = 0; k < fleet.size(); ++k) {
+      if (fleet[k].pid == done) slot = k;
+    }
+    if (slot == fleet.size()) continue;  // not ours (already replaced)
+    close(fleet[slot].out_fd);
+    fleet[slot] = ShardProc{};
+    auto now = std::chrono::steady_clock::now();
+    if (now - slot_started[slot] >= kStableMs) slot_restarts[slot] = 0;
+    if (++slot_restarts[slot] > kMaxSlotRestarts) {
+      std::cerr << "hmbench cluster: shard " << slot << " died "
+                << kMaxSlotRestarts
+                << " times in quick succession; stopping the fleet\n";
+      fleet_failed = true;
       break;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    // The same slot must come back on the same port (the announced
+    // address is what clients hold); the port is the addr's suffix.
+    std::string port = addrs[slot].substr(addrs[slot].rfind(':') + 1);
+    std::string new_addr;
+    if (!SpawnShard(config, static_cast<uint32_t>(slot), port, &fleet[slot],
+                    &new_addr)) {
+      std::cerr << "hmbench cluster: shard " << slot << " (pid " << done
+                << ") died and could not be restarted on port " << port
+                << "; stopping the fleet\n";
+      fleet_failed = true;
+      break;
+    }
+    slot_started[slot] = std::chrono::steady_clock::now();
+    restarts_counter->Add();
+    std::cerr << "hmbench cluster: shard " << slot << " (pid " << done
+              << ") died; restarted as pid " << fleet[slot].pid << " on "
+              << new_addr << " (restart " << slot_restarts[slot]
+              << " of this slot)\n";
   }
-  for (const ShardProc& proc : fleet) kill(proc.pid, SIGTERM);
-  int failures = 0;
   for (const ShardProc& proc : fleet) {
+    if (proc.pid > 0) kill(proc.pid, SIGTERM);
+  }
+  int failures = fleet_failed ? 1 : 0;
+  for (const ShardProc& proc : fleet) {
+    if (proc.pid <= 0) continue;
     int wstatus = 0;
     if (waitpid(proc.pid, &wstatus, 0) == proc.pid &&
         (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0)) {
@@ -729,7 +921,8 @@ int ClusterMain(int argc, char** argv) {
     }
     close(proc.out_fd);
   }
-  std::cout << "hmbench cluster: fleet stopped\n";
+  std::cout << "hmbench cluster: fleet stopped ("
+            << restarts_counter->value() << " shard restarts)\n";
   return failures == 0 ? 0 : 1;
 }
 
